@@ -1,0 +1,33 @@
+"""E1 -- the desiderata matrix (paper Sections 4.2 + 5 + 6).
+
+Regenerates the qualitative comparison the paper makes in prose: each
+mechanism of Section 4.2 (plus excuses) against the eight desiderata of
+Section 5, every cell decided by an executable probe.
+
+Expected shape: excuses meets all eight; every alternative fails at
+least two.
+"""
+
+from conftest import report
+
+from repro.baselines import ALL_MECHANISMS, ExceptionScenario
+from repro.evaluation import DESIDERATA, desiderata_matrix, render_table
+
+
+def _matrix():
+    return desiderata_matrix(ALL_MECHANISMS, ExceptionScenario())
+
+
+def test_e1_desiderata_matrix(benchmark):
+    matrix = benchmark(_matrix)
+    rows = [[name] + [cells[d] for d in DESIDERATA]
+            for name, cells in matrix]
+    report("E1-desiderata", render_table(
+        ["mechanism"] + list(DESIDERATA), rows,
+        "E1: desiderata of Section 5, probed per mechanism"))
+
+    cells = dict(matrix)
+    assert all(cells["excuses"][d] for d in DESIDERATA)
+    for name, row in cells.items():
+        if name != "excuses":
+            assert sum(1 for d in DESIDERATA if not row[d]) >= 2, name

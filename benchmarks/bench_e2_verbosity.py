@@ -1,0 +1,45 @@
+"""E2 -- schema blow-up vs number of contradicted attributes (§4.2.2).
+
+The paper's combinatorial argument, measured: with k contradicted
+attributes, intermediate classes need 2^k - 1 anchors, reconciliation
+re-specializes every sibling, excuses add only the excuse clauses.
+
+Expected shape: intermediate-classes exponential in k; reconciliation
+linear in siblings x k; excuses constant extra classes.
+"""
+
+from conftest import report
+
+from repro.baselines import ALL_MECHANISMS
+from repro.evaluation import render_table, verbosity_sweep
+
+KS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_e2_verbosity_sweep(benchmark):
+    rows = benchmark(verbosity_sweep, ALL_MECHANISMS, KS)
+    table = [(r.mechanism, r.k, r.total_classes, r.invented_classes,
+              r.attribute_declarations) for r in rows]
+    report("E2-verbosity", render_table(
+        ["mechanism", "k", "classes", "invented", "attr decls"], table,
+        "E2: schema size as k contradicted attributes grow"))
+
+    by_mechanism = {}
+    for r in rows:
+        by_mechanism.setdefault(r.mechanism, []).append(r)
+
+    # Excuses: zero invented classes at every k.
+    assert all(r.invented_classes == 0
+               for r in by_mechanism["excuses"])
+    # Intermediate classes: invented(k) = k + 2^k - 1 (exponential).
+    for r in by_mechanism["intermediate-classes"]:
+        assert r.invented_classes == r.k + 2 ** r.k - 1
+    # Reconciliation: invented(k) = k (one generalized range per attr).
+    for r in by_mechanism["reconciliation"]:
+        assert r.invented_classes == r.k
+    # At the largest k the intermediate encoding dwarfs the excuses one.
+    big = KS[-1]
+    exc = next(r for r in by_mechanism["excuses"] if r.k == big)
+    inter = next(r for r in by_mechanism["intermediate-classes"]
+                 if r.k == big)
+    assert inter.total_classes > 5 * exc.total_classes

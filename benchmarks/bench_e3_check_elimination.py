@@ -1,0 +1,90 @@
+"""E3 -- run-time check elimination and query speedup (§5.4).
+
+"The compiler can avoid the introduction of run-time safety tests in
+those cases where it has determined that no type error can occur, and
+thereby considerably increase the efficiency of the code generated."
+
+We run a query suite over synthetic hospital populations with and
+without inference-guided elimination and report checks executed, rows,
+and wall time.  Expected shape: eliminated plans execute 0 checks on
+provably-safe queries and strictly fewer on guarded ones; throughput
+improves, and the saving persists as the database grows.
+"""
+
+import time
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.query import compile_query, execute
+from repro.scenarios import populate_hospital
+
+QUERIES = (
+    ("city (safe)",
+     "for p in Patient select p.name, p.treatedAt.location.city"),
+    ("state guarded (safe)",
+     "for p in Patient where p not in Tubercular_Patient "
+     "select p.name, p.treatedAt.location.state"),
+    ("doctor hospital guarded (safe)",
+     "for p in Patient where p not in Alcoholic "
+     "select p.treatedBy.affiliatedWith.location.city"),
+    ("state unguarded (unsafe)",
+     "for p in Patient select p.name, p.treatedAt.location.state"),
+)
+
+
+def _run_suite(schema, store, eliminate):
+    total_checks = 0
+    total_rows = 0
+    for _name, text in QUERIES:
+        compiled = compile_query(text, schema,
+                                 eliminate_checks=eliminate)
+        rows, stats = execute(compiled, store)
+        total_checks += stats.checks_executed
+        total_rows += stats.rows_returned
+    return total_checks, total_rows
+
+
+def test_e3_table(benchmark, hospital_schema):
+    def build_table():
+        table = []
+        for n in (500, 2000, 8000):
+            pop = populate_hospital(schema=hospital_schema, n_patients=n,
+                                    seed=33)
+            for eliminate in (False, True):
+                start = time.perf_counter()
+                checks, rows = _run_suite(hospital_schema, pop.store,
+                                          eliminate)
+                elapsed = time.perf_counter() - start
+                table.append(
+                    (n, "eliminated" if eliminate else "all-checked",
+                     checks, rows, f"{elapsed * 1000:.1f} ms"))
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report("E3-check-elimination", render_table(
+        ["patients", "plan", "checks executed", "rows", "suite time"],
+        table,
+        "E3: inference-guided elimination of run-time safety tests"))
+
+    # Shape: elimination removes the overwhelming majority of checks.
+    for n in (500, 2000, 8000):
+        baseline = next(r for r in table if r[0] == n
+                        and r[1] == "all-checked")
+        fast = next(r for r in table if r[0] == n
+                    and r[1] == "eliminated")
+        assert fast[2] < baseline[2] / 5
+        assert fast[3] == baseline[3]  # same answers
+
+
+def test_e3_bench_eliminated(benchmark, hospital_schema,
+                             large_population):
+    compiled = compile_query(QUERIES[0][1], hospital_schema)
+    benchmark(execute, compiled, large_population.store)
+
+
+def test_e3_bench_all_checked(benchmark, hospital_schema,
+                              large_population):
+    compiled = compile_query(QUERIES[0][1], hospital_schema,
+                             eliminate_checks=False)
+    benchmark(execute, compiled, large_population.store)

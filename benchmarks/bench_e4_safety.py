@@ -1,0 +1,109 @@
+"""E4 -- unsafe-query detection and guard-restored safety (§5.4), and
+E4b -- type-checking cost scales low-polynomially.
+
+E4 reruns the paper's own judgments as a table: which queries the checker
+calls safe, unsafe, or definite errors, with and without the
+unshared-exceptional-structure assumption (ablation).
+
+E4b measures analysis time against random schemas of growing size; the
+paper promises a checking algorithm of "order of low polynomial".
+Expected shape: E4's verdict column matches the paper's prose verbatim;
+E4b grows sub-quadratically in the class count.
+"""
+
+import time
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.query import analyze
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+
+JUDGMENTS = (
+    ("p.treatedAt.location.city", "safe",
+     "for p in Patient select p.treatedAt.location.city"),
+    ("p.treatedAt.location.state", "unsafe",
+     "for p in Patient select p.treatedAt.location.state"),
+    ("... guarded by p not in Tubercular_Patient", "safe",
+     "for p in Patient where p not in Tubercular_Patient "
+     "select p.treatedAt.location.state"),
+    ("p.treatedBy.affiliatedWith", "unsafe",
+     "for p in Patient select p.treatedBy.affiliatedWith"),
+    ("... guarded by p not in Alcoholic", "safe",
+     "for p in Patient where p not in Alcoholic "
+     "select p.treatedBy.affiliatedWith"),
+    ("branch typing: when p in Alcoholic then therapyStyle", "safe",
+     "for p in Patient select when p in Alcoholic "
+     "then p.treatedBy.therapyStyle else p.name end"),
+    ("supervisor of arbitrary person", "error",
+     "for p in Person select p.supervisor"),
+    ("ward of a patient (maybe ambulatory)", "unsafe",
+     "for p in Patient select p.ward"),
+)
+
+
+def _verdict(report_):
+    if report_.errors:
+        return "error"
+    if report_.unsafe:
+        return "unsafe"
+    return "safe"
+
+
+def test_e4_safety_judgments(benchmark, hospital_schema):
+    def run():
+        rows = []
+        for label, expected, query in JUDGMENTS:
+            r = analyze(query, hospital_schema)
+            r_ablate = analyze(query, hospital_schema,
+                               assume_unshared=False)
+            rows.append((label, expected, _verdict(r),
+                         _verdict(r_ablate)))
+        return rows
+
+    rows = benchmark(run)
+    report("E4-safety", render_table(
+        ["query", "paper says", "checker", "checker (no unshared)"],
+        rows, "E4: the paper's Section 5.4 judgments, regenerated"))
+    for label, expected, got, _ablate in rows:
+        assert got == expected, label
+    # Ablation: the tubercular guard stops working without the invariant.
+    guarded = next(r for r in rows if "Tubercular" in r[0])
+    assert guarded[3] == "unsafe"
+
+
+def test_e4b_scaling(benchmark, hospital_schema):
+    def run():
+        rows = []
+        for n in (25, 50, 100, 200, 400):
+            g = generate_random_hierarchy(RandomHierarchyConfig(
+                n_classes=n, excuse_intent_prob=1.0, seed=5))
+            schema = g.excuses_schema
+            leaves = [c for c in schema.class_names()
+                      if not schema.children(c)]
+            queries = [
+                f"for x in {leaf} select x.attr0, x.attr1"
+                for leaf in leaves[:20]
+            ]
+            start = time.perf_counter()
+            for q in queries:
+                analyze(q, schema)
+            elapsed = time.perf_counter() - start
+            rows.append((n, len(queries),
+                         elapsed / max(len(queries), 1)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [(n, q, f"{t * 1000:.3f} ms") for n, q, t in rows]
+    report("E4b-scaling", render_table(
+        ["classes", "queries", "analysis time / query"], table,
+        "E4b: analysis cost vs schema size (expect low-polynomial)"))
+
+    # Shape: 16x more classes must cost far less than quadratically
+    # (< 16^2 = 256x per query).
+    t_small = rows[0][2]
+    t_big = rows[-1][2]
+    assert t_big < t_small * 256

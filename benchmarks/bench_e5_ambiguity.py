@@ -1,0 +1,95 @@
+"""E5 -- default-inheritance ambiguity on non-tree hierarchies (§4.2.4).
+
+"The search-based definition is no longer well-defined once the classes
+are organized in a full partial order (as opposed to a tree)."
+
+We generate random hierarchies with increasing multi-parent density and
+measure the fraction of resolvable (class, attribute) lookups on which
+closest-ancestor search is ambiguous.  Excuse semantics never consults
+the topology, so its column is identically zero.
+
+Expected shape: ambiguity is 0 on trees, grows with multi-parent
+density; the excuses column is 0 everywhere.
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.baselines import DefaultResolver
+from repro.errors import AmbiguousInheritanceError, UnknownAttributeError
+from repro.evaluation import render_table
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+
+DENSITIES = (0.0, 0.1, 0.2, 0.3, 0.5)
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _ambiguity_rate(schema, attributes) -> float:
+    resolver = DefaultResolver(schema)
+    ambiguous = resolvable = 0
+    for name in schema.class_names():
+        for attribute in attributes:
+            try:
+                resolver.resolve(name, attribute)
+                resolvable += 1
+            except AmbiguousInheritanceError:
+                ambiguous += 1
+                resolvable += 1
+            except UnknownAttributeError:
+                continue
+    if not resolvable:
+        return 0.0
+    return ambiguous / resolvable
+
+
+def _sweep():
+    rows = []
+    for density in DENSITIES:
+        rates = []
+        for seed in SEEDS:
+            g = generate_random_hierarchy(RandomHierarchyConfig(
+                n_classes=60, extra_parent_prob=density,
+                contradiction_prob=0.4, seed=seed))
+            rates.append(_ambiguity_rate(g.default_schema, g.attributes))
+        rows.append((density, statistics.mean(rates), 0.0))
+    return rows
+
+
+def test_e5_ambiguity_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = [(d, f"{r * 100:.1f}%", f"{e * 100:.1f}%")
+             for d, r, e in rows]
+    report("E5-ambiguity", render_table(
+        ["extra-parent prob", "default-inheritance ambiguous",
+         "excuses ambiguous"], table,
+        "E5: ambiguity of closest-ancestor resolution on DAGs"))
+
+    by_density = {d: r for d, r, _ in rows}
+    assert by_density[0.0] == 0.0          # trees are fine
+    assert by_density[0.5] > 0.0           # DAGs are not
+    assert by_density[0.5] >= by_density[0.1]
+    assert all(e == 0.0 for _d, _r, e in rows)  # excuses never ambiguous
+
+
+def test_e5_bench_resolution(benchmark):
+    g = generate_random_hierarchy(RandomHierarchyConfig(
+        n_classes=60, extra_parent_prob=0.3, seed=1))
+    resolver = DefaultResolver(g.default_schema)
+    names = g.default_schema.class_names()
+
+    def resolve_all():
+        hits = 0
+        for name in names:
+            for attribute in g.attributes:
+                try:
+                    resolver.resolve(name, attribute)
+                    hits += 1
+                except (AmbiguousInheritanceError, UnknownAttributeError):
+                    pass
+        return hits
+
+    assert benchmark(resolve_all) > 0

@@ -1,0 +1,69 @@
+"""E6 -- detection of accidental contradictions (§4.2.4 + §6).
+
+"It is no longer possible to detect inconsistent definitions because the
+system cannot distinguish erroneous definitions from defaults" -- versus
+excuses, where "a redefinition of an attribute which is not a
+specialization is an error without an accompanying excuse".
+
+Random hierarchies are generated with known intended (excused) and
+accidental (unexcused) contradictions; the excuse validator must flag
+exactly the accidental set; cancellable inheritance flags nothing.
+
+Expected shape: recall and precision 100% for excuses, 0% detection for
+default inheritance, across all seeds.
+"""
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+from repro.schema import SchemaValidator
+
+SEEDS = tuple(range(1, 11))
+
+
+def _measure():
+    rows = []
+    totals = {"intended": 0, "accidental": 0, "flagged": 0, "correct": 0}
+    for seed in SEEDS:
+        g = generate_random_hierarchy(RandomHierarchyConfig(
+            n_classes=50, contradiction_prob=0.4,
+            excuse_intent_prob=0.5, seed=seed))
+        flagged = {
+            (d.class_name, d.attribute)
+            for d in SchemaValidator(g.excuses_schema).validate()
+            if d.code == "unexcused-contradiction"
+        }
+        correct = flagged & g.accidental
+        rows.append((seed, len(g.intended), len(g.accidental),
+                     len(flagged), len(correct), 0))
+        totals["intended"] += len(g.intended)
+        totals["accidental"] += len(g.accidental)
+        totals["flagged"] += len(flagged)
+        totals["correct"] += len(correct)
+    return rows, totals
+
+
+def test_e6_detection(benchmark):
+    rows, totals = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = rows + [("all", totals["intended"], totals["accidental"],
+                     totals["flagged"], totals["correct"], 0)]
+    report("E6-error-detection", render_table(
+        ["seed", "intended", "accidental", "excuses flagged",
+         "correctly flagged", "default flagged"], table,
+        "E6: accidental-contradiction detection (excuses vs defaults)"))
+
+    # 100% recall, 100% precision for excuses; defaults detect nothing.
+    assert totals["accidental"] > 0
+    assert totals["flagged"] == totals["accidental"]
+    assert totals["correct"] == totals["accidental"]
+
+
+def test_e6_bench_validation(benchmark):
+    g = generate_random_hierarchy(RandomHierarchyConfig(
+        n_classes=50, contradiction_prob=0.4, seed=1))
+    validator = SchemaValidator(g.excuses_schema)
+    benchmark(validator.validate)

@@ -1,0 +1,138 @@
+"""E8 -- automatic extent propagation vs manual set maintenance (§3c).
+
+"If an object is added to the extent of Physician, it is automatically
+added to the extents of all its superclasses ... If the extent of
+classes was replaced by sets [Buneman/Atkinson, ref 6], then one would
+need to write for every class separate procedures for adding or removing
+objects ... these procedures could become sources of error as the class
+hierarchy evolves."
+
+The manual baseline models exactly that: one hand-written add/remove
+procedure per class, each of which must name every superclass set.  We
+measure (i) how many per-class procedures the designer maintains as the
+hierarchy deepens (the error surface) and (ii) add/remove throughput.
+
+Expected shape: the automatic store needs zero per-class procedures and
+stays correct after a hierarchy change, while the manual baseline's
+procedure count grows with the hierarchy and a stale procedure silently
+corrupts extents.
+"""
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.schema import ClassDef, Schema
+
+
+def chain_schema(depth: int) -> Schema:
+    schema = Schema()
+    schema.add_class(ClassDef("C0"))
+    for i in range(1, depth + 1):
+        schema.add_class(ClassDef(f"C{i}", (f"C{i - 1}",)))
+    return schema
+
+
+class ManualSetBaseline:
+    """Extents as plain sets with hand-written per-class procedures.
+
+    ``procedures`` maps class name -> the list of set names its add
+    procedure updates; the designer must keep these lists in sync with
+    the hierarchy by hand.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.sets = {name: set() for name in schema.class_names()}
+        self.procedures = {
+            name: sorted(schema.ancestors(name))
+            for name in schema.class_names()
+        }
+
+    def procedure_count(self) -> int:
+        return len(self.procedures)
+
+    def maintenance_sites(self) -> int:
+        """Lines of 'add to set X' code the designer owns."""
+        return sum(len(v) for v in self.procedures.values())
+
+    def add(self, class_name: str, obj) -> None:
+        for target in self.procedures[class_name]:
+            self.sets[target].add(obj)
+
+    def remove(self, class_name: str, obj) -> None:
+        for target in self.procedures[class_name]:
+            self.sets[target].discard(obj)
+
+
+def test_e8_maintenance_surface(benchmark):
+    def run():
+        rows = []
+        for depth in (2, 4, 8, 16):
+            schema = chain_schema(depth)
+            manual = ManualSetBaseline(schema)
+            rows.append((depth, 0, manual.procedure_count(),
+                         manual.maintenance_sites()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("E8-extents", render_table(
+        ["hierarchy depth", "store procedures",
+         "manual procedures", "manual update sites"], rows,
+        "E8: designer-maintained code for extent consistency"))
+    # The manual baseline's code surface grows quadratically with depth;
+    # the store's is identically zero.
+    assert rows[-1][3] > rows[0][3]
+    assert all(r[1] == 0 for r in rows)
+
+
+def test_e8_stale_procedure_corrupts_extents(benchmark):
+    """Evolving the hierarchy without updating one procedure silently
+    breaks subset inclusion in the manual baseline -- the error class the
+    paper warns about.  The store cannot get this wrong."""
+    def run():
+        schema = chain_schema(3)
+        manual = ManualSetBaseline(schema)
+        # The hierarchy evolves: C1 gains a new superclass C_new.
+        schema_v2 = chain_schema(3)
+        schema_v2.add_class(ClassDef("C_new"))
+        schema_v2.replace_class(ClassDef("C1", ("C0", "C_new")))
+        # ...but only C1's procedure was updated, C2/C3's were forgotten.
+        manual.sets["C_new"] = set()
+        manual.procedures["C1"] = sorted(schema_v2.ancestors("C1"))
+        manual.add("C3", "bob")
+        broken = "bob" not in manual.sets["C_new"]
+
+        store = ObjectStore(schema_v2, check_mode=CheckMode.NONE)
+        obj = store.create("C3")
+        automatic_ok = obj in store.extent("C_new")
+        return broken, automatic_ok
+
+    broken, automatic_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert broken           # the manual baseline lost subset inclusion
+    assert automatic_ok     # the store did not
+
+
+def test_e8_bench_store_add_remove(benchmark):
+    schema = chain_schema(8)
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+
+    def cycle():
+        objs = [store.create("C8") for _ in range(100)]
+        for obj in objs:
+            store.remove(obj)
+
+    benchmark(cycle)
+
+
+def test_e8_bench_manual_add_remove(benchmark):
+    schema = chain_schema(8)
+    manual = ManualSetBaseline(schema)
+
+    def cycle():
+        for i in range(100):
+            manual.add("C8", i)
+        for i in range(100):
+            manual.remove("C8", i)
+
+    benchmark(cycle)

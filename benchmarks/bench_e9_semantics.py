@@ -1,0 +1,117 @@
+"""E9 -- the candidate-semantics shoot-out (§5.2).
+
+The paper rejects three candidate semantics with concrete
+counterexamples before settling on the fourth.  This bench executes the
+litmus cases under all four and prints the verdict matrix.
+
+Expected shape (matching the paper's prose):
+
+* broadened-range wrongly ACCEPTS a non-alcoholic patient treated by a
+  psychologist;
+* membership-waiver wrongly ACCEPTS dagwood the Ostrich Quaker
+  Republican;
+* exact-partition wrongly REJECTS dick for every opinion;
+* the final semantics accepts Hawk/Dove for dick, rejects Ostrich, and
+  rejects the non-alcoholic psychologist case.
+"""
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.scenarios import build_quaker_schema, create_dick
+from repro.schema import SchemaBuilder
+from repro.schema.schema import Constraint
+from repro.semantics import ALL_SEMANTICS
+from repro.typesys import STRING
+
+
+def _alcoholic_case():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    b.cls("Alcoholic", isa="Patient").attr(
+        "treatedBy", "Psychologist", excuses=["Patient"])
+    schema = b.build()
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    shrink = store.create("Psychologist", name="s")
+    plain = store.create("Patient", name="p", treatedBy=shrink)
+    constraint = Constraint(
+        "Patient", "treatedBy",
+        schema.get("Patient").attribute("treatedBy").range)
+    excuses = schema.excuses_against("Patient", "treatedBy")
+
+    def verdict(semantics):
+        return semantics.satisfies(schema, plain, shrink, constraint,
+                                   excuses)
+    return verdict
+
+
+def _dick_case(opinion):
+    schema = build_quaker_schema()
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    dick = create_dick(store, opinion)
+    constraints = [
+        Constraint("Quaker", "opinion",
+                   schema.get("Quaker").attribute("opinion").range),
+        Constraint("Republican", "opinion",
+                   schema.get("Republican").attribute("opinion").range),
+    ]
+
+    def verdict(semantics):
+        value = dick.get_value("opinion")
+        return all(
+            semantics.satisfies(
+                schema, dick, value, c,
+                schema.excuses_against(c.owner, c.attribute))
+            for c in constraints)
+    return verdict
+
+
+CASES = (
+    ("plain patient treated by psychologist", "reject",
+     _alcoholic_case()),
+    ("dick (Quaker+Republican) opinion Hawk", "accept",
+     _dick_case("Hawk")),
+    ("dick (Quaker+Republican) opinion Dove", "accept",
+     _dick_case("Dove")),
+    ("dick (Quaker+Republican) opinion Ostrich", "reject",
+     _dick_case("Ostrich")),
+)
+
+EXPECTED_FLAWS = {
+    "broadened-range": "plain patient treated by psychologist",
+    "membership-waiver": "dick (Quaker+Republican) opinion Ostrich",
+    "exact-partition": "dick (Quaker+Republican) opinion Hawk",
+}
+
+
+def test_e9_semantics_matrix(benchmark):
+    def run():
+        rows = []
+        for label, expected, verdict in CASES:
+            row = [label, expected]
+            for semantics in ALL_SEMANTICS:
+                row.append("accept" if verdict(semantics) else "reject")
+            rows.append(row)
+        return rows
+
+    rows = benchmark(run)
+    headers = ["case", "correct"] + [s.name for s in ALL_SEMANTICS]
+    report("E9-semantics", render_table(
+        headers, rows, "E9: Section 5.2 candidate semantics shoot-out"))
+
+    by_case = {r[0]: r for r in rows}
+    names = [s.name for s in ALL_SEMANTICS]
+    # The final semantics is correct on every case.
+    final = names.index("excuse") + 2
+    for label, expected, _v in CASES:
+        assert by_case[label][final] == expected, label
+    # Each rejected candidate exhibits exactly the paper's counterexample.
+    for name, case in EXPECTED_FLAWS.items():
+        column = names.index(name) + 2
+        expected = by_case[case][1]
+        assert by_case[case][column] != expected, name

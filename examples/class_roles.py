@@ -1,0 +1,118 @@
+"""The other roles of classes (paper Section 2), beyond types.
+
+Run::
+
+    python examples/class_roles.py
+
+The paper's Section 2 dissects *why* object-based languages have classes.
+This example exercises the three roles beyond plain typing:
+
+* **classes as objects** (2e): Secretary and Professor become instances
+  (not subclasses!) of the meta-class ``Employee_Class``, with an
+  ``avgSalary`` summarized over their extents and an ``avgSalaryLimit``
+  policy checked against it;
+* **definitional classes** (2c): "Employees satisfying some predicate P"
+  as a predicate-defined extent, optionally materialized;
+* **classes as organizers of constraints** (2d): "Employees earn less
+  than their supervisors" as a class-attached assertion.
+"""
+
+from repro import ObjectStore, SchemaBuilder
+from repro.objects.derived import DefinedClassCatalog
+from repro.schema.metaclasses import (
+    MetaAttributeDef,
+    MetaClass,
+    MetaClassRegistry,
+    PolicyConstraint,
+    average_of,
+    count_of,
+)
+from repro.semantics.assertions import AssertionChecker
+from repro.typesys import INTEGER, STRING
+
+
+def build_world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Employee", isa="Person").attr("salary", INTEGER) \
+        .attr("supervisor", "Employee")
+    b.cls("Secretary", isa="Employee")
+    b.cls("Professor", isa="Employee")
+    b.cls("Senior_Professor", isa="Professor")
+    schema = b.build()
+    store = ObjectStore(schema)
+
+    dean = store.create("Professor", name="dean", salary=200000)
+    store.set_value(dean, "supervisor", dean)
+    staff = [
+        ("ada", "Secretary", 45000), ("ben", "Secretary", 48000),
+        ("cyn", "Professor", 95000), ("dan", "Professor", 120000),
+        ("eva", "Professor", 160000),
+    ]
+    for name, cls, salary in staff:
+        store.create(cls, name=name, salary=salary, supervisor=dean)
+    return schema, store
+
+
+def main() -> None:
+    schema, store = build_world()
+
+    print("=== Classes as objects (Section 2e) ===")
+    registry = MetaClassRegistry(schema)
+    registry.define(MetaClass(
+        "Employee_Class",
+        attributes=(
+            MetaAttributeDef("avgSalary", summary=average_of("salary")),
+            MetaAttributeDef("headcount", summary=count_of()),
+            MetaAttributeDef("avgSalaryLimit", range=INTEGER),
+        ),
+        constraints=(
+            PolicyConstraint(
+                "avg-salary-under-limit",
+                lambda v: (v["avgSalary"] is None
+                           or v["avgSalary"] <= v["avgSalaryLimit"])),
+        )))
+    registry.classify_class("Secretary", "Employee_Class",
+                            avgSalaryLimit=50000)
+    registry.classify_class("Professor", "Employee_Class",
+                            avgSalaryLimit=130000)
+    for cls in ("Secretary", "Professor"):
+        values = registry.property_values(cls, store)
+        print(f"{cls}: avgSalary={values['avgSalary']:.0f} "
+              f"headcount={values['headcount']} "
+              f"limit={values['avgSalaryLimit']}")
+        print(f"   (is {cls} IS-A Employee_Class? "
+              f"{schema.is_subclass(cls, 'Employee_Class')} -- instance, "
+              "not subclass)")
+    for violation in registry.check_policies(store):
+        print("policy violation:", violation)
+
+    print("\n=== Definitional classes (Section 2c) ===")
+    catalog = DefinedClassCatalog(store)
+    catalog.define("Well_Paid", "Employee", "self.salary >= 100000",
+                   doc="Employees satisfying some predicate P")
+    print("Well_Paid == Employee where salary >= 100000:",
+          sorted(p.get_value("name") for p in catalog.extent("Well_Paid")))
+    catalog.define("Senior_Professor", "Professor",
+                   "self.salary >= 150000")
+    changed = catalog.materialize("Senior_Professor")
+    print(f"materialized Senior_Professor ({changed} classifications); "
+          f"extent = "
+          f"{[p.get_value('name') for p in store.extent('Senior_Professor')]}")
+
+    print("\n=== Classes organizing assertions (Section 2d) ===")
+    checker = AssertionChecker(schema)
+    checker.add("Employee", "earn-less-than-supervisor",
+                "self.salary <= self.supervisor.salary",
+                doc="Employees earn less than their supervisors")
+    print("violations now:", checker.check_store(store))
+    upstart = store.create("Professor", name="upstart", salary=250000)
+    dean = next(p for p in store.extent("Professor")
+                if p.get_value("name") == "dean")
+    store.set_value(upstart, "supervisor", dean)
+    for violation in checker.check_store(store):
+        print("assertion violation:", violation)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Dick the Quaker Republican -- multi-membership and the four semantics.
+
+Run::
+
+    python examples/quaker_dilemma.py
+
+Reproduces the paper's Section 4.1/5.2 walk-through:
+
+* without excuses, dick "cannot hold any opinion without contradicting
+  some constraint";
+* with the mutual excuses, he may be a Hawk or a Dove "but not an
+  'Ostrich";
+* the three rejected candidate semantics each get the case wrong in the
+  paper's exact way.
+"""
+
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.scenarios import build_quaker_schema, create_dick
+from repro.schema import SchemaValidator
+from repro.schema.schema import Constraint
+from repro.semantics import ALL_SEMANTICS, ConformanceChecker
+
+
+def verdict_for(schema, dick, semantics) -> bool:
+    value = dick.get_value("opinion")
+    for owner in ("Quaker", "Republican", "Person"):
+        attr = schema.get(owner).attribute("opinion")
+        if attr is None:
+            continue
+        constraint = Constraint(owner, "opinion", attr.range)
+        excuses = schema.excuses_against(owner, "opinion")
+        if not semantics.satisfies(schema, dick, value, constraint,
+                                   excuses):
+            return False
+    return True
+
+
+def main() -> None:
+    print("=== Without excuses ===")
+    schema0 = build_quaker_schema(with_excuses=False)
+    store0 = ObjectStore(schema0, check_mode=CheckMode.NONE)
+    checker0 = ConformanceChecker(schema0)
+    for opinion in ("Hawk", "Dove", "Ostrich"):
+        dick = create_dick(store0, opinion)
+        print(f"dick with opinion {opinion!r}: "
+              f"{'OK' if checker0.conforms(dick) else 'contradiction'}")
+    print("-> no opinion works; the schema itself warns if a common "
+          "subclass is declared:")
+    from repro.schema.classdef import ClassDef
+    schema0.add_class(ClassDef("QuakerRepublican",
+                               ("Quaker", "Republican")))
+    for diagnostic in SchemaValidator(schema0).validate():
+        if diagnostic.code == "unsatisfiable-attribute":
+            print("   ", diagnostic)
+
+    print("\n=== With the paper's mutual excuses ===")
+    schema = build_quaker_schema(with_excuses=True)
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    checker = ConformanceChecker(schema)
+    for opinion in ("Hawk", "Dove", "Ostrich"):
+        dick = create_dick(store, opinion)
+        print(f"dick with opinion {opinion!r}: "
+              f"{'OK' if checker.conforms(dick) else 'contradiction'}")
+
+    print("\n=== The four candidate semantics (Section 5.2) ===")
+    header = f"{'semantics':20}" + "".join(
+        f"{o:>10}" for o in ("Hawk", "Dove", "Ostrich"))
+    print(header)
+    for semantics in ALL_SEMANTICS:
+        row = f"{semantics.name:20}"
+        for opinion in ("Hawk", "Dove", "Ostrich"):
+            dick = create_dick(store, opinion)
+            ok = verdict_for(schema, dick, semantics)
+            row += f"{'accept' if ok else 'reject':>10}"
+        print(row)
+    print("\n(The paper's answer is the last row: Hawk/Dove accepted, "
+          "Ostrich rejected.)")
+
+    print("\n=== The enforced rule, verbatim ===")
+    from repro.semantics import ExcuseSemantics
+    constraint = Constraint(
+        "Quaker", "opinion",
+        schema.get("Quaker").attribute("opinion").range)
+    print(ExcuseSemantics().render_rule(
+        constraint, schema.excuses_against("Quaker", "opinion")))
+
+
+if __name__ == "__main__":
+    main()

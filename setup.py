@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+Modern installs use pyproject.toml; this file exists so fully-offline
+environments (no `wheel` package, no index access) can still do
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``
+through setuptools' legacy path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,59 @@
+"""The alternative mechanisms of Section 4.2, plus the paper's own.
+
+Each mechanism is a *strategy a schema designer would follow* when a
+natural subclass contradicts its superclass.  Given an
+:class:`~repro.baselines.common.ExceptionScenario` (superclass, normal
+range, exceptional subclass, exceptional range, unexceptional siblings),
+each strategy builds the schema that approach requires and reports what it
+had to do (classes invented, definitions rewritten, superclasses
+modified).  The evaluation harness (benchmark E1) then runs executable
+probes for the paper's eight desiderata against each result.
+
+* :class:`ReconciliationMechanism` -- 4.2.1, strict inheritance with
+  reconciliation: generalize the superclass range, re-specialize every
+  sibling.
+* :class:`IntermediateClassMechanism` -- 4.2.2, anchor classes
+  (``Patient_Treated_By_Physician``); 2^k of them for k exceptional
+  attributes.
+* :class:`DissociationMechanism` -- 4.2.3, derive the class textually and
+  sever the IS-A link (losing polymorphism and extent inclusion).
+* :class:`DefaultInheritanceMechanism` -- 4.2.4, closest-ancestor
+  override: terse, but ambiguous on DAGs and unable to distinguish
+  intended contradictions from errors.
+* :class:`ExcuseMechanism` -- Section 5, the paper's proposal.
+"""
+
+from repro.baselines.common import (
+    ExceptionScenario,
+    InheritanceMechanism,
+    MechanismResult,
+)
+from repro.baselines.reconciliation import ReconciliationMechanism
+from repro.baselines.intermediate import IntermediateClassMechanism
+from repro.baselines.dissociation import DissociationMechanism
+from repro.baselines.default_inheritance import (
+    DefaultInheritanceMechanism,
+    DefaultResolver,
+)
+from repro.baselines.excuses import ExcuseMechanism
+
+ALL_MECHANISMS = (
+    ReconciliationMechanism(),
+    IntermediateClassMechanism(),
+    DissociationMechanism(),
+    DefaultInheritanceMechanism(),
+    ExcuseMechanism(),
+)
+
+__all__ = [
+    "ALL_MECHANISMS",
+    "DefaultInheritanceMechanism",
+    "DefaultResolver",
+    "DissociationMechanism",
+    "ExceptionScenario",
+    "ExcuseMechanism",
+    "InheritanceMechanism",
+    "IntermediateClassMechanism",
+    "MechanismResult",
+    "ReconciliationMechanism",
+]

@@ -1,0 +1,146 @@
+"""Section 4.2.4: default (cancellable) inheritance.
+
+"The 'closest' constraint in the hierarchy overrides all others,
+including ones that are contradicted."  Terse -- but, as the paper
+argues (and these classes make executable):
+
+* on a DAG the search-based definition "is no longer well-defined": two
+  incomparable ancestors may both declare the attribute at the same
+  distance (:class:`DefaultResolver` raises
+  :class:`~repro.errors.AmbiguousInheritanceError`);
+* "it is no longer possible to detect inconsistent definitions because
+  the system cannot distinguish erroneous definitions from defaults"
+  (``build_with_error`` always reports undetected);
+* "one can find out if some property of a class is universally true only
+  by checking all of its subclasses"
+  (:meth:`DefaultResolver.is_universal` returns how many descendants it
+  had to visit -- the veracity cost).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.errors import AmbiguousInheritanceError, UnknownAttributeError
+from repro.baselines.common import (
+    ExceptionScenario,
+    InheritanceMechanism,
+    MechanismResult,
+)
+from repro.schema.schema import Schema
+from repro.typesys.core import Type
+
+
+class DefaultResolver:
+    """Closest-ancestor attribute resolution over a schema's IS-A graph.
+
+    The schema is *not* validated -- contradictions are the point.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def resolve(self, class_name: str, attribute: str) -> Tuple[str, Type]:
+        """The (owner, range) whose declaration wins for ``class_name``.
+
+        Breadth-first up the parent links; the nearest declaring
+        ancestor's constraint overrides all farther ones.  If several
+        incomparable ancestors declare the attribute at the same minimal
+        distance, the answer is ill-defined and
+        :class:`AmbiguousInheritanceError` is raised.
+        """
+        frontier = deque([(class_name, 0)])
+        seen = {class_name}
+        found: List[Tuple[str, Type]] = []
+        found_distance: Optional[int] = None
+        while frontier:
+            current, distance = frontier.popleft()
+            if found_distance is not None and distance > found_distance:
+                break
+            decl = self.schema.get(current).attribute(attribute)
+            if decl is not None:
+                found.append((current, decl.range))
+                found_distance = distance
+                continue  # do not search above a declaring class
+            for parent in self.schema.get(current).parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append((parent, distance + 1))
+        if not found:
+            raise UnknownAttributeError(class_name, attribute)
+        distinct_ranges = {str(r) for _owner, r in found}
+        if len(distinct_ranges) > 1:
+            raise AmbiguousInheritanceError(
+                class_name, attribute,
+                tuple(owner for owner, _ in found))
+        return found[0]
+
+    def is_universal(self, class_name: str,
+                     attribute: str) -> Tuple[bool, int]:
+        """Whether the constraint stated on ``class_name`` actually holds
+        for all its (transitive) subclasses, and how many classes had to
+        be visited to find out.  Under excuses the same question costs a
+        registry lookup; under cancellable inheritance it costs the whole
+        subtree."""
+        stated = self.schema.get(class_name).attribute(attribute)
+        if stated is None:
+            raise UnknownAttributeError(class_name, attribute)
+        visited = 0
+        universal = True
+        for descendant in self.schema.descendants(class_name):
+            if descendant == class_name:
+                continue
+            visited += 1
+            decl = self.schema.get(descendant).attribute(attribute)
+            if decl is not None and str(decl.range) != str(stated.range):
+                universal = False
+        return universal, visited
+
+
+class DefaultInheritanceMechanism(InheritanceMechanism):
+    name = "default-inheritance"
+    paper_section = "4.2.4"
+
+    def _build_schema(self, scenario: ExceptionScenario,
+                      error_sibling: Optional[str] = None) -> Schema:
+        builder = self._base_builder(scenario)
+        contradictions = scenario.all_contradictions()
+        superclass = builder.cls(scenario.superclass, isa=scenario.root)
+        for attribute, normal, _exceptional in contradictions:
+            superclass.attr(attribute, normal)
+        exceptional_cls = builder.cls(scenario.exceptional_subclass,
+                                      isa=scenario.superclass)
+        for attribute, _normal, exceptional in contradictions:
+            exceptional_cls.attr(attribute, exceptional)  # just overrides
+        for sibling in scenario.sibling_subclasses:
+            sibling_cls = builder.cls(sibling, isa=scenario.superclass)
+            if error_sibling == sibling:
+                sibling_cls.attr(contradictions[0][0], contradictions[0][2])
+        # Contradictions are silently tolerated: no validation.
+        return builder.build(validate=False)
+
+    def build(self, scenario: ExceptionScenario) -> MechanismResult:
+        schema = self._build_schema(scenario)
+        return MechanismResult(
+            mechanism=self.name,
+            schema=schema,
+            exceptional_class=scenario.exceptional_subclass,
+            superclass=scenario.superclass,
+            invented_classes=(),
+            rewritten_definitions=0,
+            superclass_modified=False,
+            needs_descendant_search=True,
+            has_clear_semantics=False,
+            notes={"resolution": "closest ancestor wins (BFS)"},
+        )
+
+    def build_with_error(self, scenario: ExceptionScenario
+                         ) -> Tuple[Optional[Schema], bool]:
+        if not scenario.sibling_subclasses:
+            return None, False
+        schema = self._build_schema(
+            scenario, error_sibling=scenario.sibling_subclasses[0])
+        # The override is indistinguishable from an intended default:
+        # nothing is flagged.
+        return schema, False

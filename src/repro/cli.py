@@ -1,0 +1,229 @@
+"""Command-line interface: validate schemas, inspect types, check queries.
+
+Usage (also via ``python -m repro.cli``)::
+
+    repro validate <schema.cdl>            # run the validator, report all
+    repro print <schema.cdl>               # parse and pretty-print back
+    repro type <schema.cdl> <Class> <attr> # the relaxed conditional type
+    repro check <schema.cdl> "<query>"     # safety analysis of a query
+    repro explain <schema.cdl> "<query>"   # compiled plan + check sites
+    repro excuses <schema.cdl>             # list every excused pair
+    repro theory <schema.cdl>              # the generated type theory
+    repro diff <old.cdl> <new.cdl>         # structural schema diff
+    repro deduce <schema.cdl> <facts...>   # contrapositive deduction,
+                                           # e.g. "y.treatedBy not in
+                                           # Physician" "y not in Alcoholic"
+
+Exit status: 0 on success/no errors, 1 on findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.lang import load_schema, print_schema
+from repro.query.analysis import analyze
+from repro.schema.validation import SchemaValidator
+
+
+def _read_schema(path: str, validate: bool = False):
+    with open(path) as f:
+        return load_schema(f.read(), validate=validate)
+
+
+def cmd_validate(args) -> int:
+    schema = _read_schema(args.schema)
+    diagnostics = SchemaValidator(schema).validate()
+    for d in diagnostics:
+        print(d)
+    errors = [d for d in diagnostics if d.is_error]
+    print(f"{len(schema)} classes, {len(errors)} error(s), "
+          f"{len(diagnostics) - len(errors)} warning(s)")
+    return 1 if errors else 0
+
+
+def cmd_print(args) -> int:
+    schema = _read_schema(args.schema)
+    sys.stdout.write(print_schema(schema))
+    return 0
+
+
+def cmd_type(args) -> int:
+    schema = _read_schema(args.schema)
+    relaxed = schema.relaxed_constraint(args.class_name, args.attribute)
+    print(f"{args.class_name} < [{args.attribute}: {relaxed}]")
+    return 0
+
+
+def cmd_check(args) -> int:
+    schema = _read_schema(args.schema)
+    report = analyze(args.query, schema,
+                     assume_unshared=not args.no_unshared)
+    for line in report.describe_select():
+        print("type:", line)
+    for finding in report.findings:
+        print(finding)
+    if report.is_safe:
+        print("safe: no run-time checks needed")
+        return 0
+    return 1
+
+
+def cmd_explain(args) -> int:
+    from repro.query.compiler import compile_query
+    schema = _read_schema(args.schema)
+    compiled = compile_query(args.query, schema,
+                             eliminate_checks=not args.all_checked)
+    print(compiled.explain())
+    return 0
+
+
+def cmd_theory(args) -> int:
+    from repro.typesys.theory import render_theory
+    schema = _read_schema(args.schema)
+    print(render_theory(schema, include_virtual=not args.no_virtual))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from repro.schema.diff import diff_schemas, render_diff
+    old = _read_schema(args.old)
+    new = _read_schema(args.new)
+    print(render_diff(old, new))
+    return 1 if diff_schemas(old, new) else 0
+
+
+def cmd_deduce(args) -> int:
+    from repro.query.deduction import (
+        deduce_non_memberships,
+        explain_non_membership,
+    )
+    from repro.query.typing import FlowFacts
+    schema = _read_schema(args.schema)
+    facts = FlowFacts()
+    var = None
+    for fact in args.facts:
+        words = fact.split()
+        if len(words) == 3 and words[1] == "in":
+            path, class_name, positive = words[0], words[2], True
+        elif len(words) == 4 and words[1:3] == ["not", "in"]:
+            path, class_name, positive = words[0], words[3], False
+        else:
+            print(f"error: cannot parse fact {fact!r} "
+                  "(expected '<path> [not] in <Class>')", file=sys.stderr)
+            return 2
+        facts = facts.assume(path, class_name, positive)
+        root = path.split(".")[0]
+        var = var or root
+    if var is None:
+        print("error: no facts given", file=sys.stderr)
+        return 2
+    enriched, derived = deduce_non_memberships(schema, facts, var)
+    if not derived:
+        print("nothing new follows")
+        return 0
+    for class_name in sorted(derived):
+        print(f"{var} not in {class_name}")
+        lines = explain_non_membership(schema, facts, var, class_name)
+        for line in lines[:-1]:
+            print(f"  because {line}")
+        if lines:
+            print(f"  {lines[-1]}")
+    return 0
+
+
+def cmd_excuses(args) -> int:
+    schema = _read_schema(args.schema)
+    pairs = schema.excuse_pairs()
+    for owner, attribute in pairs:
+        for entry in schema.excuses_against(owner, attribute):
+            print(f"({owner}, {attribute}) excused by "
+                  f"{entry.excusing_class} with range {entry.range}")
+    if not pairs:
+        print("no excuses declared")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Class hierarchies with contradictions (Borgida, "
+                    "SIGMOD 1988)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a CDL schema")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("print", help="pretty-print a CDL schema")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_print)
+
+    p = sub.add_parser("type",
+                       help="show an attribute's relaxed conditional type")
+    p.add_argument("schema")
+    p.add_argument("class_name")
+    p.add_argument("attribute")
+    p.set_defaults(func=cmd_type)
+
+    p = sub.add_parser("check", help="type-check a query")
+    p.add_argument("schema")
+    p.add_argument("query")
+    p.add_argument("--no-unshared", action="store_true",
+                   help="drop the unshared-exceptional-structure "
+                        "assumption (ablation)")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("explain",
+                       help="show the compiled plan and check sites")
+    p.add_argument("schema")
+    p.add_argument("query")
+    p.add_argument("--all-checked", action="store_true",
+                   help="compile without check elimination (baseline)")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("theory",
+                       help="print the generated subtype theory")
+    p.add_argument("schema")
+    p.add_argument("--no-virtual", action="store_true",
+                   help="omit axioms about virtual classes")
+    p.set_defaults(func=cmd_theory)
+
+    p = sub.add_parser("diff", help="structural diff of two schemas")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("deduce",
+                       help="contrapositive membership deduction")
+    p.add_argument("schema")
+    p.add_argument("facts", nargs="+",
+                   metavar="FACT",
+                   help="membership facts like 'y not in Alcoholic'")
+    p.set_defaults(func=cmd_deduce)
+
+    p = sub.add_parser("excuses", help="list all excused constraints")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_excuses)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures without catching unrelated Python errors.
+The sub-hierarchies mirror the subsystems: schema definition, the class
+definition language (CDL), run-time object conformance, query analysis, and
+storage.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A class or attribute definition is ill-formed."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name was referenced but never defined."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown class: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute was referenced on a class that does not declare it."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        super().__init__(f"class {class_name!r} has no attribute {attribute!r}")
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class DuplicateClassError(SchemaError):
+    """A class name was defined twice in one schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"class {name!r} is already defined")
+        self.name = name
+
+
+class CyclicHierarchyError(SchemaError):
+    """The IS-A graph contains a cycle."""
+
+
+class UnexcusedContradictionError(SchemaError):
+    """A subclass redefined an attribute non-monotonically without an excuse.
+
+    This is the error the paper's *verifiability* desideratum requires the
+    compiler to report: a redefinition of an attribute which is not a
+    specialization is an error without an accompanying excuse (Section 6).
+    """
+
+    def __init__(self, class_name: str, attribute: str, contradicted: str,
+                 detail: str = "") -> None:
+        message = (
+            f"attribute {attribute!r} on class {class_name!r} contradicts its "
+            f"definition on {contradicted!r} without an excuse"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.class_name = class_name
+        self.attribute = attribute
+        self.contradicted = contradicted
+
+
+class RedundantExcuseWarning(UserWarning):
+    """An excuse was declared where no contradiction exists (harmless)."""
+
+
+class CDLError(ReproError):
+    """Base class of class-definition-language front-end errors."""
+
+
+class CDLSyntaxError(CDLError):
+    """The CDL source text could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ObjectError(ReproError):
+    """Base class of run-time object-level errors."""
+
+
+class NoSuchObjectError(ObjectError):
+    """A surrogate does not identify a live object."""
+
+
+class ConformanceError(ObjectError):
+    """An object violates a class constraint not waived by any excuse.
+
+    Raised when the paper's semantic rule fails for some constraint
+    ``(C, p)``: the value is neither in the declared range nor covered by
+    membership in an excusing class whose excusing range admits it.
+    """
+
+    def __init__(self, surrogate: object, class_name: str, attribute: str,
+                 detail: str = "") -> None:
+        message = (
+            f"object {surrogate} violates constraint on "
+            f"({class_name!r}, {attribute!r})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.surrogate = surrogate
+        self.class_name = class_name
+        self.attribute = attribute
+
+
+class InapplicableAttributeError(ObjectError):
+    """An attribute with range ``None`` was given a value, or an attribute
+    was accessed on an object for which it is inapplicable."""
+
+
+class QueryError(ReproError):
+    """Base class of query front-end and analysis errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class QueryTypeError(QueryError):
+    """A query expression is ill-typed (a definite error, not a warning)."""
+
+
+class StorageError(ReproError):
+    """Base class of storage-engine errors."""
+
+
+class RecordFormatError(StorageError):
+    """A value could not be encoded in (or decoded from) a record format."""
+
+
+class AmbiguousInheritanceError(ReproError):
+    """Default (closest-ancestor) inheritance could not pick a unique winner.
+
+    Only raised by the *default inheritance* baseline of Section 4.2.4;
+    the paper's excuse mechanism never raises it because its semantics does
+    not consult the topology of the hierarchy.
+    """
+
+    def __init__(self, class_name: str, attribute: str,
+                 candidates: tuple) -> None:
+        super().__init__(
+            f"default inheritance of {attribute!r} for {class_name!r} is "
+            f"ambiguous between definitions on {', '.join(map(repr, candidates))}"
+        )
+        self.class_name = class_name
+        self.attribute = attribute
+        self.candidates = candidates

@@ -1,0 +1,30 @@
+"""Evaluation harness: desiderata probes, verbosity accounting, reports.
+
+The paper's evaluation is qualitative -- a set of desiderata (Section 5)
+each mechanism either meets or fails, plus combinatorial arguments about
+schema blow-up (Section 4.2.2).  This package makes both *executable*:
+
+* :mod:`repro.evaluation.desiderata` -- one probe per desideratum, run
+  against the schema each mechanism actually builds (benchmark E1);
+* :mod:`repro.evaluation.verbosity` -- schema-size accounting as the
+  number of contradicted attributes grows (benchmark E2);
+* :mod:`repro.evaluation.reporting` -- plain-text table rendering shared
+  by the benchmark harnesses.
+"""
+
+from repro.evaluation.desiderata import (
+    DESIDERATA,
+    desiderata_matrix,
+    evaluate_mechanism,
+)
+from repro.evaluation.verbosity import VerbosityRow, verbosity_sweep
+from repro.evaluation.reporting import render_table
+
+__all__ = [
+    "DESIDERATA",
+    "VerbosityRow",
+    "desiderata_matrix",
+    "evaluate_mechanism",
+    "render_table",
+    "verbosity_sweep",
+]

@@ -1,0 +1,90 @@
+"""Executable probes for the paper's eight desiderata (Section 5).
+
+    "Any mechanism for dealing with non-strict specialization should have
+    the following properties: inheritance, minimality, veracity,
+    verifiability, locality, semantics, extent inclusion, subtyping."
+
+Each probe runs against the *schema the mechanism actually builds* for a
+scenario, so the resulting matrix (benchmark E1) is measured, not asserted:
+
+==================  =====================================================
+inheritance         no sibling had to restate the factored-out attribute
+minimality          no extra classes invented for technical reasons
+veracity            constraints determinable without descendant search
+verifiability       an injected accidental contradiction is flagged
+locality            the superclass definition did not change
+semantics           a clear formal semantics exists
+extent inclusion    an exceptional instance appears in the superclass
+                    extent (probed through a live object store)
+subtyping           the exceptional class is a subtype of the superclass
+                    (probed through the type checker)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.baselines.common import (
+    ExceptionScenario,
+    InheritanceMechanism,
+    MechanismResult,
+)
+from repro.objects.store import CheckMode, ObjectStore
+from repro.typesys.core import ClassType
+from repro.typesys.subtyping import is_subtype
+
+#: The eight desiderata in the paper's order.
+DESIDERATA = (
+    "inheritance",
+    "minimality",
+    "veracity",
+    "verifiability",
+    "locality",
+    "semantics",
+    "extent inclusion",
+    "subtyping",
+)
+
+
+def probe_extent_inclusion(result: MechanismResult) -> bool:
+    """Create an exceptional instance and ask whether quantifying over the
+    superclass extent reaches it (Section 4.2.3's failure case)."""
+    store = ObjectStore(result.schema, check_mode=CheckMode.NONE)
+    obj = store.create(result.exceptional_class)
+    return obj in store.extent(result.superclass)
+
+
+def probe_subtyping(result: MechanismResult) -> bool:
+    """Polymorphism: may a procedure typed over the superclass accept an
+    instance of the exceptional class?"""
+    return is_subtype(ClassType(result.exceptional_class),
+                      ClassType(result.superclass), result.schema)
+
+
+def evaluate_mechanism(mechanism: InheritanceMechanism,
+                       scenario: ExceptionScenario) -> Dict[str, bool]:
+    """All eight probes for one mechanism on one scenario."""
+    result = mechanism.build(scenario)
+    _, detected = mechanism.build_with_error(scenario)
+    return {
+        "inheritance": result.rewritten_definitions == 0,
+        "minimality": len(result.invented_classes) == 0,
+        "veracity": not result.needs_descendant_search,
+        "verifiability": detected,
+        "locality": not result.superclass_modified,
+        "semantics": result.has_clear_semantics,
+        "extent inclusion": probe_extent_inclusion(result),
+        "subtyping": probe_subtyping(result),
+    }
+
+
+def desiderata_matrix(mechanisms: Iterable[InheritanceMechanism],
+                      scenario: ExceptionScenario = None
+                      ) -> List[Tuple[str, Dict[str, bool]]]:
+    """The full matrix: one row per mechanism."""
+    if scenario is None:
+        scenario = ExceptionScenario()
+    return [
+        (m.name, evaluate_mechanism(m, scenario)) for m in mechanisms
+    ]

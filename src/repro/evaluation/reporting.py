@@ -1,0 +1,38 @@
+"""Plain-text table rendering shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table; booleans render as yes/--."""
+    def cell(value) -> str:
+        if value is True:
+            return "yes"
+        if value is False:
+            return "--"
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)
+
+    materialized: List[List[str]] = [[cell(v) for v in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(items: Sequence[str]) -> str:
+        return "  ".join(text.ljust(widths[i])
+                         for i, text in enumerate(items)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)

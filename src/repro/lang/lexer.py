@@ -1,0 +1,189 @@
+"""Tokenizer for the class definition language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CDLSyntaxError
+
+#: Token kinds.
+CLASS = "CLASS"
+IS_A = "IS_A"
+WITH = "WITH"
+END = "END"
+EXCUSES = "EXCUSES"
+ON = "ON"
+NONE_KW = "NONE"
+IDENT = "IDENT"
+SYMBOL = "SYMBOL"     # 'Dove
+INT = "INT"
+STRING_LIT = "STRING"
+DOTDOT = "DOTDOT"     # ..
+ELLIPSIS = "ELLIPSIS"  # ...
+LBRACE = "LBRACE"
+RBRACE = "RBRACE"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+COLON = "COLON"
+SEMI = "SEMI"
+COMMA = "COMMA"
+EOF = "EOF"
+
+_KEYWORDS = {
+    "class": CLASS,
+    "with": WITH,
+    "end": END,
+    "excuses": EXCUSES,
+    "on": ON,
+    "None": NONE_KW,
+    "isa": IS_A,
+}
+
+_PUNCT = {
+    "{": LBRACE,
+    "}": RBRACE,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    ":": COLON,
+    ";": SEMI,
+    ",": COMMA,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    # `#` appears in the paper's `room#`; `$` appears in generated virtual
+    # class names, accepted so printed schemas re-parse.
+    return ch.isalnum() or ch in "_#$"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize CDL source; raises :class:`CDLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def error(message: str) -> CDLSyntaxError:
+        return CDLSyntaxError(message, line, col)
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        # -- line comment
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+
+        start_col = col
+
+        if ch == ".":
+            if text.startswith("...", i):
+                tokens.append(Token(ELLIPSIS, "...", line, start_col))
+                i += 3
+                col += 3
+                continue
+            if text.startswith("..", i):
+                tokens.append(Token(DOTDOT, "..", line, start_col))
+                i += 2
+                col += 2
+                continue
+            raise error("unexpected '.'")
+
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        if ch == "'":
+            j = i + 1
+            while j < n and _is_ident_part(text[j]):
+                j += 1
+            if j == i + 1:
+                raise error("expected symbol name after '")
+            tokens.append(Token(SYMBOL, text[i + 1:j], line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise error("unterminated string literal")
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token(STRING_LIT, text[i + 1:j], line, start_col))
+            col += j - i + 1
+            i = j + 1
+            continue
+
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(INT, text[i:j], line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_part(text[j]):
+                j += 1
+            word = text[i:j]
+            # `is-a` / `is a` / `is_a` all lex to IS_A.
+            if word == "is":
+                k = j
+                if k < n and text[k] in "-_":
+                    k += 1
+                elif k < n and text[k] == " ":
+                    k += 1
+                if k < n and text[k] == "a" and (
+                        k + 1 >= n or not _is_ident_part(text[k + 1])):
+                    tokens.append(Token(IS_A, text[i:k + 1], line,
+                                        start_col))
+                    col += k + 1 - i
+                    i = k + 1
+                    continue
+                raise error("expected 'is-a'")
+            if word == "is_a" or word == "is-a":
+                tokens.append(Token(IS_A, word, line, start_col))
+            else:
+                kind = _KEYWORDS.get(word, IDENT)
+                tokens.append(Token(kind, word, line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,85 @@
+"""Loading CDL programs into validated schemas."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import CDLError
+from repro.lang.ast import (
+    EnumTypeExpr,
+    NamedTypeExpr,
+    NoneTypeExpr,
+    Program,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RefinedTypeExpr,
+    TypeExpr,
+)
+from repro.lang.parser import parse
+from repro.schema.attribute import ExcuseRef
+from repro.schema.builder import SchemaBuilder
+from repro.schema.schema import Schema
+from repro.schema.validation import Diagnostic
+from repro.schema.virtual import EmbeddedField, Embedding
+from repro.typesys.core import (
+    NONE,
+    PRIMITIVES,
+    ClassType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+    Type,
+)
+
+
+def _convert_type(expr: TypeExpr) -> Union[Type, Embedding]:
+    if isinstance(expr, NoneTypeExpr):
+        return NONE
+    if isinstance(expr, RangeTypeExpr):
+        return IntRangeType(expr.lo, expr.hi)
+    if isinstance(expr, EnumTypeExpr):
+        return EnumerationType(expr.symbols)
+    if isinstance(expr, NamedTypeExpr):
+        return PRIMITIVES.get(expr.name, ClassType(expr.name))
+    if isinstance(expr, RecordTypeExpr):
+        fields = {}
+        for attr in expr.attrs:
+            if attr.excuses:
+                raise CDLError(
+                    f"field {attr.name!r} of an anonymous record type "
+                    "cannot carry excuses; refine a named class instead")
+            inner = _convert_type(attr.type)
+            if isinstance(inner, Embedding):
+                raise CDLError(
+                    f"field {attr.name!r} of an anonymous record type "
+                    "cannot embed a class refinement")
+            fields[attr.name] = inner
+        return RecordType(fields)
+    if isinstance(expr, RefinedTypeExpr):
+        fields = []
+        for attr in expr.attrs:
+            refs = tuple(
+                ExcuseRef(e.class_name, e.attribute) for e in attr.excuses)
+            fields.append(EmbeddedField(
+                attr.name, _convert_type(attr.type), refs))
+        return Embedding(expr.base, tuple(fields))
+    raise CDLError(f"unhandled type expression {expr!r}")
+
+
+def load_program(program: Program, validate: bool = True,
+                 collect: Optional[List[Diagnostic]] = None) -> Schema:
+    """Translate a parsed :class:`Program` into a validated schema."""
+    builder = SchemaBuilder()
+    for decl in program.classes:
+        cls = builder.cls(decl.name, isa=decl.parents or None)
+        for attr in decl.attrs:
+            refs = tuple(
+                ExcuseRef(e.class_name, e.attribute) for e in attr.excuses)
+            cls.attr(attr.name, _convert_type(attr.type), excuses=refs)
+    return builder.build(validate=validate, collect=collect)
+
+
+def load_schema(text: str, validate: bool = True,
+                collect: Optional[List[Diagnostic]] = None) -> Schema:
+    """Parse CDL source and return the (validated) schema."""
+    return load_program(parse(text), validate=validate, collect=collect)

@@ -1,0 +1,159 @@
+"""Recursive-descent parser for CDL."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CDLSyntaxError
+from repro.lang import lexer as lx
+from repro.lang.ast import (
+    AttrDecl,
+    ClassDecl,
+    EnumTypeExpr,
+    ExcuseDecl,
+    NamedTypeExpr,
+    NoneTypeExpr,
+    Program,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RefinedTypeExpr,
+    TypeExpr,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # Token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != lx.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, what: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise CDLSyntaxError(
+                f"expected {what}, found {token.text!r}",
+                token.line, token.column)
+        return self._advance()
+
+    # Grammar ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        classes: List[ClassDecl] = []
+        while not self._check(lx.EOF):
+            classes.append(self.parse_class())
+        return Program(tuple(classes))
+
+    def parse_class(self) -> ClassDecl:
+        head = self._expect(lx.CLASS, "'class'")
+        name = self._expect(lx.IDENT, "class name").text
+        parents: List[str] = []
+        if self._accept(lx.IS_A):
+            parents.append(self._expect(lx.IDENT, "parent class").text)
+            while self._accept(lx.COMMA):
+                parents.append(self._expect(lx.IDENT, "parent class").text)
+        self._expect(lx.WITH, "'with'")
+        attrs = self._parse_attr_list(stop_kinds=(lx.CLASS, lx.END, lx.EOF))
+        self._accept(lx.END)
+        return ClassDecl(name, tuple(parents), tuple(attrs), head.line)
+
+    def _parse_attr_list(self, stop_kinds: Tuple[str, ...]) -> List[AttrDecl]:
+        attrs: List[AttrDecl] = []
+        while True:
+            token = self._peek()
+            if token.kind in stop_kinds:
+                break
+            attrs.append(self.parse_attr())
+            if not self._accept(lx.SEMI):
+                # Semicolons separate attributes; the last one may omit it
+                # only right before a stop token.
+                token = self._peek()
+                if token.kind not in stop_kinds:
+                    raise CDLSyntaxError(
+                        f"expected ';' between attributes, found "
+                        f"{token.text!r}", token.line, token.column)
+        return attrs
+
+    def parse_attr(self) -> AttrDecl:
+        name = self._expect(lx.IDENT, "attribute name").text
+        self._expect(lx.COLON, "':'")
+        type_expr = self.parse_type()
+        excuses: List[ExcuseDecl] = []
+        while self._accept(lx.EXCUSES):
+            attr = self._expect(lx.IDENT, "excused attribute").text
+            self._expect(lx.ON, "'on'")
+            target = self._expect(lx.IDENT, "excused class").text
+            excuses.append(ExcuseDecl(attr, target))
+        return AttrDecl(name, type_expr, tuple(excuses))
+
+    def parse_type(self) -> TypeExpr:
+        token = self._peek()
+        if token.kind == lx.NONE_KW:
+            self._advance()
+            return NoneTypeExpr()
+        if token.kind == lx.INT:
+            lo = int(self._advance().text)
+            self._expect(lx.DOTDOT, "'..'")
+            hi = int(self._expect(lx.INT, "range upper bound").text)
+            return RangeTypeExpr(lo, hi)
+        if token.kind == lx.LBRACE:
+            return self._parse_enum()
+        if token.kind == lx.LBRACKET:
+            return RecordTypeExpr(tuple(self._parse_bracket_body()))
+        if token.kind == lx.IDENT:
+            name = self._advance().text
+            if self._check(lx.LBRACKET):
+                return RefinedTypeExpr(
+                    name, tuple(self._parse_bracket_body()))
+            return NamedTypeExpr(name)
+        raise CDLSyntaxError(
+            f"expected a type, found {token.text!r}",
+            token.line, token.column)
+
+    def _parse_enum(self) -> EnumTypeExpr:
+        self._expect(lx.LBRACE, "'{'")
+        symbols: List[str] = []
+        elided = False
+        while True:
+            if self._accept(lx.ELLIPSIS):
+                elided = True
+            else:
+                symbols.append(
+                    self._expect(lx.SYMBOL, "a 'Symbol").text)
+            if not self._accept(lx.COMMA):
+                break
+        self._expect(lx.RBRACE, "'}'")
+        if not symbols:
+            token = self._peek()
+            raise CDLSyntaxError("enumeration needs at least one symbol",
+                                 token.line, token.column)
+        return EnumTypeExpr(tuple(symbols), elided)
+
+    def _parse_bracket_body(self) -> List[AttrDecl]:
+        self._expect(lx.LBRACKET, "'['")
+        attrs = self._parse_attr_list(stop_kinds=(lx.RBRACKET,))
+        self._expect(lx.RBRACKET, "']'")
+        return attrs
+
+
+def parse(text: str) -> Program:
+    """Parse CDL source text into a :class:`Program` AST."""
+    return _Parser(tokenize(text)).parse_program()

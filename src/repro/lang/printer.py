@@ -1,0 +1,106 @@
+"""Pretty-printing schemas back to CDL text.
+
+Virtual classes are re-inlined at their embedding sites, so
+``load_schema(print_schema(s))`` reproduces an equivalent schema
+(same classes, constraints, and excuses; virtual names are regenerated
+deterministically).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.schema.attribute import AttributeDef
+from repro.schema.classdef import ClassDef
+from repro.schema.schema import Schema
+from repro.typesys.core import (
+    ClassType,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    NoneType,
+    PrimitiveType,
+    RecordType,
+    Type,
+)
+
+_INDENT = "  "
+
+
+def _format_type(t: Type) -> str:
+    if isinstance(t, PrimitiveType):
+        return t.name
+    if isinstance(t, NoneType):
+        return "None"
+    if isinstance(t, IntRangeType):
+        return f"{t.lo}..{t.hi}"
+    if isinstance(t, EnumerationType):
+        return "{" + ", ".join(f"'{s}" for s in sorted(t.symbols)) + "}"
+    if isinstance(t, ClassType):
+        return t.name
+    if isinstance(t, RecordType):
+        inner = "; ".join(
+            f"{name}: {_format_type(ftype)}" for name, ftype in t.fields)
+        return f"[{inner}]"
+    if isinstance(t, ConditionalType):
+        # Conditional types never appear in *declarations*; guard anyway.
+        return str(t)
+    return str(t)
+
+
+def _format_attr(schema: Schema, owner: str, attr: AttributeDef,
+                 depth: int) -> str:
+    pad = _INDENT * depth
+    range_text = _format_range(schema, owner, attr, depth)
+    text = f"{pad}{attr.name}: {range_text}"
+    for ref in attr.excuses:
+        text += f"\n{pad}{_INDENT}excuses {ref.attribute} on {ref.class_name}"
+    return text
+
+
+def _format_range(schema: Schema, owner: str, attr: AttributeDef,
+                  depth: int) -> str:
+    t = attr.range
+    if isinstance(t, ClassType) and schema.has_class(t.name):
+        cdef = schema.get(t.name)
+        if cdef.virtual and cdef.origin is not None \
+                and cdef.origin.owner_class == owner \
+                and cdef.origin.attribute == attr.name:
+            return _format_embedding(schema, cdef, depth)
+    return _format_type(t)
+
+
+def _format_embedding(schema: Schema, cdef: ClassDef, depth: int) -> str:
+    base = cdef.parents[0] if cdef.parents else "AnyEntity"
+    pad = _INDENT * (depth + 1)
+    lines: List[str] = []
+    for attr in cdef.attributes:
+        lines.append(_format_attr(schema, cdef.name, attr, depth + 2))
+    body = ";\n".join(lines)
+    return f"{base}\n{pad}[\n{body}\n{pad}]"
+
+
+def print_class(schema: Schema, name: str) -> str:
+    """One class definition in CDL syntax (embeddings re-inlined)."""
+    cdef = schema.get(name)
+    head = f"class {cdef.name}"
+    if cdef.parents:
+        head += " is-a " + ", ".join(cdef.parents)
+    head += " with"
+    lines = [
+        _format_attr(schema, cdef.name, attr, 1) for attr in cdef.attributes
+    ]
+    if lines:
+        return head + "\n" + ";\n".join(lines) + ";\nend"
+    return head + "\nend"
+
+
+def print_schema(schema: Schema) -> str:
+    """The whole schema in CDL syntax, virtual classes inlined at their
+    embedding sites (so they are not printed standalone)."""
+    chunks: List[str] = []
+    for cdef in schema.classes():
+        if cdef.virtual:
+            continue
+        chunks.append(print_class(schema, cdef.name))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,72 @@
+"""In-memory entity instances.
+
+An :class:`Instance` implements the *entity protocol* the type system's
+value semantics relies on (``memberships`` + ``get_value``): class
+membership is recorded as the set of classes the object was explicitly
+added to (direct memberships); the IS-A closure is applied by whoever
+interprets them against a schema, so membership checks stay correct as
+reasoning contexts vary.
+
+Instances are created and mutated through the
+:class:`~repro.objects.store.ObjectStore`; direct mutation bypasses
+conformance checking and extent maintenance and is reserved for the
+store's internals and for tests that need to manufacture violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.typesys.values import INAPPLICABLE
+
+
+class Instance:
+    """One entity: a surrogate, direct class memberships, and values."""
+
+    __slots__ = ("surrogate", "_memberships", "_values")
+
+    def __init__(self, surrogate, memberships: Iterable[str] = (),
+                 values: Dict[str, object] = None) -> None:
+        self.surrogate = surrogate
+        self._memberships: Set[str] = set(memberships)
+        self._values: Dict[str, object] = dict(values or {})
+
+    # Entity protocol ----------------------------------------------------
+
+    @property
+    def memberships(self) -> FrozenSet[str]:
+        """Direct class memberships (not IS-A closed)."""
+        return frozenset(self._memberships)
+
+    def get_value(self, name: str):
+        """The attribute's value, or INAPPLICABLE when unset."""
+        return self._values.get(name, INAPPLICABLE)
+
+    def value_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._values))
+
+    # Store-internal mutation --------------------------------------------
+
+    def _set_value(self, name: str, value) -> None:
+        if value is INAPPLICABLE:
+            self._values.pop(name, None)
+        else:
+            self._values[name] = value
+
+    def _add_membership(self, class_name: str) -> None:
+        self._memberships.add(class_name)
+
+    def _remove_membership(self, class_name: str) -> None:
+        self._memberships.discard(class_name)
+
+    # Convenience ---------------------------------------------------------
+
+    def __getitem__(self, name: str):
+        return self.get_value(name)
+
+    def values_snapshot(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        classes = ",".join(sorted(self._memberships)) or "<none>"
+        return f"<Instance {self.surrogate} : {classes}>"

@@ -1,0 +1,329 @@
+"""The object store: extents, conformance enforcement, virtual extents.
+
+Responsibilities (paper sections in parentheses):
+
+* allocate surrogates and hold all live instances (5.5);
+* maintain class extents IS-A-closed -- creating a Physician automatically
+  adds it to the extent of Person (3c);
+* enforce the excuse semantics on writes (5.1/5.2), eagerly by default;
+* maintain the implicit extents of *virtual classes* (5.6): the extent of
+  ``H1`` is exactly the set of values of ``treatedAt`` of Tubercular
+  patients, so assigning/clearing such attributes classifies/declassifies
+  the referenced entities, reference-counted and cascading through nested
+  embeddings (``A1`` tracks the locations of ``H1`` hospitals);
+* optionally enforce **unshared exceptional structure**
+  (``strict_virtual_extents``, on by default): a member of a virtual class
+  may only be referenced through the virtual class's home attribute.  This
+  run-time invariant is what makes the query checker's provenance
+  reasoning sound (see DESIGN.md section 6 and
+  :mod:`repro.query.typing`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ConformanceError, NoSuchObjectError, UnknownClassError
+from repro.objects.instance import Instance
+from repro.objects.surrogate import Surrogate, SurrogateAllocator
+from repro.schema.classdef import ClassDef
+from repro.schema.schema import Schema
+from repro.semantics.candidates import ConstraintSemantics
+from repro.semantics.checker import ConformanceChecker, Violation
+from repro.typesys.values import INAPPLICABLE, is_entity
+
+
+class CheckMode:
+    """When conformance is enforced."""
+
+    EAGER = "eager"      # on every write (default)
+    DEFERRED = "deferred"  # only via validate_all()
+    NONE = "none"        # never (benchmarking substrate only)
+
+
+class ObjectStore:
+    """Holds instances, their extents, and enforces the schema."""
+
+    def __init__(self, schema: Schema,
+                 semantics: Optional[ConstraintSemantics] = None,
+                 check_mode: str = CheckMode.EAGER,
+                 strict_virtual_extents: bool = True,
+                 require_values: bool = False) -> None:
+        self.schema = schema
+        self.checker = ConformanceChecker(schema, semantics,
+                                          require_values=require_values)
+        self.check_mode = check_mode
+        self.strict_virtual_extents = strict_virtual_extents
+        self._allocator = SurrogateAllocator()
+        self._objects: Dict[Surrogate, Instance] = {}
+        self._extents: Dict[str, Set[Surrogate]] = {}
+        # (virtual class name, surrogate) -> number of referencing sites.
+        self._virtual_refs: Dict[Tuple[str, Surrogate], int] = {}
+        # virtual classes indexed by home attribute name for fast lookup.
+        self._virtuals_by_attr: Dict[str, List[ClassDef]] = {}
+        for cdef in schema.virtual_classes():
+            self._virtuals_by_attr.setdefault(
+                cdef.origin.attribute, []).append(cdef)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, class_name: str, check: Optional[str] = None,
+               **values) -> Instance:
+        """Create an instance of ``class_name`` with initial values.
+
+        The object is added to the extent of the class and all its
+        superclasses.  Values go through the same checked path as
+        :meth:`set_value`; on failure the half-built object is removed.
+        """
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        mode = check if check is not None else self.check_mode
+        obj = Instance(self._allocator.allocate(), (class_name,))
+        self._objects[obj.surrogate] = obj
+        self._add_to_extents(obj, class_name)
+        try:
+            for name, value in values.items():
+                self._set_value_internal(obj, name, value, mode)
+        except ConformanceError:
+            self.remove(obj)
+            raise
+        return obj
+
+    def remove(self, obj: Instance) -> None:
+        """Destroy an object: it leaves every extent, and entities it
+        referenced leave any virtual classes it anchored them in."""
+        self._require_live(obj)
+        for name in obj.value_names():
+            value = obj.get_value(name)
+            if is_entity(value):
+                self._release_virtual_targets(obj, name, value)
+        for class_name in list(self._extents):
+            self._extents[class_name].discard(obj.surrogate)
+        del self._objects[obj.surrogate]
+
+    def get(self, surrogate: Surrogate) -> Instance:
+        try:
+            return self._objects[surrogate]
+        except KeyError:
+            raise NoSuchObjectError(str(surrogate)) from None
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def instances(self) -> Iterator[Instance]:
+        return iter(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Membership and extents
+    # ------------------------------------------------------------------
+
+    def classify(self, obj: Instance, class_name: str,
+                 check: Optional[str] = None) -> None:
+        """Add ``obj`` to another class (multi-membership, Section 4.1).
+
+        E.g. making a patient an instance of both Renal_Failure_Patient
+        and Hemorrhaging_Patient.  Conformance of the object under its
+        enlarged constraint set is checked (eagerly by default).
+        """
+        self._require_live(obj)
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        if class_name in obj.memberships:
+            return
+        mode = check if check is not None else self.check_mode
+        obj._add_membership(class_name)
+        self._add_to_extents(obj, class_name)
+        self._cascade_virtuals(obj, class_name, +1)
+        if mode == CheckMode.EAGER:
+            violations = self.checker.check(obj)
+            if violations:
+                self._cascade_virtuals(obj, class_name, -1)
+                obj._remove_membership(class_name)
+                self._rebuild_extents_for(obj)
+                raise ConformanceError(
+                    obj.surrogate, class_name, violations[0].attribute,
+                    str(violations[0]))
+
+    def declassify(self, obj: Instance, class_name: str) -> None:
+        """Remove a direct membership (and extents entries no other
+        membership justifies)."""
+        self._require_live(obj)
+        if class_name not in obj.memberships:
+            return
+        self._cascade_virtuals(obj, class_name, -1)
+        obj._remove_membership(class_name)
+        self._rebuild_extents_for(obj)
+
+    def extent(self, class_name: str) -> Tuple[Instance, ...]:
+        """The current extent, superclass extents included."""
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        surrogates = self._extents.get(class_name, set())
+        return tuple(self._objects[s] for s in sorted(surrogates))
+
+    def count(self, class_name: str) -> int:
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        return len(self._extents.get(class_name, ()))
+
+    def is_member(self, obj: Instance, class_name: str) -> bool:
+        return any(
+            self.schema.is_subclass(m, class_name) for m in obj.memberships
+        )
+
+    def _add_to_extents(self, obj: Instance, class_name: str) -> None:
+        for ancestor in self.schema.ancestors(class_name):
+            self._extents.setdefault(ancestor, set()).add(obj.surrogate)
+
+    def _rebuild_extents_for(self, obj: Instance) -> None:
+        keep: Set[str] = set()
+        for m in obj.memberships:
+            keep.update(self.schema.ancestors(m))
+        for class_name, members in self._extents.items():
+            if class_name in keep:
+                members.add(obj.surrogate)
+            else:
+                members.discard(obj.surrogate)
+
+    # ------------------------------------------------------------------
+    # Attribute writes
+    # ------------------------------------------------------------------
+
+    def set_value(self, obj: Instance, attribute: str, value,
+                  check: Optional[str] = None) -> None:
+        """Set ``obj.attribute = value`` with conformance enforcement and
+        virtual-extent maintenance."""
+        self._require_live(obj)
+        mode = check if check is not None else self.check_mode
+        self._set_value_internal(obj, attribute, value, mode)
+
+    def _set_value_internal(self, obj: Instance, attribute: str, value,
+                            mode: str) -> None:
+        old = obj.get_value(attribute)
+        if (mode == CheckMode.EAGER and self.strict_virtual_extents
+                and is_entity(value)):
+            # Unchecked writes (bulk loading) bypass the unshared
+            # invariant along with every other check; the type checker's
+            # provenance reasoning is sound for eagerly-checked stores.
+            self._enforce_unshared(obj, attribute, value)
+
+        # Classify the new value into the virtual classes this assignment
+        # anchors, release the old value's anchoring, then check.
+        acquired = self._acquire_virtual_targets(obj, attribute, value)
+        if is_entity(old):
+            self._release_virtual_targets(obj, attribute, old)
+        obj._set_value(attribute, value)
+
+        if mode != CheckMode.EAGER:
+            return
+        blamed = obj
+        violations = self.checker.check_attribute(obj, attribute, value)
+        if not violations and is_entity(value) and acquired:
+            violations = self.checker.check(value)
+            blamed = value
+        if violations:
+            # Roll back: restore the old value and the anchoring counts.
+            obj._set_value(attribute, old)
+            if is_entity(old):
+                self._acquire_virtual_targets(obj, attribute, old)
+            if is_entity(value):
+                self._release_virtual_targets(obj, attribute, value)
+            v = violations[0]
+            raise ConformanceError(blamed.surrogate, v.class_name,
+                                   v.attribute, str(v))
+
+    def unset_value(self, obj: Instance, attribute: str) -> None:
+        """Clear an attribute (its value becomes INAPPLICABLE)."""
+        self.set_value(obj, attribute, INAPPLICABLE, check=CheckMode.NONE)
+
+    # ------------------------------------------------------------------
+    # Virtual-class extent maintenance (Section 5.6)
+    # ------------------------------------------------------------------
+
+    def _home_virtuals(self, obj: Instance,
+                       attribute: str) -> List[ClassDef]:
+        """Virtual classes whose home site is (some membership class of
+        ``obj``, ``attribute``)."""
+        out = []
+        for cdef in self._virtuals_by_attr.get(attribute, ()):
+            if self.is_member(obj, cdef.origin.owner_class):
+                out.append(cdef)
+        return out
+
+    def _acquire_virtual_targets(self, obj: Instance, attribute: str,
+                                 value) -> List[str]:
+        if not is_entity(value):
+            return []
+        acquired = []
+        for cdef in self._home_virtuals(obj, attribute):
+            self._adjust_virtual(value, cdef.name, +1)
+            acquired.append(cdef.name)
+        return acquired
+
+    def _release_virtual_targets(self, obj: Instance, attribute: str,
+                                 value) -> None:
+        if not is_entity(value):
+            return
+        for cdef in self._home_virtuals(obj, attribute):
+            self._adjust_virtual(value, cdef.name, -1)
+
+    def _adjust_virtual(self, obj: Instance, virtual_name: str,
+                        delta: int) -> None:
+        key = (virtual_name, obj.surrogate)
+        count = self._virtual_refs.get(key, 0) + delta
+        if count > 0:
+            self._virtual_refs[key] = count
+            if virtual_name not in obj.memberships:
+                obj._add_membership(virtual_name)
+                self._add_to_extents(obj, virtual_name)
+                self._cascade_virtuals(obj, virtual_name, +1)
+        else:
+            self._virtual_refs.pop(key, None)
+            if virtual_name in obj.memberships:
+                self._cascade_virtuals(obj, virtual_name, -1)
+                obj._remove_membership(virtual_name)
+                self._rebuild_extents_for(obj)
+
+    def _cascade_virtuals(self, obj: Instance, class_name: str,
+                          delta: int) -> None:
+        """Membership in ``class_name`` anchors the values of nested
+        embedding attributes: gaining H1 puts the hospital's location into
+        A1; losing it releases the location."""
+        for cdef in self.schema.virtual_classes_with_origin_owner(class_name):
+            value = obj.get_value(cdef.origin.attribute)
+            if is_entity(value):
+                self._adjust_virtual(value, cdef.name, delta)
+
+    def _enforce_unshared(self, obj: Instance, attribute: str,
+                          value: Instance) -> None:
+        """Reject referencing a virtual-class member through any site other
+        than the virtual class's home attribute."""
+        homes = {c.name for c in self._home_virtuals(obj, attribute)}
+        for m in value.memberships:
+            cdef = self.schema.get(m) if self.schema.has_class(m) else None
+            if cdef is None or not cdef.virtual:
+                continue
+            if m not in homes:
+                raise ConformanceError(
+                    obj.surrogate, m, attribute,
+                    f"{value.surrogate} belongs to virtual class {m!r} "
+                    f"({cdef.origin}) and may only be referenced through "
+                    "that attribute (strict_virtual_extents)")
+
+    # ------------------------------------------------------------------
+    # Whole-store validation
+    # ------------------------------------------------------------------
+
+    def validate_all(self) -> List[Tuple[Instance, Violation]]:
+        """Check every object; used after deferred/bulk loading."""
+        out: List[Tuple[Instance, Violation]] = []
+        for obj in self._objects.values():
+            for violation in self.checker.check(obj):
+                out.append((obj, violation))
+        return out
+
+    def _require_live(self, obj: Instance) -> None:
+        if self._objects.get(obj.surrogate) is not obj:
+            raise NoSuchObjectError(str(obj.surrogate))

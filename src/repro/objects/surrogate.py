@@ -1,0 +1,37 @@
+"""Surrogates: system-assigned internal identifiers (paper Section 5.5).
+
+"Entities are assigned internal identifiers (surrogates) by the system and
+these do not normally vary structurally from class to class" -- which is
+why entity-valued attributes never force horizontal partitioning in the
+storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Surrogate:
+    """An opaque, totally-ordered entity identifier."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"@{self.id}"
+
+
+class SurrogateAllocator:
+    """Monotonically allocates fresh surrogates."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def allocate(self) -> Surrogate:
+        surrogate = Surrogate(self._next)
+        self._next += 1
+        return surrogate
+
+    @property
+    def high_water_mark(self) -> int:
+        return self._next

@@ -1,0 +1,92 @@
+"""Transactions over the object store.
+
+The paper's conformance rules often require *groups* of writes to land
+together: reclassifying a patient as hemorrhaging **and** lowering its
+blood pressure, or moving a tubercular patient to a new Swiss hospital
+(which re-anchors virtual-class memberships).  A transaction makes such
+groups atomic: on exception every object's memberships and values, every
+extent, and the virtual-class reference counts are restored exactly.
+
+Implementation is snapshot-based (copy-on-begin): correct and simple,
+appropriate for an in-memory store of this scale.  Instances keep their
+identity across rollback -- outside references stay valid and see the
+restored state.
+
+Usage::
+
+    with transaction(store):
+        store.set_value(p, "bloodPressure", low)
+        store.classify(p, "Hemorrhaging_Patient")
+    # all or nothing
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.objects.instance import Instance
+from repro.objects.store import ObjectStore
+from repro.objects.surrogate import Surrogate
+
+
+class StoreSnapshot:
+    """A full, restorable copy of a store's mutable state."""
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self._objects: Dict[Surrogate, Instance] = dict(store._objects)
+        self._state: Dict[Surrogate, Tuple[frozenset, dict]] = {
+            surrogate: (obj.memberships, obj.values_snapshot())
+            for surrogate, obj in store._objects.items()
+        }
+        self._extents: Dict[str, Set[Surrogate]] = {
+            name: set(members) for name, members in store._extents.items()
+        }
+        self._virtual_refs = dict(store._virtual_refs)
+        self._next_surrogate = store._allocator._next
+
+    def restore(self) -> None:
+        store = self._store
+        # Objects created after the snapshot vanish; removed ones return,
+        # and every surviving instance is reset in place (identity kept).
+        store._objects.clear()
+        store._objects.update(self._objects)
+        for surrogate, obj in self._objects.items():
+            memberships, values = self._state[surrogate]
+            obj._memberships.clear()
+            obj._memberships.update(memberships)
+            obj._values.clear()
+            obj._values.update(values)
+        store._extents.clear()
+        for name, members in self._extents.items():
+            store._extents[name] = set(members)
+        store._virtual_refs.clear()
+        store._virtual_refs.update(self._virtual_refs)
+        store._allocator._next = self._next_surrogate
+
+
+class TransactionError(Exception):
+    """Raised when commit-time validation fails inside a transaction."""
+
+
+@contextmanager
+def transaction(store: ObjectStore,
+                validate_on_commit: bool = False) -> Iterator[None]:
+    """Atomic scope: roll the store back if the body raises.
+
+    With ``validate_on_commit`` the whole store is validated before
+    committing (useful when the body performs unchecked writes); any
+    violation rolls back and raises :class:`TransactionError`.
+    """
+    snapshot = StoreSnapshot(store)
+    try:
+        yield
+        if validate_on_commit:
+            problems = store.validate_all()
+            if problems:
+                raise TransactionError(
+                    "; ".join(str(v) for _obj, v in problems[:5]))
+    except BaseException:
+        snapshot.restore()
+        raise

@@ -1,0 +1,31 @@
+"""Convenience entry point for query safety analysis."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import QueryTypeError
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+from repro.query.typing import QueryTyper, TypeReport
+from repro.schema.schema import Schema
+
+
+def analyze(query: Union[str, Query], schema: Schema,
+            assume_unshared: bool = True,
+            raise_on_error: bool = False) -> TypeReport:
+    """Type-check a query (text or AST) against a schema.
+
+    Returns a :class:`~repro.query.typing.TypeReport`; with
+    ``raise_on_error`` a definite type error (one that fails under every
+    possibility) raises :class:`~repro.errors.QueryTypeError` -- the
+    paper's "flag an attempt to evaluate the supervisor of an arbitrary
+    person".
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    typer = QueryTyper(schema, assume_unshared=assume_unshared)
+    report = typer.analyze_query(query)
+    if raise_on_error and report.errors:
+        raise QueryTypeError("; ".join(str(e) for e in report.errors))
+    return report

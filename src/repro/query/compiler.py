@@ -1,0 +1,383 @@
+"""Typing-directed query compilation with run-time check elimination.
+
+Section 5.4: "If 'type-unsafe' queries are allowed to run, the compiler
+can avoid the introduction of run-time safety tests in those cases where
+it has determined that no type error can occur, and thereby considerably
+increase the efficiency of the code generated."
+
+The compiler walks the query, re-running the flow analysis at every
+attribute access and comparison *in its control-flow context* (the same
+expression inside a ``when p in Alcoholic`` branch and outside it gets
+independent decisions).  An access the analysis proves safe compiles to a
+bare attribute fetch; an access with findings compiles to a guarded fetch
+that tests for INAPPLICABLE/ill-typed values at run time and (by default)
+skips the offending row.  ``eliminate_checks=False`` guards *every* access
+-- the "no type inference" baseline benchmark E3 measures against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import QueryError, QueryTypeError
+from repro.query.ast import (
+    Aggregate,
+    And,
+    Compare,
+    Const,
+    Expr,
+    InClass,
+    Not,
+    NotInClass,
+    Or,
+    Path,
+    Query,
+    Var,
+    When,
+)
+from repro.query.parser import parse_query
+from repro.query.typing import FlowFacts, QueryTyper, TypeReport
+from repro.schema.schema import Schema
+from repro.typesys.values import INAPPLICABLE, RecordValue, is_entity
+
+
+class SkipRow(Exception):
+    """Internal: a guarded access failed; the current row is skipped."""
+
+
+class QueryRuntimeError(QueryError):
+    """An unguarded (or ``on_unsafe='raise'``) access failed at run time."""
+
+
+@dataclass
+class RuntimeContext:
+    """Per-row evaluation state."""
+
+    store: object
+    bindings: Dict[str, object]
+    stats: "ExecStatsProtocol"
+
+
+class ExecStatsProtocol:
+    """What the compiled code needs from the stats object."""
+
+    checks_executed: int
+
+
+_EvalFn = Callable[[RuntimeContext], object]
+
+
+@dataclass
+class CompiledQuery:
+    """An executable plan plus its analysis artifacts."""
+
+    query: Query
+    report: TypeReport
+    source_class: str
+    var: str
+    where_fn: Optional[_EvalFn]
+    select_fns: List[_EvalFn]
+    checks_inserted: int
+    accesses_total: int
+    decisions: List[Tuple[str, bool, str]] = field(default_factory=list)
+    #: For aggregate queries: (function, operand fn or None) per item;
+    #: None for ordinary per-row queries.
+    aggregates: Optional[List[Tuple[str, Optional[_EvalFn]]]] = None
+
+    @property
+    def checks_eliminated(self) -> int:
+        return self.accesses_total - self.checks_inserted
+
+    def explain(self) -> str:
+        """A human-readable plan: every attribute access in compile order
+        with its check decision and the analysis reason."""
+        lines = [f"query: {self.query}",
+                 f"source: extent({self.source_class}) as {self.var}"]
+        if self.source_class != self.query.source_class:
+            lines.append(
+                f"  (narrowed from extent({self.query.source_class}) by "
+                "a where-clause membership conjunct)")
+        lines.append(f"checks: {self.checks_inserted} inserted / "
+                     f"{self.accesses_total} accesses")
+        for text, checked, reason in self.decisions:
+            marker = "CHECKED  " if checked else "unchecked"
+            lines.append(f"  [{marker}] {text}  -- {reason}")
+        return "\n".join(lines)
+
+
+class _Compiler:
+    def __init__(self, schema: Schema, assume_unshared: bool,
+                 eliminate_checks: bool, on_unsafe: str) -> None:
+        if on_unsafe not in ("skip", "null", "raise"):
+            raise ValueError(f"bad on_unsafe policy {on_unsafe!r}")
+        self.schema = schema
+        self.assume_unshared = assume_unshared
+        self.eliminate_checks = eliminate_checks
+        self.on_unsafe = on_unsafe
+        self.checks_inserted = 0
+        self.accesses_total = 0
+        #: (access text, checked?, reason) per attribute access.
+        self.decisions: List[Tuple[str, bool, str]] = []
+
+    # ------------------------------------------------------------------
+
+    def _check_decision(self, expr: Expr, env: Dict[str, str],
+                        facts: FlowFacts) -> Tuple[bool, str]:
+        """Whether this access needs a run-time check, and why (not)."""
+        if not self.eliminate_checks:
+            return True, "check elimination disabled"
+        typer = QueryTyper(self.schema, self.assume_unshared)
+        possibilities = typer.infer(expr, env, facts)
+        wanted = str(expr)
+        for finding in typer.findings:
+            if finding.expr == wanted:
+                return True, finding.reason
+        # The fetch itself can yield INAPPLICABLE (an excused None range):
+        # guard it even though the failure only materializes on use.
+        for p in possibilities:
+            if p.kind == "inapplicable":
+                return True, "value may be INAPPLICABLE " + (
+                    "under " + ", ".join(
+                        f"{k} {'in' if pos else 'not in'} {c}"
+                        for k, c, pos in sorted(p.assumptions))
+                    if p.assumptions else "unconditionally")
+        return False, "proven safe"
+
+    def _fail(self, ctx: RuntimeContext, message: str):
+        if self.on_unsafe == "skip":
+            raise SkipRow()
+        if self.on_unsafe == "null":
+            return INAPPLICABLE
+        raise QueryRuntimeError(message)
+
+    # ------------------------------------------------------------------
+
+    def compile_expr(self, expr: Expr, env: Dict[str, str],
+                     facts: FlowFacts) -> _EvalFn:
+        if isinstance(expr, Var):
+            name = expr.name
+
+            def eval_var(ctx: RuntimeContext, _name=name):
+                return ctx.bindings[_name]
+            return eval_var
+
+        if isinstance(expr, Const):
+            value = expr.value
+            return lambda ctx, _v=value: _v
+
+        if isinstance(expr, Path):
+            return self._compile_path(expr, env, facts)
+
+        if isinstance(expr, InClass):
+            inner = self.compile_expr(expr.expr, env, facts)
+            class_name = expr.class_name
+
+            def eval_in(ctx: RuntimeContext, _f=inner, _c=class_name):
+                value = _f(ctx)
+                return is_entity(value) and ctx.store.is_member(value, _c)
+            return eval_in
+
+        if isinstance(expr, NotInClass):
+            inner = self.compile_expr(expr.expr, env, facts)
+            class_name = expr.class_name
+
+            def eval_not_in(ctx: RuntimeContext, _f=inner, _c=class_name):
+                value = _f(ctx)
+                return not (is_entity(value)
+                            and ctx.store.is_member(value, _c))
+            return eval_not_in
+
+        if isinstance(expr, Not):
+            inner = self.compile_expr(expr.operand, env, facts)
+            return lambda ctx, _f=inner: not _f(ctx)
+
+        if isinstance(expr, And):
+            left = self.compile_expr(expr.left, env, facts)
+            typer = QueryTyper(self.schema, self.assume_unshared)
+            right_facts = typer._apply_condition(expr.left, facts, True)
+            right = self.compile_expr(expr.right, env, right_facts)
+            return lambda ctx, _l=left, _r=right: bool(_l(ctx)) and bool(
+                _r(ctx))
+
+        if isinstance(expr, Or):
+            left = self.compile_expr(expr.left, env, facts)
+            typer = QueryTyper(self.schema, self.assume_unshared)
+            right_facts = typer._apply_condition(expr.left, facts, False)
+            right = self.compile_expr(expr.right, env, right_facts)
+            return lambda ctx, _l=left, _r=right: bool(_l(ctx)) or bool(
+                _r(ctx))
+
+        if isinstance(expr, Compare):
+            return self._compile_compare(expr, env, facts)
+
+        if isinstance(expr, When):
+            cond = self.compile_expr(expr.condition, env, facts)
+            typer = QueryTyper(self.schema, self.assume_unshared)
+            then_facts = typer._apply_condition(expr.condition, facts, True)
+            else_facts = typer._apply_condition(expr.condition, facts,
+                                                False)
+            then_fn = self.compile_expr(expr.then, env, then_facts)
+            else_fn = self.compile_expr(expr.otherwise, env, else_facts)
+
+            def eval_when(ctx: RuntimeContext, _c=cond, _t=then_fn,
+                          _e=else_fn):
+                return _t(ctx) if _c(ctx) else _e(ctx)
+            return eval_when
+
+        raise QueryTypeError(f"cannot compile expression {expr!r}")
+
+    def _compile_path(self, expr: Path, env: Dict[str, str],
+                      facts: FlowFacts) -> _EvalFn:
+        base_fn = self.compile_expr(expr.base, env, facts)
+        attribute = expr.attribute
+        self.accesses_total += 1
+        checked, reason = self._check_decision(expr, env, facts)
+        description = str(expr)
+        self.decisions.append((description, checked, reason))
+
+        if not checked:
+            def eval_unchecked(ctx: RuntimeContext, _b=base_fn,
+                               _a=attribute):
+                return _b(ctx).get_value(_a)
+            return eval_unchecked
+
+        self.checks_inserted += 1
+
+        def eval_checked(ctx: RuntimeContext, _b=base_fn, _a=attribute,
+                         _d=description):
+            base = _b(ctx)
+            ctx.stats.checks_executed += 1
+            if base is INAPPLICABLE or not (
+                    is_entity(base) or isinstance(base, RecordValue)):
+                return self._fail(
+                    ctx, f"{_d}: base value has no attributes")
+            value = base.get_value(_a)
+            if value is INAPPLICABLE:
+                return self._fail(
+                    ctx, f"{_d}: attribute {_a!r} is inapplicable here")
+            return value
+        return eval_checked
+
+    def _compile_compare(self, expr: Compare, env: Dict[str, str],
+                         facts: FlowFacts) -> _EvalFn:
+        left = self.compile_expr(expr.left, env, facts)
+        right = self.compile_expr(expr.right, env, facts)
+        op = expr.op
+        description = str(expr)
+
+        def eval_compare(ctx: RuntimeContext, _l=left, _r=right, _op=op,
+                         _d=description):
+            lv, rv = _l(ctx), _r(ctx)
+            if lv is INAPPLICABLE or rv is INAPPLICABLE:
+                result = self._fail(ctx, f"{_d}: INAPPLICABLE operand")
+                return False if result is INAPPLICABLE else result
+            if _op == "=":
+                return lv == rv
+            if _op == "!=":
+                return lv != rv
+            try:
+                if _op == "<":
+                    return lv < rv
+                if _op == "<=":
+                    return lv <= rv
+                if _op == ">":
+                    return lv > rv
+                if _op == ">=":
+                    return lv >= rv
+            except TypeError:
+                raise QueryRuntimeError(
+                    f"{_d}: unorderable values {lv!r}, {rv!r}") from None
+            raise QueryRuntimeError(f"unknown operator {_op!r}")
+        return eval_compare
+
+
+def _narrowed_source(query: Query, schema: Schema) -> str:
+    """Source-extent narrowing: membership conjuncts in the ``where``
+    clause that name a *subclass* of the source let the plan iterate the
+    subclass's extent directly -- extent inclusion (Section 3c)
+    guarantees it contains exactly the qualifying objects.  The residual
+    membership test still runs (it is cheap and keeps the plan obviously
+    equivalent)."""
+    def conjuncts(expr):
+        if isinstance(expr, And):
+            return conjuncts(expr.left) + conjuncts(expr.right)
+        return [expr]
+
+    source = query.source_class
+    if query.where is None:
+        return source
+    for c in conjuncts(query.where):
+        if (isinstance(c, InClass) and isinstance(c.expr, Var)
+                and c.expr.name == query.var
+                and schema.has_class(c.class_name)
+                and schema.is_subclass(c.class_name, source)):
+            source = c.class_name
+    return source
+
+
+def compile_query(query: Union[str, Query], schema: Schema,
+                  eliminate_checks: bool = True,
+                  assume_unshared: bool = True,
+                  on_unsafe: str = "skip",
+                  raise_on_error: bool = True,
+                  optimize_source: bool = True) -> CompiledQuery:
+    """Compile a query into an executable plan.
+
+    ``eliminate_checks=True`` (default) inserts run-time safety checks
+    only at accesses the analysis could not prove safe; ``False`` guards
+    every access (the paper's no-type-inference baseline).  ``on_unsafe``
+    picks the failure policy of guarded accesses: ``"skip"`` the row,
+    return ``"null"`` (INAPPLICABLE), or ``"raise"``.
+    ``optimize_source`` narrows the scanned extent to a subclass named by
+    a ``where``-clause membership conjunct.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    typer = QueryTyper(schema, assume_unshared=assume_unshared)
+    report = typer.analyze_query(query)
+    if raise_on_error and report.errors:
+        raise QueryTypeError("; ".join(str(e) for e in report.errors))
+
+    compiler = _Compiler(schema, assume_unshared, eliminate_checks,
+                         on_unsafe)
+    env = {query.var: query.source_class}
+    facts = FlowFacts().assume(query.var, query.source_class, True)
+    scan_class = (_narrowed_source(query, schema) if optimize_source
+                  else query.source_class)
+
+    where_fn = None
+    select_facts = facts
+    if query.where is not None:
+        where_fn = compiler.compile_expr(query.where, env, facts)
+        select_facts = typer._apply_condition(query.where, facts, True)
+
+    aggregates: Optional[List[Tuple[str, Optional[_EvalFn]]]] = None
+    select_fns: List[_EvalFn] = []
+    if any(isinstance(e, Aggregate) for e in query.select):
+        if not all(isinstance(e, Aggregate) for e in query.select):
+            raise QueryTypeError(
+                "aggregate and per-row select items cannot be mixed")
+        aggregates = []
+        for e in query.select:
+            operand_fn = (
+                compiler.compile_expr(e.operand, env, select_facts)
+                if e.operand is not None else None)
+            aggregates.append((e.function, operand_fn))
+    else:
+        select_fns = [
+            compiler.compile_expr(e, env, select_facts)
+            for e in query.select
+        ]
+    return CompiledQuery(
+        query=query,
+        report=report,
+        source_class=scan_class,
+        var=query.var,
+        where_fn=where_fn,
+        select_fns=select_fns,
+        checks_inserted=compiler.checks_inserted,
+        accesses_total=compiler.accesses_total,
+        decisions=list(compiler.decisions),
+        aggregates=aggregates,
+    )

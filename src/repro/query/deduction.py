@@ -1,0 +1,108 @@
+"""Contrapositive membership deduction (paper Section 5.4).
+
+"Conversely, knowing that y.treatedBy is not in Physician, and y is not
+in Alcoholic, should allow the deduction that y is not in Patient at
+all."
+
+The rule: for a constraint ``(C, a, R)`` with registered excuses
+``S1/E1, ...``, membership of ``y`` in ``C`` implies::
+
+    y.a in R  OR  (y in E1 AND y.a in S1)  OR ...
+
+so if the facts refute *every* disjunct -- ``y.a not-in R`` and, for each
+excuse, ``y not-in Ei`` or ``y.a not-in Si`` -- then ``y not-in C``.
+Only entity-valued ranges participate (facts are class memberships).
+
+Deduction runs to a fixpoint: a freshly derived ``y not-in C`` refutes
+membership in every subclass of ``C`` (handled by the fact store's
+subclass-aware ``known_not_in``) and can enable further rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.query.typing import FlowFacts
+from repro.schema.schema import Schema
+from repro.typesys.core import ClassType, Type
+
+
+def _refuted(schema: Schema, facts: FlowFacts, path: str,
+             range_type: Type) -> bool:
+    """Whether the facts prove the value at ``path`` is outside
+    ``range_type`` (only decidable for class-type ranges)."""
+    if isinstance(range_type, ClassType):
+        return facts.known_not_in(schema, path, range_type.name)
+    return False
+
+
+def _constraint_refuted(schema: Schema, facts: FlowFacts, var_path: str,
+                        owner: str, attribute: str,
+                        range_type: Type) -> bool:
+    """Whether every disjunct of the relaxed constraint is refuted."""
+    value_path = f"{var_path}.{attribute}"
+    if not _refuted(schema, facts, value_path, range_type):
+        return False
+    for entry in schema.excuses_against(owner, attribute):
+        excuse_dead = (
+            facts.known_not_in(schema, var_path, entry.excusing_class)
+            or _refuted(schema, facts, value_path, entry.range)
+        )
+        if not excuse_dead:
+            return False
+    return True
+
+
+def deduce_non_memberships(schema: Schema, facts: FlowFacts,
+                           var_path: str) -> Tuple[FlowFacts, Set[str]]:
+    """Close ``facts`` under the contrapositive rule for ``var_path``.
+
+    Returns the enriched facts and the set of class names newly proven
+    *not* to contain the value at ``var_path``.
+    """
+    derived: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for cdef in schema.classes():
+            if cdef.name in derived:
+                continue
+            if facts.known_not_in(schema, var_path, cdef.name):
+                continue
+            for attr in cdef.attributes:
+                if _constraint_refuted(schema, facts, var_path,
+                                       cdef.name, attr.name, attr.range):
+                    facts = facts.assume(var_path, cdef.name, False)
+                    derived.add(cdef.name)
+                    changed = True
+                    break
+    return facts, derived
+
+
+def explain_non_membership(schema: Schema, facts: FlowFacts,
+                           var_path: str, class_name: str) -> List[str]:
+    """Human-readable justification lines for one derived exclusion, or
+    an empty list if the exclusion does not follow."""
+    cdef = schema.get(class_name)
+    for attr in cdef.attributes:
+        if _constraint_refuted(schema, facts, var_path, class_name,
+                               attr.name, attr.range):
+            lines = [
+                f"{var_path}.{attr.name} not in {attr.range} "
+                f"(refutes the declared range on {class_name})"
+            ]
+            for entry in schema.excuses_against(class_name, attr.name):
+                if facts.known_not_in(schema, var_path,
+                                      entry.excusing_class):
+                    lines.append(
+                        f"{var_path} not in {entry.excusing_class} "
+                        f"(kills the {entry.range}/{entry.excusing_class} "
+                        "alternative)")
+                else:
+                    lines.append(
+                        f"{var_path}.{attr.name} not in {entry.range} "
+                        f"(kills the {entry.range}/{entry.excusing_class} "
+                        "alternative)")
+            lines.append(f"therefore {var_path} not in {class_name}")
+            return lines
+    return []

@@ -1,0 +1,120 @@
+"""Executing compiled queries against an object store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.query.ast import Query
+from repro.query.compiler import (
+    CompiledQuery,
+    RuntimeContext,
+    SkipRow,
+    compile_query,
+)
+from repro.schema.schema import Schema
+
+
+@dataclass
+class ExecutionStats:
+    """Counters exposed so check elimination is measurable (bench E3)."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    rows_skipped: int = 0
+    checks_executed: int = 0
+
+
+def execute(compiled: Union[CompiledQuery, str], store,
+            schema: Schema = None,
+            **compile_kwargs) -> Tuple[List[tuple], ExecutionStats]:
+    """Run a compiled query (or compile query text first) over ``store``.
+
+    Returns ``(rows, stats)``.  A row is a tuple of the values of the
+    ``select`` expressions; rows whose guarded accesses fail under the
+    ``"skip"`` policy are dropped and counted in ``stats.rows_skipped``.
+    """
+    if isinstance(compiled, str):
+        if schema is None:
+            schema = store.schema
+        compiled = compile_query(compiled, schema, **compile_kwargs)
+
+    stats = ExecutionStats()
+    if compiled.aggregates is not None:
+        return _execute_aggregate(compiled, store, stats)
+    rows: List[tuple] = []
+    for obj in store.extent(compiled.source_class):
+        stats.rows_scanned += 1
+        ctx = RuntimeContext(store=store,
+                             bindings={compiled.var: obj},
+                             stats=stats)
+        try:
+            if compiled.where_fn is not None and not compiled.where_fn(ctx):
+                continue
+            rows.append(tuple(fn(ctx) for fn in compiled.select_fns))
+            stats.rows_returned += 1
+        except SkipRow:
+            stats.rows_skipped += 1
+    return rows, stats
+
+
+class _Accumulator:
+    """One aggregate fold; values of INAPPLICABLE are skipped."""
+
+    def __init__(self, function: str) -> None:
+        self.function = function
+        self.n = 0
+        self.total = 0
+        self.best = None
+
+    def add(self, value) -> None:
+        from repro.typesys.values import INAPPLICABLE
+        if value is INAPPLICABLE:
+            return
+        self.n += 1
+        if self.function == "total" or self.function == "avg":
+            self.total += value
+        elif self.function == "min":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif self.function == "max":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self):
+        from repro.typesys.values import INAPPLICABLE
+        if self.function == "count":
+            return self.n
+        if self.function == "total":
+            return self.total
+        if self.n == 0:
+            return INAPPLICABLE  # min/max/avg of nothing
+        if self.function == "avg":
+            return self.total / self.n
+        return self.best
+
+
+def _execute_aggregate(compiled: CompiledQuery, store,
+                       stats: ExecutionStats
+                       ) -> Tuple[List[tuple], ExecutionStats]:
+    accumulators = [
+        _Accumulator(function) for function, _fn in compiled.aggregates
+    ]
+    for obj in store.extent(compiled.source_class):
+        stats.rows_scanned += 1
+        ctx = RuntimeContext(store=store,
+                             bindings={compiled.var: obj},
+                             stats=stats)
+        try:
+            if compiled.where_fn is not None and not compiled.where_fn(ctx):
+                continue
+            for accumulator, (_function, operand_fn) in zip(
+                    accumulators, compiled.aggregates):
+                if operand_fn is None:
+                    accumulator.n += 1  # bare `count`: count the row
+                else:
+                    accumulator.add(operand_fn(ctx))
+        except SkipRow:
+            stats.rows_skipped += 1
+    stats.rows_returned = 1
+    return [tuple(a.result() for a in accumulators)], stats

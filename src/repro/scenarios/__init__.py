@@ -1,0 +1,50 @@
+"""The paper's worked examples as reusable scenarios, plus generators.
+
+* :mod:`repro.scenarios.hospital` -- the full hospital knowledge base
+  (Sections 1, 3, 4, 5.6): persons, physicians, psychologists, patients,
+  alcoholics, cancer patients, tubercular patients with the embedded
+  Swiss-hospital excuses; includes a seeded population generator.
+* :mod:`repro.scenarios.quaker` -- Quakers, Republicans, and *dick*
+  (Sections 4.1, 5.1): multi-membership with mutual excuses.
+* :mod:`repro.scenarios.birds` -- flying birds and flightless penguins
+  and ostriches ("probably the best known example of this in Artificial
+  Intelligence").
+* :mod:`repro.scenarios.employees` -- temporary employees without
+  salaries and executives supervised by board members (Section 1),
+  including the conditional type
+  ``[salary: Integer + None/Temporary_Employee]`` of Section 5.4.
+* :mod:`repro.scenarios.generators` -- seeded random schema and
+  population generators for the scaling benchmarks (E3, E5, E6, E7,
+  E10).
+"""
+
+from repro.scenarios.hospital import (
+    HOSPITAL_CDL,
+    build_hospital_schema,
+    populate_hospital,
+)
+from repro.scenarios.quaker import build_quaker_schema, create_dick
+from repro.scenarios.birds import build_bird_schema
+from repro.scenarios.employees import build_employee_schema
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+from repro.scenarios.university import (
+    build_university_schema,
+    populate_university,
+)
+
+__all__ = [
+    "HOSPITAL_CDL",
+    "RandomHierarchyConfig",
+    "build_bird_schema",
+    "build_employee_schema",
+    "build_hospital_schema",
+    "build_quaker_schema",
+    "build_university_schema",
+    "create_dick",
+    "generate_random_hierarchy",
+    "populate_hospital",
+    "populate_university",
+]

@@ -1,0 +1,38 @@
+"""Flying birds, flightless penguins and ostriches (Section 4.1).
+
+"The case of flying birds, with a subclass of penguins, which do not
+fly, is probably the best known example of this in Artificial
+Intelligence."
+"""
+
+from __future__ import annotations
+
+from repro.lang.loader import load_schema
+from repro.schema.schema import Schema
+
+BIRD_CDL = """
+class Animal with
+  name: String;
+end
+
+class Bird is-a Animal with
+  locomotion: {'Flies};
+  wingspan_cm: 5..400;
+end
+
+class Penguin is-a Bird with
+  locomotion: {'Swims} excuses locomotion on Bird;
+end
+
+class Ostrich is-a Bird with
+  locomotion: {'Runs} excuses locomotion on Bird;
+end
+
+class Emperor_Penguin is-a Penguin with
+  wingspan_cm: 70..100;
+end
+"""
+
+
+def build_bird_schema() -> Schema:
+    return load_schema(BIRD_CDL)

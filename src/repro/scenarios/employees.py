@@ -1,0 +1,46 @@
+"""Temporary employees and executives (Section 1).
+
+"Temporary employees get lump sum payments, and do not have (monthly)
+salaries; executives, though employees in other ways, are supervised by
+members of the Board of Directors, who are not employees themselves."
+
+The schema yields exactly the conditional type the paper displays in
+Section 5.4::
+
+    [salary : Integer + None / Temporary_Employee]
+"""
+
+from __future__ import annotations
+
+from repro.lang.loader import load_schema
+from repro.schema.schema import Schema
+
+EMPLOYEE_CDL = """
+class Person with
+  name: String;
+  age: 1..120;
+end
+
+class Board_Member is-a Person with
+  committee: String;
+end
+
+class Employee is-a Person with
+  age: 16..65;
+  salary: Integer;
+  supervisor: Employee;
+end
+
+class Temporary_Employee is-a Employee with
+  salary: None excuses salary on Employee;
+  lumpSum: Integer;
+end
+
+class Executive is-a Employee with
+  supervisor: Board_Member excuses supervisor on Employee;
+end
+"""
+
+
+def build_employee_schema() -> Schema:
+    return load_schema(EMPLOYEE_CDL)

@@ -1,0 +1,183 @@
+"""Seeded random hierarchies and workloads for the scaling experiments.
+
+``generate_random_hierarchy`` builds one random IS-A DAG twice, from the
+same recorded decisions:
+
+* the **excuses variant**: intended contradictions carry ``excuses``
+  clauses, accidental ones do not (so the validator can be measured on
+  exactly the accidental set -- benchmark E6);
+* the **default variant**: the same classes with no excuse clauses and no
+  validation, resolved by closest-ancestor search (benchmark E5 measures
+  how often that search is ambiguous as multi-parent density grows).
+
+Everything is driven by ``random.Random(seed)``: same config, same
+hierarchy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.schema.attribute import AttributeDef, ExcuseRef
+from repro.schema.classdef import ClassDef
+from repro.schema.schema import Schema
+from repro.typesys.core import EnumerationType
+from repro.typesys.subtyping import is_subtype
+
+
+@dataclass(frozen=True)
+class RandomHierarchyConfig:
+    """Knobs for the random hierarchy generator."""
+
+    n_classes: int = 50
+    extra_parent_prob: float = 0.2
+    n_attributes: int = 6
+    override_prob: float = 0.3
+    contradiction_prob: float = 0.3
+    excuse_intent_prob: float = 0.6
+    enum_half_size: int = 4
+    seed: int = 1988
+
+
+@dataclass
+class GeneratedHierarchy:
+    """Both materializations of one random hierarchy."""
+
+    config: RandomHierarchyConfig
+    excuses_schema: Schema
+    default_schema: Schema
+    attributes: Tuple[str, ...]
+    #: Contradicting overrides the "designer" intended (excused).
+    intended: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Contradicting overrides that are accidents (not excused).
+    accidental: Set[Tuple[str, str]] = field(default_factory=set)
+
+
+def _enum(symbols) -> EnumerationType:
+    return EnumerationType(symbols)
+
+
+def _covered_by_inherited_excuse(schema: Schema, parents, new_range,
+                                 owner: str, attribute: str) -> bool:
+    """The validator's coverage rule, applied at generation time: some
+    ancestor (reachable through ``parents``) excuses ``(owner, attribute)``
+    with a range admitting ``new_range``."""
+    for entry in schema.excuses_against(owner, attribute):
+        if not any(schema.is_subclass(p, entry.excusing_class)
+                   for p in parents):
+            continue
+        if is_subtype(new_range, entry.range, schema):
+            return True
+    return False
+
+
+def generate_random_hierarchy(
+        config: RandomHierarchyConfig) -> GeneratedHierarchy:
+    rng = random.Random(config.seed)
+    attributes = tuple(f"attr{i}" for i in range(config.n_attributes))
+    normal_symbols = [f"n{i}" for i in range(config.enum_half_size)]
+    deviant_symbols = [f"d{i}" for i in range(config.enum_half_size)]
+
+    # The excuses variant is built incrementally so inherited ranges can
+    # be consulted while generating; the default variant replays the same
+    # class definitions with the excuse clauses stripped.
+    excuses_schema = Schema()
+    root_attrs = tuple(
+        AttributeDef(a, _enum(normal_symbols)) for a in attributes)
+    excuses_schema.add_class(ClassDef("C0", (), root_attrs))
+
+    intended: Set[Tuple[str, str]] = set()
+    accidental: Set[Tuple[str, str]] = set()
+    stripped_defs: List[ClassDef] = [ClassDef("C0", (), root_attrs)]
+
+    names = ["C0"]
+    for i in range(1, config.n_classes):
+        name = f"C{i}"
+        parents = [rng.choice(names)]
+        if len(names) > 1 and rng.random() < config.extra_parent_prob:
+            extra = rng.choice(names)
+            if extra not in parents:
+                parents.append(extra)
+
+        attrs: List[AttributeDef] = []
+        stripped: List[AttributeDef] = []
+        for attribute in attributes:
+            if rng.random() >= config.override_prob:
+                continue
+            # What do the ancestors require?
+            inherited = []
+            for parent in parents:
+                for constraint in excuses_schema.applicable_constraints(
+                        parent):
+                    if constraint.attribute == attribute:
+                        inherited.append(constraint)
+            if not inherited:
+                continue
+            if rng.random() < config.contradiction_prob:
+                size = rng.randint(1, len(deviant_symbols))
+                new_range = _enum(rng.sample(deviant_symbols, size))
+                contradicted = [
+                    c for c in inherited
+                    if not is_subtype(new_range, c.range, excuses_schema)
+                ]
+                covered = all(
+                    _covered_by_inherited_excuse(
+                        excuses_schema, parents, new_range, c.owner,
+                        attribute)
+                    for c in contradicted
+                )
+                if rng.random() < config.excuse_intent_prob:
+                    refs = tuple(
+                        ExcuseRef(c.owner, attribute)
+                        for c in {c.owner: c for c in contradicted}.values()
+                        if not _covered_by_inherited_excuse(
+                            excuses_schema, parents, new_range, c.owner,
+                            attribute)
+                    )
+                    attrs.append(AttributeDef(attribute, new_range, refs))
+                    intended.add((name, attribute))
+                else:
+                    attrs.append(AttributeDef(attribute, new_range))
+                    if covered:
+                        # An ancestor's excuse already admits this range,
+                        # so the "mistake" is semantically legal and
+                        # undetectable in principle; count it as intended.
+                        intended.add((name, attribute))
+                    else:
+                        accidental.add((name, attribute))
+                stripped.append(AttributeDef(attribute, new_range))
+            else:
+                # Proper specialization: a nonempty subset of the
+                # intersection of all inherited enumeration ranges (so it
+                # cannot contradict any incomparable ancestor constraint).
+                common = None
+                for constraint in inherited:
+                    if isinstance(constraint.range, EnumerationType):
+                        symbols = set(constraint.range.symbols)
+                        common = (symbols if common is None
+                                  else common & symbols)
+                if not common:
+                    continue  # no legal specialization exists; skip
+                symbols = sorted(common)
+                size = rng.randint(1, len(symbols))
+                new_range = _enum(rng.sample(symbols, size))
+                attrs.append(AttributeDef(attribute, new_range))
+                stripped.append(AttributeDef(attribute, new_range))
+
+        cdef = ClassDef(name, tuple(parents), tuple(attrs))
+        excuses_schema.add_class(cdef)
+        stripped_defs.append(ClassDef(name, tuple(parents),
+                                      tuple(stripped)))
+        names.append(name)
+
+    default_schema = Schema(stripped_defs)
+    return GeneratedHierarchy(
+        config=config,
+        excuses_schema=excuses_schema,
+        default_schema=default_schema,
+        attributes=attributes,
+        intended=intended,
+        accidental=accidental,
+    )

@@ -1,0 +1,61 @@
+"""Quakers, Republicans, and *dick* (Sections 4.1 and 5.1).
+
+Without excuses, an instance of both classes "cannot hold any opinion
+without contradicting some constraint"; with the mutual excuses the
+paper writes, a Quaker Republican may be ``'Hawk`` or ``'Dove`` -- "but
+not an 'Ostrich".
+"""
+
+from __future__ import annotations
+
+
+from repro.lang.loader import load_schema
+from repro.objects.store import CheckMode, ObjectStore
+from repro.schema.schema import Schema
+from repro.typesys.values import EnumSymbol
+
+QUAKER_CDL = """
+class Person with
+  name: String;
+  opinion: {'Hawk, 'Dove, 'Ostrich};
+end
+
+class Quaker is-a Person with
+  opinion: {'Dove} excuses opinion on Republican;
+end
+
+class Republican is-a Person with
+  opinion: {'Hawk} excuses opinion on Quaker;
+end
+"""
+
+QUAKER_CDL_NO_EXCUSES = """
+class Person with
+  name: String;
+  opinion: {'Hawk, 'Dove, 'Ostrich};
+end
+
+class Quaker is-a Person with
+  opinion: {'Dove};
+end
+
+class Republican is-a Person with
+  opinion: {'Hawk};
+end
+"""
+
+
+def build_quaker_schema(with_excuses: bool = True) -> Schema:
+    source = QUAKER_CDL if with_excuses else QUAKER_CDL_NO_EXCUSES
+    return load_schema(source)
+
+
+def create_dick(store: ObjectStore,
+                opinion: str = "Hawk") -> "Instance":
+    """Create *dick*, "who is both a Quaker and a Republican", with the
+    given opinion.  Created unchecked so candidate-semantics experiments
+    can judge the result themselves."""
+    dick = store.create("Quaker", check=CheckMode.NONE, name="dick",
+                        opinion=EnumSymbol(opinion))
+    store.classify(dick, "Republican", check=CheckMode.NONE)
+    return dick

@@ -1,0 +1,167 @@
+"""A second domain: the university registrar (Taxis's home turf, ref [1]).
+
+Not an example from the paper's text, but built from the same patterns to
+show the constructs carry to a fresh domain:
+
+* auditors are students who receive no grades
+  (``grade: None excuses grade on Enrollment``);
+* pass/fail enrollments contradict the letter-grade range;
+* visiting professors are faculty whose appointment is at another
+  institution (a record-typed exception to the department constraint);
+* emeritus professors teach no courses (``teaches: None``).
+
+``populate_university`` generates a seeded population exercising every
+path, mirroring :mod:`repro.scenarios.hospital`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang.loader import load_schema
+from repro.objects.store import CheckMode, ObjectStore
+from repro.schema.schema import Schema
+from repro.typesys.values import EnumSymbol
+
+UNIVERSITY_CDL = """
+-- A registrar's knowledge base, in the style of Taxis.
+
+class Department with
+  name: String;
+  budget: Integer;
+end
+
+class Course with
+  code: String;
+  credits: 1..6;
+  offeredBy: Department;
+end
+
+class Person with
+  name: String;
+  age: 16..99;
+end
+
+class Student is-a Person with
+  major: Department;
+  yearOfStudy: 1..8;
+end
+
+class Faculty is-a Person with
+  department: Department;
+  salary: Integer;
+end
+
+class Professor is-a Faculty with
+  tenured: Boolean;
+  teaches: Course;
+end
+
+class Emeritus_Professor is-a Professor with
+  teaches: None excuses teaches on Professor;
+end
+
+class Visiting_Professor is-a Professor with
+  department: None excuses department on Faculty;
+  homeInstitution: String;
+end
+
+class Enrollment with
+  student: Student;
+  course: Course;
+  grade: {'A, 'B, 'C, 'D, 'F};
+end
+
+class PassFail_Enrollment is-a Enrollment with
+  grade: {'Pass, 'Fail} excuses grade on Enrollment;
+end
+
+class Audit_Enrollment is-a Enrollment with
+  grade: None excuses grade on Enrollment;
+end
+"""
+
+
+def build_university_schema() -> Schema:
+    return load_schema(UNIVERSITY_CDL)
+
+
+@dataclass
+class UniversityPopulation:
+    store: ObjectStore
+    departments: List = field(default_factory=list)
+    courses: List = field(default_factory=list)
+    students: List = field(default_factory=list)
+    professors: List = field(default_factory=list)
+    enrollments: List = field(default_factory=list)
+    audits: List = field(default_factory=list)
+    pass_fail: List = field(default_factory=list)
+
+
+_GRADES = ("A", "B", "C", "D", "F")
+
+
+def populate_university(schema: Optional[Schema] = None,
+                        n_students: int = 50,
+                        n_courses: int = 8,
+                        audit_fraction: float = 0.1,
+                        pass_fail_fraction: float = 0.15,
+                        seed: int = 1982) -> UniversityPopulation:
+    """A seeded registrar database; every student holds one enrollment."""
+    if schema is None:
+        schema = build_university_schema()
+    rng = random.Random(seed)
+    store = ObjectStore(schema)
+    pop = UniversityPopulation(store=store)
+
+    for i in range(3):
+        pop.departments.append(store.create(
+            "Department", name=f"Dept{i}",
+            budget=rng.randint(10 ** 5, 10 ** 6)))
+    for i in range(max(n_courses, 1)):
+        pop.courses.append(store.create(
+            "Course", code=f"C{i:03}", credits=rng.randint(1, 6),
+            offeredBy=rng.choice(pop.departments)))
+    for i in range(4):
+        pop.professors.append(store.create(
+            "Professor", name=f"Prof{i}", age=rng.randint(30, 70),
+            department=rng.choice(pop.departments),
+            salary=rng.randint(60000, 150000),
+            tenured=rng.random() < 0.5,
+            teaches=rng.choice(pop.courses)))
+    store.create("Emeritus_Professor", name="Emeritus", age=80,
+                 department=rng.choice(pop.departments), salary=0,
+                 tenured=True)
+    visiting = store.create("Visiting_Professor", check=CheckMode.NONE,
+                            name="Visitor", age=45, salary=90000,
+                            tenured=False,
+                            teaches=rng.choice(pop.courses),
+                            homeInstitution="Elsewhere U")
+    pop.professors.append(visiting)
+
+    n_audit = int(n_students * audit_fraction)
+    n_pf = int(n_students * pass_fail_fraction)
+    for i in range(n_students):
+        student = store.create(
+            "Student", name=f"S{i}", age=rng.randint(17, 40),
+            major=rng.choice(pop.departments),
+            yearOfStudy=rng.randint(1, 8))
+        pop.students.append(student)
+        course = rng.choice(pop.courses)
+        if i < n_audit:
+            enrollment = store.create("Audit_Enrollment",
+                                      student=student, course=course)
+            pop.audits.append(enrollment)
+        elif i < n_audit + n_pf:
+            enrollment = store.create(
+                "PassFail_Enrollment", student=student, course=course,
+                grade=EnumSymbol(rng.choice(("Pass", "Fail"))))
+            pop.pass_fail.append(enrollment)
+        else:
+            enrollment = store.create(
+                "Enrollment", student=student, course=course,
+                grade=EnumSymbol(rng.choice(_GRADES)))
+        pop.enrollments.append(enrollment)
+    return pop

@@ -1,0 +1,44 @@
+"""Schema layer: classes, attributes, excuses, and the IS-A hierarchy.
+
+This package implements the paper's *descriptive* notion of class
+(Sections 2-3) plus the ``excuses`` construct (Section 5):
+
+* :class:`AttributeDef` -- an attribute with a range type and optional
+  ``excuses p on C`` clauses.
+* :class:`ExcuseRef` -- the ``(class, attribute)`` pair an excuse targets.
+* :class:`ClassDef` -- a named class with parents and attributes.
+* :class:`Schema` -- the registry: IS-A DAG, excuse registry, effective
+  constraints, and the class-to-type translation of Section 5.4.
+* :class:`SchemaValidator` (in :mod:`repro.schema.validation`) -- the
+  revised specialization rule of Section 5.1 and the error reporting the
+  *verifiability* desideratum demands.
+* :mod:`repro.schema.virtual` -- virtual classes created by embedded
+  (nested) excuses, Section 5.6.
+* :class:`SchemaBuilder` -- a fluent construction API.
+"""
+
+from repro.schema.attribute import AttributeDef, ExcuseRef
+from repro.schema.classdef import ClassDef
+from repro.schema.schema import Constraint, ExcuseEntry, Schema
+from repro.schema.builder import SchemaBuilder
+from repro.schema.validation import (
+    Diagnostic,
+    SchemaValidator,
+    UnsatisfiableAttributeWarning,
+)
+from repro.schema.virtual import VirtualClassFactory, embed
+
+__all__ = [
+    "AttributeDef",
+    "ClassDef",
+    "Constraint",
+    "Diagnostic",
+    "ExcuseEntry",
+    "ExcuseRef",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaValidator",
+    "UnsatisfiableAttributeWarning",
+    "VirtualClassFactory",
+    "embed",
+]

@@ -1,0 +1,75 @@
+"""Attribute definitions and excuse references.
+
+An attribute definition couples a name with a range type and, following
+Section 5.1, an optional list of *excuses*: ``(class, attribute)`` pairs
+whose constraints this definition explicitly contradicts.  The paper
+exploits "the fact that all parts of a class definition in an
+object-oriented language can be identified by a pair consisting of the
+name of the class and that of a property".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.typesys.core import Type
+
+
+@dataclass(frozen=True)
+class ExcuseRef:
+    """Identifies the constraint being excused: ``excuses attribute on class_name``."""
+
+    class_name: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"excuses {self.attribute} on {self.class_name}"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """One attribute of a class: ``name : range [excuses p on C ...]``.
+
+    Parameters
+    ----------
+    name:
+        The attribute name.
+    range:
+        The range type.  ``NONE`` states the attribute is *inapplicable*
+        to instances of the declaring class (Section 4.1's ``ward``).
+    excuses:
+        The constraints this definition contradicts and explicitly
+        excuses.  The excused attribute must be the one being defined --
+        an excuse attaches the declaring range as an *alternative* to the
+        excused constraint's conditional type, which only makes sense for
+        the same attribute.
+    doc:
+        Optional documentation string.
+    """
+
+    name: str
+    range: Type
+    excuses: Tuple[ExcuseRef, ...] = field(default_factory=tuple)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.excuses, tuple):
+            object.__setattr__(self, "excuses", tuple(self.excuses))
+        for ref in self.excuses:
+            if ref.attribute != self.name:
+                raise ValueError(
+                    f"attribute {self.name!r} may only excuse its own "
+                    f"attribute, not {ref.attribute!r} (on {ref.class_name!r})"
+                )
+
+    def with_excuses(self, *refs: ExcuseRef) -> "AttributeDef":
+        """A copy of this definition with additional excuse clauses."""
+        return AttributeDef(self.name, self.range,
+                            self.excuses + tuple(refs), self.doc)
+
+    def __str__(self) -> str:
+        text = f"{self.name}: {self.range}"
+        for ref in self.excuses:
+            text += f" {ref}"
+        return text

@@ -1,0 +1,139 @@
+"""Class definitions.
+
+A :class:`ClassDef` is the paper's *descriptive* unit (Section 2): a named
+collection of attribute constraints, organized under zero or more parents.
+The associated *type* is computed by the schema (Section 5.4) -- a class
+definition alone "does not provide a complete type for its elements until
+all excuses to constraints stated on [it] are also considered".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.schema.attribute import AttributeDef, ExcuseRef
+
+
+@dataclass(frozen=True)
+class VirtualOrigin:
+    """Where a virtual class (Section 5.6) was embedded.
+
+    ``owner_class`` and ``attribute`` identify the attribute whose values
+    form the virtual class's implicitly-maintained extent: e.g. ``H1`` has
+    origin ``(Tubercular_Patient, treatedAt)`` and ``A1`` has origin
+    ``(H1, location)``.
+    """
+
+    owner_class: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"values of {self.owner_class}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """A class definition: name, parents, attributes, and metadata.
+
+    Parameters
+    ----------
+    name:
+        The class identifier.
+    parents:
+        Direct superclasses (``is-a``).  More than one is allowed; the
+        hierarchy is a DAG, not a tree.
+    attributes:
+        The attribute definitions *declared on this class* (inherited
+        attributes are not repeated -- that is the point of inheritance).
+    virtual:
+        Whether this is a virtual class created by an embedded excuse
+        (Section 5.6).  Virtual classes are not named by users and their
+        extents are maintained implicitly.
+    origin:
+        For virtual classes, the embedding site.
+    class_properties:
+        Properties of the class *as an object* (Section 2e, classes as
+        instances of meta-classes): e.g. ``avgSalaryLimit``.  These are
+        not attributes of the instances.
+    doc:
+        Optional documentation string.
+    """
+
+    name: str
+    parents: Tuple[str, ...] = field(default_factory=tuple)
+    attributes: Tuple[AttributeDef, ...] = field(default_factory=tuple)
+    virtual: bool = False
+    origin: Optional[VirtualOrigin] = None
+    class_properties: Tuple[Tuple[str, object], ...] = field(
+        default_factory=tuple)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parents, tuple):
+            object.__setattr__(self, "parents", tuple(self.parents))
+        if isinstance(self.attributes, Mapping):
+            object.__setattr__(
+                self, "attributes",
+                tuple(self.attributes.values()))
+        elif not isinstance(self.attributes, tuple):
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+        if isinstance(self.class_properties, Mapping):
+            object.__setattr__(
+                self, "class_properties",
+                tuple(sorted(self.class_properties.items())))
+        seen = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise ValueError(
+                    f"class {self.name!r} declares attribute "
+                    f"{attr.name!r} twice")
+            seen.add(attr.name)
+        if self.virtual and self.origin is None:
+            raise ValueError(
+                f"virtual class {self.name!r} needs an origin")
+
+    def attribute_map(self) -> Dict[str, AttributeDef]:
+        return {a.name: a for a in self.attributes}
+
+    def attribute(self, name: str) -> Optional[AttributeDef]:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        return None
+
+    def declares(self, name: str) -> bool:
+        return self.attribute(name) is not None
+
+    def declared_excuses(self) -> Tuple[Tuple[str, ExcuseRef], ...]:
+        """All ``(attribute_name, excuse_ref)`` pairs declared here."""
+        return tuple(
+            (a.name, ref) for a in self.attributes for ref in a.excuses
+        )
+
+    def class_property(self, name: str):
+        for key, value in self.class_properties:
+            if key == name:
+                return value
+        return None
+
+    def with_attribute(self, attr: AttributeDef) -> "ClassDef":
+        """A copy with ``attr`` added or replaced."""
+        remaining = tuple(a for a in self.attributes if a.name != attr.name)
+        return ClassDef(self.name, self.parents, remaining + (attr,),
+                        self.virtual, self.origin, self.class_properties,
+                        self.doc)
+
+    def without_attribute(self, name: str) -> "ClassDef":
+        remaining = tuple(a for a in self.attributes if a.name != name)
+        return ClassDef(self.name, self.parents, remaining, self.virtual,
+                        self.origin, self.class_properties, self.doc)
+
+    def __str__(self) -> str:
+        head = f"class {self.name}"
+        if self.parents:
+            head += " is-a " + ", ".join(self.parents)
+        if not self.attributes:
+            return head + " with end"
+        body = ";\n  ".join(str(a) for a in self.attributes)
+        return f"{head} with\n  {body};\nend"

@@ -1,0 +1,87 @@
+"""Structural diff between two schemas.
+
+Schema evolution (Section 6) is easier to review as a delta: which
+classes appeared or vanished, which attributes changed range, which
+excuses were added or dropped.  The CLI's ``diff`` command prints this;
+:func:`diff_schemas` computes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.schema.schema import Schema
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """One atomic difference."""
+
+    kind: str          # class-added | class-removed | parents-changed |
+    #                    attribute-added | attribute-removed |
+    #                    range-changed | excuses-changed
+    class_name: str
+    attribute: str = ""
+    before: str = ""
+    after: str = ""
+
+    def __str__(self) -> str:
+        site = self.class_name
+        if self.attribute:
+            site += f".{self.attribute}"
+        if self.before or self.after:
+            return f"{self.kind} {site}: {self.before!r} -> {self.after!r}"
+        return f"{self.kind} {site}"
+
+
+def diff_schemas(old: Schema, new: Schema) -> List[SchemaChange]:
+    """All changes turning ``old`` into ``new`` (deterministic order)."""
+    changes: List[SchemaChange] = []
+    old_names = set(old.class_names())
+    new_names = set(new.class_names())
+
+    for name in sorted(new_names - old_names):
+        changes.append(SchemaChange("class-added", name))
+    for name in sorted(old_names - new_names):
+        changes.append(SchemaChange("class-removed", name))
+
+    for name in sorted(old_names & new_names):
+        before = old.get(name)
+        after = new.get(name)
+        if before.parents != after.parents:
+            changes.append(SchemaChange(
+                "parents-changed", name,
+                before=", ".join(before.parents),
+                after=", ".join(after.parents)))
+        old_attrs = before.attribute_map()
+        new_attrs = after.attribute_map()
+        for attr_name in sorted(set(new_attrs) - set(old_attrs)):
+            changes.append(SchemaChange(
+                "attribute-added", name, attr_name,
+                after=str(new_attrs[attr_name].range)))
+        for attr_name in sorted(set(old_attrs) - set(new_attrs)):
+            changes.append(SchemaChange(
+                "attribute-removed", name, attr_name,
+                before=str(old_attrs[attr_name].range)))
+        for attr_name in sorted(set(old_attrs) & set(new_attrs)):
+            old_attr = old_attrs[attr_name]
+            new_attr = new_attrs[attr_name]
+            if str(old_attr.range) != str(new_attr.range):
+                changes.append(SchemaChange(
+                    "range-changed", name, attr_name,
+                    before=str(old_attr.range),
+                    after=str(new_attr.range)))
+            if old_attr.excuses != new_attr.excuses:
+                changes.append(SchemaChange(
+                    "excuses-changed", name, attr_name,
+                    before="; ".join(str(e) for e in old_attr.excuses),
+                    after="; ".join(str(e) for e in new_attr.excuses)))
+    return changes
+
+
+def render_diff(old: Schema, new: Schema) -> str:
+    changes = diff_schemas(old, new)
+    if not changes:
+        return "schemas are identical"
+    return "\n".join(str(c) for c in changes)

@@ -1,0 +1,48 @@
+"""Schema evolution: change a class, see what breaks (Section 6).
+
+"A modification to some class definition is propagated to all its
+subclasses; this may result in unexcused contradictions being found by
+the compiler/environment, which the designer must address explicitly."
+
+``propagate_change`` applies a replacement definition and re-validates
+the affected region: the class itself, its descendants (their
+redefinitions are checked against the new constraints), and every class
+holding an excuse against it (the excuse may have become dangling or
+redundant).  The change is rolled back if ``dry_run`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.schema.classdef import ClassDef
+from repro.schema.schema import Schema
+from repro.schema.validation import Diagnostic, SchemaValidator
+
+
+def affected_classes(schema: Schema, name: str) -> Set[str]:
+    """Classes whose validity can depend on the definition of ``name``:
+    its descendants plus everyone excusing one of its constraints."""
+    affected = set(schema.descendants(name))
+    for cdef in schema.classes():
+        for _attr, ref in cdef.declared_excuses():
+            if ref.class_name == name:
+                affected.add(cdef.name)
+    return affected
+
+
+def propagate_change(schema: Schema, new_def: ClassDef,
+                     dry_run: bool = False) -> List[Diagnostic]:
+    """Replace a class definition and report diagnostics for the affected
+    region only (this locality is itself one of the paper's selling
+    points: no blind whole-schema search)."""
+    old = schema.replace_class(new_def)
+    try:
+        validator = SchemaValidator(schema)
+        diagnostics: List[Diagnostic] = []
+        for name in sorted(affected_classes(schema, new_def.name)):
+            diagnostics.extend(validator.validate_class(name))
+        return diagnostics
+    finally:
+        if dry_run:
+            schema.replace_class(old)

@@ -1,0 +1,243 @@
+"""Classes as objects: meta-classes (paper Section 2e).
+
+"It is often convenient to view classes as objects themselves, so that
+they can be organized into meta-classes, and be assigned attributes of
+their own.  For example, various subclasses such as Secretary, Professor,
+etc. might all be made instances (not subclasses!) of the meta-class
+Employee_Class, and each might have associated properties such as
+avgSalary (a property whose value might be obtained by summarizing over
+the extent of the class) and avgSalaryLimit (which records some policy
+constraint of the organization)."
+
+* :class:`MetaAttributeDef` -- a property of a class-as-object; either
+  *stored* (a policy value like ``avgSalaryLimit``) or a *summary*
+  computed over the class's extent (``avgSalary``).
+* :class:`MetaClass` -- a named bundle of such properties, optionally
+  with policy constraints relating them.
+* :class:`MetaClassRegistry` -- records which classes are instances of
+  which meta-classes (decidedly *not* IS-A) and evaluates properties and
+  policy checks against a live object store.
+
+Summary helpers (:func:`average_of`, :func:`count_of`, ...) build the
+common aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.typesys.core import Type
+from repro.typesys.values import INAPPLICABLE, type_contains
+
+#: A summary function: (store, class_name) -> value.
+Summarizer = Callable[[object, str], object]
+
+
+def _numeric_values(store, class_name: str, attribute: str):
+    for obj in store.extent(class_name):
+        value = obj.get_value(attribute)
+        if value is INAPPLICABLE or isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield value
+
+
+def average_of(attribute: str) -> Summarizer:
+    """Mean of a numeric attribute over the extent (None when empty)."""
+    def summarize(store, class_name: str):
+        values = list(_numeric_values(store, class_name, attribute))
+        if not values:
+            return None
+        return sum(values) / len(values)
+    return summarize
+
+
+def total_of(attribute: str) -> Summarizer:
+    def summarize(store, class_name: str):
+        return sum(_numeric_values(store, class_name, attribute))
+    return summarize
+
+
+def minimum_of(attribute: str) -> Summarizer:
+    def summarize(store, class_name: str):
+        values = list(_numeric_values(store, class_name, attribute))
+        return min(values) if values else None
+    return summarize
+
+
+def maximum_of(attribute: str) -> Summarizer:
+    def summarize(store, class_name: str):
+        values = list(_numeric_values(store, class_name, attribute))
+        return max(values) if values else None
+    return summarize
+
+
+def count_of() -> Summarizer:
+    """Extent cardinality (the paper's 'counting entities', Section 2c)."""
+    def summarize(store, class_name: str):
+        return store.count(class_name)
+    return summarize
+
+
+@dataclass(frozen=True)
+class MetaAttributeDef:
+    """One property of a class-as-object."""
+
+    name: str
+    range: Optional[Type] = None
+    summary: Optional[Summarizer] = None
+    doc: str = ""
+
+    @property
+    def is_summary(self) -> bool:
+        return self.summary is not None
+
+
+@dataclass(frozen=True)
+class PolicyConstraint:
+    """A constraint among a class-object's property values, e.g.
+    ``avgSalary <= avgSalaryLimit``."""
+
+    name: str
+    predicate: Callable[[Dict[str, object]], bool]
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class MetaClass:
+    """A meta-class: properties + policy constraints."""
+
+    name: str
+    attributes: Tuple[MetaAttributeDef, ...] = field(default_factory=tuple)
+    constraints: Tuple[PolicyConstraint, ...] = field(
+        default_factory=tuple)
+
+    def attribute(self, name: str) -> Optional[MetaAttributeDef]:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+
+@dataclass(frozen=True)
+class PolicyViolation:
+    """One failed policy constraint on one class-object."""
+
+    class_name: str
+    metaclass: str
+    constraint: str
+    values: Tuple[Tuple[str, object], ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.values)
+        return (f"class {self.class_name!r} violates "
+                f"{self.metaclass}.{self.constraint} ({rendered})")
+
+
+class MetaClassRegistry:
+    """Which classes are instances of which meta-classes."""
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+        self._metaclasses: Dict[str, MetaClass] = {}
+        # class name -> (metaclass name, stored property values)
+        self._instances: Dict[str, Tuple[str, Dict[str, object]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def define(self, metaclass: MetaClass) -> MetaClass:
+        if metaclass.name in self._metaclasses:
+            raise SchemaError(
+                f"meta-class {metaclass.name!r} already defined")
+        self._metaclasses[metaclass.name] = metaclass
+        return metaclass
+
+    def metaclass(self, name: str) -> MetaClass:
+        try:
+            return self._metaclasses[name]
+        except KeyError:
+            raise SchemaError(f"unknown meta-class {name!r}") from None
+
+    def classify_class(self, class_name: str, metaclass_name: str,
+                       **stored) -> None:
+        """Make ``class_name`` an instance (not a subclass!) of the
+        meta-class, supplying its stored property values."""
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        metaclass = self.metaclass(metaclass_name)
+        for key, value in stored.items():
+            attr = metaclass.attribute(key)
+            if attr is None:
+                raise SchemaError(
+                    f"meta-class {metaclass_name!r} has no property "
+                    f"{key!r}")
+            if attr.is_summary:
+                raise SchemaError(
+                    f"property {key!r} is a summary; it cannot be stored")
+            if attr.range is not None and not type_contains(
+                    attr.range, value, self.schema):
+                raise SchemaError(
+                    f"value {value!r} is outside the range of "
+                    f"{metaclass_name}.{key}")
+        self._instances[class_name] = (metaclass_name, dict(stored))
+
+    def metaclass_of(self, class_name: str) -> Optional[str]:
+        entry = self._instances.get(class_name)
+        return entry[0] if entry else None
+
+    def instances_of(self, metaclass_name: str) -> Tuple[str, ...]:
+        return tuple(sorted(
+            name for name, (m, _v) in self._instances.items()
+            if m == metaclass_name))
+
+    # ------------------------------------------------------------------
+
+    def property_value(self, class_name: str, prop: str, store=None):
+        """A class-object's property: stored value, or summary computed
+        over the extent in ``store``."""
+        entry = self._instances.get(class_name)
+        if entry is None:
+            raise SchemaError(
+                f"class {class_name!r} is not an instance of any "
+                "meta-class")
+        metaclass_name, stored = entry
+        attr = self.metaclass(metaclass_name).attribute(prop)
+        if attr is None:
+            raise SchemaError(
+                f"meta-class {metaclass_name!r} has no property {prop!r}")
+        if attr.is_summary:
+            if store is None:
+                raise SchemaError(
+                    f"summary property {prop!r} needs an object store")
+            return attr.summary(store, class_name)
+        return stored.get(prop, INAPPLICABLE)
+
+    def property_values(self, class_name: str, store=None
+                        ) -> Dict[str, object]:
+        entry = self._instances.get(class_name)
+        if entry is None:
+            raise SchemaError(
+                f"class {class_name!r} is not an instance of any "
+                "meta-class")
+        metaclass_name, _stored = entry
+        return {
+            attr.name: self.property_value(class_name, attr.name, store)
+            for attr in self.metaclass(metaclass_name).attributes
+        }
+
+    def check_policies(self, store) -> List[PolicyViolation]:
+        """Evaluate every policy constraint of every classified class."""
+        violations: List[PolicyViolation] = []
+        for class_name in sorted(self._instances):
+            metaclass_name, _stored = self._instances[class_name]
+            metaclass = self.metaclass(metaclass_name)
+            values = self.property_values(class_name, store)
+            for constraint in metaclass.constraints:
+                if not constraint.predicate(values):
+                    violations.append(PolicyViolation(
+                        class_name, metaclass_name, constraint.name,
+                        tuple(sorted(values.items(),
+                                     key=lambda kv: kv[0]))))
+        return violations

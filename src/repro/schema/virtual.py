@@ -1,0 +1,169 @@
+"""Virtual classes from embedded specifications (Section 5.6).
+
+The paper allows an attribute range to be refined *in line*::
+
+    class Tubercular_Patient is a Patient with
+      treatedAt: Hospital
+        [accreditation: None excuses accreditation on Hospital;
+         location: Address
+           [state: None excuses state on Address;
+            country: {'Switzerland}]]
+
+Each embedded specification "sets up a virtual class": the inner one
+becomes an (exceptional) subclass of ``Address`` the paper calls ``A1``,
+the outer one a subclass of ``Hospital`` called ``H1``, and
+``Tubercular_Patient.treatedAt`` is then *properly* specialized to ``H1``.
+The extent of a virtual class is maintained implicitly: ``H1`` contains
+exactly the values of ``treatedAt`` for Tubercular patients (the object
+store does this bookkeeping).
+
+This module provides:
+
+* :func:`embed` / :class:`Embedding` -- the programmatic counterpart of
+  the in-line syntax (the CDL parser produces the same structure);
+* :class:`VirtualClassFactory` -- realizes embeddings into virtual
+  :class:`~repro.schema.classdef.ClassDef` objects registered in the
+  schema, innermost first, and returns the class type of the outermost
+  one for use as the attribute's range.
+
+Virtual class names are generated (``Hospital$1``, ``Address$1``, ...);
+users never write them, matching the paper's goal of "avoiding the clutter
+of superfluous names".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.schema.attribute import AttributeDef, ExcuseRef
+from repro.schema.classdef import ClassDef, VirtualOrigin
+from repro.schema.schema import Schema
+from repro.typesys.core import ClassType, EnumerationType, Type
+
+
+@dataclass(frozen=True)
+class EmbeddedField:
+    """One field of an embedded specification."""
+
+    name: str
+    range: Union[Type, "Embedding"]
+    excuses: Tuple[ExcuseRef, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """An in-line refinement of class ``base`` with extra/overriding fields."""
+
+    base: str
+    fields: Tuple[EmbeddedField, ...] = field(default_factory=tuple)
+
+    def has_excuses(self) -> bool:
+        """Whether any field (recursively) carries an excuse."""
+        for f in self.fields:
+            if f.excuses:
+                return True
+            if isinstance(f.range, Embedding) and f.range.has_excuses():
+                return True
+        return False
+
+
+def embed(base: str, **fields) -> Embedding:
+    """Build an :class:`Embedding` conveniently.
+
+    Each keyword value may be:
+
+    * a :class:`~repro.typesys.core.Type` or an :class:`Embedding`
+      (no excuses),
+    * a ``set`` of strings (sugar for an enumeration type), or
+    * a tuple ``(range, excuse_targets)`` where ``excuse_targets`` is an
+      iterable of class names (the excused attribute is the field itself).
+
+    Example (the paper's Tubercular patients)::
+
+        embed("Hospital",
+              accreditation=(NONE, ["Hospital"]),
+              location=embed("Address",
+                             state=(NONE, ["Address"]),
+                             country={"Switzerland"}))
+    """
+    out: List[EmbeddedField] = []
+    for name, value in fields.items():
+        excuses: Tuple[ExcuseRef, ...] = ()
+        if isinstance(value, tuple):
+            if len(value) == 2 and all(isinstance(v, int) for v in value):
+                pass  # an integer-range shorthand, handled below
+            else:
+                value, targets = value
+                excuses = tuple(ExcuseRef(t, name) for t in targets)
+        out.append(EmbeddedField(name, _coerce(value), excuses))
+    return Embedding(base, tuple(out))
+
+
+def _coerce(value) -> Union[Type, Embedding]:
+    """The builder's range shorthands, minus class-name strings (inside an
+    embedding a string would be ambiguous between class and primitive, so
+    only exact primitive names are accepted -- use ClassType otherwise)."""
+    from repro.typesys.core import (
+        PRIMITIVES,
+        IntRangeType,
+        RecordType,
+    )
+    if isinstance(value, (Type, Embedding)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return EnumerationType(value)
+    if isinstance(value, tuple) and len(value) == 2 and all(
+            isinstance(v, int) for v in value):
+        return IntRangeType(*value)
+    if isinstance(value, str):
+        return PRIMITIVES.get(value, ClassType(value))
+    if isinstance(value, dict):
+        return RecordType({k: _coerce(v) for k, v in value.items()})
+    raise TypeError(f"cannot interpret {value!r} as an embedded range")
+
+
+class VirtualClassFactory:
+    """Realizes embeddings into virtual classes registered in a schema.
+
+    Names are ``<Base>$<n>`` with ``n`` counting embeddings of the same
+    base, deterministically in realization order.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._counters: Dict[str, int] = {}
+
+    def realize(self, owner_class: str, attribute: str,
+                embedding: Embedding) -> ClassType:
+        """Create the virtual class(es) for ``embedding`` appearing as the
+        range of ``(owner_class, attribute)`` and return the outermost
+        virtual class's type."""
+        name = self._fresh_name(embedding.base)
+        attrs: List[AttributeDef] = []
+        for f in embedding.fields:
+            frange = f.range
+            if isinstance(frange, Embedding):
+                # Inner embeddings are owned by the virtual class itself
+                # (A1's origin is (H1, location)).
+                frange = self.realize(name, f.name, frange)
+            attrs.append(AttributeDef(f.name, frange, f.excuses))
+        cdef = ClassDef(
+            name,
+            parents=(embedding.base,),
+            attributes=tuple(attrs),
+            virtual=True,
+            origin=VirtualOrigin(owner_class, attribute),
+            doc=(f"virtual class for the embedded refinement of "
+                 f"{embedding.base} at {owner_class}.{attribute}"),
+        )
+        self.schema.add_class(cdef)
+        return ClassType(name)
+
+    def _fresh_name(self, base: str) -> str:
+        while True:
+            n = self._counters.get(base, 0) + 1
+            self._counters[base] = n
+            candidate = f"{base}${n}"
+            if not self.schema.has_class(candidate):
+                return candidate

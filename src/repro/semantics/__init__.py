@@ -1,0 +1,48 @@
+"""Semantics of class definitions with excuses (paper Section 5.2).
+
+Given the abstract declarations::
+
+    class B with p : R ;
+    class E with p : S excuses p on B ;
+
+the paper considers four candidate meanings for the constraint on
+instances of ``B`` and settles on the last:
+
+1. **Broadened range** -- ``IF x in B THEN x.p in R or x.p in S``.
+   Inadequate: it "permits even non-alcoholic patients to be treated by
+   psychologists".
+2. **Membership waiver** -- ``IF x in B THEN x.p in R or x in E``.
+   Inadequate: *dagwood*, a Quaker Republican, "would be allowed to have
+   even opinion 'Ostrich, because neither assertion would place a
+   condition on his opinion".
+3. **Exact partition** -- ``IF x in B THEN (x not in E and x.p in R) or
+   (x in E and x.p in S)``.  Overly restrictive: "each class points a
+   finger at the other, insisting that the other's condition must hold".
+4. **The correct definition** -- ``IF x in B THEN x.p in R or
+   (x in E and x.p in S)``.
+
+All four are implemented as interchangeable :class:`ConstraintSemantics`
+strategies so the paper's litmus cases can be *executed* (benchmark E9);
+the library everywhere else uses :class:`ExcuseSemantics` (the fourth).
+"""
+
+from repro.semantics.candidates import (
+    BroadenedRangeSemantics,
+    ConstraintSemantics,
+    ExactPartitionSemantics,
+    ExcuseSemantics,
+    MembershipWaiverSemantics,
+    ALL_SEMANTICS,
+)
+from repro.semantics.checker import ConformanceChecker, Violation
+
+__all__ = [
+    "ALL_SEMANTICS",
+    "BroadenedRangeSemantics",
+    "ConformanceChecker",
+    "ConstraintSemantics",
+    "ExactPartitionSemantics",
+    "ExcuseSemantics",
+    "MembershipWaiverSemantics",
+    "Violation",
+]

@@ -1,0 +1,176 @@
+"""The four candidate constraint semantics of Section 5.2.
+
+Each strategy answers one question: *does entity* ``x`` *satisfy the
+constraint* ``(B, p, R)`` *given the excuses registered against it?*
+The strategies differ only in how the excuse disjunct is interpreted, and
+each can render the rule it enforces in the paper's IF/THEN notation
+(used by benchmark E9's output and by error messages).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.schema.schema import Constraint, ExcuseEntry, Schema
+from repro.typesys.values import entity_is_member, type_contains
+
+
+class ConstraintSemantics:
+    """Strategy interface: one constraint, one entity, a verdict."""
+
+    #: Short identifier used in reports.
+    name = "abstract"
+    #: Section 5.2 ordinal (1-4).
+    ordinal = 0
+
+    def satisfies(self, schema: Schema, entity, value,
+                  constraint: Constraint,
+                  excuses: Tuple[ExcuseEntry, ...]) -> bool:
+        raise NotImplementedError
+
+    def render_rule(self, constraint: Constraint,
+                    excuses: Tuple[ExcuseEntry, ...]) -> str:
+        """The enforced rule in the paper's notation."""
+        raise NotImplementedError
+
+    # Shared helpers -----------------------------------------------------
+
+    @staticmethod
+    def _in_range(schema: Schema, entity, value, range_type) -> bool:
+        return type_contains(range_type, value, schema, owner=entity)
+
+    @staticmethod
+    def _member(schema: Schema, entity, class_name: str) -> bool:
+        return entity_is_member(entity, class_name, schema)
+
+    @staticmethod
+    def _head(constraint: Constraint) -> str:
+        return f"IF x in {constraint.owner} THEN "
+
+
+class BroadenedRangeSemantics(ConstraintSemantics):
+    """Candidate 1: simply broaden the allowed range.
+
+    ``IF x in B THEN x.p in R or x.p in S`` -- ignores who ``x`` is, so
+    "even non-alcoholic patients [may] be treated by psychologists".
+    """
+
+    name = "broadened-range"
+    ordinal = 1
+
+    def satisfies(self, schema, entity, value, constraint, excuses):
+        if self._in_range(schema, entity, value, constraint.range):
+            return True
+        return any(
+            self._in_range(schema, entity, value, e.range) for e in excuses
+        )
+
+    def render_rule(self, constraint, excuses):
+        parts = [f"x.{constraint.attribute} in {constraint.range}"]
+        parts.extend(
+            f"x.{constraint.attribute} in {e.range}" for e in excuses)
+        return self._head(constraint) + " OR ".join(parts)
+
+
+class MembershipWaiverSemantics(ConstraintSemantics):
+    """Candidate 2: membership in an excusing class waives the constraint.
+
+    ``IF x in B THEN x.p in R or x in E`` -- lets *dagwood* (Quaker and
+    Republican) hold opinion ``'Ostrich``: each membership waives the
+    other class's constraint and nothing constrains the value at all.
+    """
+
+    name = "membership-waiver"
+    ordinal = 2
+
+    def satisfies(self, schema, entity, value, constraint, excuses):
+        if self._in_range(schema, entity, value, constraint.range):
+            return True
+        return any(
+            self._member(schema, entity, e.excusing_class) for e in excuses
+        )
+
+    def render_rule(self, constraint, excuses):
+        parts = [f"x.{constraint.attribute} in {constraint.range}"]
+        parts.extend(f"x in {e.excusing_class}" for e in excuses)
+        return self._head(constraint) + " OR ".join(parts)
+
+
+class ExactPartitionSemantics(ConstraintSemantics):
+    """Candidate 3: the excusing condition holds *exactly* on members.
+
+    ``IF x in B THEN (x not in E and x.p in R) or (x in E and x.p in S)``
+    -- overly restrictive: with the mutual Quaker/Republican excuses
+    "each class points a finger at the other", leaving *dick* no legal
+    opinion at all.
+
+    With several excuses the normal branch requires ``x`` to be outside
+    every excusing class, and each excuse branch requires membership plus
+    its excusing range.
+    """
+
+    name = "exact-partition"
+    ordinal = 3
+
+    def satisfies(self, schema, entity, value, constraint, excuses):
+        in_any_excusing = False
+        for e in excuses:
+            if self._member(schema, entity, e.excusing_class):
+                in_any_excusing = True
+                if self._in_range(schema, entity, value, e.range):
+                    return True
+        if in_any_excusing:
+            return False
+        return self._in_range(schema, entity, value, constraint.range)
+
+    def render_rule(self, constraint, excuses):
+        p = constraint.attribute
+        normal_guards = " AND ".join(
+            f"x not in {e.excusing_class}" for e in excuses)
+        parts = [f"({normal_guards} AND x.{p} in {constraint.range})"]
+        parts.extend(
+            f"(x in {e.excusing_class} AND x.{p} in {e.range})"
+            for e in excuses)
+        return self._head(constraint) + " OR ".join(parts)
+
+
+class ExcuseSemantics(ConstraintSemantics):
+    """Candidate 4 -- the paper's (correct) definition.
+
+    ``IF x in B THEN x.p in R OR (x in E AND x.p in S)``
+
+    "Each instance of a class must obey each attribute definition
+    appearing on the class (or inherited) unless the instance also
+    belongs to some class which explicitly excuses the condition in
+    question, in which case either the original condition or the excusing
+    attribute specification must hold."
+    """
+
+    name = "excuse"
+    ordinal = 4
+
+    def satisfies(self, schema, entity, value, constraint, excuses):
+        if self._in_range(schema, entity, value, constraint.range):
+            return True
+        return any(
+            self._member(schema, entity, e.excusing_class)
+            and self._in_range(schema, entity, value, e.range)
+            for e in excuses
+        )
+
+    def render_rule(self, constraint, excuses):
+        p = constraint.attribute
+        parts = [f"x.{p} in {constraint.range}"]
+        parts.extend(
+            f"(x in {e.excusing_class} AND x.{p} in {e.range})"
+            for e in excuses)
+        return self._head(constraint) + " OR ".join(parts)
+
+
+#: All four candidates in the paper's order of presentation.
+ALL_SEMANTICS: Tuple[ConstraintSemantics, ...] = (
+    BroadenedRangeSemantics(),
+    MembershipWaiverSemantics(),
+    ExactPartitionSemantics(),
+    ExcuseSemantics(),
+)

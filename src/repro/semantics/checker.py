@@ -1,0 +1,162 @@
+"""Conformance checking: does an entity satisfy its classes' constraints?
+
+The checker applies a :class:`~repro.semantics.candidates.ConstraintSemantics`
+(by default the paper's final one) to *every* constraint the entity is
+subject to: for each class ``C`` the entity belongs to and each attribute
+``p`` declared on ``C``, the rule for ``(C, p)`` -- relaxed by all excuses
+registered against that pair -- must hold.  This is Section 5.1's rule for
+objects belonging to several classes.
+
+The checker also reports *applicability* errors: a value stored under an
+attribute name that no membership class declares ("supervisor is not
+applicable to arbitrary persons, only to employees").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.schema.schema import Constraint, Schema
+from repro.semantics.candidates import ConstraintSemantics, ExcuseSemantics
+from repro.typesys.values import INAPPLICABLE, value_repr
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed constraint on one entity."""
+
+    kind: str  # "constraint" | "inapplicable-attribute" | "missing-value"
+    class_name: str
+    attribute: str
+    value: object
+    rule: str = ""
+
+    def __str__(self) -> str:
+        if self.kind == "inapplicable-attribute":
+            return (f"attribute {self.attribute!r} is not applicable "
+                    f"(no membership class declares it); value "
+                    f"{value_repr(self.value)}")
+        if self.kind == "missing-value":
+            return (f"attribute {self.attribute!r} required by "
+                    f"{self.class_name!r} has no value")
+        return (f"value {value_repr(self.value)} violates "
+                f"({self.class_name!r}, {self.attribute!r}); rule: "
+                f"{self.rule}")
+
+
+class ConformanceChecker:
+    """Checks entities against a schema under a chosen semantics.
+
+    Parameters
+    ----------
+    schema:
+        The schema supplying constraints and the excuse registry.
+    semantics:
+        The constraint semantics (default: the paper's final definition).
+    require_values:
+        When True, an attribute declared with a range that does not admit
+        :data:`INAPPLICABLE` must have a value (strict database mode);
+        when False missing values are ignored (useful while populating).
+    """
+
+    def __init__(self, schema: Schema,
+                 semantics: Optional[ConstraintSemantics] = None,
+                 require_values: bool = False) -> None:
+        self.schema = schema
+        self.semantics = semantics or ExcuseSemantics()
+        self.require_values = require_values
+
+    # ------------------------------------------------------------------
+
+    def expanded_memberships(self, entity) -> Set[str]:
+        """All classes the entity belongs to, closed under IS-A."""
+        out: Set[str] = set()
+        for m in entity.memberships:
+            out.update(self.schema.ancestors(m))
+        return out
+
+    def applicable_attribute_names(self, entity) -> Set[str]:
+        names: Set[str] = set()
+        for class_name in self.expanded_memberships(entity):
+            names.update(
+                a.name for a in self.schema.get(class_name).attributes)
+        return names
+
+    def check(self, entity) -> List[Violation]:
+        """All violations for one entity (empty list = conformant)."""
+        violations: List[Violation] = []
+        memberships = self.expanded_memberships(entity)
+        applicable = set()
+
+        for class_name in sorted(memberships):
+            cdef = self.schema.get(class_name)
+            for attr in cdef.attributes:
+                applicable.add(attr.name)
+                value = entity.get_value(attr.name)
+                if value is INAPPLICABLE and not self.require_values:
+                    # Unset attribute: nothing to check yet (unless the
+                    # declared range itself speaks about applicability, in
+                    # which case INAPPLICABLE is a real value and must be
+                    # checked -- handled below by admits_inapplicable).
+                    if not _range_mentions_none(attr.range):
+                        continue
+                constraint = Constraint(class_name, attr.name, attr.range)
+                excuses = self.schema.excuses_against(class_name, attr.name)
+                if value is INAPPLICABLE and self.require_values:
+                    satisfied = self.semantics.satisfies(
+                        self.schema, entity, value, constraint, excuses)
+                    if not satisfied:
+                        violations.append(Violation(
+                            "missing-value", class_name, attr.name, value))
+                    continue
+                if not self.semantics.satisfies(
+                        self.schema, entity, value, constraint, excuses):
+                    violations.append(Violation(
+                        "constraint", class_name, attr.name, value,
+                        self.semantics.render_rule(constraint, excuses)))
+
+        for name in sorted(set(entity.value_names()) - applicable):
+            value = entity.get_value(name)
+            if value is INAPPLICABLE:
+                continue
+            violations.append(Violation(
+                "inapplicable-attribute", "?", name, value))
+        return violations
+
+    def conforms(self, entity) -> bool:
+        return not self.check(entity)
+
+    def check_attribute(self, entity, attribute: str,
+                        value) -> List[Violation]:
+        """Violations that *would* arise from setting ``attribute`` to
+        ``value`` on ``entity`` (used by the store for eager checking)."""
+        violations: List[Violation] = []
+        memberships = self.expanded_memberships(entity)
+        declared_anywhere = False
+        for class_name in sorted(memberships):
+            attr = self.schema.get(class_name).attribute(attribute)
+            if attr is None:
+                continue
+            declared_anywhere = True
+            constraint = Constraint(class_name, attribute, attr.range)
+            excuses = self.schema.excuses_against(class_name, attribute)
+            if not self.semantics.satisfies(
+                    self.schema, entity, value, constraint, excuses):
+                violations.append(Violation(
+                    "constraint", class_name, attribute, value,
+                    self.semantics.render_rule(constraint, excuses)))
+        if not declared_anywhere:
+            violations.append(Violation(
+                "inapplicable-attribute", "?", attribute, value))
+        return violations
+
+
+def _range_mentions_none(range_type) -> bool:
+    from repro.typesys.core import ConditionalType, NoneType
+    if isinstance(range_type, NoneType):
+        return True
+    if isinstance(range_type, ConditionalType):
+        return _range_mentions_none(range_type.base) or any(
+            _range_mentions_none(a.type) for a in range_type.alternatives)
+    return False

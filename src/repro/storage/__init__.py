@@ -1,0 +1,45 @@
+"""Storage: semantic grouping, horizontal partitioning, pruned search.
+
+Section 5.5 of the paper, built on three pieces:
+
+* :mod:`repro.storage.records` -- fixed *record formats* derived from
+  class definitions ("logical records which have as fields the attributes
+  defined on some class -- the so called 'semantic grouping' of Daplex"),
+  with a binary row codec;
+* :mod:`repro.storage.files` -- slotted logical files of encoded rows;
+* :mod:`repro.storage.engine` -- the engine: each object lives in the
+  *partition* identified by its direct class memberships, so exceptional
+  subclasses whose attributes have structurally incompatible types
+  ("INTEGER vs ENTITY vs String vs various enumerations") get "a logical
+  file with a distinct record format" (horizontal partitioning).  As the
+  paper notes, "it is no longer possible to associate with every
+  attribute a single table where all its values are stored" -- but "the
+  type deduction algorithm can then help reduce the run-time search for
+  the file where some particular object's attribute value is located":
+  :meth:`StorageEngine.scan_attribute` with ``prune=True`` consults the
+  schema to skip partitions that cannot hold instances of the queried
+  class (benchmark E7 measures the saving).
+
+Surrogate-valued attributes never force partitioning ("entities are
+assigned internal identifiers (surrogates) by the system and these do not
+normally vary structurally from class to class").
+"""
+
+from repro.storage.records import (
+    FieldCodec,
+    FieldSpec,
+    RecordFormat,
+    format_for_classes,
+)
+from repro.storage.files import LogicalFile
+from repro.storage.engine import PartitionInfo, StorageEngine
+
+__all__ = [
+    "FieldCodec",
+    "FieldSpec",
+    "LogicalFile",
+    "PartitionInfo",
+    "RecordFormat",
+    "StorageEngine",
+    "format_for_classes",
+]

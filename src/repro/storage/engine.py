@@ -1,0 +1,260 @@
+"""The storage engine: partitions, the surrogate directory, pruned scans.
+
+An object's **partition** is identified by its direct class memberships
+(sorted tuple).  All objects with the same membership signature share one
+:class:`~repro.storage.files.LogicalFile` and one
+:class:`~repro.storage.records.RecordFormat`; exceptional subclasses thus
+land in files with distinct formats -- the paper's horizontal
+partitioning.  A directory maps each surrogate to ``(partition, rowid)``.
+
+Two access paths matter for benchmark E7:
+
+* :meth:`fetch` -- point lookup through the directory (always cheap);
+* :meth:`scan_attribute` -- "the value of attribute ``a`` for every
+  instance of class ``C``".  Without pruning every partition file is
+  scanned and rows filtered by membership; with pruning the schema's type
+  information eliminates partitions whose signature contains no subclass
+  of ``C`` (and, further, partitions whose format lacks the attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import NoSuchObjectError, StorageError, UnknownClassError
+from repro.objects.instance import Instance
+from repro.objects.surrogate import Surrogate
+from repro.schema.schema import Schema
+from repro.storage.files import LogicalFile
+from repro.storage.index import AttributeIndex
+from repro.storage.records import RecordFormat, format_for_classes
+from repro.typesys.values import INAPPLICABLE
+
+PartitionKey = Tuple[str, ...]
+
+
+@dataclass
+class PartitionInfo:
+    """One horizontal partition: signature, format, file."""
+
+    key: PartitionKey
+    format: RecordFormat
+    file: LogicalFile
+
+    def __str__(self) -> str:
+        return f"{'+'.join(self.key)} {self.format} [{len(self.file)} rows]"
+
+
+@dataclass
+class ScanStats:
+    """How much work a scan did (pruning makes these smaller)."""
+
+    partitions_considered: int = 0
+    partitions_scanned: int = 0
+    rows_read: int = 0
+    rows_matched: int = 0
+
+
+class StorageEngine:
+    """Persists instances of one schema into partitioned record files."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._partitions: Dict[PartitionKey, PartitionInfo] = {}
+        self._directory: Dict[Surrogate, Tuple[PartitionKey, int]] = {}
+        self._reverse: Dict[Tuple[PartitionKey, int], Surrogate] = {}
+        self._indexes: Dict[Tuple[str, str], AttributeIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def partition_for(self, memberships: Tuple[str, ...]) -> PartitionInfo:
+        key: PartitionKey = tuple(sorted(memberships))
+        if not key:
+            raise StorageError("an object needs at least one class")
+        info = self._partitions.get(key)
+        if info is None:
+            fmt = format_for_classes(self.schema, key)
+            info = PartitionInfo(key, fmt, LogicalFile("+".join(key)))
+            self._partitions[key] = info
+        return info
+
+    def store_instance(self, obj: Instance) -> None:
+        """Insert or update one object (entity values stored as
+        surrogates)."""
+        info = self.partition_for(tuple(obj.memberships))
+        values = {}
+        for name in obj.value_names():
+            value = obj.get_value(name)
+            surrogate = getattr(value, "surrogate", None)
+            values[name] = surrogate if surrogate is not None else value
+        row = info.format.encode_row(values)
+        existing = self._directory.get(obj.surrogate)
+        if existing is not None:
+            old_key, old_rowid = existing
+            if old_key == info.key:
+                info.file.update(old_rowid, row)
+                self._update_indexes(obj.surrogate, info.key, values)
+                return
+            self._partitions[old_key].file.delete(old_rowid)
+            del self._reverse[existing]
+        rowid = info.file.append(row)
+        self._directory[obj.surrogate] = (info.key, rowid)
+        self._reverse[(info.key, rowid)] = obj.surrogate
+        self._update_indexes(obj.surrogate, info.key, values)
+
+    def store_all(self, objects) -> int:
+        count = 0
+        for obj in objects:
+            self.store_instance(obj)
+            count += 1
+        return count
+
+    def delete(self, surrogate: Surrogate) -> None:
+        entry = self._directory.pop(surrogate, None)
+        if entry is None:
+            raise NoSuchObjectError(str(surrogate))
+        key, rowid = entry
+        self._partitions[key].file.delete(rowid)
+        del self._reverse[entry]
+        for index in self._indexes.values():
+            index.remove(surrogate)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def fetch(self, surrogate: Surrogate) -> Dict[str, object]:
+        """Point lookup: all stored values of one object."""
+        entry = self._directory.get(surrogate)
+        if entry is None:
+            raise NoSuchObjectError(str(surrogate))
+        key, rowid = entry
+        info = self._partitions[key]
+        return info.format.decode_row(info.file.read(rowid))
+
+    def fetch_attribute(self, surrogate: Surrogate, attribute: str):
+        return self.fetch(surrogate).get(attribute, INAPPLICABLE)
+
+    def memberships_of(self, surrogate: Surrogate) -> PartitionKey:
+        entry = self._directory.get(surrogate)
+        if entry is None:
+            raise NoSuchObjectError(str(surrogate))
+        return entry[0]
+
+    def scan_attribute(self, class_name: str, attribute: str,
+                       prune: bool = True,
+                       stats: Optional[ScanStats] = None
+                       ) -> Iterator[Tuple[Surrogate, object]]:
+        """Yield ``(surrogate, value)`` of ``attribute`` for every stored
+        instance of ``class_name``.
+
+        With ``prune=True`` the schema's type information skips partitions
+        that cannot contain instances of ``class_name`` or whose format
+        has no such field; with ``prune=False`` every partition is scanned
+        and each row's membership tested (the no-type-deduction baseline).
+        """
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        if stats is None:
+            stats = ScanStats()
+        reverse = self._reverse
+        for key, info in sorted(self._partitions.items()):
+            stats.partitions_considered += 1
+            relevant = any(
+                self.schema.is_subclass(m, class_name) for m in key)
+            if prune:
+                if not relevant:
+                    continue
+                if not info.format.has_field(attribute):
+                    continue
+            stats.partitions_scanned += 1
+            for rowid, row in info.file.scan():
+                stats.rows_read += 1
+                if not relevant:
+                    continue  # unpruned scan read the row for nothing
+                values = info.format.decode_row(row)
+                surrogate = reverse.get((key, rowid))
+                if surrogate is None:
+                    continue
+                value = values.get(attribute, INAPPLICABLE)
+                if value is INAPPLICABLE:
+                    # The attribute does not apply (or is unset) here;
+                    # both scan modes yield only applicable values.
+                    continue
+                stats.rows_matched += 1
+                yield surrogate, value
+
+    # ------------------------------------------------------------------
+    # Indexes (access structures, Section 5.5 / ref [9])
+    # ------------------------------------------------------------------
+
+    def create_index(self, class_name: str,
+                     attribute: str) -> AttributeIndex:
+        """Build (or return) a hash index on ``(class_name, attribute)``,
+        populated from the current partitions and kept current by the
+        engine on every insert/update/delete."""
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        key = (class_name, attribute)
+        existing = self._indexes.get(key)
+        if existing is not None:
+            return existing
+        index = AttributeIndex(class_name, attribute)
+        for surrogate, value in self.scan_attribute(class_name,
+                                                    attribute):
+            index.insert(surrogate, value)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        self._indexes.pop((class_name, attribute), None)
+
+    def _update_indexes(self, surrogate: Surrogate, key: PartitionKey,
+                        values: Dict[str, object]) -> None:
+        for (class_name, attribute), index in self._indexes.items():
+            if any(self.schema.is_subclass(m, class_name) for m in key):
+                index.insert(surrogate,
+                             values.get(attribute, INAPPLICABLE))
+            else:
+                index.remove(surrogate)
+
+    def find(self, class_name: str, attribute: str, value,
+             stats: Optional[ScanStats] = None
+             ) -> Tuple[Surrogate, ...]:
+        """Equality lookup: the surrogates of ``class_name`` instances
+        whose ``attribute`` equals ``value``.  Uses a registered index
+        when one exists, otherwise a pruned scan."""
+        index = self._indexes.get((class_name, attribute))
+        if index is not None:
+            return index.lookup(value)
+        return tuple(sorted(
+            surrogate
+            for surrogate, stored in self.scan_attribute(
+                class_name, attribute, prune=True, stats=stats)
+            if stored == value
+        ))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def partitions(self) -> List[PartitionInfo]:
+        return [self._partitions[k] for k in sorted(self._partitions)]
+
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    def total_rows(self) -> int:
+        return len(self._directory)
+
+    def total_bytes(self) -> int:
+        return sum(p.file.byte_size for p in self._partitions.values())
+
+    def describe(self) -> str:
+        lines = [f"{self.partition_count()} partitions, "
+                 f"{self.total_rows()} rows, {self.total_bytes()} bytes"]
+        lines.extend(str(p) for p in self.partitions())
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Slotted logical files of encoded rows.
+
+One :class:`LogicalFile` per partition: append-only byte rows addressed by
+row id, with tombstoning for deletes and an iterator for scans.  This is
+deliberately simple -- the experiments measure *which files are searched*
+(partition pruning), not disk layout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+class LogicalFile:
+    """An append-only sequence of byte rows with deletion."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rows: List[Optional[bytes]] = []
+        self._live = 0
+
+    def append(self, row: bytes) -> int:
+        """Store a row, returning its row id."""
+        self._rows.append(row)
+        self._live += 1
+        return len(self._rows) - 1
+
+    def read(self, rowid: int) -> bytes:
+        try:
+            row = self._rows[rowid]
+        except IndexError:
+            raise StorageError(
+                f"file {self.name!r}: no row {rowid}") from None
+        if row is None:
+            raise StorageError(f"file {self.name!r}: row {rowid} deleted")
+        return row
+
+    def update(self, rowid: int, row: bytes) -> None:
+        self.read(rowid)  # existence check
+        self._rows[rowid] = row
+
+    def delete(self, rowid: int) -> None:
+        self.read(rowid)  # existence check
+        self._rows[rowid] = None
+        self._live -= 1
+
+    def scan(self) -> Iterator[Tuple[int, bytes]]:
+        """All live rows as ``(rowid, bytes)``."""
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                yield rowid, row
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def byte_size(self) -> int:
+        return sum(len(r) for r in self._rows if r is not None)
+
+    def __repr__(self) -> str:
+        return f"<LogicalFile {self.name!r}: {self._live} rows>"

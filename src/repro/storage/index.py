@@ -1,0 +1,68 @@
+"""Attribute indexes -- the access structures of Section 5.5.
+
+The paper's storage discussion builds on "Storage and Access structures
+to Support a Semantic Data Model" (Chan et al., ref [9]): semantic
+grouping plus per-attribute access paths.  An :class:`AttributeIndex`
+is a hash index over the values of one attribute for one class; the
+engine keeps registered indexes current on every insert/update/delete
+and uses them for equality lookups (:meth:`StorageEngine.find`).
+
+Because of horizontal partitioning one attribute's values may live in
+several files; the index is built partition-aware (only partitions whose
+signature can hold instances of the indexed class are scanned, using the
+same type-deduction pruning as scans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.objects.surrogate import Surrogate
+from repro.typesys.values import INAPPLICABLE
+
+
+class AttributeIndex:
+    """Hash index: attribute value -> set of surrogates."""
+
+    def __init__(self, class_name: str, attribute: str) -> None:
+        self.class_name = class_name
+        self.attribute = attribute
+        self._buckets: Dict[object, Set[Surrogate]] = {}
+        self._entries: Dict[Surrogate, object] = {}
+
+    # Maintenance ---------------------------------------------------------
+
+    def insert(self, surrogate: Surrogate, value) -> None:
+        self.remove(surrogate)
+        if value is INAPPLICABLE:
+            return
+        self._buckets.setdefault(value, set()).add(surrogate)
+        self._entries[surrogate] = value
+
+    def remove(self, surrogate: Surrogate) -> None:
+        old = self._entries.pop(surrogate, None)
+        if old is not None:
+            bucket = self._buckets.get(old)
+            if bucket is not None:
+                bucket.discard(surrogate)
+                if not bucket:
+                    del self._buckets[old]
+
+    # Lookup --------------------------------------------------------------
+
+    def lookup(self, value) -> Tuple[Surrogate, ...]:
+        return tuple(sorted(self._buckets.get(value, ())))
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[object, Tuple[Surrogate, ...]]]:
+        for value in self._buckets:
+            yield value, tuple(sorted(self._buckets[value]))
+
+    def __repr__(self) -> str:
+        return (f"<AttributeIndex {self.class_name}.{self.attribute}: "
+                f"{len(self)} entries, {self.distinct_values()} values>")

@@ -1,0 +1,87 @@
+"""Rebuilding a live object store from stored records.
+
+``save_engine``/``load_engine`` persist the *records*; this module closes
+the loop by reconstructing :class:`~repro.objects.store.ObjectStore`
+instances from them -- surrogate identities preserved, entity-valued
+fields re-linked, extents and virtual-class reference counts recomputed.
+Together they give the library a full cold-start path::
+
+    save_engine(engine, path)              # shutdown
+    engine = load_engine(schema, path)     # restart
+    store = rebuild_store(engine)          # live objects again
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import StorageError
+from repro.objects.instance import Instance
+from repro.objects.store import CheckMode, ObjectStore
+from repro.objects.surrogate import Surrogate
+from repro.schema.schema import Schema
+from repro.storage.engine import StorageEngine
+from repro.typesys.values import is_entity
+
+
+def rebuild_store(engine: StorageEngine,
+                  schema: Schema = None,
+                  check_mode: str = CheckMode.EAGER,
+                  validate: bool = False) -> ObjectStore:
+    """Reconstruct a store holding every object the engine stores.
+
+    ``validate=True`` additionally runs full conformance checking over
+    the rebuilt population and raises on any violation (recommended after
+    reloading a snapshot from disk).
+    """
+    schema = schema or engine.schema
+    store = ObjectStore(schema, check_mode=check_mode)
+
+    # Pass 1: shells with identities and memberships.
+    instances: Dict[Surrogate, Instance] = {}
+    high_water = 0
+    for info in engine.partitions():
+        for rowid, _row in info.file.scan():
+            surrogate = engine._reverse.get((info.key, rowid))
+            if surrogate is None:
+                continue
+            obj = Instance(surrogate, info.key)
+            instances[surrogate] = obj
+            store._objects[surrogate] = obj
+            for class_name in info.key:
+                store._add_to_extents(obj, class_name)
+            high_water = max(high_water, surrogate.id)
+    store._allocator._next = high_water + 1
+
+    # Pass 2: values, with surrogate references re-linked to instances.
+    for surrogate, obj in instances.items():
+        for name, value in engine.fetch(surrogate).items():
+            if isinstance(value, Surrogate):
+                target = instances.get(value)
+                if target is None:
+                    raise StorageError(
+                        f"{surrogate}.{name} references {value}, which "
+                        "is not stored")
+                value = target
+            obj._set_value(name, value)
+
+    # Pass 3: virtual-class reference counts (the implicit extents'
+    # bookkeeping), recomputed from the anchoring attributes.
+    for obj in instances.values():
+        for cdef in schema.virtual_classes():
+            origin = cdef.origin
+            if not store.is_member(obj, origin.owner_class):
+                continue
+            value = obj.get_value(origin.attribute)
+            if is_entity(value):
+                key = (cdef.name, value.surrogate)
+                store._virtual_refs[key] = \
+                    store._virtual_refs.get(key, 0) + 1
+
+    if validate:
+        problems = store.validate_all()
+        if problems:
+            obj, violation = problems[0]
+            raise StorageError(
+                f"rebuilt store is nonconformant: {obj}: {violation}")
+    return store

@@ -1,0 +1,335 @@
+"""Record formats and the binary row codec.
+
+A :class:`RecordFormat` is the "semantic grouping" of Daplex (paper
+Section 5.5): one field per applicable attribute of the owning class set,
+each with a *field kind* derived from the attribute's most specific
+declared range:
+
+=============  =============================================
+range          field kind (wire encoding)
+=============  =============================================
+Integer/lo..hi ``int``      (tag + 8-byte signed big-endian)
+Real           ``real``     (tag + 8-byte IEEE double)
+Boolean        ``bool``     (tag + 1 byte)
+String         ``string``   (tag + u32 length + UTF-8 bytes)
+enumeration    ``symbol``   (same wire form as string)
+class type     ``surrogate``(tag + 8-byte surrogate id)
+record type    ``record``   (tag + u32 count + nested fields)
+None           *omitted* -- the attribute is inapplicable
+=============  =============================================
+
+Every encoded field starts with a presence tag (0 = INAPPLICABLE); two
+formats are *compatible* only if the shared attributes have the same
+kind.  That is exactly the paper's partitioning criterion: "difficulties
+arise only when some attribute may be filled by values from incompatible
+types ... the obvious solution is to perform some form of horizontal
+partitioning".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import RecordFormatError
+from repro.objects.surrogate import Surrogate
+from repro.schema.schema import Schema
+from repro.typesys.core import (
+    AnyEntityType,
+    ClassType,
+    EnumerationType,
+    IntRangeType,
+    NoneType,
+    PrimitiveType,
+    RecordType,
+    Type,
+)
+from repro.typesys.values import INAPPLICABLE, EnumSymbol, RecordValue
+
+_TAG_MISSING = 0
+_TAG_PRESENT = 1
+
+
+def kind_of_range(range_type: Type) -> Optional[str]:
+    """The field kind for a declared range; ``None`` = not storable
+    (the attribute is inapplicable and gets no field)."""
+    if isinstance(range_type, NoneType):
+        return None
+    if isinstance(range_type, IntRangeType):
+        return "int"
+    if isinstance(range_type, PrimitiveType):
+        return {
+            "Integer": "int",
+            "Real": "real",
+            "Boolean": "bool",
+            "String": "string",
+        }.get(range_type.name, "string")
+    if isinstance(range_type, EnumerationType):
+        return "symbol"
+    if isinstance(range_type, (ClassType, AnyEntityType)):
+        return "surrogate"
+    if isinstance(range_type, RecordType):
+        return "record"
+    # Conditional types never appear as *declared* ranges; exceptional
+    # alternatives live in other partitions.
+    raise RecordFormatError(f"range {range_type} has no storage kind")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a record format."""
+
+    name: str
+    kind: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.kind}"
+
+
+class FieldCodec:
+    """Encodes/decodes a single tagged field value."""
+
+    @staticmethod
+    def encode(kind: str, value, out: bytearray) -> None:
+        if value is INAPPLICABLE or value is None:
+            out.append(_TAG_MISSING)
+            return
+        out.append(_TAG_PRESENT)
+        if kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise RecordFormatError(f"expected int, got {value!r}")
+            out.extend(struct.pack(">q", value))
+        elif kind == "real":
+            out.extend(struct.pack(">d", float(value)))
+        elif kind == "bool":
+            out.append(1 if value else 0)
+        elif kind == "string":
+            if not isinstance(value, str):
+                raise RecordFormatError(f"expected str, got {value!r}")
+            data = value.encode("utf-8")
+            out.extend(struct.pack(">I", len(data)))
+            out.extend(data)
+        elif kind == "symbol":
+            if not isinstance(value, EnumSymbol):
+                raise RecordFormatError(f"expected symbol, got {value!r}")
+            data = value.name.encode("utf-8")
+            out.extend(struct.pack(">I", len(data)))
+            out.extend(data)
+        elif kind == "surrogate":
+            surrogate = getattr(value, "surrogate", value)
+            if not isinstance(surrogate, Surrogate):
+                raise RecordFormatError(
+                    f"expected an entity/surrogate, got {value!r}")
+            out.extend(struct.pack(">q", surrogate.id))
+        elif kind == "record":
+            if isinstance(value, RecordValue):
+                items = sorted(value.as_dict().items())
+            elif isinstance(value, dict):
+                items = sorted(value.items())
+            else:
+                raise RecordFormatError(
+                    f"expected a record value, got {value!r}")
+            out.extend(struct.pack(">I", len(items)))
+            for name, inner in items:
+                name_bytes = name.encode("utf-8")
+                out.extend(struct.pack(">I", len(name_bytes)))
+                out.extend(name_bytes)
+                FieldCodec.encode(FieldCodec.dynamic_kind(inner), inner, out)
+                # kind byte precedes value for decoding
+        else:
+            raise RecordFormatError(f"unknown field kind {kind!r}")
+
+    @staticmethod
+    def dynamic_kind(value) -> str:
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "real"
+        if isinstance(value, str):
+            return "string"
+        if isinstance(value, EnumSymbol):
+            return "symbol"
+        if isinstance(value, (RecordValue, dict)):
+            return "record"
+        if getattr(value, "surrogate", None) is not None or isinstance(
+                value, Surrogate):
+            return "surrogate"
+        raise RecordFormatError(f"value {value!r} has no storage kind")
+
+    @staticmethod
+    def decode(kind: str, data: bytes, offset: int):
+        tag = data[offset]
+        offset += 1
+        if tag == _TAG_MISSING:
+            return INAPPLICABLE, offset
+        if kind == "int":
+            (value,) = struct.unpack_from(">q", data, offset)
+            return value, offset + 8
+        if kind == "real":
+            (value,) = struct.unpack_from(">d", data, offset)
+            return value, offset + 8
+        if kind == "bool":
+            return bool(data[offset]), offset + 1
+        if kind in ("string", "symbol"):
+            (length,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            text = data[offset:offset + length].decode("utf-8")
+            offset += length
+            return (EnumSymbol(text) if kind == "symbol" else text), offset
+        if kind == "surrogate":
+            (sid,) = struct.unpack_from(">q", data, offset)
+            return Surrogate(sid), offset + 8
+        if kind == "record":
+            raise RecordFormatError(
+                "nested record decoding requires encode-side kinds; use "
+                "RecordFormat (which writes them)")
+        raise RecordFormatError(f"unknown field kind {kind!r}")
+
+
+class RecordFormat:
+    """An ordered list of field specs with row encode/decode."""
+
+    def __init__(self, fields: Iterable[FieldSpec]) -> None:
+        self.fields: Tuple[FieldSpec, ...] = tuple(fields)
+        self._by_name: Dict[str, FieldSpec] = {
+            f.name: f for f in self.fields}
+        if len(self._by_name) != len(self.fields):
+            raise RecordFormatError("duplicate field names in format")
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def kind(self, name: str) -> Optional[str]:
+        spec = self._by_name.get(name)
+        return spec.kind if spec else None
+
+    def compatible_with(self, other: "RecordFormat") -> bool:
+        """Whether shared attributes have identical kinds (no partition
+        needed between the two)."""
+        return all(
+            other.kind(f.name) in (None, f.kind) for f in self.fields)
+
+    # -- row codec -------------------------------------------------------
+
+    def encode_row(self, values: Dict[str, object]) -> bytes:
+        out = bytearray()
+        for spec in self.fields:
+            value = values.get(spec.name, INAPPLICABLE)
+            if spec.kind == "record" and value is not INAPPLICABLE:
+                out.append(_TAG_PRESENT)
+                self._encode_dynamic(value, out)
+            else:
+                FieldCodec.encode(spec.kind, value, out)
+        return bytes(out)
+
+    def decode_row(self, data: bytes) -> Dict[str, object]:
+        """Decode one row; malformed/truncated input raises
+        :class:`RecordFormatError` (never a bare struct/index error)."""
+        try:
+            return self._decode_row(data)
+        except RecordFormatError:
+            raise
+        except (struct.error, IndexError, KeyError,
+                UnicodeDecodeError, OverflowError, MemoryError) as exc:
+            raise RecordFormatError(
+                f"malformed row ({type(exc).__name__}: {exc})") from exc
+
+    def _decode_row(self, data: bytes) -> Dict[str, object]:
+        values: Dict[str, object] = {}
+        offset = 0
+        for spec in self.fields:
+            if spec.kind == "record":
+                tag = data[offset]
+                offset += 1
+                if tag == _TAG_MISSING:
+                    value = INAPPLICABLE
+                else:
+                    value, offset = self._decode_dynamic(data, offset)
+            else:
+                value, offset = FieldCodec.decode(spec.kind, data, offset)
+            if value is not INAPPLICABLE:
+                values[spec.name] = value
+        if offset != len(data):
+            raise RecordFormatError(
+                f"trailing bytes in row ({len(data) - offset})")
+        return values
+
+    # Dynamic (self-describing) encoding for nested record values.
+
+    _KIND_CODES = {"int": 1, "real": 2, "bool": 3, "string": 4,
+                   "symbol": 5, "surrogate": 6, "record": 7}
+    _CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+
+    def _encode_dynamic(self, value, out: bytearray) -> None:
+        kind = FieldCodec.dynamic_kind(value)
+        out.append(self._KIND_CODES[kind])
+        if kind == "record":
+            if isinstance(value, RecordValue):
+                items = sorted(value.as_dict().items())
+            else:
+                items = sorted(value.items())
+            out.extend(struct.pack(">I", len(items)))
+            for name, inner in items:
+                name_bytes = name.encode("utf-8")
+                out.extend(struct.pack(">I", len(name_bytes)))
+                out.extend(name_bytes)
+                self._encode_dynamic(inner, out)
+        else:
+            FieldCodec.encode(kind, value, out)
+
+    def _decode_dynamic(self, data: bytes, offset: int):
+        kind = self._CODE_KINDS[data[offset]]
+        offset += 1
+        if kind == "record":
+            (count,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            fields: Dict[str, object] = {}
+            for _ in range(count):
+                (length,) = struct.unpack_from(">I", data, offset)
+                offset += 4
+                name = data[offset:offset + length].decode("utf-8")
+                offset += length
+                fields[name], offset = self._decode_dynamic(data, offset)
+            return RecordValue(fields), offset
+        return FieldCodec.decode(kind, data, offset)
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(f) for f in self.fields) + ")"
+
+
+def format_for_classes(schema: Schema,
+                       class_names: Iterable[str]) -> RecordFormat:
+    """The record format for objects whose direct memberships are
+    ``class_names``: one field per applicable attribute, typed by the most
+    specific declared range (None-ranged attributes get no field)."""
+    attr_kinds: Dict[str, str] = {}
+    names = sorted(set(class_names))
+    seen: set = set()
+    for name in names:
+        for attr_name in schema.applicable_attribute_names(name):
+            if attr_name in seen:
+                continue
+            seen.add(attr_name)
+            # Most specific declared range across all the classes.
+            best = None
+            for cls in names:
+                try:
+                    constraints = schema.attribute_constraints(cls,
+                                                               attr_name)
+                except Exception:
+                    continue
+                candidate = constraints[0]
+                if best is None or schema.is_subclass(candidate.owner,
+                                                      best.owner):
+                    best = candidate
+            kind = kind_of_range(best.range)
+            if kind is not None:
+                attr_kinds[attr_name] = kind
+    return RecordFormat(
+        FieldSpec(name, kind) for name, kind in sorted(attr_kinds.items()))

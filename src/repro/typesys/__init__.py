@@ -1,0 +1,94 @@
+"""Type system for class hierarchies with contradictions (paper Section 5.4).
+
+The type language follows Cardelli's record-type treatment of classes,
+extended with the paper's *conditional types*::
+
+    [p : T0 + T1/E1 + T2/E2 + ...]
+
+denoting records ``z`` such that ``z.p`` belongs to ``T0``, *or* ``z``
+belongs to class ``E1`` and ``z.p`` belongs to ``T1``, and so on.  The
+alternatives are exactly how excuses surface in the type theory: the class
+definition ``class E with p: S excuses p on B`` contributes the alternative
+``S/E`` to the type of ``p`` as seen on ``B``.
+
+Public surface:
+
+* :class:`Type` and its concrete kinds (:class:`PrimitiveType`,
+  :class:`IntRangeType`, :class:`EnumerationType`, :class:`NoneType`,
+  :class:`AnyEntityType`, :class:`AnyType`, :class:`ClassType`,
+  :class:`RecordType`, :class:`ConditionalType`, :class:`UnionType`).
+* :data:`STRING`, :data:`INTEGER`, :data:`REAL`, :data:`BOOLEAN`,
+  :data:`NONE`, :data:`ANY_ENTITY`, :data:`ANY` singletons.
+* :func:`is_subtype` -- the subtype relation ``<=`` over a class graph.
+* :func:`meet`, :func:`join` -- greatest lower / least upper bounds.
+* :func:`normalize` -- canonical form (used for structural equality).
+* :func:`type_contains` -- run-time membership of a value in a type.
+* :class:`ClassGraph` -- the protocol a schema implements so the type
+  system can resolve class names.
+"""
+
+from repro.typesys.core import (
+    ANY,
+    ANY_ENTITY,
+    BOOLEAN,
+    INTEGER,
+    NONE,
+    REAL,
+    STRING,
+    AnyEntityType,
+    AnyType,
+    ClassType,
+    Conditional,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    NoneType,
+    PrimitiveType,
+    RecordType,
+    Type,
+    UnionType,
+)
+from repro.typesys.context import ClassGraph, EmptyClassGraph, SimpleClassGraph
+from repro.typesys.operations import join, meet, normalize
+from repro.typesys.subtyping import is_subtype
+from repro.typesys.values import (
+    INAPPLICABLE,
+    EnumSymbol,
+    Inapplicable,
+    RecordValue,
+    type_contains,
+)
+
+__all__ = [
+    "ANY",
+    "ANY_ENTITY",
+    "BOOLEAN",
+    "INAPPLICABLE",
+    "INTEGER",
+    "NONE",
+    "REAL",
+    "STRING",
+    "AnyEntityType",
+    "AnyType",
+    "ClassGraph",
+    "ClassType",
+    "Conditional",
+    "ConditionalType",
+    "EmptyClassGraph",
+    "EnumSymbol",
+    "EnumerationType",
+    "Inapplicable",
+    "IntRangeType",
+    "NoneType",
+    "PrimitiveType",
+    "RecordType",
+    "RecordValue",
+    "SimpleClassGraph",
+    "Type",
+    "UnionType",
+    "is_subtype",
+    "join",
+    "meet",
+    "normalize",
+    "type_contains",
+]

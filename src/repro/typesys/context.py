@@ -1,0 +1,103 @@
+"""Class-graph context against which class-name types are interpreted.
+
+The type system is parameterized by a :class:`ClassGraph`: the schema
+implements it, but the type modules only depend on this narrow protocol so
+they can be tested (and benchmarked) with a plain dictionary-backed graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Protocol, Set, runtime_checkable
+
+
+@runtime_checkable
+class ClassGraph(Protocol):
+    """What the type system needs to know about classes."""
+
+    def has_class(self, name: str) -> bool:
+        """Whether ``name`` is a defined class."""
+        ...
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        """Whether ``sub`` IS-A ``sup`` (reflexive, transitive)."""
+        ...
+
+    def effective_record(self, name: str) -> Optional["object"]:
+        """The record type a class denotes structurally, or ``None`` if the
+        graph does not track attributes (purely nominal reasoning)."""
+        ...
+
+
+class EmptyClassGraph:
+    """A graph with no classes: class types only relate to themselves.
+
+    Useful for testing the purely structural fragment of the type system.
+    """
+
+    def has_class(self, name: str) -> bool:
+        return False
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        return sub == sup
+
+    def effective_record(self, name: str):
+        return None
+
+
+class SimpleClassGraph:
+    """A dictionary-backed IS-A graph with optional per-class records.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from class name to an iterable of direct parent names.
+        Every mentioned parent is implicitly a class as well.
+    records:
+        Optional mapping from class name to its structural
+        :class:`~repro.typesys.core.RecordType`.
+    """
+
+    def __init__(self, parents: Dict[str, Iterable[str]], records=None) -> None:
+        self._parents: Dict[str, Set[str]] = {}
+        for name, ps in parents.items():
+            self._parents.setdefault(name, set()).update(ps)
+            for p in ps:
+                self._parents.setdefault(p, set())
+        self._records = dict(records or {})
+        self._ancestors_cache: Dict[str, frozenset] = {}
+
+    def add_class(self, name: str, parents: Iterable[str] = ()) -> None:
+        self._parents.setdefault(name, set()).update(parents)
+        for p in parents:
+            self._parents.setdefault(p, set())
+        self._ancestors_cache.clear()
+
+    def has_class(self, name: str) -> bool:
+        return name in self._parents
+
+    def ancestors(self, name: str) -> frozenset:
+        """All classes ``name`` IS-A (including itself)."""
+        cached = self._ancestors_cache.get(name)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._parents.get(current, ()))
+        result = frozenset(seen)
+        self._ancestors_cache[name] = result
+        return result
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        if sub == sup:
+            return True
+        if sub not in self._parents:
+            return False
+        return sup in self.ancestors(sub)
+
+    def effective_record(self, name: str):
+        return self._records.get(name)

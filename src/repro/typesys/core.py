@@ -1,0 +1,265 @@
+"""Core type expressions.
+
+All types are immutable (frozen dataclasses) so they can be hashed, shared,
+and used as dictionary keys.  Structural equality is defined on the
+*normalized* form (see :mod:`repro.typesys.operations`); the raw dataclass
+equality used here is already structural for everything except redundant
+conditional alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+
+class Type:
+    """Abstract base of all type expressions."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class PrimitiveType(Type):
+    """A built-in scalar type such as ``String`` or ``Integer``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntRangeType(Type):
+    """An integer subrange ``lo..hi``, e.g. ``age: 1..120``.
+
+    A subrange is a subtype of ``Integer`` and of any enclosing subrange.
+    The bounds are inclusive; ``lo`` must not exceed ``hi``.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty integer range {self.lo}..{self.hi}")
+
+    def __str__(self) -> str:
+        return f"{self.lo}..{self.hi}"
+
+    def contains_range(self, other: "IntRangeType") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+
+@dataclass(frozen=True)
+class EnumerationType(Type):
+    """A finite set of symbolic constants, e.g. ``{'Hawk, 'Dove, 'Ostrich}``.
+
+    Subtyping between enumerations is subset inclusion, so ``{'Dove}`` is a
+    subtype of ``{'Hawk, 'Dove, 'Ostrich}`` -- exactly the refinement the
+    Quaker example uses.
+    """
+
+    symbols: frozenset
+
+    def __init__(self, symbols) -> None:
+        object.__setattr__(self, "symbols", frozenset(symbols))
+        if not self.symbols:
+            raise ValueError("enumeration must have at least one symbol")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"'{s}" for s in sorted(self.symbols))
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class NoneType(Type):
+    """The range of an *inapplicable* attribute (paper Section 4.1).
+
+    ``ward: None`` states that ``ward`` is incorrectly applied to instances
+    of the class; the only value admitted is the :data:`INAPPLICABLE`
+    marker.  It is used in conditional types such as
+    ``[salary: Integer + None/Temporary_Employee]``.
+    """
+
+    def __str__(self) -> str:
+        return "None"
+
+
+@dataclass(frozen=True)
+class AnyEntityType(Type):
+    """``ANYENTITY`` -- the top of all entity (class) types (Section 5.5).
+
+    Every :class:`ClassType` is a subtype of it.  Storage uses it to decide
+    that surrogate-valued attributes never need horizontal partitioning.
+    """
+
+    def __str__(self) -> str:
+        return "AnyEntity"
+
+
+@dataclass(frozen=True)
+class AnyType(Type):
+    """The top of the whole type lattice (every type is a subtype)."""
+
+    def __str__(self) -> str:
+        return "Any"
+
+
+@dataclass(frozen=True)
+class ClassType(Type):
+    """A reference to a named class, e.g. ``Physician``.
+
+    Subtyping between class types consults the schema's IS-A graph; a class
+    type is also a subtype of any record type that its *effective record*
+    satisfies (Cardelli's classes-as-record-types view).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """An anonymous record type ``[p: T; q: U]`` (paper Section 2b).
+
+    Used for "in-line" attribute structures that need no class identifier,
+    such as ``office: [street: String; city: String]`` or the refinement
+    ``Physician [certifiedBy: {'ABO}]`` (which desugars to the meet of the
+    class type and a record type).
+
+    Subtyping is Cardelli's record subtyping: ``R <= S`` iff every field of
+    ``S`` appears in ``R`` with a subtype (width + depth subtyping).
+    """
+
+    fields: Tuple[Tuple[str, Type], ...]
+
+    def __init__(self, fields) -> None:
+        if isinstance(fields, Mapping):
+            items = fields.items()
+        else:
+            items = fields
+        items = tuple(sorted(items, key=lambda kv: kv[0]))
+        seen = set()
+        for name, _ in items:
+            if name in seen:
+                raise ValueError(f"duplicate record field {name!r}")
+            seen.add(name)
+        object.__setattr__(self, "fields", items)
+
+    def field_map(self) -> dict:
+        return dict(self.fields)
+
+    def field_type(self, name: str):
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{n}: {t}" for n, t in self.fields)
+        return "[" + inner + "]"
+
+
+@dataclass(frozen=True)
+class Conditional(Type):
+    """One conditional alternative ``T/E``: type ``T`` when the *owner*
+    of the attribute is a member of class ``E``."""
+
+    type: Type
+    condition: str  # the excusing class name
+
+    def __str__(self) -> str:
+        return f"{self.type}/{self.condition}"
+
+
+@dataclass(frozen=True)
+class ConditionalType(Type):
+    """The paper's conditional type ``T0 + T1/E1 + ... + Tn/En``.
+
+    As the range of attribute ``p`` on class ``B``, it denotes the set of
+    objects ``z`` (members of ``B``) such that ``z.p`` belongs to ``T0``,
+    or ``z`` belongs to ``E1`` and ``z.p`` belongs to ``T1``, or ...
+
+    The *base* ``T0`` is the unconditional (normal-case) range; each
+    alternative records an excuse.  Note the condition is on the **owner**
+    of the attribute, not on the value.
+    """
+
+    base: Type
+    alternatives: Tuple[Conditional, ...] = field(default_factory=tuple)
+
+    def __init__(self, base: Type, alternatives=()) -> None:
+        alts = []
+        for alt in alternatives:
+            if not isinstance(alt, Conditional):
+                alt = Conditional(*alt)
+            alts.append(alt)
+        alts.sort(key=lambda a: (a.condition, str(a.type)))
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "alternatives", tuple(alts))
+
+    def conditions(self) -> frozenset:
+        return frozenset(alt.condition for alt in self.alternatives)
+
+    def alternative_for(self, condition: str):
+        """The alternative types guarded by membership in ``condition``."""
+        return tuple(
+            alt.type for alt in self.alternatives if alt.condition == condition
+        )
+
+    def __str__(self) -> str:
+        parts = [str(self.base)]
+        parts.extend(str(alt) for alt in self.alternatives)
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class UnionType(Type):
+    """An unconditional union ``T1 | T2`` (used by type *inference* only).
+
+    The paper's declaration language never writes unions -- conditional
+    types are its disciplined substitute -- but the query checker needs a
+    join for types with no common named supertype (e.g. when joining the
+    two branches of a ``when ... then ... else`` expression).
+    """
+
+    members: Tuple[Type, ...]
+
+    def __init__(self, members) -> None:
+        flat = []
+        for m in members:
+            if isinstance(m, UnionType):
+                flat.extend(m.members)
+            else:
+                flat.append(m)
+        unique = sorted(set(flat), key=str)
+        if len(unique) < 2:
+            raise ValueError("a union needs at least two distinct members")
+        object.__setattr__(self, "members", tuple(unique))
+
+    def __str__(self) -> str:
+        return " | ".join(str(m) for m in self.members)
+
+
+#: Singleton instances of the built-in types.
+STRING = PrimitiveType("String")
+INTEGER = PrimitiveType("Integer")
+REAL = PrimitiveType("Real")
+BOOLEAN = PrimitiveType("Boolean")
+NONE = NoneType()
+ANY_ENTITY = AnyEntityType()
+ANY = AnyType()
+
+#: The primitive types keyed by their surface name (used by the CDL parser).
+PRIMITIVES = {
+    "String": STRING,
+    "Integer": INTEGER,
+    "Real": REAL,
+    "Boolean": BOOLEAN,
+}

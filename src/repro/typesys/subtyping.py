@@ -1,0 +1,183 @@
+"""The subtype relation ``<=`` (paper Section 5.4).
+
+``is_subtype(a, b, graph)`` decides whether every value of ``a`` is a value
+of ``b``, interpreting class names against ``graph``.  The relation is
+*sound* with respect to the denotational reading used by
+:func:`repro.typesys.values.type_contains`: if ``is_subtype(a, b)`` then
+every run-time value contained in ``a`` is contained in ``b``.
+
+Rules
+-----
+* ``Any`` is the top of the lattice.
+* ``AnyEntity`` is the top of all class types (Section 5.5).
+* Integer subranges are subtypes of ``Integer`` and of enclosing ranges.
+* Enumerations are ordered by symbol-set inclusion
+  (``{'Dove} <= {'Hawk, 'Dove, 'Ostrich}``).
+* Class types are ordered by the IS-A graph (nominal), and a class type is
+  a subtype of a record type when its effective record is (structural,
+  Cardelli's classes-as-records view).  Recursive class definitions (an
+  Employee's supervisor is an Employee) are handled coinductively with an
+  assumption set.
+* Record types use width + depth subtyping.
+* Conditional types: ``T0 + T1/E1 + ...``  is a subtype of
+  ``S0 + S1/F1 + ...`` when the base is covered (``T0 <= S0``) and every
+  alternative ``Ti/Ei`` is covered either unconditionally (``Ti <= S0``) or
+  by an alternative ``Sj/Fj`` with ``Ei`` IS-A ``Fj`` and ``Ti <= Sj``.
+  This yields the paper's example theorems::
+
+      [treatedBy: Cardiologist] <= [treatedBy: Physician]
+      [treatedBy: Physician] <= [treatedBy: Physician + Psychologist/Alcoholic]
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.typesys.context import ClassGraph, EmptyClassGraph
+from repro.typesys.core import (
+    AnyEntityType,
+    AnyType,
+    ClassType,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    NoneType,
+    PrimitiveType,
+    RecordType,
+    Type,
+    UnionType,
+)
+
+_EMPTY_GRAPH = EmptyClassGraph()
+
+
+def is_subtype(sub: Type, sup: Type, graph: ClassGraph = None) -> bool:
+    """Decide ``sub <= sup`` against ``graph`` (default: no classes)."""
+    if graph is None:
+        graph = _EMPTY_GRAPH
+    return _subtype(sub, sup, graph, frozenset())
+
+
+def _subtype(sub: Type, sup: Type, graph: ClassGraph,
+             assumed: FrozenSet[Tuple[Type, Type]]) -> bool:
+    if sub == sup:
+        return True
+    if isinstance(sup, AnyType):
+        return True
+    if isinstance(sub, AnyType):
+        return False
+
+    # Coinductive hypothesis for recursive class/record expansions.
+    pair = (sub, sup)
+    if pair in assumed:
+        return True
+
+    # A union is a subtype of T iff all members are; T <= union iff T is a
+    # subtype of some member (sound, though incomplete for e.g. split
+    # integer ranges -- the declaration language never produces those).
+    if isinstance(sub, UnionType):
+        return all(_subtype(m, sup, graph, assumed) for m in sub.members)
+    if isinstance(sup, UnionType):
+        return any(_subtype(sub, m, graph, assumed) for m in sup.members)
+
+    # Conditional types.  Check the supertype side first so that
+    # T <= T0 + alts can succeed via the base even when T is conditional.
+    if isinstance(sup, ConditionalType):
+        return _subtype_of_conditional(sub, sup, graph, assumed)
+    if isinstance(sub, ConditionalType):
+        # Every disjunct must fit the (non-conditional) supertype.
+        if not _subtype(sub.base, sup, graph, assumed):
+            return False
+        return all(
+            _subtype(alt.type, sup, graph, assumed)
+            for alt in sub.alternatives
+        )
+
+    if isinstance(sub, NoneType):
+        return isinstance(sup, NoneType)
+    if isinstance(sup, NoneType):
+        return False
+
+    if isinstance(sub, IntRangeType):
+        if isinstance(sup, IntRangeType):
+            return sup.contains_range(sub)
+        return sup == PrimitiveType("Integer")
+    if isinstance(sub, PrimitiveType):
+        return isinstance(sup, PrimitiveType) and sub.name == sup.name
+
+    if isinstance(sub, EnumerationType):
+        return (
+            isinstance(sup, EnumerationType)
+            and sub.symbols <= sup.symbols
+        )
+
+    if isinstance(sub, AnyEntityType):
+        return isinstance(sup, AnyEntityType)
+
+    if isinstance(sub, ClassType):
+        if isinstance(sup, AnyEntityType):
+            return True
+        if isinstance(sup, ClassType):
+            return graph.is_subclass(sub.name, sup.name)
+        if isinstance(sup, RecordType):
+            record = graph.effective_record(sub.name)
+            if record is None:
+                return False
+            return _subtype(record, sup, graph, assumed | {pair})
+        return False
+
+    if isinstance(sub, RecordType):
+        if isinstance(sup, RecordType):
+            return _record_subtype(sub, sup, graph, assumed | {pair})
+        # Records are never subtypes of nominal class types: naming a class
+        # is what admits an object into its extent (Section 2c).
+        return False
+
+    return False
+
+
+def _record_subtype(sub: RecordType, sup: RecordType, graph: ClassGraph,
+                    assumed: FrozenSet[Tuple[Type, Type]]) -> bool:
+    sub_fields = sub.field_map()
+    for name, sup_type in sup.fields:
+        sub_type = sub_fields.get(name)
+        if sub_type is None:
+            return False
+        if not _subtype(sub_type, sup_type, graph, assumed):
+            return False
+    return True
+
+
+def _subtype_of_conditional(sub: Type, sup: ConditionalType,
+                            graph: ClassGraph,
+                            assumed: FrozenSet[Tuple[Type, Type]]) -> bool:
+    if isinstance(sub, ConditionalType):
+        if not _covered_by_conditional(sub.base, None, sup, graph, assumed):
+            return False
+        return all(
+            _covered_by_conditional(alt.type, alt.condition, sup, graph,
+                                    assumed)
+            for alt in sub.alternatives
+        )
+    return _covered_by_conditional(sub, None, sup, graph, assumed)
+
+
+def _covered_by_conditional(value_type: Type, condition,
+                            sup: ConditionalType, graph: ClassGraph,
+                            assumed: FrozenSet[Tuple[Type, Type]]) -> bool:
+    """Whether the disjunct ``value_type`` (guarded by membership in
+    ``condition``, or unguarded when ``condition`` is ``None``) is admitted
+    by the conditional supertype."""
+    if _subtype(value_type, sup.base, graph, assumed):
+        return True
+    if condition is None:
+        # An unguarded disjunct can only rely on the base: we cannot assume
+        # the owner belongs to any excusing class.
+        return False
+    for alt in sup.alternatives:
+        # Membership in `condition` implies membership in `alt.condition`
+        # when the former IS-A the latter, so the alternative applies.
+        if graph.is_subclass(condition, alt.condition) and _subtype(
+                value_type, alt.type, graph, assumed):
+            return True
+    return False

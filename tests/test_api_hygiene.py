@@ -1,0 +1,50 @@
+"""API hygiene: exports resolve, modules are documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro.")
+)
+
+
+def test_package_has_modules():
+    assert len(ALL_MODULES) > 30
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_imports_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a docstring"
+    assert len(module.__doc__.strip()) > 20, module_name
+
+
+def _packages_with_all():
+    out = []
+    for name in ALL_MODULES + ["repro"]:
+        module = importlib.import_module(name)
+        if hasattr(module, "__all__"):
+            out.append(module)
+    return out
+
+
+@pytest.mark.parametrize("module", _packages_with_all(),
+                         ids=lambda m: m.__name__)
+def test_all_exports_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+def test_top_level_all_sorted_and_unique():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

@@ -1,0 +1,119 @@
+"""Class-attached inter-object assertions (Section 2d)."""
+
+import pytest
+
+from repro.errors import QueryTypeError, SchemaError, UnknownClassError
+from repro.objects import ObjectStore
+from repro.semantics.assertions import AssertionChecker
+from repro.schema import SchemaBuilder
+from repro.typesys import INTEGER, STRING
+
+
+@pytest.fixture()
+def world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Employee", isa="Person").attr("salary", INTEGER) \
+        .attr("supervisor", "Employee")
+    b.cls("Manager", isa="Employee")
+    schema = b.build()
+    store = ObjectStore(schema)
+    boss = store.create("Manager", name="boss", salary=150000)
+    store.set_value(boss, "supervisor", boss)
+    worker = store.create("Employee", name="worker", salary=60000,
+                          supervisor=boss)
+    return schema, store, boss, worker
+
+
+class TestRegistration:
+    def test_paper_example_registers(self, world):
+        schema, _store, _boss, _worker = world
+        checker = AssertionChecker(schema)
+        assertion = checker.add(
+            "Employee", "earn-less-than-supervisor",
+            "self.salary <= self.supervisor.salary",
+            doc="Employees earn less than their supervisors")
+        assert "earn-less" in str(assertion)
+
+    def test_duplicate_rejected(self, world):
+        schema, _store, _boss, _worker = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "a", "self.salary >= 0")
+        with pytest.raises(SchemaError):
+            checker.add("Employee", "a", "self.salary >= 1")
+
+    def test_unknown_class_rejected(self, world):
+        schema, _s, _b, _w = world
+        with pytest.raises(UnknownClassError):
+            AssertionChecker(schema).add("Martian", "a", "true")
+
+    def test_ill_typed_assertion_rejected(self, world):
+        schema, _s, _b, _w = world
+        with pytest.raises(QueryTypeError):
+            AssertionChecker(schema).add(
+                "Person", "a", "self.salary >= 0")  # Person has no salary
+
+    def test_assertions_inherited_by_subclasses(self, world):
+        schema, _s, _b, _w = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "a", "self.salary >= 0")
+        assert [a.name for a in checker.assertions_for("Manager")] == ["a"]
+
+
+class TestChecking:
+    def test_satisfied(self, world):
+        schema, store, _boss, _worker = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "earn-less",
+                    "self.salary <= self.supervisor.salary")
+        assert checker.check_store(store) == []
+
+    def test_violated(self, world):
+        schema, store, boss, worker = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "earn-less",
+                    "self.salary <= self.supervisor.salary")
+        store.set_value(worker, "salary", 200000)
+        violations = checker.check_store(store)
+        assert len(violations) == 1
+        assert violations[0].surrogate == worker.surrogate
+        assert violations[0].kind == "violated"
+
+    def test_missing_value_indeterminate_by_default(self, world):
+        schema, store, _boss, _worker = world
+        orphan = store.create("Employee", name="orphan", salary=1)
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "earn-less",
+                    "self.salary <= self.supervisor.salary")
+        assert checker.check_object(store, orphan) == []
+
+    def test_strict_mode_flags_indeterminate(self, world):
+        schema, store, _boss, _worker = world
+        orphan = store.create("Employee", name="orphan", salary=1)
+        checker = AssertionChecker(schema, strict=True)
+        checker.add("Employee", "earn-less",
+                    "self.salary <= self.supervisor.salary")
+        violations = checker.check_object(store, orphan)
+        assert [v.kind for v in violations] == ["indeterminate"]
+
+    def test_each_assertion_checked_once_per_object(self, world):
+        schema, store, _boss, worker = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "earn-less",
+                    "self.salary <= self.supervisor.salary")
+        store.classify(worker, "Manager")
+        store.set_value(worker, "salary", 999999)
+        violations = checker.check_object(store, worker)
+        assert len(violations) == 1  # not duplicated via Manager
+
+    def test_membership_tests_in_assertions(self, world):
+        schema, store, boss, worker = world
+        checker = AssertionChecker(schema)
+        checker.add("Employee", "boss-is-manager",
+                    "self.supervisor in Manager")
+        assert checker.check_store(store) == []
+        peon = store.create("Employee", name="peon", salary=1,
+                            supervisor=worker)
+        violations = checker.check_object(store, peon)
+        assert [v.assertion.name for v in violations] == [
+            "boss-is-manager"]

@@ -1,0 +1,163 @@
+"""The Section 4.2 mechanisms and the default-inheritance resolver."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_MECHANISMS,
+    DefaultInheritanceMechanism,
+    DefaultResolver,
+    DissociationMechanism,
+    ExceptionScenario,
+    ExcuseMechanism,
+    IntermediateClassMechanism,
+    ReconciliationMechanism,
+)
+from repro.errors import AmbiguousInheritanceError, UnknownAttributeError
+from repro.schema import SchemaBuilder
+from repro.typesys import ClassType, EnumerationType
+from repro.typesys.subtyping import is_subtype
+
+
+SCENARIO = ExceptionScenario()
+
+
+class TestReconciliation:
+    def test_builds_valid_schema(self):
+        result = ReconciliationMechanism().build(SCENARIO)
+        schema = result.schema
+        assert schema.is_subclass("Physician", "General_treatedBy_Range")
+        assert schema.is_subclass("Psychologist",
+                                  "General_treatedBy_Range")
+
+    def test_siblings_restate_the_attribute(self):
+        result = ReconciliationMechanism().build(SCENARIO)
+        assert result.rewritten_definitions == len(
+            SCENARIO.sibling_subclasses)
+        for sibling in SCENARIO.sibling_subclasses:
+            assert result.schema.get(sibling).declares("treatedBy")
+
+    def test_superclass_modified_and_class_invented(self):
+        result = ReconciliationMechanism().build(SCENARIO)
+        assert result.superclass_modified
+        assert result.invented_classes == ("General_treatedBy_Range",)
+
+    def test_widened_range_hides_injected_error(self):
+        _schema, detected = ReconciliationMechanism().build_with_error(
+            SCENARIO)
+        assert not detected
+
+
+class TestIntermediateClasses:
+    def test_anchor_count_exponential(self):
+        mech = IntermediateClassMechanism()
+        for k in (1, 2, 3, 4):
+            scenario = ExceptionScenario(
+                extra_exceptional_attributes=tuple(
+                    (f"a{i}", f"N{i}", f"E{i}") for i in range(2, k + 1)))
+            result = mech.build(scenario)
+            anchors = [c for c in result.invented_classes
+                       if "_With_" in c]
+            assert len(anchors) == 2 ** k - 1
+
+    def test_siblings_hang_off_full_anchor(self):
+        result = IntermediateClassMechanism().build(SCENARIO)
+        sibling = result.schema.get(SCENARIO.sibling_subclasses[0])
+        assert sibling.parents == (
+            "Patient_With_treatedBy_Normal",)
+
+    def test_detects_injected_error(self):
+        _schema, detected = IntermediateClassMechanism().build_with_error(
+            SCENARIO)
+        assert detected
+
+
+class TestDissociation:
+    def test_polymorphism_defeated(self):
+        result = DissociationMechanism().build(SCENARIO)
+        assert not is_subtype(ClassType("Alcoholic"),
+                              ClassType("Patient"), result.schema)
+
+    def test_extent_not_included(self):
+        from repro.evaluation.desiderata import probe_extent_inclusion
+        result = DissociationMechanism().build(SCENARIO)
+        assert not probe_extent_inclusion(result)
+
+    def test_no_invented_classes(self):
+        result = DissociationMechanism().build(SCENARIO)
+        assert result.invented_classes == ()
+
+
+class TestDefaultInheritance:
+    def test_contradiction_tolerated_silently(self):
+        result = DefaultInheritanceMechanism().build(SCENARIO)
+        alcoholic = result.schema.get("Alcoholic")
+        assert alcoholic.attribute("treatedBy").range == ClassType(
+            "Psychologist")
+
+    def test_injected_error_undetected(self):
+        _schema, detected = DefaultInheritanceMechanism().build_with_error(
+            SCENARIO)
+        assert not detected
+
+    def test_closest_ancestor_resolution(self):
+        result = DefaultInheritanceMechanism().build(SCENARIO)
+        resolver = DefaultResolver(result.schema)
+        owner, range_ = resolver.resolve("Alcoholic", "treatedBy")
+        assert owner == "Alcoholic"
+        assert range_ == ClassType("Psychologist")
+        owner2, range2 = resolver.resolve(
+            SCENARIO.sibling_subclasses[0], "treatedBy")
+        assert owner2 == "Patient"
+
+    def test_ambiguity_on_diamond(self):
+        b = SchemaBuilder()
+        b.cls("Top").attr("color", {"Red", "Blue"})
+        b.cls("Left", isa="Top").attr("color", {"Red"})
+        b.cls("Right", isa="Top").attr("color", {"Blue"})
+        b.cls("Bottom", isa=["Left", "Right"])
+        schema = b.build(validate=False)
+        resolver = DefaultResolver(schema)
+        with pytest.raises(AmbiguousInheritanceError):
+            resolver.resolve("Bottom", "color")
+
+    def test_same_range_at_same_distance_not_ambiguous(self):
+        b = SchemaBuilder()
+        b.cls("Top").attr("color", {"Red", "Blue"})
+        b.cls("Left", isa="Top").attr("color", {"Red"})
+        b.cls("Right", isa="Top").attr("color", {"Red"})
+        b.cls("Bottom", isa=["Left", "Right"])
+        schema = b.build(validate=False)
+        owner, range_ = DefaultResolver(schema).resolve("Bottom", "color")
+        assert range_ == EnumerationType(["Red"])
+
+    def test_undeclared_attribute(self):
+        result = DefaultInheritanceMechanism().build(SCENARIO)
+        with pytest.raises(UnknownAttributeError):
+            DefaultResolver(result.schema).resolve("Person", "treatedBy")
+
+    def test_is_universal_visits_all_descendants(self):
+        result = DefaultInheritanceMechanism().build(SCENARIO)
+        resolver = DefaultResolver(result.schema)
+        universal, visited = resolver.is_universal("Patient", "treatedBy")
+        assert not universal  # Alcoholic overrides it
+        assert visited == len(
+            result.schema.descendants("Patient")) - 1
+
+
+class TestExcuseMechanism:
+    def test_clean_metrics(self):
+        result = ExcuseMechanism().build(SCENARIO)
+        assert result.invented_classes == ()
+        assert result.rewritten_definitions == 0
+        assert not result.superclass_modified
+
+    def test_detects_injected_error(self):
+        _schema, detected = ExcuseMechanism().build_with_error(SCENARIO)
+        assert detected
+
+    def test_all_mechanisms_registered(self):
+        names = {m.name for m in ALL_MECHANISMS}
+        assert names == {"reconciliation", "intermediate-classes",
+                         "dissociation", "default-inheritance", "excuses"}
+        assert {m.paper_section for m in ALL_MECHANISMS} == {
+            "4.2.1", "4.2.2", "4.2.3", "4.2.4", "5"}

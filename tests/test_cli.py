@@ -1,0 +1,196 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios.hospital import HOSPITAL_CDL
+
+GOOD = """
+class Person with
+  name: String;
+class Physician is-a Person with end
+class Psychologist is-a Person with end
+class Patient is-a Person with
+  treatedBy: Physician;
+class Alcoholic is-a Patient with
+  treatedBy: Psychologist excuses treatedBy on Patient;
+"""
+
+BAD = GOOD.replace(" excuses treatedBy on Patient", "")
+
+
+@pytest.fixture()
+def good_schema(tmp_path):
+    path = tmp_path / "good.cdl"
+    path.write_text(GOOD)
+    return str(path)
+
+
+@pytest.fixture()
+def bad_schema(tmp_path):
+    path = tmp_path / "bad.cdl"
+    path.write_text(BAD)
+    return str(path)
+
+
+class TestValidate:
+    def test_clean_schema_exits_zero(self, good_schema, capsys):
+        assert main(["validate", good_schema]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_bad_schema_exits_one(self, bad_schema, capsys):
+        assert main(["validate", bad_schema]) == 1
+        out = capsys.readouterr().out
+        assert "unexcused-contradiction" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["validate", "/nonexistent.cdl"]) == 2
+
+    def test_hospital_schema_validates(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        assert main(["validate", str(path)]) == 0
+
+
+class TestPrint:
+    def test_round_trips(self, good_schema, capsys, tmp_path):
+        assert main(["print", good_schema]) == 0
+        printed = capsys.readouterr().out
+        again = tmp_path / "again.cdl"
+        again.write_text(printed)
+        assert main(["validate", str(again)]) == 0
+
+
+class TestType:
+    def test_relaxed_type_shown(self, good_schema, capsys):
+        assert main(["type", good_schema, "Patient", "treatedBy"]) == 0
+        out = capsys.readouterr().out
+        assert "Physician + Psychologist/Alcoholic" in out
+
+    def test_unknown_attribute_is_error(self, good_schema, capsys):
+        assert main(["type", good_schema, "Patient", "bogus"]) == 2
+
+
+class TestCheck:
+    def test_safe_query(self, good_schema, capsys):
+        code = main(["check", good_schema,
+                     "for p in Patient select p.name"])
+        assert code == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_unsafe_query(self, good_schema, capsys):
+        code = main(["check", good_schema,
+                     "for p in Alcoholic select p.treatedBy"])
+        assert code == 0  # narrow source: Psychologist, safe
+        code = main(["check", good_schema,
+                     "for p in Patient select p.treatedBy.name, "
+                     "p.treatedBy"])
+        assert code == 0
+
+    def test_query_with_findings_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        code = main(["check", str(path),
+                     "for p in Patient select p.treatedAt.location.state"])
+        assert code == 1
+        assert "unsafe" in capsys.readouterr().out
+
+    def test_no_unshared_flag(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        query = ("for p in Patient where p not in Tubercular_Patient "
+                 "select p.treatedAt.location.state")
+        assert main(["check", str(path), query]) == 0
+        assert main(["check", str(path), query, "--no-unshared"]) == 1
+
+    def test_syntax_error_exits_two(self, good_schema):
+        assert main(["check", good_schema, "for for for"]) == 2
+
+
+class TestExplain:
+    def test_explain_output(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        code = main(["explain", str(path),
+                     "for p in Patient select p.treatedAt.location.state"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CHECKED" in out and "unchecked" in out
+
+    def test_all_checked_flag(self, good_schema, capsys):
+        assert main(["explain", good_schema,
+                     "for p in Patient select p.name",
+                     "--all-checked"]) == 0
+        assert "check elimination disabled" in capsys.readouterr().out
+
+
+class TestTheory:
+    def test_theory_output(self, good_schema, capsys):
+        assert main(["theory", good_schema]) == 0
+        out = capsys.readouterr().out
+        assert "Patient < Person" in out
+        assert ("Patient < [treatedBy: Physician + Psychologist/Alcoholic]"
+                in out)
+
+
+class TestDiff:
+    def test_identical_exits_zero(self, good_schema, capsys):
+        assert main(["diff", good_schema, good_schema]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_changed_exits_one(self, good_schema, bad_schema, capsys):
+        # Schemas load unvalidated for diffing; the only difference is
+        # the dropped excuse clause.
+        assert main(["diff", good_schema, bad_schema]) == 1
+        out = capsys.readouterr().out
+        assert "excuses-changed Alcoholic.treatedBy" in out
+
+
+class TestDeduce:
+    def test_paper_deduction(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        code = main(["deduce", str(path),
+                     "y.treatedBy not in Physician",
+                     "y not in Alcoholic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "y not in Patient" in out
+        assert "because" in out
+
+    def test_single_fact_gets_only_the_subclass_deduction(
+            self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        assert main(["deduce", str(path),
+                     "y.treatedBy not in Physician"]) == 0
+        out = capsys.readouterr().out
+        # Cancer patients need oncologists (a Physician subclass), so
+        # that exclusion follows -- but Patient itself does not (y might
+        # be an Alcoholic).
+        assert "y not in Cancer_Patient" in out
+        assert "y not in Patient\n" not in out
+
+    def test_nothing_follows(self, tmp_path, capsys):
+        path = tmp_path / "hospital.cdl"
+        path.write_text(HOSPITAL_CDL)
+        assert main(["deduce", str(path),
+                     "y not in Person"]) == 0
+        assert "nothing new follows" in capsys.readouterr().out
+
+    def test_bad_fact_syntax(self, good_schema, capsys):
+        assert main(["deduce", good_schema, "y is weird"]) == 2
+
+
+class TestExcuses:
+    def test_lists_pairs(self, good_schema, capsys):
+        assert main(["excuses", good_schema]) == 0
+        out = capsys.readouterr().out
+        assert "(Patient, treatedBy) excused by Alcoholic" in out
+
+    def test_empty(self, tmp_path, capsys):
+        path = tmp_path / "plain.cdl"
+        path.write_text("class Person with name: String; end")
+        assert main(["excuses", str(path)]) == 0
+        assert "no excuses" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Coherence between the schema's type translation and the semantics.
+
+The library states each constraint twice: once as a run-time rule
+(:class:`ExcuseSemantics`) and once as a conditional *type*
+(:meth:`Schema.relaxed_constraint`).  These must agree: for any entity
+``x``, any constraint ``(C, p)`` with ``x`` in ``C``, and any value,
+
+    ExcuseSemantics.satisfies(x, value, (C, p))
+        ==  type_contains(relaxed_constraint(C, p), value, owner=x)
+
+This is the glue that makes the query checker's type-based reasoning
+valid about what the store enforces.  We fuzz it over random schemas,
+memberships, and values.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects import Instance, Surrogate
+from repro.schema import SchemaBuilder
+from repro.schema.schema import Constraint
+from repro.semantics import ExcuseSemantics
+from repro.typesys import EnumSymbol, INAPPLICABLE, NONE
+from repro.typesys.values import type_contains
+
+SYMBOLS = ("a", "b", "c", "d")
+SEMANTICS = ExcuseSemantics()
+
+
+@st.composite
+def random_world(draw):
+    """A base class, two excusing classes, a random entity, a value."""
+    base_syms = draw(st.sets(st.sampled_from(SYMBOLS), min_size=1))
+    b = SchemaBuilder()
+    b.cls("Root").attr("tag", set(SYMBOLS))
+    b.cls("B", isa="Root").attr("tag", set(base_syms))
+    excusing = []
+    for name in ("E1", "E2"):
+        if draw(st.booleans()):
+            use_none = draw(st.booleans())
+            range_ = NONE if use_none else set(
+                draw(st.sets(st.sampled_from(SYMBOLS), min_size=1)))
+            b.cls(name, isa="Root").attr("tag", range_,
+                                         excuses=[("B", "tag")])
+            excusing.append(name)
+    schema = b.build(validate=False)
+
+    memberships = {"B"} | set(
+        draw(st.sets(st.sampled_from(excusing)))) if excusing else {"B"}
+    value = draw(st.one_of(
+        st.sampled_from(SYMBOLS).map(EnumSymbol),
+        st.just(INAPPLICABLE),
+        st.integers(0, 3),
+    ))
+    entity = Instance(Surrogate(1), memberships, {"tag": value})
+    return schema, entity, value
+
+
+@settings(max_examples=400, deadline=None)
+@given(random_world())
+def test_semantics_equals_relaxed_type_membership(world):
+    schema, entity, value = world
+    constraint = Constraint("B", "tag",
+                            schema.get("B").attribute("tag").range)
+    excuses = schema.excuses_against("B", "tag")
+    via_semantics = SEMANTICS.satisfies(schema, entity, value,
+                                        constraint, excuses)
+    relaxed = schema.relaxed_constraint("B", "tag")
+    via_type = type_contains(relaxed, value, schema, owner=entity)
+    assert via_semantics == via_type
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_world())
+def test_store_enforcement_matches_semantics(world):
+    """The store's eager write check accepts exactly what the semantics
+    accepts (for this single-attribute world)."""
+    from repro.errors import ConformanceError
+    from repro.objects import ObjectStore
+    from repro.objects.store import CheckMode
+    schema, entity, value = world
+    store = ObjectStore(schema)
+    fresh = store.create("B", check=CheckMode.NONE)
+    for m in entity.memberships - {"B"}:
+        store.classify(fresh, m, check=CheckMode.NONE)
+
+    accepted = True
+    try:
+        store.set_value(fresh, "tag", value)
+    except ConformanceError:
+        accepted = False
+
+    checker_view = store.checker.check_attribute(fresh, "tag", value)
+    assert accepted == (not checker_view)
+    if value is INAPPLICABLE:
+        return  # unsetting is always permitted at write time
+    # And the checker agrees with the pure semantics on every applicable
+    # constraint.
+    for class_name in sorted(
+            store.checker.expanded_memberships(fresh)):
+        attr = schema.get(class_name).attribute("tag")
+        if attr is None:
+            continue
+        constraint = Constraint(class_name, "tag", attr.range)
+        ok = SEMANTICS.satisfies(
+            schema, fresh, value, constraint,
+            schema.excuses_against(class_name, "tag"))
+        if not ok:
+            assert not accepted
+            break
+    else:
+        assert accepted

@@ -1,0 +1,141 @@
+"""Definitional classes: predicate-defined extents (Section 2c)."""
+
+import pytest
+
+from repro.errors import QueryTypeError, SchemaError, UnknownClassError
+from repro.objects import ObjectStore
+from repro.objects.derived import DefinedClassCatalog
+from repro.schema import SchemaBuilder
+from repro.typesys import EnumSymbol, INTEGER, STRING
+
+
+@pytest.fixture()
+def world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING).attr("age", (1, 120))
+    b.cls("Employee", isa="Person").attr("salary", INTEGER) \
+        .attr("dept", {"Sales", "Engineering"})
+    b.cls("Senior_Employee", isa="Employee")  # target for materialization
+    schema = b.build()
+    store = ObjectStore(schema)
+    people = [
+        store.create("Employee", name="ann", age=61, salary=90000,
+                     dept=EnumSymbol("Engineering")),
+        store.create("Employee", name="bob", age=35, salary=60000,
+                     dept=EnumSymbol("Sales")),
+        store.create("Employee", name="cal", age=58, salary=120000,
+                     dept=EnumSymbol("Engineering")),
+    ]
+    return schema, store, people
+
+
+class TestDefinition:
+    def test_define_and_describe(self, world):
+        _schema, store, _people = world
+        catalog = DefinedClassCatalog(store)
+        defined = catalog.define("Well_Paid", "Employee",
+                                 "self.salary >= 90000")
+        assert "Well_Paid" in str(defined)
+        assert catalog.defined_names() == ("Well_Paid",)
+
+    def test_duplicate_rejected(self, world):
+        _schema, store, _people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("X", "Employee", "self.salary > 0")
+        with pytest.raises(SchemaError):
+            catalog.define("X", "Employee", "self.salary > 1")
+
+    def test_unknown_base_rejected(self, world):
+        _schema, store, _people = world
+        with pytest.raises(UnknownClassError):
+            DefinedClassCatalog(store).define("X", "Martian", "true")
+
+    def test_ill_typed_predicate_rejected(self, world):
+        _schema, store, _people = world
+        with pytest.raises(QueryTypeError):
+            DefinedClassCatalog(store).define(
+                "X", "Person", "self.salary > 0")  # Person has no salary
+
+
+class TestExtent:
+    def test_extent_filters_base(self, world):
+        _schema, store, people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Well_Paid", "Employee", "self.salary >= 90000")
+        names = {p.get_value("name") for p in catalog.extent("Well_Paid")}
+        assert names == {"ann", "cal"}
+        assert catalog.count("Well_Paid") == 2
+
+    def test_membership(self, world):
+        _schema, store, people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Well_Paid", "Employee", "self.salary >= 90000")
+        ann, bob, _cal = people
+        assert catalog.is_member(ann, "Well_Paid")
+        assert not catalog.is_member(bob, "Well_Paid")
+
+    def test_extent_is_always_fresh(self, world):
+        _schema, store, people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Well_Paid", "Employee", "self.salary >= 90000")
+        bob = people[1]
+        store.set_value(bob, "salary", 99000)
+        assert catalog.is_member(bob, "Well_Paid")
+        assert catalog.count("Well_Paid") == 3
+
+    def test_compound_predicates(self, world):
+        _schema, store, _people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define(
+            "Senior_Engineer", "Employee",
+            "self.age >= 55 and self.dept = 'Engineering")
+        names = {p.get_value("name")
+                 for p in catalog.extent("Senior_Engineer")}
+        assert names == {"ann", "cal"}
+
+    def test_missing_value_means_not_member(self, world):
+        _schema, store, _people = world
+        fresh = store.create("Employee", name="new", age=20,
+                             dept=EnumSymbol("Sales"))  # no salary yet
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Well_Paid", "Employee", "self.salary >= 90000")
+        assert not catalog.is_member(fresh, "Well_Paid")
+
+
+class TestMaterialization:
+    def test_materialize_into_schema_class(self, world):
+        _schema, store, people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Senior_Employee", "Employee", "self.age >= 55")
+        changed = catalog.materialize("Senior_Employee")
+        assert changed == 2
+        assert store.count("Senior_Employee") == 2
+        ann, _bob, cal = people
+        assert store.is_member(ann, "Senior_Employee")
+        assert store.is_member(cal, "Senior_Employee")
+
+    def test_refresh_declassifies_leavers(self, world):
+        _schema, store, people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Senior_Employee", "Employee", "self.age >= 55")
+        catalog.materialize("Senior_Employee")
+        ann = people[0]
+        store.set_value(ann, "age", 30)
+        changed = catalog.refresh("Senior_Employee")
+        assert changed == 1
+        assert not store.is_member(ann, "Senior_Employee")
+
+    def test_materialize_requires_schema_subclass(self, world):
+        _schema, store, _people = world
+        catalog = DefinedClassCatalog(store)
+        catalog.define("Well_Paid", "Employee", "self.salary >= 90000")
+        with pytest.raises(UnknownClassError):
+            catalog.materialize("Well_Paid")  # no schema class
+
+    def test_materialize_requires_isa_base(self, world):
+        _schema, store, _people = world
+        catalog = DefinedClassCatalog(store)
+        # Person is not a subclass of Employee.
+        catalog.define("Person", "Employee", "self.salary >= 90000")
+        with pytest.raises(SchemaError):
+            catalog.materialize("Person")

@@ -1,0 +1,106 @@
+"""Evaluation harness: desiderata matrix shape and verbosity growth."""
+
+import pytest
+
+from repro.baselines import ALL_MECHANISMS, ExceptionScenario
+from repro.evaluation import (
+    DESIDERATA,
+    desiderata_matrix,
+    render_table,
+    verbosity_sweep,
+)
+from repro.evaluation.verbosity import scenario_with_k_attributes
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return dict(desiderata_matrix(ALL_MECHANISMS))
+
+
+class TestDesiderataMatrix:
+    def test_excuses_meets_all_eight(self, matrix):
+        assert all(matrix["excuses"][d] for d in DESIDERATA)
+
+    def test_every_alternative_fails_some(self, matrix):
+        for name, cells in matrix.items():
+            if name == "excuses":
+                continue
+            failures = [d for d in DESIDERATA if not cells[d]]
+            assert len(failures) >= 2, (name, failures)
+
+    def test_reconciliation_fails_inheritance_and_locality(self, matrix):
+        cells = matrix["reconciliation"]
+        assert not cells["inheritance"]
+        assert not cells["locality"]
+        assert not cells["minimality"]
+
+    def test_intermediate_fails_minimality(self, matrix):
+        assert not matrix["intermediate-classes"]["minimality"]
+
+    def test_dissociation_fails_extent_and_subtyping(self, matrix):
+        cells = matrix["dissociation"]
+        assert not cells["extent inclusion"]
+        assert not cells["subtyping"]
+
+    def test_default_fails_veracity_verifiability_semantics(self, matrix):
+        cells = matrix["default-inheritance"]
+        assert not cells["veracity"]
+        assert not cells["verifiability"]
+        assert not cells["semantics"]
+
+    def test_default_keeps_extent_and_subtyping(self, matrix):
+        cells = matrix["default-inheritance"]
+        assert cells["extent inclusion"]
+        assert cells["subtyping"]
+
+
+class TestVerbosity:
+    def test_scenario_builder(self):
+        s = scenario_with_k_attributes(3, siblings=2)
+        assert len(s.all_contradictions()) == 3
+        assert len(s.sibling_subclasses) == 2
+        with pytest.raises(ValueError):
+            scenario_with_k_attributes(0)
+
+    def test_excuses_grow_linearly(self):
+        rows = [r for r in verbosity_sweep(ALL_MECHANISMS, ks=(1, 2, 3, 4))
+                if r.mechanism == "excuses"]
+        diffs = [b.total_classes - a.total_classes
+                 for a, b in zip(rows, rows[1:])]
+        assert len(set(diffs)) == 1  # constant increments = linear
+
+    def test_intermediate_grows_exponentially(self):
+        rows = [r for r in verbosity_sweep(ALL_MECHANISMS, ks=(2, 3, 4, 5))
+                if r.mechanism == "intermediate-classes"]
+        invented = [r.invented_classes for r in rows]
+        # invented(k) = k range-generals + 2^k - 1 anchors
+        assert invented == [2 + 3, 3 + 7, 4 + 15, 5 + 31]
+
+    def test_excuses_always_smallest(self):
+        rows = verbosity_sweep(ALL_MECHANISMS, ks=(1, 3, 5))
+        by_k = {}
+        for r in rows:
+            by_k.setdefault(r.k, {})[r.mechanism] = r
+        for k, per_mech in by_k.items():
+            smallest_decls = min(
+                r.attribute_declarations for r in per_mech.values())
+            assert per_mech["excuses"].attribute_declarations <= \
+                per_mech["default-inheritance"].attribute_declarations
+            assert per_mech["excuses"].total_classes == min(
+                r.total_classes for r in per_mech.values())
+
+
+class TestRenderTable:
+    def test_booleans_render(self):
+        text = render_table(["a", "b"], [[True, False]])
+        assert "yes" in text and "--" in text
+
+    def test_title_and_alignment(self):
+        text = render_table(["col"], [["x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("col")
+
+    def test_floats_compact(self):
+        text = render_table(["v"], [[3.14159]])
+        assert "3.14" in text

@@ -1,0 +1,37 @@
+"""The shipped examples run cleanly (guards against doc rot)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=120, cwd=REPO_ROOT)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), f"{example} produced no output"
+    assert "Traceback" not in result.stderr
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_has_docstring_with_run_instructions(example):
+    with open(os.path.join(EXAMPLES_DIR, example)) as f:
+        source = f.read()
+    assert source.lstrip().startswith('"""'), example
+    assert f"examples/{example}" in source, (
+        f"{example} docstring should show how to run it")

@@ -1,0 +1,146 @@
+"""CDL loading into schemas and printing back (round-trip)."""
+
+import pytest
+
+from repro.errors import CDLError, SchemaError
+from repro.lang import load_schema, print_class, print_schema
+from repro.scenarios.hospital import HOSPITAL_CDL
+from repro.typesys import NONE, STRING, ClassType, EnumerationType
+
+
+class TestLoading:
+    def test_hospital_schema_loads(self, hospital_schema):
+        assert "Tubercular_Patient" in hospital_schema
+        assert "Hospital$1" in hospital_schema  # virtual realized
+
+    def test_primitives_vs_class_names(self):
+        schema = load_schema("""
+            class Thing with
+              label: String;
+              weight: Integer;
+              owner: Person;
+            class Person with end
+        """)
+        thing = schema.get("Thing")
+        assert thing.attribute("label").range == STRING
+        assert thing.attribute("owner").range == ClassType("Person")
+
+    def test_excuses_wired_to_registry(self, hospital_schema):
+        entries = hospital_schema.excuses_against("Patient", "treatedBy")
+        assert {e.excusing_class for e in entries} == {"Alcoholic"}
+
+    def test_blood_pressure_policy_excuse(self, hospital_schema):
+        entries = hospital_schema.excuses_against(
+            "Renal_Failure_Patient", "bloodPressure")
+        assert {e.excusing_class for e in entries} == {
+            "Hemorrhaging_Patient"}
+
+    def test_anonymous_record_field_cannot_excuse(self):
+        with pytest.raises(CDLError):
+            load_schema("""
+                class Hospital with a: {'X};
+                class P with
+                  office: [a: None excuses a on Hospital];
+            """)
+
+    def test_validation_failure_surfaces(self):
+        with pytest.raises(SchemaError):
+            load_schema("""
+                class Person with age: 1..120;
+                class Odd is-a Person with age: 1..200;
+            """)
+
+    def test_validation_can_be_deferred(self):
+        schema = load_schema("""
+            class Person with age: 1..120;
+            class Odd is-a Person with age: 1..200;
+        """, validate=False)
+        assert "Odd" in schema
+
+
+class TestPrinting:
+    def test_round_trip_preserves_structure(self, hospital_schema):
+        text = print_schema(hospital_schema)
+        reloaded = load_schema(text)
+        assert set(reloaded.class_names()) == set(
+            hospital_schema.class_names())
+        assert reloaded.excuse_pairs() == hospital_schema.excuse_pairs()
+
+    def test_round_trip_preserves_constraints(self, hospital_schema):
+        reloaded = load_schema(print_schema(hospital_schema))
+        for cdef in hospital_schema.classes():
+            other = reloaded.get(cdef.name)
+            assert {a.name for a in cdef.attributes} == {
+                a.name for a in other.attributes}
+            for a in cdef.attributes:
+                assert str(other.attribute(a.name).range) == str(a.range)
+
+    def test_virtual_classes_reinlined(self, hospital_schema):
+        text = print_schema(hospital_schema)
+        # Not printed standalone...
+        assert "class Hospital$1" not in text
+        # ...but the embedding appears inside Tubercular_Patient.
+        tb = print_class(hospital_schema, "Tubercular_Patient")
+        assert "excuses accreditation on Hospital" in tb
+        assert "country" in tb
+
+    def test_print_class_basic_shape(self, hospital_schema):
+        text = print_class(hospital_schema, "Employee")
+        assert text.startswith("class Employee is-a Person with")
+        assert "age: 16..65" in text
+        assert text.rstrip().endswith("end")
+
+    def test_empty_class_printed(self):
+        schema = load_schema("class Marker with end")
+        assert print_class(schema, "Marker") == "class Marker with\nend"
+
+
+class TestPaperSnippets:
+    """Definitions lifted verbatim from the paper's figures."""
+
+    def test_intro_figure(self):
+        schema = load_schema("""
+            class Address with
+              street: String;
+              city: String;
+              state: {'AL, ..., 'WV};
+            class Person with
+              name: String;
+              age: 1..120;
+              home: Address;
+            class Employee is-a Person with
+              age: 16..65;
+              supervisor: Employee;
+              office: Address;
+        """)
+        assert schema.is_subclass("Employee", "Person")
+        emp = schema.get("Employee")
+        assert str(emp.attribute("age").range) == "16..65"
+        assert emp.attribute("supervisor").range == ClassType("Employee")
+
+    def test_quaker_figure(self):
+        schema = load_schema("""
+            class Person with
+              opinion: {'Hawk, 'Dove, 'Ostrich};
+            class Quaker is-a Person with
+              opinion: {'Dove} excuses opinion on Republican;
+            class Republican is-a Person with
+              opinion: {'Hawk} excuses opinion on Quaker;
+        """)
+        assert str(schema.relaxed_constraint("Quaker", "opinion")) == \
+            "{'Dove} + {'Hawk}/Republican"
+
+    def test_certified_physician_refinement(self):
+        schema = load_schema("""
+            class Person with end
+            class Physician is-a Person with end
+            class Patient is-a Person with
+              treatedBy: Physician;
+            class Cancer_Patient is-a Patient with
+              treatedBy: Physician [certifiedBy: {'ABO}];
+        """)
+        refined = schema.attribute_type("Cancer_Patient", "treatedBy")
+        name = refined.name
+        assert schema.is_subclass(name, "Physician")
+        assert schema.get(name).attribute("certifiedBy").range == \
+            EnumerationType(["ABO"])

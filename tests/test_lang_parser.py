@@ -1,0 +1,142 @@
+"""CDL parser: AST construction and syntax errors."""
+
+import pytest
+
+from repro.errors import CDLSyntaxError
+from repro.lang import parse
+from repro.lang.ast import (
+    EnumTypeExpr,
+    NamedTypeExpr,
+    NoneTypeExpr,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RefinedTypeExpr,
+)
+
+
+class TestClassDecls:
+    def test_minimal_class(self):
+        program = parse("class Person with end")
+        assert len(program.classes) == 1
+        decl = program.classes[0]
+        assert decl.name == "Person"
+        assert decl.parents == ()
+        assert decl.attrs == ()
+
+    def test_class_without_end_terminated_by_next_class(self):
+        program = parse("class A with\nclass B with end")
+        assert [c.name for c in program.classes] == ["A", "B"]
+
+    def test_single_parent(self):
+        decl = parse("class Employee is-a Person with end").classes[0]
+        assert decl.parents == ("Person",)
+
+    def test_multiple_parents(self):
+        decl = parse("class QR is-a Quaker, Republican with end").classes[0]
+        assert decl.parents == ("Quaker", "Republican")
+
+    def test_attributes_parsed(self):
+        decl = parse("""
+            class Person with
+              name: String;
+              age: 1..120;
+        """).classes[0]
+        assert [a.name for a in decl.attrs] == ["name", "age"]
+        assert decl.attrs[1].type == RangeTypeExpr(1, 120)
+
+    def test_trailing_semicolon_optional(self):
+        decl = parse("class P with name: String end").classes[0]
+        assert len(decl.attrs) == 1
+
+
+class TestTypes:
+    def _type_of(self, source_type):
+        return parse(f"class C with a: {source_type}; end") \
+            .classes[0].attrs[0].type
+
+    def test_named(self):
+        assert self._type_of("Physician") == NamedTypeExpr("Physician")
+
+    def test_none(self):
+        assert self._type_of("None") == NoneTypeExpr()
+
+    def test_enum(self):
+        assert self._type_of("{'Hawk, 'Dove}") == EnumTypeExpr(
+            ("Hawk", "Dove"))
+
+    def test_enum_with_ellipsis(self):
+        t = self._type_of("{'AL, ..., 'WV}")
+        assert t.symbols == ("AL", "WV")
+        assert t.elided
+
+    def test_anonymous_record(self):
+        t = self._type_of("[street: String; city: String]")
+        assert isinstance(t, RecordTypeExpr)
+        assert [a.name for a in t.attrs] == ["street", "city"]
+
+    def test_refinement(self):
+        t = self._type_of("Physician [certifiedBy: {'ABO}]")
+        assert isinstance(t, RefinedTypeExpr)
+        assert t.base == "Physician"
+        assert t.attrs[0].name == "certifiedBy"
+
+    def test_nested_refinement(self):
+        t = self._type_of(
+            "Hospital [location: Address [country: {'Switzerland}]]")
+        inner = t.attrs[0].type
+        assert isinstance(inner, RefinedTypeExpr)
+        assert inner.base == "Address"
+
+
+class TestExcuses:
+    def test_single_excuse(self):
+        decl = parse("""
+            class Alcoholic is-a Patient with
+              treatedBy: Psychologist excuses treatedBy on Patient;
+        """).classes[0]
+        excuse = decl.attrs[0].excuses[0]
+        assert (excuse.attribute, excuse.class_name) == (
+            "treatedBy", "Patient")
+
+    def test_multiple_excuses_on_one_attribute(self):
+        decl = parse("""
+            class Odd is-a Alcoholic with
+              treatedBy: Paramedic
+                excuses treatedBy on Alcoholic
+                excuses treatedBy on Patient;
+        """).classes[0]
+        assert len(decl.attrs[0].excuses) == 2
+
+    def test_excuse_inside_refinement(self):
+        decl = parse("""
+            class TB is-a Patient with
+              treatedAt: Hospital
+                [accreditation: None excuses accreditation on Hospital];
+        """).classes[0]
+        refined = decl.attrs[0].type
+        assert refined.attrs[0].excuses[0].class_name == "Hospital"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "Person with end",                      # missing 'class'
+        "class with end",                       # missing name
+        "class P is-a with end",                # missing parent
+        "class P with a String; end",           # missing colon
+        "class P with a: ; end",                # missing type
+        "class P with a: {'A 'B}; end",         # missing comma
+        "class P with a: 1..; end",             # incomplete range
+        "class P with a: T excuses on Q; end",  # missing attribute
+        "class P with a: T excuses a Q; end",   # missing 'on'
+        "class P with a: [x: T; end",           # unclosed bracket
+        "class P with a: {}; end",              # empty enum
+        "class P with a: T b: U; end",          # missing semicolon
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(CDLSyntaxError):
+            parse(source)
+
+    def test_error_position_reported(self):
+        with pytest.raises(CDLSyntaxError) as info:
+            parse("class P with\n  a String;\nend")
+        assert info.value.line == 2

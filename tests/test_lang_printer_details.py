@@ -1,0 +1,120 @@
+"""Printer details: formatting of every type kind and structure."""
+
+import pytest
+
+from repro.lang import load_schema, print_class, print_schema
+from repro.lang.printer import _format_type
+from repro.typesys import (
+    ANY_ENTITY,
+    BOOLEAN,
+    INTEGER,
+    NONE,
+    REAL,
+    STRING,
+    ClassType,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+)
+
+
+class TestFormatType:
+    @pytest.mark.parametrize("t,expected", [
+        (STRING, "String"),
+        (INTEGER, "Integer"),
+        (REAL, "Real"),
+        (BOOLEAN, "Boolean"),
+        (NONE, "None"),
+        (IntRangeType(16, 65), "16..65"),
+        (EnumerationType(["B", "A"]), "{'A, 'B}"),
+        (ClassType("Physician"), "Physician"),
+        (RecordType({"city": STRING}), "[city: String]"),
+    ])
+    def test_kinds(self, t, expected):
+        assert _format_type(t) == expected
+
+    def test_nested_record(self):
+        t = RecordType({"home": RecordType({"city": STRING})})
+        assert _format_type(t) == "[home: [city: String]]"
+
+    def test_conditional_guard(self):
+        # Conditional types never appear in declarations; the formatter
+        # still renders them readably for diagnostics.
+        t = ConditionalType(INTEGER, [(NONE, "Temp")])
+        assert "None/Temp" in _format_type(t)
+
+
+class TestClassPrinting:
+    def test_multi_parent_isa_line(self):
+        schema = load_schema("""
+            class A with end
+            class B with end
+            class C is-a A, B with end
+        """)
+        assert print_class(schema, "C").startswith("class C is-a A, B")
+
+    def test_excuse_clause_indented_under_attribute(self):
+        schema = load_schema("""
+            class Person with opinion: {'Hawk, 'Dove};
+            class Quaker is-a Person with
+              opinion: {'Dove} excuses opinion on Republican;
+            class Republican is-a Person with
+              opinion: {'Hawk} excuses opinion on Quaker;
+        """)
+        text = print_class(schema, "Quaker")
+        lines = text.splitlines()
+        attr_line = next(l for l in lines if "opinion:" in l)
+        excuse_line = next(l for l in lines if "excuses" in l)
+        assert len(excuse_line) - len(excuse_line.lstrip()) > \
+            len(attr_line) - len(attr_line.lstrip())
+
+    def test_multiple_excuses_both_printed(self):
+        schema = load_schema("""
+            class Person with end
+            class Physician is-a Person with end
+            class Psychologist is-a Person with end
+            class Paramedic is-a Person with end
+            class Patient is-a Person with treatedBy: Physician;
+            class Alcoholic is-a Patient with
+              treatedBy: Psychologist excuses treatedBy on Patient;
+            class OddAlc is-a Alcoholic with
+              treatedBy: Paramedic
+                excuses treatedBy on Alcoholic
+                excuses treatedBy on Patient;
+        """)
+        text = print_class(schema, "OddAlc")
+        assert text.count("excuses treatedBy") == 2
+
+    def test_anonymous_record_printed_inline(self):
+        schema = load_schema("""
+            class Person with
+              home: [street: String; city: String];
+        """)
+        assert "home: [city: String; street: String]" in print_class(
+            schema, "Person")
+
+
+class TestSchemaPrinting:
+    def test_classes_separated_by_blank_lines(self):
+        schema = load_schema("class A with end\nclass B with end")
+        assert print_schema(schema) == \
+            "class A with\nend\n\nclass B with\nend\n"
+
+    def test_double_nested_embedding_round_trips(self):
+        source = """
+            class Leaf with tag: {'x};
+            class Mid with leaf: Leaf;
+            class Outer with mid: Mid;
+            class Holder with
+              slot: Outer
+                [mid: Mid
+                  [leaf: Leaf
+                    [tag: None excuses tag on Leaf]]];
+        """
+        schema = load_schema(source)
+        reloaded = load_schema(print_schema(schema))
+        assert set(reloaded.class_names()) == set(schema.class_names())
+        assert reloaded.excuse_pairs() == schema.excuse_pairs()
+        # All three virtual levels re-created.
+        assert sum(1 for c in reloaded.virtual_classes()) == 3

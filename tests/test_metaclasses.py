@@ -1,0 +1,179 @@
+"""Meta-classes: classes as objects with properties (Section 2e)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.objects import ObjectStore
+from repro.schema import SchemaBuilder
+from repro.schema.metaclasses import (
+    MetaAttributeDef,
+    MetaClass,
+    MetaClassRegistry,
+    PolicyConstraint,
+    average_of,
+    count_of,
+    maximum_of,
+    minimum_of,
+    total_of,
+)
+from repro.typesys import INAPPLICABLE, INTEGER, STRING
+
+
+@pytest.fixture()
+def world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Employee", isa="Person").attr("salary", INTEGER)
+    b.cls("Secretary", isa="Employee")
+    b.cls("Professor", isa="Employee")
+    schema = b.build()
+    store = ObjectStore(schema)
+    for name, cls, salary in (
+            ("ann", "Secretary", 40000), ("bob", "Secretary", 44000),
+            ("cal", "Professor", 90000), ("dee", "Professor", 110000)):
+        store.create(cls, name=name, salary=salary)
+    registry = MetaClassRegistry(schema)
+    employee_class = registry.define(MetaClass(
+        "Employee_Class",
+        attributes=(
+            MetaAttributeDef("avgSalary", summary=average_of("salary")),
+            MetaAttributeDef("headcount", summary=count_of()),
+            MetaAttributeDef("avgSalaryLimit", range=INTEGER),
+        ),
+        constraints=(
+            PolicyConstraint(
+                "salary-under-limit",
+                lambda v: (v["avgSalary"] is None
+                           or v["avgSalary"] <= v["avgSalaryLimit"]),
+                doc="average salary must respect the policy limit"),
+        ),
+    ))
+    return schema, store, registry
+
+
+class TestClassification:
+    def test_classes_become_instances_not_subclasses(self, world):
+        schema, _store, registry = world
+        registry.classify_class("Secretary", "Employee_Class",
+                                avgSalaryLimit=50000)
+        assert registry.metaclass_of("Secretary") == "Employee_Class"
+        # crucially, NOT an IS-A relationship:
+        assert not schema.is_subclass("Secretary", "Employee_Class")
+
+    def test_instances_of(self, world):
+        _schema, _store, registry = world
+        registry.classify_class("Secretary", "Employee_Class",
+                                avgSalaryLimit=50000)
+        registry.classify_class("Professor", "Employee_Class",
+                                avgSalaryLimit=120000)
+        assert registry.instances_of("Employee_Class") == (
+            "Professor", "Secretary")
+
+    def test_unknown_class_rejected(self, world):
+        _schema, _store, registry = world
+        with pytest.raises(UnknownClassError):
+            registry.classify_class("Martian", "Employee_Class")
+
+    def test_unknown_property_rejected(self, world):
+        _schema, _store, registry = world
+        with pytest.raises(SchemaError):
+            registry.classify_class("Secretary", "Employee_Class",
+                                    bogus=1)
+
+    def test_summary_property_cannot_be_stored(self, world):
+        _schema, _store, registry = world
+        with pytest.raises(SchemaError):
+            registry.classify_class("Secretary", "Employee_Class",
+                                    avgSalary=1)
+
+    def test_stored_value_range_checked(self, world):
+        _schema, _store, registry = world
+        with pytest.raises(SchemaError):
+            registry.classify_class("Secretary", "Employee_Class",
+                                    avgSalaryLimit="a lot")
+
+    def test_duplicate_metaclass_rejected(self, world):
+        _schema, _store, registry = world
+        with pytest.raises(SchemaError):
+            registry.define(MetaClass("Employee_Class"))
+
+
+class TestProperties:
+    def test_summary_over_extent(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Secretary", "Employee_Class",
+                                avgSalaryLimit=50000)
+        assert registry.property_value("Secretary", "avgSalary",
+                                       store) == 42000
+        assert registry.property_value("Secretary", "headcount",
+                                       store) == 2
+
+    def test_stored_value(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Secretary", "Employee_Class",
+                                avgSalaryLimit=50000)
+        assert registry.property_value("Secretary",
+                                       "avgSalaryLimit") == 50000
+
+    def test_unset_stored_value_is_inapplicable(self, world):
+        _schema, _store, registry = world
+        registry.classify_class("Secretary", "Employee_Class")
+        assert registry.property_value(
+            "Secretary", "avgSalaryLimit") is INAPPLICABLE
+
+    def test_summary_needs_store(self, world):
+        _schema, _store, registry = world
+        registry.classify_class("Secretary", "Employee_Class",
+                                avgSalaryLimit=50000)
+        with pytest.raises(SchemaError):
+            registry.property_value("Secretary", "avgSalary")
+
+    def test_property_values_bundle(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Professor", "Employee_Class",
+                                avgSalaryLimit=120000)
+        values = registry.property_values("Professor", store)
+        assert values["avgSalary"] == 100000
+        assert values["headcount"] == 2
+
+
+class TestPolicies:
+    def test_policy_satisfied(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Professor", "Employee_Class",
+                                avgSalaryLimit=120000)
+        assert registry.check_policies(store) == []
+
+    def test_policy_violated(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Professor", "Employee_Class",
+                                avgSalaryLimit=95000)
+        violations = registry.check_policies(store)
+        assert len(violations) == 1
+        assert violations[0].class_name == "Professor"
+        assert "salary-under-limit" in str(violations[0])
+
+    def test_policy_tracks_extent_changes(self, world):
+        _schema, store, registry = world
+        registry.classify_class("Professor", "Employee_Class",
+                                avgSalaryLimit=101000)
+        assert registry.check_policies(store) == []
+        store.create("Professor", name="eva", salary=200000)
+        assert len(registry.check_policies(store)) == 1
+
+
+class TestSummarizers:
+    def test_all_aggregates(self, world):
+        _schema, store, _registry = world
+        assert total_of("salary")(store, "Secretary") == 84000
+        assert minimum_of("salary")(store, "Secretary") == 40000
+        assert maximum_of("salary")(store, "Professor") == 110000
+        assert average_of("salary")(store, "Person") == 71000
+
+    def test_empty_extent(self, world):
+        schema, store, _registry = world
+        from repro.schema.classdef import ClassDef
+        schema.add_class(ClassDef("Intern", ("Employee",)))
+        assert average_of("salary")(store, "Intern") is None
+        assert minimum_of("salary")(store, "Intern") is None
+        assert total_of("salary")(store, "Intern") == 0

@@ -1,0 +1,88 @@
+"""The per-individual exception mechanism (reference [4] baseline)."""
+
+import pytest
+
+from repro.objects import ExceptionalIndividualRegistry, ObjectStore
+from repro.objects.store import CheckMode
+from repro.schema import SchemaBuilder
+from repro.typesys import STRING
+
+
+@pytest.fixture()
+def world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    schema = b.build()
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    registry = ExceptionalIndividualRegistry(schema)
+    return schema, store, registry
+
+
+def test_unmarked_violation_reported(world):
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    p = store.create("Patient", name="p", treatedBy=shrink)
+    assert not registry.conforms(p)
+
+
+def test_marked_individual_waived(world):
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    p = store.create("Patient", name="p", treatedBy=shrink)
+    registry.mark(p, "Patient", "treatedBy", reason="long-term therapy")
+    assert registry.conforms(p)
+
+
+def test_mark_is_per_object(world):
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    p1 = store.create("Patient", name="p1", treatedBy=shrink)
+    p2 = store.create("Patient", name="p2", treatedBy=shrink)
+    registry.mark(p1, "Patient", "treatedBy")
+    assert registry.conforms(p1)
+    assert not registry.conforms(p2)
+
+
+def test_mark_is_per_constraint(world):
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    p = store.create("Patient", name="p", treatedBy=shrink)
+    registry.mark(p, "Patient", "name")  # wrong attribute
+    assert not registry.conforms(p)
+
+
+def test_unmark(world):
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    p = store.create("Patient", name="p", treatedBy=shrink)
+    registry.mark(p, "Patient", "treatedBy")
+    registry.unmark(p, "Patient", "treatedBy")
+    assert not registry.conforms(p)
+
+
+def test_record_count_tracks_population_cost(world):
+    """The paper's objection: an exceptional *collection* needs one record
+    per member, versus one excuse for the whole class."""
+    _schema, store, registry = world
+    shrink = store.create("Psychologist", name="s")
+    patients = [
+        store.create("Patient", name=f"p{i}", treatedBy=shrink)
+        for i in range(25)
+    ]
+    created = registry.mark_population(patients, "Patient", "treatedBy",
+                                       reason="alcoholics")
+    assert created == 25
+    assert registry.record_count() == 25
+    assert all(registry.conforms(p) for p in patients)
+
+
+def test_records_for(world):
+    _schema, store, registry = world
+    p = store.create("Patient", name="p")
+    registry.mark(p, "Patient", "treatedBy", reason="x")
+    records = registry.records_for(p)
+    assert len(records) == 1
+    assert records[0].reason == "x"

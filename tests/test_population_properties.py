@@ -1,0 +1,51 @@
+"""Population generators always produce conformant worlds."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import (
+    build_hospital_schema,
+    build_university_schema,
+    populate_hospital,
+    populate_university,
+)
+
+HOSPITAL = build_hospital_schema()
+UNIVERSITY = build_university_schema()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(5, 80),
+    alc=st.floats(0.0, 0.3),
+    tb=st.floats(0.0, 0.2),
+    amb=st.floats(0.0, 0.2),
+    cancer=st.floats(0.0, 0.2),
+)
+def test_hospital_population_always_conformant(seed, n, alc, tb, amb,
+                                               cancer):
+    pop = populate_hospital(schema=HOSPITAL, n_patients=n, seed=seed,
+                            alcoholic_fraction=alc,
+                            tubercular_fraction=tb,
+                            ambulatory_fraction=amb,
+                            cancer_fraction=cancer)
+    assert len(pop.patients) == n
+    assert pop.store.validate_all() == []
+    # The implicit extents exist exactly when TB patients do.
+    assert (pop.store.count("Hospital$1") > 0) == bool(pop.tubercular)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(5, 60),
+    audit=st.floats(0.0, 0.4),
+    pf=st.floats(0.0, 0.4),
+)
+def test_university_population_always_conformant(seed, n, audit, pf):
+    pop = populate_university(schema=UNIVERSITY, n_students=n, seed=seed,
+                              audit_fraction=audit,
+                              pass_fail_fraction=pf)
+    assert len(pop.students) == n
+    assert len(pop.enrollments) == n
+    assert pop.store.validate_all() == []

@@ -1,0 +1,144 @@
+"""Aggregate queries: count / min / max / avg / total."""
+
+import pytest
+
+from repro.errors import QueryTypeError
+from repro.query import analyze, compile_query, execute, parse_query
+from repro.query.ast import Aggregate, Path, Var
+from repro.typesys import INAPPLICABLE
+
+
+@pytest.fixture(scope="module")
+def world(hospital_population):
+    pop = hospital_population
+    return pop.store.schema, pop
+
+
+class TestParsing:
+    def test_bare_count(self):
+        q = parse_query("for p in Patient select count")
+        assert q.select == (Aggregate("count", None),)
+
+    def test_count_with_operand(self):
+        q = parse_query("for p in Patient select count p.ward")
+        assert q.select == (
+            Aggregate("count", Path(Var("p"), "ward")),)
+
+    def test_value_aggregates(self):
+        for fn in ("min", "max", "avg", "total"):
+            q = parse_query(f"for p in Patient select {fn} p.age")
+            assert q.select[0].function == fn
+
+    def test_multiple_aggregates(self):
+        q = parse_query(
+            "for p in Patient select count, min p.age, max p.age")
+        assert [a.function for a in q.select] == ["count", "min", "max"]
+
+    def test_identifier_named_count_still_usable(self):
+        # `count.x` is a path over a variable named count, not an
+        # aggregate.
+        q = parse_query("for count in Patient select count.age")
+        assert q.select == (Path(Var("count"), "age"),)
+
+    def test_str_round_trip(self):
+        text = "for p in Patient select count, avg p.age"
+        assert str(parse_query(text)) == text
+
+
+class TestTyping:
+    def test_count_is_integer(self, world):
+        schema, _pop = world
+        report = analyze("for p in Patient select count", schema)
+        assert report.is_safe
+        assert report.select_possibilities[0][0].type.name == "Integer"
+
+    def test_avg_is_real(self, world):
+        schema, _pop = world
+        report = analyze("for p in Patient select avg p.age", schema)
+        assert str(report.select_possibilities[0][0].type) == "Real"
+
+    def test_avg_of_non_numeric_flagged(self, world):
+        schema, _pop = world
+        report = analyze("for p in Patient select avg p.name", schema)
+        assert any("numeric" in f.reason for f in report.findings)
+
+    def test_min_of_entity_flagged(self, world):
+        schema, _pop = world
+        report = analyze("for p in Patient select min p.treatedBy",
+                         schema)
+        assert any("orderable" in f.reason for f in report.findings)
+
+    def test_mixing_aggregates_and_rows_is_error(self, world):
+        schema, _pop = world
+        report = analyze("for p in Patient select count, p.name", schema)
+        assert report.errors
+        with pytest.raises(QueryTypeError):
+            compile_query("for p in Patient select count, p.name",
+                          schema)
+
+    def test_nested_aggregate_rejected(self, world):
+        schema, _pop = world
+        with pytest.raises(QueryTypeError):
+            analyze("for p in Patient where count > 3 select p.name",
+                    schema)
+
+    def test_aggregate_over_possibly_missing_is_not_unsafe(self, world):
+        # counting wards simply skips ambulatory patients' missing wards.
+        schema, _pop = world
+        report = analyze("for p in Patient select count p.ward", schema)
+        assert not report.errors
+
+
+class TestExecution:
+    def test_bare_count_counts_rows(self, world):
+        schema, pop = world
+        rows, stats = execute("for p in Patient select count", pop.store)
+        assert rows == [(len(pop.patients),)]
+        assert stats.rows_returned == 1
+
+    def test_count_with_where(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient where p in Alcoholic select count",
+            pop.store)
+        assert rows == [(len(pop.alcoholics),)]
+
+    def test_min_max_avg_total(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient select min p.age, max p.age, avg p.age, "
+            "total p.age", pop.store)
+        ages = [p.get_value("age") for p in pop.patients]
+        low, high, mean, total = rows[0]
+        assert low == min(ages)
+        assert high == max(ages)
+        assert total == sum(ages)
+        assert mean == pytest.approx(sum(ages) / len(ages))
+
+    def test_count_operand_skips_inapplicable(self, world):
+        schema, pop = world
+        rows, _ = execute("for p in Patient select count p.ward",
+                          pop.store)
+        with_ward = sum(
+            1 for p in pop.patients
+            if p.get_value("ward") is not INAPPLICABLE)
+        assert rows == [(with_ward,)]
+        assert with_ward == len(pop.patients) - len(pop.ambulatory)
+
+    def test_empty_extent_aggregates(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient where p.age > 999 select count, min p.age,"
+            " avg p.age, total p.age", pop.store)
+        count, low, mean, total = rows[0]
+        assert count == 0
+        assert low is INAPPLICABLE
+        assert mean is INAPPLICABLE
+        assert total == 0
+
+    def test_string_min_max(self, world):
+        schema, pop = world
+        rows, _ = execute("for p in Patient select min p.name, "
+                          "max p.name", pop.store)
+        names = [p.get_value("name") for p in pop.patients]
+        assert rows == [(min(names), max(names))]

@@ -1,0 +1,168 @@
+"""Query compilation, check elimination, and execution."""
+
+import pytest
+
+from repro.errors import QueryTypeError
+from repro.query import compile_query, execute
+from repro.query.compiler import QueryRuntimeError
+from repro.typesys import EnumSymbol, INAPPLICABLE
+
+
+@pytest.fixture(scope="module")
+def world(hospital_population):
+    pop = hospital_population
+    return pop.store.schema, pop
+
+
+class TestCheckInsertion:
+    def test_safe_query_has_no_checks(self, world):
+        schema, _pop = world
+        c = compile_query(
+            "for p in Patient select p.name, p.treatedAt.location.city",
+            schema)
+        assert c.checks_inserted == 0
+        assert c.accesses_total == 4
+        assert c.checks_eliminated == 4
+
+    def test_unsafe_access_gets_exactly_one_check(self, world):
+        schema, _pop = world
+        c = compile_query(
+            "for p in Patient select p.treatedAt.location.state", schema)
+        assert c.checks_inserted == 1  # only the final .state fetch
+
+    def test_guard_eliminates_the_check(self, world):
+        schema, _pop = world
+        c = compile_query(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.treatedAt.location.state", schema)
+        assert c.checks_inserted == 0
+
+    def test_baseline_checks_everything(self, world):
+        schema, _pop = world
+        c = compile_query(
+            "for p in Patient select p.name, p.treatedAt.location.city",
+            schema, eliminate_checks=False)
+        assert c.checks_inserted == c.accesses_total == 4
+
+    def test_branch_sensitive_decisions(self, world):
+        schema, _pop = world
+        c = compile_query(
+            "for p in Patient select when p in Alcoholic "
+            "then p.treatedBy.therapyStyle else p.treatedBy end", schema)
+        # Inside the guard everything is provable; no checks needed.
+        assert c.checks_inserted == 0
+
+    def test_definite_error_rejected_at_compile_time(self, world):
+        schema, _pop = world
+        with pytest.raises(QueryTypeError):
+            compile_query("for p in Person select p.supervisor", schema)
+
+
+class TestExecution:
+    def test_safe_query_runs_clean(self, world):
+        schema, pop = world
+        rows, stats = execute(
+            "for p in Patient select p.name, p.treatedAt.location.city",
+            pop.store)
+        assert stats.rows_returned == len(pop.patients)
+        assert stats.rows_skipped == 0
+        assert stats.checks_executed == 0
+
+    def test_unsafe_query_skips_exceptional_rows(self, world):
+        schema, pop = world
+        rows, stats = execute(
+            "for p in Patient select p.name, p.treatedAt.location.state",
+            pop.store)
+        assert stats.rows_skipped == len(pop.tubercular)
+        assert stats.rows_returned == len(pop.patients) - len(
+            pop.tubercular)
+        assert stats.checks_executed == stats.rows_scanned
+
+    def test_guarded_query_equivalent_without_checks(self, world):
+        schema, pop = world
+        rows_guarded, stats_guarded = execute(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.name, p.treatedAt.location.state", pop.store)
+        rows_unsafe, _ = execute(
+            "for p in Patient select p.name, "
+            "p.treatedAt.location.state", pop.store)
+        assert sorted(rows_guarded) == sorted(rows_unsafe)
+        assert stats_guarded.checks_executed == 0
+
+    def test_elimination_does_not_change_results(self, world):
+        schema, pop = world
+        query = ("for p in Patient where p.age > 40 "
+                 "select p.name, p.treatedAt.location.city")
+        fast, _ = execute(compile_query(query, schema), pop.store)
+        slow, slow_stats = execute(
+            compile_query(query, schema, eliminate_checks=False),
+            pop.store)
+        assert fast == slow
+        assert slow_stats.checks_executed > 0
+
+    def test_where_filtering(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient where p in Alcoholic select p.name",
+            pop.store)
+        assert len(rows) == len(pop.alcoholics)
+
+    def test_when_expression_evaluation(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient select p.name, when p in Alcoholic "
+            "then 'Therapy else 'Medicine end", pop.store)
+        therapy = [r for r in rows if r[1] == EnumSymbol("Therapy")]
+        assert len(therapy) == len(pop.alcoholics)
+
+    def test_comparisons_and_literals(self, world):
+        schema, pop = world
+        rows, _ = execute(
+            "for p in Patient where p.bloodPressure = 'Normal_BP "
+            "and p.age >= 50 select p.age", pop.store)
+        assert all(age >= 50 for (age,) in rows)
+
+    def test_boolean_connectives(self, world):
+        schema, pop = world
+        rows_or, _ = execute(
+            "for p in Patient where p in Alcoholic or "
+            "p in Tubercular_Patient select p.name", pop.store)
+        assert len(rows_or) == len(pop.alcoholics) + len(pop.tubercular)
+        rows_not, _ = execute(
+            "for p in Patient where not p in Alcoholic select p.name",
+            pop.store)
+        assert len(rows_not) == len(pop.patients) - len(pop.alcoholics)
+
+
+class TestUnsafePolicies:
+    def test_null_policy_returns_inapplicable(self, world):
+        schema, pop = world
+        rows, stats = execute(
+            compile_query(
+                "for p in Patient select p.name, "
+                "p.treatedAt.location.state", schema, on_unsafe="null"),
+            pop.store)
+        assert stats.rows_skipped == 0
+        nulls = [r for r in rows if r[1] is INAPPLICABLE]
+        assert len(nulls) == len(pop.tubercular)
+
+    def test_raise_policy(self, world):
+        schema, pop = world
+        compiled = compile_query(
+            "for p in Patient select p.treatedAt.location.state",
+            schema, on_unsafe="raise")
+        with pytest.raises(QueryRuntimeError):
+            execute(compiled, pop.store)
+
+    def test_bad_policy_rejected(self, world):
+        schema, _pop = world
+        with pytest.raises(ValueError):
+            compile_query("for p in Patient select p.name", schema,
+                          on_unsafe="explode")
+
+
+class TestQueryTextEntryPoint:
+    def test_execute_accepts_text(self, world):
+        _schema, pop = world
+        rows, _ = execute("for p in Patient select p.age", pop.store)
+        assert len(rows) == len(pop.patients)

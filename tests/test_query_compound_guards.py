@@ -1,0 +1,113 @@
+"""Compound conditions: fact propagation through and/or/not and nesting."""
+
+import pytest
+
+from repro.query import analyze, compile_query, execute
+
+
+class TestConjunctions:
+    def test_and_propagates_both_facts(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p not in Alcoholic and "
+            "p not in Tubercular_Patient select "
+            "p.treatedBy.affiliatedWith, p.treatedAt.location.state",
+            hospital_schema)
+        assert report.is_safe
+
+    def test_and_facts_flow_left_to_right_in_where(self, hospital_schema):
+        # The right conjunct is typed under the left's facts: accessing
+        # therapyStyle is fine after `p in Alcoholic`.
+        report = analyze(
+            "for p in Patient where p in Alcoholic and "
+            "p.treatedBy.therapyStyle = 'CBT select p.name",
+            hospital_schema)
+        assert report.is_safe
+
+    def test_unguarded_right_conjunct_flagged(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.treatedBy.therapyStyle = 'CBT "
+            "select p.name", hospital_schema)
+        assert not report.is_safe
+
+
+class TestDisjunctionsAndNegation:
+    def test_or_gives_no_positive_facts(self, hospital_schema):
+        # `p in A or p in B` proves nothing in the then-world about A
+        # alone, so therapyStyle stays unsafe.
+        report = analyze(
+            "for p in Patient where p in Alcoholic or p in Cancer_Patient"
+            " select p.treatedBy.therapyStyle", hospital_schema)
+        assert not report.is_safe
+
+    def test_negated_or_in_when_else_branch(self, hospital_schema):
+        # not (A or B) gives NOT-A and NOT-B in the TRUE world of the
+        # negation -- i.e. the then-branch here.
+        report = analyze(
+            "for p in Patient select when "
+            "not (p in Alcoholic or p in Tubercular_Patient) then "
+            "p.treatedAt.location.state else p.name end",
+            hospital_schema)
+        assert report.is_safe
+
+    def test_double_negation(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where not (not (p in Alcoholic)) "
+            "select p.treatedBy.therapyStyle", hospital_schema)
+        assert report.is_safe
+
+    def test_not_in_equals_not_wrapped_in(self, hospital_schema):
+        a = analyze("for p in Patient where p not in Alcoholic "
+                    "select p.treatedBy.affiliatedWith", hospital_schema)
+        b = analyze("for p in Patient where not p in Alcoholic "
+                    "select p.treatedBy.affiliatedWith", hospital_schema)
+        assert a.is_safe and b.is_safe
+
+
+class TestNestedWhen:
+    def test_chained_whens_accumulate_facts(self, hospital_schema):
+        report = analyze(
+            "for p in Patient select "
+            "when p in Alcoholic then p.treatedBy.therapyStyle "
+            "else when p in Tubercular_Patient "
+            "then p.treatedAt.location.country "
+            "else p.treatedAt.location.state end end",
+            hospital_schema)
+        assert report.is_safe, [str(f) for f in report.findings]
+
+    def test_execution_of_chained_whens(self, hospital_population):
+        pop = hospital_population
+        rows, stats = execute(
+            "for p in Patient select "
+            "when p in Alcoholic then p.treatedBy.therapyStyle "
+            "else when p in Tubercular_Patient "
+            "then p.treatedAt.location.country "
+            "else p.treatedAt.location.state end end", pop.store)
+        assert stats.rows_skipped == 0
+        assert stats.checks_executed == 0
+        assert len(rows) == len(pop.patients)
+
+    def test_when_condition_with_and(self, hospital_schema):
+        report = analyze(
+            "for p in Patient select "
+            "when p in Alcoholic and p.age > 18 "
+            "then p.treatedBy.therapyStyle else p.name end",
+            hospital_schema)
+        assert report.is_safe
+
+
+class TestGuardsInteractWithCompilation:
+    def test_compound_guard_eliminates_all_checks(self, hospital_schema):
+        compiled = compile_query(
+            "for p in Patient where p not in Alcoholic and "
+            "p not in Tubercular_Patient and p not in Ambulatory_Patient "
+            "select p.treatedBy.affiliatedWith, "
+            "p.treatedAt.location.state, p.ward.floor", hospital_schema)
+        assert compiled.checks_inserted == 0
+
+    def test_partial_guard_keeps_the_other_check(self, hospital_schema):
+        compiled = compile_query(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.treatedAt.location.state, p.ward", hospital_schema)
+        # state proven safe; ward still possibly inapplicable.
+        checked = [d for d in compiled.decisions if d[1]]
+        assert [text for text, _c, _r in checked] == ["p.ward"]

@@ -1,0 +1,96 @@
+"""Contrapositive membership deduction (the paper's 'conversely' case)."""
+
+import pytest
+
+from repro.query.deduction import (
+    deduce_non_memberships,
+    explain_non_membership,
+)
+from repro.query.typing import FlowFacts
+
+
+class TestPaperCase:
+    def test_treated_by_not_physician_not_alcoholic(self, hospital_schema):
+        # "knowing that y.treatedBy is not in Physician, and y is not in
+        # Alcoholic, should allow the deduction that y is not in Patient"
+        facts = FlowFacts()
+        facts = facts.assume("y.treatedBy", "Physician", False)
+        facts = facts.assume("y", "Alcoholic", False)
+        enriched, derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        assert "Patient" in derived
+        assert enriched.known_not_in(hospital_schema, "y", "Patient")
+
+    def test_subclasses_excluded_transitively(self, hospital_schema):
+        facts = FlowFacts()
+        facts = facts.assume("y.treatedBy", "Physician", False)
+        facts = facts.assume("y", "Alcoholic", False)
+        enriched, _derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        # y not-in Patient refutes every patient subclass too.
+        assert enriched.known_not_in(hospital_schema, "y",
+                                     "Tubercular_Patient")
+        assert enriched.known_not_in(hospital_schema, "y",
+                                     "Cancer_Patient")
+
+    def test_without_alcoholic_fact_no_deduction(self, hospital_schema):
+        # y might be an Alcoholic treated by a Psychologist, so nothing
+        # follows from y.treatedBy not-in Physician alone.
+        facts = FlowFacts().assume("y.treatedBy", "Physician", False)
+        _enriched, derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        assert "Patient" not in derived
+
+    def test_refuting_the_excuse_range_also_works(self, hospital_schema):
+        # Equivalent refutation: the value is outside *both* Physician and
+        # Psychologist, so the Alcoholic alternative dies value-side.
+        facts = FlowFacts()
+        facts = facts.assume("y.treatedBy", "Physician", False)
+        facts = facts.assume("y.treatedBy", "Psychologist", False)
+        _enriched, derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        assert "Patient" in derived
+
+
+class TestMechanics:
+    def test_fixpoint_chains_through_derived_facts(self, employee_schema):
+        # supervisor not-in Employee and not-in Board_Member kills both
+        # the Employee constraint and the Executive alternative.
+        facts = FlowFacts()
+        facts = facts.assume("y.supervisor", "Employee", False)
+        facts = facts.assume("y.supervisor", "Board_Member", False)
+        enriched, derived = deduce_non_memberships(
+            employee_schema, facts, "y")
+        assert "Employee" in derived
+        assert enriched.known_not_in(employee_schema, "y", "Executive")
+
+    def test_scalar_ranges_never_refute(self, hospital_schema):
+        # Facts are memberships; nothing can refute `age: 1..120`.
+        facts = FlowFacts().assume("y.age", "Physician", False)
+        _enriched, derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        assert derived == set()
+
+    def test_already_known_exclusions_not_rederived(self, hospital_schema):
+        facts = FlowFacts()
+        facts = facts.assume("y", "Person", False)
+        _enriched, derived = deduce_non_memberships(
+            hospital_schema, facts, "y")
+        # Everything below Person is already excluded by subclass
+        # reasoning, so the engine derives nothing new.
+        assert derived == set()
+
+    def test_explanation_lines(self, hospital_schema):
+        facts = FlowFacts()
+        facts = facts.assume("y.treatedBy", "Physician", False)
+        facts = facts.assume("y", "Alcoholic", False)
+        lines = explain_non_membership(hospital_schema, facts, "y",
+                                       "Patient")
+        assert lines[0].startswith("y.treatedBy not in Physician")
+        assert lines[-1] == "therefore y not in Patient"
+        assert any("Alcoholic" in line for line in lines)
+
+    def test_explanation_empty_when_underivable(self, hospital_schema):
+        facts = FlowFacts().assume("y.treatedBy", "Physician", False)
+        assert explain_non_membership(hospital_schema, facts, "y",
+                                      "Patient") == []

@@ -1,0 +1,105 @@
+"""Guards on nested paths and multi-alternative conditional typing."""
+
+import pytest
+
+from repro.query import analyze, compile_query, execute
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.typesys import EnumSymbol
+
+
+class TestNestedPathGuards:
+    def test_guard_on_attribute_value_enables_virtual_access(
+            self, hospital_schema):
+        # `country` exists only on Address$1; guarding the *hospital*
+        # value's membership proves the access.
+        report = analyze(
+            "for p in Patient select when p.treatedAt in Hospital$1 "
+            "then p.treatedAt.location.country else p.name end",
+            hospital_schema)
+        assert report.is_safe
+
+    def test_unguarded_country_access_flagged(self, hospital_schema):
+        report = analyze(
+            "for p in Patient select p.treatedAt.location.country",
+            hospital_schema)
+        assert report.findings
+
+    def test_negative_nested_guard_restores_state(self, hospital_schema):
+        report = analyze(
+            "for h in Hospital where h not in Hospital$1 "
+            "select h.accreditation", hospital_schema)
+        assert report.is_safe
+        unguarded = analyze("for h in Hospital select h.accreditation",
+                            hospital_schema)
+        assert not unguarded.is_safe
+
+    def test_where_guard_on_nested_path(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.treatedAt not in Hospital$1 "
+            "select p.treatedAt.location.state", hospital_schema)
+        # The address may still be an Address$1 only if its hospital is an
+        # H1; the guard kills that provenance, so this is safe.
+        assert report.is_safe
+
+    def test_nested_guard_execution(self, hospital_schema):
+        store = ObjectStore(hospital_schema)
+        doc = store.create("Physician", name="d", age=40)
+        sa = store.create("Address", check=CheckMode.NONE,
+                          street="Bergweg", city="Zurich")
+        store.set_value(sa, "country", EnumSymbol("Switzerland"),
+                        check=CheckMode.NONE)
+        sh = store.create("Hospital", check=CheckMode.NONE, location=sa)
+        tb = store.create("Tubercular_Patient", name="tess", age=30,
+                          treatedBy=doc)
+        store.set_value(tb, "treatedAt", sh)
+        addr = store.create("Address", street="1 Main", city="Newark",
+                            state=EnumSymbol("NJ"))
+        hosp = store.create("Hospital", location=addr,
+                            accreditation=EnumSymbol("State"))
+        store.create("Patient", name="bob", age=40, treatedBy=doc,
+                     treatedAt=hosp)
+
+        rows, stats = execute(
+            "for p in Patient select p.name, "
+            "when p.treatedAt in Hospital$1 "
+            "then p.treatedAt.location.country else p.name end", store)
+        by_name = dict(rows)
+        assert by_name["tess"] == EnumSymbol("Switzerland")
+        assert by_name["bob"] == "bob"
+        assert stats.rows_skipped == 0
+
+
+class TestMultiAlternativeConditionals:
+    def test_bird_locomotion_possibilities(self, bird_schema):
+        report = analyze("for b in Bird select b.locomotion", bird_schema)
+        texts = {p.describe()
+                 for p in report.select_possibilities[0]}
+        assert "{'Flies}" in texts
+        assert any("Swims" in t and "Penguin" in t for t in texts)
+        assert any("Runs" in t and "Ostrich" in t for t in texts)
+
+    def test_penguin_narrow(self, bird_schema):
+        report = analyze("for b in Penguin select b.locomotion",
+                         bird_schema)
+        assert {p.describe() for p in report.select_possibilities[0]} \
+            == {"{'Swims}"}
+
+    def test_double_negative_guard(self, bird_schema):
+        report = analyze(
+            "for b in Bird where b not in Penguin and b not in Ostrich "
+            "select b.locomotion", bird_schema)
+        assert {p.describe() for p in report.select_possibilities[0]} \
+            == {"{'Flies}"}
+
+    def test_emperor_penguin_inherits_narrowing(self, bird_schema):
+        report = analyze("for b in Emperor_Penguin select b.locomotion",
+                         bird_schema)
+        assert {p.describe() for p in report.select_possibilities[0]} \
+            == {"{'Swims}"}
+
+    def test_vacuous_comparison_detected_per_branch(self, bird_schema):
+        report = analyze(
+            "for b in Bird where b not in Penguin and b not in Ostrich "
+            "and b.locomotion = 'Swims select b.name", bird_schema)
+        assert any("no values" in f.reason for f in report.findings)

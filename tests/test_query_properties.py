@@ -1,0 +1,94 @@
+"""Property-based end-to-end guarantees of the query pipeline.
+
+Two properties tie the analysis to execution:
+
+* **soundness of "safe"**: a query the checker calls safe never skips a
+  row and never executes a check, on any conformant population;
+* **transparency of elimination**: eliminating checks never changes the
+  result of a query compared to the check-everything baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query import analyze, compile_query, execute
+from repro.scenarios import build_hospital_schema, populate_hospital
+
+SCHEMA = build_hospital_schema()
+
+SAFE_QUERIES = (
+    "for p in Patient select p.name",
+    "for p in Patient select p.name, p.treatedAt.location.city",
+    "for p in Patient where p.age > 40 select p.age",
+    "for p in Patient where p not in Tubercular_Patient "
+    "select p.treatedAt.location.state",
+    "for p in Patient where p not in Alcoholic "
+    "select p.treatedBy.affiliatedWith.location.city",
+    "for p in Patient select when p in Alcoholic "
+    "then p.treatedBy.therapyStyle else p.name end",
+    "for h in Hospital select h.location.city",
+    "for p in Alcoholic select p.treatedBy.therapyStyle",
+)
+
+UNSAFE_QUERIES = (
+    "for p in Patient select p.treatedAt.location.state",
+    "for p in Patient select p.treatedBy.affiliatedWith",
+    "for p in Patient select p.ward.floor",
+    "for h in Hospital select h.accreditation",
+)
+
+
+def population(seed, n):
+    return populate_hospital(schema=SCHEMA, n_patients=n, seed=seed,
+                             alcoholic_fraction=0.2,
+                             tubercular_fraction=0.15,
+                             ambulatory_fraction=0.1)
+
+
+@pytest.mark.parametrize("query", SAFE_QUERIES)
+def test_safe_queries_report_safe(query):
+    assert analyze(query, SCHEMA).is_safe
+
+
+@pytest.mark.parametrize("query", UNSAFE_QUERIES)
+def test_unsafe_queries_report_findings(query):
+    assert not analyze(query, SCHEMA).is_safe
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(10, 60))
+def test_safe_queries_never_skip_rows(seed, n):
+    pop = population(seed, n)
+    for query in SAFE_QUERIES:
+        compiled = compile_query(query, SCHEMA)
+        _rows, stats = execute(compiled, pop.store)
+        assert stats.rows_skipped == 0, query
+        assert stats.checks_executed == 0, query
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6), n=st.integers(10, 60))
+def test_elimination_is_transparent(seed, n):
+    pop = population(seed, n)
+    for query in SAFE_QUERIES + UNSAFE_QUERIES:
+        fast, _ = execute(compile_query(query, SCHEMA), pop.store)
+        slow, _ = execute(
+            compile_query(query, SCHEMA, eliminate_checks=False),
+            pop.store)
+        assert fast == slow, query
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_unsafe_skip_counts_match_exceptional_population(seed):
+    pop = population(seed, 40)
+    _rows, stats = execute(
+        compile_query("for p in Patient select p.treatedAt.location.state",
+                      SCHEMA), pop.store)
+    assert stats.rows_skipped == len(pop.tubercular)
+    _rows2, stats2 = execute(
+        compile_query("for p in Patient select p.ward.floor", SCHEMA),
+        pop.store)
+    assert stats2.rows_skipped == len(pop.ambulatory)

@@ -1,0 +1,214 @@
+"""Flow-sensitive query typing: the paper's Section 5.4 judgments.
+
+These tests pin down the exact behaviours the paper describes in prose:
+which queries are safe, which are unsafe and under what conditions, and
+how membership guards change the answer.
+"""
+
+import pytest
+
+from repro.errors import QueryTypeError, UnknownClassError
+from repro.query import analyze
+from repro.query.typing import Possibility
+
+
+def possibilities(report, index=0):
+    return report.select_possibilities[index]
+
+
+def described(report, index=0):
+    return {p.describe() for p in possibilities(report, index)}
+
+
+class TestPaperJudgments:
+    """Directly from the paper's text."""
+
+    def test_city_access_is_safe(self, hospital_schema):
+        # "p.treatedAt.location.city ... will not cause any type errors."
+        report = analyze("for p in Patient select "
+                         "p.treatedAt.location.city", hospital_schema)
+        assert report.is_safe
+        assert described(report) == {"String"}
+
+    def test_state_access_is_unsafe(self, hospital_schema):
+        # "If it was changed to p.treatedAt.location.state, then the query
+        # is no longer safe ... because some patients are at hospitals
+        # whose address does not have a state field!"
+        report = analyze("for p in Patient select "
+                         "p.treatedAt.location.state", hospital_schema)
+        assert not report.is_safe
+        assert report.unsafe
+        assert not report.errors  # unsafe, not a definite error
+
+    def test_guard_restores_safety(self, hospital_schema):
+        # "guarded by a conditional test such as (p is not in
+        # Tubercular_Patient), then again type safety is restored."
+        report = analyze(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.treatedAt.location.state", hospital_schema)
+        assert report.is_safe
+
+    def test_alcoholic_branch_narrowing(self, hospital_schema):
+        # "In the (*) branch we should know that the type of x.treatedBy
+        # is Psychologist, while in (**) it is Physician."
+        report = analyze(
+            "for p in Patient select when p in Alcoholic "
+            "then p.treatedBy else p.treatedBy end", hospital_schema)
+        assert described(report) == {"Psychologist", "Physician"}
+
+    def test_supervisor_of_arbitrary_person_is_error(self, hospital_schema):
+        # "flag an attempt to evaluate the supervisor of an arbitrary
+        # person, who is not deducible to be an employee."
+        report = analyze("for p in Person select p.supervisor",
+                         hospital_schema)
+        assert report.errors
+        with pytest.raises(QueryTypeError):
+            analyze("for p in Person select p.supervisor",
+                    hospital_schema, raise_on_error=True)
+
+    def test_guarded_supervisor_is_fine(self, hospital_schema):
+        report = analyze(
+            "for p in Person where p in Employee select p.supervisor",
+            hospital_schema)
+        assert report.is_safe
+
+
+class TestConditionalAttributeTypes:
+    def test_unguarded_treated_by_has_both_possibilities(
+            self, hospital_schema):
+        report = analyze("for p in Patient select p.treatedBy",
+                         hospital_schema)
+        texts = described(report)
+        assert "Physician" in texts
+        assert any("Psychologist" in t and "Alcoholic" in t
+                   for t in texts - {"Physician"})
+
+    def test_negative_guard_removes_alternative(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p not in Alcoholic "
+            "select p.treatedBy", hospital_schema)
+        assert described(report) == {"Physician"}
+
+    def test_positive_guard_narrows_by_conjunction(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p in Alcoholic select p.treatedBy",
+            hospital_schema)
+        assert described(report) == {"Psychologist"}
+
+    def test_source_class_already_narrow(self, hospital_schema):
+        report = analyze("for a in Alcoholic select a.treatedBy",
+                         hospital_schema)
+        assert described(report) == {"Psychologist"}
+
+    def test_inapplicable_possibility_reported(self, hospital_schema):
+        report = analyze("for p in Patient select p.ward",
+                         hospital_schema)
+        assert not report.is_safe
+        assert any("INAPPLICABLE" in p.describe()
+                   for p in possibilities(report))
+        assert any("Ambulatory_Patient" in str(f.assumptions)
+                   for f in report.unsafe)
+
+
+class TestAccessSafety:
+    def test_attribute_unsafe_under_alternative(self, hospital_schema):
+        report = analyze("for p in Patient select "
+                         "p.treatedBy.affiliatedWith", hospital_schema)
+        assert not report.is_safe
+        finding = report.unsafe[0]
+        assert "affiliatedWith" in finding.expr
+        assert ("p", "Alcoholic", True) in finding.assumptions
+
+    def test_guard_silences_it(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p not in Alcoholic select "
+            "p.treatedBy.affiliatedWith", hospital_schema)
+        assert report.is_safe
+
+    def test_branch_local_attribute_access(self, hospital_schema):
+        report = analyze(
+            "for p in Patient select when p in Alcoholic "
+            "then p.treatedBy.therapyStyle else p.name end",
+            hospital_schema)
+        assert report.is_safe
+
+    def test_wrong_branch_is_flagged(self, hospital_schema):
+        report = analyze(
+            "for p in Patient select when p not in Alcoholic "
+            "then p.treatedBy.therapyStyle else p.name end",
+            hospital_schema)
+        assert report.errors or report.unsafe
+
+    def test_chained_inapplicable_propagates(self, hospital_schema):
+        # ward may be INAPPLICABLE for ambulatory patients, so .floor on
+        # it is unsafe too.
+        report = analyze("for p in Patient select p.ward.floor",
+                         hospital_schema)
+        assert not report.is_safe
+
+
+class TestComparisons:
+    def test_orderable_comparison_safe(self, hospital_schema):
+        report = analyze("for p in Patient where p.age > 30 select p.name",
+                         hospital_schema)
+        assert report.is_safe
+
+    def test_ordering_entities_is_unsafe(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.treatedAt > 3 select p.name",
+            hospital_schema)
+        assert report.findings
+
+    def test_vacuous_equality_flagged(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.name = 3 select p.name",
+            hospital_schema)
+        assert any("no values" in f.reason for f in report.findings)
+
+    def test_enum_equality_ok(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.bloodPressure = 'High_BP "
+            "select p.name", hospital_schema)
+        assert report.is_safe
+
+    def test_comparing_possibly_inapplicable_flagged(self,
+                                                     hospital_schema):
+        report = analyze(
+            "for p in Patient where p.ward.floor > 3 select p.name",
+            hospital_schema)
+        assert not report.is_safe
+
+
+class TestMiscellanea:
+    def test_unknown_source_class(self, hospital_schema):
+        with pytest.raises(UnknownClassError):
+            analyze("for p in Martian select p", hospital_schema)
+
+    def test_unknown_membership_class(self, hospital_schema):
+        with pytest.raises(UnknownClassError):
+            analyze("for p in Patient where p in Martian select p",
+                    hospital_schema)
+
+    def test_membership_on_scalar_is_error(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p.age in Employee select p",
+            hospital_schema)
+        assert report.errors
+
+    def test_describe_select_lists_every_expression(self, hospital_schema):
+        report = analyze("for p in Patient select p.name, p.age",
+                         hospital_schema)
+        lines = report.describe_select()
+        assert len(lines) == 2
+        assert lines[0].startswith("p.name:")
+
+    def test_assume_unshared_false_keeps_guarded_query_unsafe(
+            self, hospital_schema):
+        """Ablation: without the unshared-exceptional-structure invariant
+        the guard can no longer restore safety (the Swiss address might be
+        shared by a hospital reachable another way)."""
+        report = analyze(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.treatedAt.location.state", hospital_schema,
+            assume_unshared=False)
+        assert not report.is_safe

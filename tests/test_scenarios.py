@@ -1,0 +1,150 @@
+"""Scenario library: schemas load, populations are consistent & seeded."""
+
+import pytest
+
+from repro.objects import ObjectStore
+from repro.scenarios import (
+    build_bird_schema,
+    build_employee_schema,
+    build_quaker_schema,
+    create_dick,
+    populate_hospital,
+)
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+from repro.schema import SchemaValidator
+from repro.typesys import ClassType, ConditionalType, NONE
+
+
+class TestHospital:
+    def test_schema_validates_clean(self, hospital_schema):
+        diagnostics = SchemaValidator(hospital_schema).validate()
+        assert [d for d in diagnostics if d.is_error] == []
+
+    def test_population_conforms(self, hospital_population):
+        pop = hospital_population
+        assert pop.store.validate_all() == []
+
+    def test_population_fractions(self):
+        pop = populate_hospital(n_patients=100, alcoholic_fraction=0.2,
+                                tubercular_fraction=0.1, seed=5)
+        assert len(pop.patients) == 100
+        assert len(pop.alcoholics) == 20
+        assert len(pop.tubercular) == 10
+
+    def test_deterministic_given_seed(self):
+        a = populate_hospital(n_patients=30, seed=77)
+        b = populate_hospital(n_patients=30, seed=77)
+        assert [p.get_value("name") for p in a.patients] == \
+            [p.get_value("name") for p in b.patients]
+        assert [p.get_value("age") for p in a.patients] == \
+            [p.get_value("age") for p in b.patients]
+
+    def test_exceptional_paths_exercised(self, hospital_population):
+        pop = hospital_population
+        store = pop.store
+        assert store.count("Hospital$1") >= 1
+        assert store.count("Address$1") >= 1
+        assert all(store.is_member(t.get_value("treatedAt"), "Hospital$1")
+                   for t in pop.tubercular)
+
+
+class TestQuaker:
+    def test_dick_membership(self, quaker_schema):
+        store = ObjectStore(quaker_schema)
+        dick = create_dick(store)
+        assert store.is_member(dick, "Quaker")
+        assert store.is_member(dick, "Republican")
+        assert store.is_member(dick, "Person")
+
+    def test_no_excuse_variant_differs(self):
+        with_ = build_quaker_schema(True)
+        without = build_quaker_schema(False)
+        assert with_.excuse_pairs() != ()
+        assert without.excuse_pairs() == ()
+
+
+class TestBirds:
+    def test_penguin_excuses_flying(self, bird_schema):
+        entries = bird_schema.excuses_against("Bird", "locomotion")
+        assert {e.excusing_class for e in entries} == {
+            "Penguin", "Ostrich"}
+
+    def test_emperor_penguin_inherits_excuse(self, bird_schema):
+        # A subclass of Penguin that does not touch locomotion needs no
+        # excuse of its own (Section 5.3).
+        diagnostics = SchemaValidator(bird_schema).validate()
+        assert [d for d in diagnostics if d.is_error] == []
+
+    def test_relaxed_locomotion_type(self, bird_schema):
+        t = bird_schema.relaxed_constraint("Bird", "locomotion")
+        assert isinstance(t, ConditionalType)
+        assert t.conditions() == {"Penguin", "Ostrich"}
+
+
+class TestEmployees:
+    def test_salary_conditional_type(self, employee_schema):
+        t = employee_schema.relaxed_constraint("Employee", "salary")
+        assert str(t) == "Integer + None/Temporary_Employee"
+
+    def test_executive_supervisor_excuse(self, employee_schema):
+        t = employee_schema.relaxed_constraint("Employee", "supervisor")
+        assert isinstance(t, ConditionalType)
+        assert t.alternative_for("Executive") == (
+            ClassType("Board_Member"),)
+
+    def test_temp_employee_salary_inapplicable(self, employee_schema):
+        assert employee_schema.attribute_type(
+            "Temporary_Employee", "salary") == NONE
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        cfg = RandomHierarchyConfig(n_classes=25, seed=3)
+        a = generate_random_hierarchy(cfg)
+        b = generate_random_hierarchy(cfg)
+        assert a.intended == b.intended
+        assert a.accidental == b.accidental
+        assert set(a.excuses_schema.class_names()) == set(
+            b.excuses_schema.class_names())
+
+    def test_variants_share_structure(self):
+        g = generate_random_hierarchy(RandomHierarchyConfig(
+            n_classes=25, seed=3))
+        for name in g.excuses_schema.class_names():
+            assert g.default_schema.get(name).parents == \
+                g.excuses_schema.get(name).parents
+
+    def test_default_variant_has_no_excuses(self):
+        g = generate_random_hierarchy(RandomHierarchyConfig(
+            n_classes=25, seed=3))
+        assert g.default_schema.excuse_pairs() == ()
+
+    def test_validator_flags_exactly_the_accidents(self):
+        for seed in (1, 2, 3):
+            g = generate_random_hierarchy(RandomHierarchyConfig(
+                n_classes=40, seed=seed))
+            flagged = {
+                (d.class_name, d.attribute)
+                for d in SchemaValidator(g.excuses_schema).validate()
+                if d.code == "unexcused-contradiction"
+            }
+            assert flagged == g.accidental
+
+    def test_tree_config_has_no_ambiguity(self):
+        from repro.baselines import DefaultResolver
+        from repro.errors import (
+            AmbiguousInheritanceError, UnknownAttributeError)
+        g = generate_random_hierarchy(RandomHierarchyConfig(
+            n_classes=30, extra_parent_prob=0.0, seed=11))
+        resolver = DefaultResolver(g.default_schema)
+        for name in g.default_schema.class_names():
+            for attr in g.attributes:
+                try:
+                    resolver.resolve(name, attr)
+                except UnknownAttributeError:
+                    pass
+                except AmbiguousInheritanceError:
+                    pytest.fail("ambiguity in a tree hierarchy")

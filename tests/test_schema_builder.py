@@ -1,0 +1,120 @@
+"""SchemaBuilder coercions, ordering, and error handling."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.schema import SchemaBuilder
+from repro.schema.builder import as_type
+from repro.schema.attribute import ExcuseRef
+from repro.typesys import (
+    STRING,
+    ClassType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+)
+
+
+class TestAsType:
+    def test_type_passthrough(self):
+        assert as_type(STRING) is STRING
+
+    def test_primitive_names(self):
+        assert as_type("String") == STRING
+        assert str(as_type("Integer")) == "Integer"
+
+    def test_class_names(self):
+        assert as_type("Physician") == ClassType("Physician")
+
+    def test_int_pair(self):
+        assert as_type((16, 65)) == IntRangeType(16, 65)
+
+    def test_set_to_enum(self):
+        assert as_type({"Hawk", "Dove"}) == EnumerationType(
+            ["Hawk", "Dove"])
+
+    def test_dict_to_record(self):
+        assert as_type({"city": "String"}) == RecordType({"city": STRING})
+
+    def test_nested_dict(self):
+        t = as_type({"home": {"city": "String"}})
+        assert t == RecordType({"home": RecordType({"city": STRING})})
+
+    def test_unsupported(self):
+        with pytest.raises(SchemaError):
+            as_type(3.14)
+
+
+class TestBuilder:
+    def test_declaration_order_independent_of_dependencies(self):
+        b = SchemaBuilder()
+        b.cls("Employee", isa="Person").attr("age", (16, 65))
+        b.cls("Person").attr("age", (1, 120))
+        schema = b.build()
+        assert schema.is_subclass("Employee", "Person")
+
+    def test_cycle_detected(self):
+        b = SchemaBuilder()
+        b.cls("A", isa="B")
+        b.cls("B", isa="A")
+        with pytest.raises(SchemaError):
+            b.build()
+
+    def test_missing_parent(self):
+        b = SchemaBuilder()
+        b.cls("A", isa="Ghost")
+        with pytest.raises(UnknownClassError):
+            b.build()
+
+    def test_duplicate_class_in_builder(self):
+        b = SchemaBuilder()
+        b.cls("A")
+        with pytest.raises(SchemaError):
+            b.cls("A")
+
+    def test_excuse_shorthand_forms(self):
+        b = SchemaBuilder()
+        b.cls("Person").attr("opinion", {"Hawk", "Dove"})
+        b.cls("Quaker", isa="Person").attr(
+            "opinion", {"Dove"},
+            excuses=["Republican",                      # bare class name
+                     ("Republican", "opinion"),          # pair
+                     ExcuseRef("Republican", "opinion")])  # explicit
+        b.cls("Republican", isa="Person").attr(
+            "opinion", {"Hawk"}, excuses=["Quaker"])
+        schema = b.build()
+        # All three shorthands denote the same excuse.
+        entries = schema.excuses_against("Republican", "opinion")
+        assert {e.excusing_class for e in entries} == {"Quaker"}
+
+    def test_multi_parent_isa(self):
+        b = SchemaBuilder()
+        b.cls("Person")
+        b.cls("A", isa="Person")
+        b.cls("B", isa="Person")
+        b.cls("AB", isa=["A", "B"])
+        schema = b.build()
+        assert schema.get("AB").parents == ("A", "B")
+
+    def test_class_properties(self):
+        b = SchemaBuilder()
+        b.cls("Employee_Class").class_property("avgSalaryLimit", 90000)
+        schema = b.build()
+        assert schema.get("Employee_Class").class_property(
+            "avgSalaryLimit") == 90000
+
+    def test_done_returns_builder(self):
+        b = SchemaBuilder()
+        assert b.cls("A").done() is b
+
+    def test_collect_receives_warnings_without_raising(self):
+        b = SchemaBuilder()
+        b.cls("Person").attr("treatedBy", "Physician")
+        b.cls("Physician")
+        b.cls("Psychologist")
+        b.cls("Alcoholic", isa="Person").attr(
+            "treatedBy", "Physician",  # redundant excuse: already subtype
+            excuses=["Person"])
+        collected = []
+        b.build(collect=collected)
+        assert any(d.code == "redundant-excuse" for d in collected)

@@ -1,0 +1,186 @@
+"""Schema registry, hierarchy queries, constraints, and excuse registry."""
+
+import pytest
+
+from repro.errors import (
+    CyclicHierarchyError,
+    DuplicateClassError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from repro.schema import AttributeDef, ClassDef, ExcuseRef, Schema
+from repro.typesys import (
+    STRING,
+    ClassType,
+    ConditionalType,
+    IntRangeType,
+    RecordType,
+)
+
+
+def attr(name, range_, *excuse_targets):
+    return AttributeDef(name, range_,
+                        tuple(ExcuseRef(t, name) for t in excuse_targets))
+
+
+@pytest.fixture()
+def schema():
+    s = Schema()
+    s.add_class(ClassDef("Person", (), (
+        attr("name", STRING), attr("age", IntRangeType(1, 120)))))
+    s.add_class(ClassDef("Physician", ("Person",), ()))
+    s.add_class(ClassDef("Psychologist", ("Person",), ()))
+    s.add_class(ClassDef("Patient", ("Person",), (
+        attr("treatedBy", ClassType("Physician")),)))
+    s.add_class(ClassDef("Alcoholic", ("Patient",), (
+        attr("treatedBy", ClassType("Psychologist"), "Patient"),)))
+    return s
+
+
+class TestRegistry:
+    def test_len_and_contains(self, schema):
+        assert len(schema) == 5
+        assert "Patient" in schema
+        assert "Martian" not in schema
+
+    def test_duplicate_rejected(self, schema):
+        with pytest.raises(DuplicateClassError):
+            schema.add_class(ClassDef("Person"))
+
+    def test_unknown_parent_rejected(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.add_class(ClassDef("X", ("Martian",)))
+
+    def test_self_parent_rejected(self, schema):
+        with pytest.raises(CyclicHierarchyError):
+            schema.add_class(ClassDef("Loop", ("Loop",)))
+
+    def test_get_unknown(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.get("Martian")
+
+    def test_remove_leaf(self, schema):
+        schema.remove_class("Alcoholic")
+        assert "Alcoholic" not in schema
+
+    def test_remove_parent_refused(self, schema):
+        with pytest.raises(CyclicHierarchyError):
+            schema.remove_class("Patient")
+
+    def test_replace_class(self, schema):
+        old = schema.replace_class(ClassDef("Physician", ("Person",), (
+            attr("pager", STRING),)))
+        assert old.attributes == ()
+        assert schema.get("Physician").attribute("pager") is not None
+
+    def test_replace_detects_cycle(self, schema):
+        with pytest.raises(CyclicHierarchyError):
+            schema.replace_class(ClassDef("Person", ("Alcoholic",), ()))
+        # rolled back
+        assert schema.get("Person").parents == ()
+
+
+class TestHierarchy:
+    def test_ancestors_include_self(self, schema):
+        assert schema.ancestors("Alcoholic") == {
+            "Alcoholic", "Patient", "Person"}
+
+    def test_descendants(self, schema):
+        assert schema.descendants("Person") == {
+            "Person", "Physician", "Psychologist", "Patient", "Alcoholic"}
+
+    def test_children(self, schema):
+        assert set(schema.children("Person")) == {
+            "Physician", "Psychologist", "Patient"}
+
+    def test_roots(self, schema):
+        assert schema.roots() == ("Person",)
+
+    def test_is_subclass(self, schema):
+        assert schema.is_subclass("Alcoholic", "Person")
+        assert not schema.is_subclass("Person", "Alcoholic")
+        assert schema.is_subclass("Person", "Person")
+
+    def test_multiple_inheritance_dag(self, schema):
+        schema.add_class(ClassDef("Quaker", ("Person",), ()))
+        schema.add_class(ClassDef("QR", ("Quaker", "Physician"), ()))
+        assert schema.ancestors("QR") == {
+            "QR", "Quaker", "Physician", "Person"}
+
+
+class TestConstraints:
+    def test_applicable_attribute_names(self, schema):
+        assert schema.applicable_attribute_names("Alcoholic") == (
+            "age", "name", "treatedBy")
+
+    def test_applicable_constraints_collect_ancestry(self, schema):
+        owners = {c.owner for c in schema.applicable_constraints(
+            "Alcoholic")}
+        assert owners == {"Person", "Patient", "Alcoholic"}
+
+    def test_attribute_constraints_most_specific_first(self, schema):
+        constraints = schema.attribute_constraints("Alcoholic", "treatedBy")
+        assert constraints[0].owner == "Alcoholic"
+        assert constraints[1].owner == "Patient"
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.attribute_constraints("Person", "treatedBy")
+
+    def test_effective_record(self, schema):
+        record = schema.effective_record("Alcoholic")
+        assert record.field_type("treatedBy") == ClassType("Psychologist")
+        assert record.field_type("age") == IntRangeType(1, 120)
+
+    def test_effective_record_unknown_class(self, schema):
+        assert schema.effective_record("Martian") is None
+
+
+class TestExcuseRegistry:
+    def test_excuses_against(self, schema):
+        entries = schema.excuses_against("Patient", "treatedBy")
+        assert len(entries) == 1
+        assert entries[0].excusing_class == "Alcoholic"
+        assert entries[0].range == ClassType("Psychologist")
+
+    def test_no_excuses(self, schema):
+        assert schema.excuses_against("Person", "age") == ()
+
+    def test_excuse_pairs(self, schema):
+        assert schema.excuse_pairs() == (("Patient", "treatedBy"),)
+
+    def test_registry_invalidated_on_mutation(self, schema):
+        schema.add_class(ClassDef("Ambulatory", ("Patient",), (
+            attr("age", IntRangeType(0, 200), "Person"),)))
+        assert len(schema.excuses_against("Person", "age")) == 1
+
+    def test_is_excused_by_membership(self, schema):
+        assert schema.is_excused_by_membership(
+            "Patient", "treatedBy", {"Alcoholic"})
+        assert not schema.is_excused_by_membership(
+            "Patient", "treatedBy", {"Patient"})
+
+    def test_membership_implication_via_subclass(self, schema):
+        schema.add_class(ClassDef("SpecialAlc", ("Alcoholic",), ()))
+        assert schema.is_excused_by_membership(
+            "Patient", "treatedBy", {"SpecialAlc"})
+
+
+class TestTypeTranslation:
+    def test_relaxed_constraint_is_conditional(self, schema):
+        t = schema.relaxed_constraint("Patient", "treatedBy")
+        assert isinstance(t, ConditionalType)
+        assert str(t) == "Physician + Psychologist/Alcoholic"
+
+    def test_relaxed_constraint_without_excuses_is_plain(self, schema):
+        assert schema.relaxed_constraint("Person", "name") == STRING
+
+    def test_attribute_type_uses_most_specific_owner(self, schema):
+        assert schema.attribute_type("Alcoholic", "treatedBy") == \
+            ClassType("Psychologist")
+        assert str(schema.attribute_type("Patient", "treatedBy")) == \
+            "Physician + Psychologist/Alcoholic"
+
+    def test_relaxed_constraint_unknown_attribute(self, schema):
+        with pytest.raises(UnknownAttributeError):
+            schema.relaxed_constraint("Patient", "name")  # owned by Person

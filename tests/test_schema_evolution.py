@@ -1,0 +1,94 @@
+"""Schema evolution: change propagation and affected-region analysis."""
+
+import pytest
+
+from repro.schema import AttributeDef, SchemaBuilder
+from repro.schema.classdef import ClassDef
+from repro.schema.evolution import affected_classes, propagate_change
+from repro.typesys import STRING, ClassType, IntRangeType
+
+
+@pytest.fixture()
+def schema():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING).attr("age", (1, 120))
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    b.cls("Cardiac", isa="Patient")
+    b.cls("Alcoholic", isa="Patient").attr(
+        "treatedBy", "Psychologist", excuses=["Patient"])
+    return b.build()
+
+
+class TestAffectedRegion:
+    def test_descendants_are_affected(self, schema):
+        assert affected_classes(schema, "Patient") >= {
+            "Patient", "Cardiac", "Alcoholic"}
+
+    def test_excusers_are_affected(self, schema):
+        # Alcoholic excuses a Patient constraint, so changing Patient
+        # affects it even beyond the IS-A relation.
+        assert "Alcoholic" in affected_classes(schema, "Patient")
+
+    def test_unrelated_classes_not_affected(self, schema):
+        assert "Physician" not in affected_classes(schema, "Patient")
+
+
+class TestPropagation:
+    def test_tightening_superclass_flags_subclasses(self, schema):
+        # "A modification to some class definition is propagated to all
+        # its subclasses; this may result in unexcused contradictions."
+        new_person = schema.get("Person").with_attribute(
+            AttributeDef("age", IntRangeType(1, 90)))
+        # First make a subclass that was legal under 1..120.
+        schema.add_class(ClassDef(
+            "Elder", ("Person",),
+            (AttributeDef("age", IntRangeType(80, 120)),)))
+        diagnostics = propagate_change(schema, new_person)
+        assert any(d.code == "unexcused-contradiction"
+                   and d.class_name == "Elder" for d in diagnostics)
+
+    def test_renaming_excused_attribute_breaks_excuse(self, schema):
+        # Dropping treatedBy from Patient leaves Alcoholic's excuse
+        # dangling.
+        new_patient = schema.get("Patient").without_attribute("treatedBy")
+        diagnostics = propagate_change(schema, new_patient)
+        assert any(d.code == "unknown-excuse-attribute"
+                   and d.class_name == "Alcoholic" for d in diagnostics)
+
+    def test_dry_run_rolls_back(self, schema):
+        new_patient = schema.get("Patient").without_attribute("treatedBy")
+        propagate_change(schema, new_patient, dry_run=True)
+        assert schema.get("Patient").attribute("treatedBy") is not None
+
+    def test_harmless_change_reports_nothing(self, schema):
+        new_person = schema.get("Person").with_attribute(
+            AttributeDef("nickname", STRING))
+        assert propagate_change(schema, new_person) == []
+
+    def test_widening_superclass_makes_excuse_redundant(self, schema):
+        # If Patient is generalized so Psychologists are fine, Alcoholic's
+        # excuse becomes redundant -- a warning, not an error.
+        new_patient = schema.get("Patient").with_attribute(
+            AttributeDef("treatedBy", ClassType("Person")))
+        diagnostics = propagate_change(schema, new_patient)
+        assert any(d.code == "redundant-excuse"
+                   and d.class_name == "Alcoholic" for d in diagnostics)
+
+
+class TestClassDefHelpers:
+    def test_with_attribute_replaces(self, schema):
+        cdef = schema.get("Person").with_attribute(
+            AttributeDef("age", IntRangeType(1, 90)))
+        assert cdef.attribute("age").range == IntRangeType(1, 90)
+        assert cdef.attribute("name") is not None
+
+    def test_without_attribute(self, schema):
+        cdef = schema.get("Person").without_attribute("age")
+        assert cdef.attribute("age") is None
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            ClassDef("X", (), (AttributeDef("a", STRING),
+                               AttributeDef("a", STRING)))

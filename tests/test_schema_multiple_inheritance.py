@@ -1,0 +1,131 @@
+"""Multiple inheritance: conjunction of constraints, excuse adjudication.
+
+Section 5.3: "when a class has more than one parent, its instances must
+obey the constraints stated on all the parents, unless the class
+explicitly excuses some/all of the inherited constraints, or the
+ancestor classes excuse one another".
+"""
+
+import pytest
+
+from repro.errors import ConformanceError, SchemaError
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.schema import SchemaBuilder
+from repro.typesys import EnumSymbol, IntRangeType
+
+
+def diamond(with_child_excuse=False, left=(1, 60), right=(40, 120)):
+    b = SchemaBuilder()
+    b.cls("Top").attr("score", (1, 120))
+    b.cls("Left", isa="Top").attr("score", left)
+    b.cls("Right", isa="Top").attr("score", right)
+    child = b.cls("Bottom", isa=["Left", "Right"])
+    if with_child_excuse:
+        child.attr("score", (0, 200), excuses=["Top", "Left", "Right"])
+    return b.build(validate=not with_child_excuse or True)
+
+
+class TestConjunction:
+    def test_instance_must_satisfy_both_parents(self):
+        schema = diamond()
+        store = ObjectStore(schema)
+        obj = store.create("Bottom", score=50)  # in 1..60 and 40..120
+        assert store.checker.conforms(obj)
+        with pytest.raises(ConformanceError):
+            store.set_value(obj, "score", 30)  # violates Right
+        with pytest.raises(ConformanceError):
+            store.set_value(obj, "score", 90)  # violates Left
+
+    def test_child_excusing_all_parents_widens(self):
+        schema = diamond(with_child_excuse=True)
+        store = ObjectStore(schema)
+        obj = store.create("Bottom", score=150)
+        assert store.checker.conforms(obj)
+
+    def test_child_excusing_one_parent_insufficient(self):
+        b = SchemaBuilder()
+        b.cls("Top").attr("score", (1, 120))
+        b.cls("Left", isa="Top").attr("score", (1, 60))
+        b.cls("Right", isa="Top").attr("score", (40, 120))
+        # Excusing only Left still leaves Right's 40..120 in force (and
+        # Top's 1..120); the validator insists on covering every
+        # contradicted constraint.
+        b.cls("Bottom", isa=["Left", "Right"]).attr(
+            "score", (1, 120), excuses=["Left"])
+        with pytest.raises(SchemaError) as info:
+            b.build()
+        assert "Right" in str(info.value)
+
+    def test_attribute_constraints_report_all_owners(self):
+        schema = diamond()
+        owners = [c.owner for c in schema.attribute_constraints(
+            "Bottom", "score")]
+        assert set(owners) == {"Top", "Left", "Right"}
+        # Most specific first: both Left and Right precede Top.
+        assert owners.index("Top") == 2
+
+    def test_effective_record_uses_a_most_specific_range(self):
+        schema = diamond()
+        record = schema.effective_record("Bottom")
+        assert record.field_type("score") in (
+            IntRangeType(1, 60), IntRangeType(40, 120))
+
+
+class TestSiblingExcuses:
+    """Ancestors excusing one another (blood-pressure style) under MI."""
+
+    def _schema(self):
+        b = SchemaBuilder()
+        b.cls("Patient").attr("bp", {"Normal", "High", "Low"})
+        b.cls("Renal", isa="Patient").attr("bp", {"High"})
+        b.cls("Bleeding", isa="Patient").attr(
+            "bp", {"Low"}, excuses=["Renal"])
+        b.cls("Renal_And_Bleeding", isa=["Renal", "Bleeding"])
+        return b.build()
+
+    def test_common_subclass_validates(self):
+        schema = self._schema()
+        collected = []
+        # No unsatisfiable warning: the excuse adjudicates.
+        from repro.schema import SchemaValidator
+        diagnostics = SchemaValidator(schema).validate()
+        assert not any(d.code == "unsatisfiable-attribute"
+                       for d in diagnostics)
+
+    def test_low_bp_accepted_high_rejected(self):
+        schema = self._schema()
+        store = ObjectStore(schema)
+        obj = store.create("Renal_And_Bleeding", bp=EnumSymbol("Low"))
+        assert store.checker.conforms(obj)
+        with pytest.raises(ConformanceError):
+            store.set_value(obj, "bp", EnumSymbol("High"))
+        with pytest.raises(ConformanceError):
+            store.set_value(obj, "bp", EnumSymbol("Normal"))
+
+    def test_query_typing_narrows_to_low(self):
+        from repro.query import analyze
+        schema = self._schema()
+        report = analyze("for x in Renal_And_Bleeding select x.bp",
+                         schema)
+        assert {p.describe() for p in report.select_possibilities[0]} == {
+            "{'Low}"}
+
+
+class TestDiamondWithSharedAncestorExcuse:
+    def test_excuse_through_one_path_applies_to_instances(self):
+        # Bottom IS-A Exceptional IS-A Top, and also Bottom IS-A Plain;
+        # Exceptional's excuse against Top covers Bottom's membership.
+        b = SchemaBuilder()
+        b.cls("Top").attr("kind", {"n1", "n2"})
+        b.cls("Exceptional", isa="Top").attr(
+            "kind", {"x1"}, excuses=["Top"])
+        b.cls("Plain", isa="Top")
+        b.cls("Bottom", isa=["Exceptional", "Plain"])
+        schema = b.build()
+        store = ObjectStore(schema)
+        obj = store.create("Bottom", kind=EnumSymbol("x1"))
+        assert store.checker.conforms(obj)
+        # But Exceptional's own constraint still binds:
+        with pytest.raises(ConformanceError):
+            store.set_value(obj, "kind", EnumSymbol("n1"))

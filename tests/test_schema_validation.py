@@ -1,0 +1,237 @@
+"""The revised specialization rule and its diagnostics (Sections 5.1/5.3)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnexcusedContradictionError
+from repro.schema import SchemaBuilder, SchemaValidator
+from repro.typesys import NONE, STRING
+
+
+def build(configure, validate=True, collect=None):
+    b = SchemaBuilder()
+    configure(b)
+    return b.build(validate=validate, collect=collect)
+
+
+def base_hospital(b):
+    b.cls("Person").attr("name", STRING)
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+
+
+class TestSpecializationRule:
+    def test_proper_specialization_accepted(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Cardiologist", isa="Physician")
+            b.cls("Cardiac", isa="Patient").attr("treatedBy",
+                                                 "Cardiologist")
+        build(config)  # no error
+
+    def test_contradiction_without_excuse_rejected(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Alcoholic", isa="Patient").attr("treatedBy",
+                                                   "Psychologist")
+        with pytest.raises(SchemaError) as info:
+            build(config)
+        assert "unexcused-contradiction" in str(info.value)
+
+    def test_contradiction_with_excuse_accepted(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Alcoholic", isa="Patient").attr(
+                "treatedBy", "Psychologist", excuses=["Patient"])
+        schema = build(config)
+        assert len(schema.excuses_against("Patient", "treatedBy")) == 1
+
+    def test_range_narrowing_integers(self):
+        def config(b):
+            b.cls("Person").attr("age", (1, 120))
+            b.cls("Employee", isa="Person").attr("age", (16, 65))
+        build(config)
+
+    def test_range_widening_rejected(self):
+        def config(b):
+            b.cls("Person").attr("age", (16, 65))
+            b.cls("Ancient", isa="Person").attr("age", (1, 120))
+        with pytest.raises(SchemaError):
+            build(config)
+
+    def test_none_redefinition_needs_excuse(self):
+        def config(b):
+            b.cls("Ward")
+            b.cls("Patient").attr("ward", "Ward")
+            b.cls("Ambulatory", isa="Patient").attr("ward", NONE)
+        with pytest.raises(SchemaError):
+            build(config)
+
+        def config_ok(b):
+            b.cls("Ward")
+            b.cls("Patient").attr("ward", "Ward")
+            b.cls("Ambulatory", isa="Patient").attr(
+                "ward", NONE, excuses=["Patient"])
+        build(config_ok)
+
+    def test_check_raises_typed_error(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Alcoholic", isa="Patient").attr("treatedBy",
+                                                   "Psychologist")
+        schema = build(config, validate=False)
+        with pytest.raises(UnexcusedContradictionError):
+            SchemaValidator(schema).check()
+
+
+class TestExcuseInheritance:
+    """Section 5.3's SpecialAlc cases, verbatim."""
+
+    def _base(self, b):
+        base_hospital(b)
+        b.cls("CBT_Psychologist", isa="Psychologist")
+        b.cls("Paramedic", isa="Person")  # neither kind of professional
+        b.cls("Alcoholic", isa="Patient").attr(
+            "treatedBy", "Psychologist", excuses=["Patient"])
+
+    def test_subclass_of_excusing_range_needs_no_excuse(self):
+        # "If FOO is a subclass of Psychologists, again no further excuse
+        # is necessary."
+        def config(b):
+            self._base(b)
+            b.cls("SpecialAlc", isa="Alcoholic").attr(
+                "treatedBy", "CBT_Psychologist")
+        build(config)
+
+    def test_redundant_excuse_is_harmless_warning(self):
+        # "Nothing wrong will happen if an excuse is added -- it will
+        # simply be redundant."
+        def config(b):
+            self._base(b)
+            b.cls("SpecialAlc", isa="Alcoholic").attr(
+                "treatedBy", "CBT_Psychologist", excuses=["Alcoholic"])
+        collected = []
+        build(config, collect=collected)
+        assert any(d.code == "redundant-excuse" for d in collected)
+
+    def test_new_contradiction_needs_excuse_on_alcoholic(self):
+        # "If FOO is not a subclass of Psychologist, then treatedBy needs
+        # to be excused on Alcoholic" -- here FOO = Physician, which still
+        # satisfies the Patient constraint.
+        def config_missing(b):
+            self._base(b)
+            b.cls("RelapsedAlc", isa="Alcoholic").attr("treatedBy",
+                                                       "Physician")
+        with pytest.raises(SchemaError):
+            build(config_missing)
+
+        def config_ok(b):
+            self._base(b)
+            b.cls("RelapsedAlc", isa="Alcoholic").attr(
+                "treatedBy", "Physician", excuses=["Alcoholic"])
+        build(config_ok)
+
+    def test_double_contradiction_needs_both_excuses(self):
+        # "If FOO is not even a subclass of Physicians, then treatedBy
+        # needs to be excused on Patient as well."
+        def config_partial(b):
+            self._base(b)
+            b.cls("OddAlc", isa="Alcoholic").attr(
+                "treatedBy", "Paramedic", excuses=["Alcoholic"])
+        with pytest.raises(SchemaError):
+            build(config_partial)
+
+        def config_full(b):
+            self._base(b)
+            b.cls("OddAlc", isa="Alcoholic").attr(
+                "treatedBy", "Paramedic",
+                excuses=["Alcoholic", "Patient"])
+        build(config_full)
+
+    def test_unredefined_attribute_inherits_excuse_silently(self):
+        # Defining a subclass of an exceptional class without touching the
+        # exceptional attribute needs nothing at all.
+        def config(b):
+            self._base(b)
+            b.cls("SpecialAlc", isa="Alcoholic").attr("sponsor", "Person")
+        build(config)
+
+
+class TestExcuseTargets:
+    def test_unknown_target_class(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Odd", isa="Patient").attr(
+                "treatedBy", "Psychologist", excuses=["Martian"])
+        with pytest.raises(SchemaError) as info:
+            build(config)
+        assert "unknown-excuse-target" in str(info.value)
+
+    def test_target_without_attribute(self):
+        def config(b):
+            base_hospital(b)
+            # Physician does not declare treatedBy.
+            b.cls("Odd", isa="Patient").attr(
+                "treatedBy", "Psychologist",
+                excuses=["Physician", "Patient"])
+        with pytest.raises(SchemaError) as info:
+            build(config)
+        assert "unknown-excuse-attribute" in str(info.value)
+
+    def test_excuse_on_self_rejected(self):
+        def config(b):
+            base_hospital(b)
+            b.cls("Odd", isa="Patient").attr(
+                "treatedBy", "Psychologist", excuses=["Odd", "Patient"])
+        with pytest.raises(SchemaError) as info:
+            build(config)
+        assert "excuse-on-self" in str(info.value)
+
+    def test_mutual_forward_excuses_allowed(self):
+        # Quaker excuses Republican before Republican is defined.
+        def config(b):
+            b.cls("Person").attr("opinion", {"Hawk", "Dove", "Ostrich"})
+            b.cls("Quaker", isa="Person").attr(
+                "opinion", {"Dove"}, excuses=["Republican"])
+            b.cls("Republican", isa="Person").attr(
+                "opinion", {"Hawk"}, excuses=["Quaker"])
+        schema = build(config)
+        assert schema.excuse_pairs() == (
+            ("Quaker", "opinion"), ("Republican", "opinion"))
+
+
+class TestSatisfiability:
+    def test_unadjudicated_multiple_inheritance_warns(self):
+        def config(b):
+            b.cls("Person").attr("opinion", {"Hawk", "Dove", "Ostrich"})
+            b.cls("Quaker", isa="Person").attr("opinion", {"Dove"})
+            b.cls("Republican", isa="Person").attr("opinion", {"Hawk"})
+            b.cls("QR", isa=["Quaker", "Republican"])
+        collected = []
+        build(config, collect=collected)
+        assert any(d.code == "unsatisfiable-attribute"
+                   and d.class_name == "QR" for d in collected)
+
+    def test_mutual_excuses_silence_the_warning(self):
+        def config(b):
+            b.cls("Person").attr("opinion", {"Hawk", "Dove", "Ostrich"})
+            b.cls("Quaker", isa="Person").attr(
+                "opinion", {"Dove"}, excuses=["Republican"])
+            b.cls("Republican", isa="Person").attr(
+                "opinion", {"Hawk"}, excuses=["Quaker"])
+            b.cls("QR", isa=["Quaker", "Republican"])
+        collected = []
+        build(config, collect=collected)
+        assert not any(d.code == "unsatisfiable-attribute"
+                       for d in collected)
+
+    def test_overlapping_ranges_do_not_warn(self):
+        def config(b):
+            b.cls("Person").attr("age", (1, 120))
+            b.cls("A", isa="Person").attr("age", (1, 60))
+            b.cls("B", isa="Person").attr("age", (40, 120))
+            b.cls("AB", isa=["A", "B"])  # 40..60 works
+        collected = []
+        build(config, collect=collected)
+        assert not any(d.code == "unsatisfiable-attribute"
+                       for d in collected)

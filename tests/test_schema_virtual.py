@@ -1,0 +1,119 @@
+"""Virtual classes from embedded excuses (Section 5.6)."""
+
+import pytest
+
+from repro.schema import Schema, SchemaBuilder, embed
+from repro.schema.classdef import ClassDef
+from repro.schema.virtual import Embedding, VirtualClassFactory
+from repro.typesys import NONE, STRING, ClassType
+
+
+@pytest.fixture()
+def schema():
+    b = SchemaBuilder()
+    b.cls("Address").attr("street", STRING).attr(
+        "state", {"AL", "NJ", "WV"})
+    b.cls("Hospital").attr("location", "Address").attr(
+        "accreditation", {"Local", "State", "Federal"})
+    b.cls("Person")
+    b.cls("Patient", isa="Person").attr("treatedAt", "Hospital")
+    b.cls("Tubercular_Patient", isa="Patient").attr(
+        "treatedAt",
+        embed("Hospital",
+              accreditation=(NONE, ["Hospital"]),
+              location=embed("Address",
+                             state=(NONE, ["Address"]),
+                             country={"Switzerland"})))
+    return b.build()
+
+
+class TestEmbedHelper:
+    def test_plain_type_field(self):
+        e = embed("Hospital", beds=(1, 500))
+        assert e.base == "Hospital"
+        assert not e.has_excuses()
+
+    def test_excused_field(self):
+        e = embed("Hospital", accreditation=(NONE, ["Hospital"]))
+        assert e.has_excuses()
+        ref = e.fields[0].excuses[0]
+        assert (ref.class_name, ref.attribute) == ("Hospital",
+                                                   "accreditation")
+
+    def test_nested_embedding_detected(self):
+        e = embed("Hospital",
+                  location=embed("Address", state=(NONE, ["Address"])))
+        assert e.has_excuses()
+
+    def test_set_sugar(self):
+        e = embed("Address", country={"Switzerland"})
+        assert str(e.fields[0].range) == "{'Switzerland}"
+
+
+class TestRealization:
+    def test_virtual_classes_created(self, schema):
+        names = {c.name for c in schema.virtual_classes()}
+        assert names == {"Hospital$1", "Address$1"}
+
+    def test_h1_is_proper_subclass_of_hospital(self, schema):
+        assert schema.is_subclass("Hospital$1", "Hospital")
+        assert schema.get("Hospital$1").virtual
+
+    def test_origins_track_embedding_sites(self, schema):
+        h1 = schema.get("Hospital$1")
+        assert h1.origin.owner_class == "Tubercular_Patient"
+        assert h1.origin.attribute == "treatedAt"
+        a1 = schema.get("Address$1")
+        assert a1.origin.owner_class == "Hospital$1"
+        assert a1.origin.attribute == "location"
+
+    def test_treated_at_properly_specialized(self, schema):
+        # "With these implicit classes, the definition of
+        # Tubercular_Patient no longer has unresolved contradictions."
+        assert schema.attribute_type("Tubercular_Patient", "treatedAt") \
+            == ClassType("Hospital$1")
+
+    def test_h1_location_is_a1(self, schema):
+        assert schema.attribute_type("Hospital$1", "location") == \
+            ClassType("Address$1")
+
+    def test_excuses_registered_against_most_specific_targets(self, schema):
+        assert {e.excusing_class for e in schema.excuses_against(
+            "Hospital", "accreditation")} == {"Hospital$1"}
+        assert {e.excusing_class for e in schema.excuses_against(
+            "Address", "state")} == {"Address$1"}
+
+    def test_extra_attribute_country(self, schema):
+        assert "country" in schema.applicable_attribute_names("Address$1")
+        assert "country" not in schema.applicable_attribute_names("Address")
+
+    def test_origin_lookup_helpers(self, schema):
+        found = schema.virtual_classes_with_origin(
+            "Tubercular_Patient", "treatedAt")
+        assert [c.name for c in found] == ["Hospital$1"]
+        owner_only = schema.virtual_classes_with_origin_owner("Hospital$1")
+        assert [c.name for c in owner_only] == ["Address$1"]
+
+
+class TestFactoryNaming:
+    def test_names_count_per_base(self):
+        schema = Schema()
+        schema.add_class(ClassDef("Hospital"))
+        factory = VirtualClassFactory(schema)
+        t1 = factory.realize("X", "a", Embedding("Hospital", ()))
+        # a second embedding of the same base gets a fresh name
+        schema.add_class(ClassDef("X", (), ()))
+        t2 = factory.realize("X", "b", Embedding("Hospital", ()))
+        assert (t1.name, t2.name) == ("Hospital$1", "Hospital$2")
+
+    def test_collision_with_existing_name_skipped(self):
+        schema = Schema()
+        schema.add_class(ClassDef("Hospital"))
+        schema.add_class(ClassDef("Hospital$1", ("Hospital",)))
+        factory = VirtualClassFactory(schema)
+        t = factory.realize("X", "a", Embedding("Hospital", ()))
+        assert t.name == "Hospital$2"
+
+    def test_virtual_needs_origin(self):
+        with pytest.raises(ValueError):
+            ClassDef("V", ("Hospital",), (), virtual=True)

@@ -1,0 +1,146 @@
+"""The four candidate semantics against the paper's litmus cases (§5.2).
+
+The paper rejects candidates 1-3 with specific counterexamples; each test
+here runs the counterexample and checks the candidate fails it while the
+final semantics passes.  Benchmark E9 prints the full matrix.
+"""
+
+import pytest
+
+from repro.objects import Instance, ObjectStore, Surrogate
+from repro.objects.store import CheckMode
+from repro.scenarios import build_quaker_schema, create_dick
+from repro.schema import SchemaBuilder
+from repro.schema.schema import Constraint
+from repro.semantics import (
+    ALL_SEMANTICS,
+    BroadenedRangeSemantics,
+    ExactPartitionSemantics,
+    ExcuseSemantics,
+    MembershipWaiverSemantics,
+)
+from repro.typesys import EnumSymbol, STRING
+
+
+@pytest.fixture(scope="module")
+def alcoholic_world():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING)
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    b.cls("Alcoholic", isa="Patient").attr(
+        "treatedBy", "Psychologist", excuses=["Patient"])
+    schema = b.build()
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    shrink = store.create("Psychologist", name="Dr P")
+    plain = store.create("Patient", name="Bob", treatedBy=shrink)
+    constraint = Constraint(
+        "Patient", "treatedBy",
+        schema.get("Patient").attribute("treatedBy").range)
+    excuses = schema.excuses_against("Patient", "treatedBy")
+    return schema, plain, shrink, constraint, excuses
+
+
+class TestBroadenedRange:
+    """Candidate 1 'permits even non-alcoholic patients to be treated by
+    psychologists'."""
+
+    def test_flaw_reproduced(self, alcoholic_world):
+        schema, plain, shrink, constraint, excuses = alcoholic_world
+        broadened = BroadenedRangeSemantics()
+        assert broadened.satisfies(schema, plain, shrink, constraint,
+                                   excuses)
+
+    def test_final_semantics_rejects(self, alcoholic_world):
+        schema, plain, shrink, constraint, excuses = alcoholic_world
+        final = ExcuseSemantics()
+        assert not final.satisfies(schema, plain, shrink, constraint,
+                                   excuses)
+
+    def test_rule_rendering(self, alcoholic_world):
+        schema, _p, _s, constraint, excuses = alcoholic_world
+        rule = BroadenedRangeSemantics().render_rule(constraint, excuses)
+        assert rule == ("IF x in Patient THEN x.treatedBy in Physician "
+                        "OR x.treatedBy in Psychologist")
+
+
+def quaker_world(opinion):
+    schema = build_quaker_schema()
+    store = ObjectStore(schema, check_mode=CheckMode.NONE)
+    dick = create_dick(store, opinion)
+    quaker_c = Constraint("Quaker", "opinion",
+                          schema.get("Quaker").attribute("opinion").range)
+    repub_c = Constraint(
+        "Republican", "opinion",
+        schema.get("Republican").attribute("opinion").range)
+    return schema, dick, quaker_c, repub_c
+
+
+def _satisfies_both(semantics, schema, dick, quaker_c, repub_c):
+    value = dick.get_value("opinion")
+    return (semantics.satisfies(
+                schema, dick, value, quaker_c,
+                schema.excuses_against("Quaker", "opinion"))
+            and semantics.satisfies(
+                schema, dick, value, repub_c,
+                schema.excuses_against("Republican", "opinion")))
+
+
+class TestMembershipWaiver:
+    """Candidate 2 lets dagwood hold opinion 'Ostrich."""
+
+    def test_flaw_reproduced(self):
+        world = quaker_world("Ostrich")
+        assert _satisfies_both(MembershipWaiverSemantics(), *world)
+
+    def test_final_semantics_rejects_ostrich(self):
+        world = quaker_world("Ostrich")
+        assert not _satisfies_both(ExcuseSemantics(), *world)
+
+
+class TestExactPartition:
+    """Candidate 3 leaves dick no legal opinion at all."""
+
+    @pytest.mark.parametrize("opinion", ["Hawk", "Dove", "Ostrich"])
+    def test_flaw_no_opinion_possible(self, opinion):
+        world = quaker_world(opinion)
+        assert not _satisfies_both(ExactPartitionSemantics(), *world)
+
+    @pytest.mark.parametrize("opinion,expected", [
+        ("Hawk", True), ("Dove", True), ("Ostrich", False)])
+    def test_final_semantics_hawk_or_dove(self, opinion, expected):
+        world = quaker_world(opinion)
+        assert _satisfies_both(ExcuseSemantics(), *world) is expected
+
+
+class TestFinalSemantics:
+    def test_plain_quaker_must_be_dove(self):
+        schema = build_quaker_schema()
+        store = ObjectStore(schema, check_mode=CheckMode.NONE)
+        q = store.create("Quaker", name="q",
+                         opinion=EnumSymbol("Hawk"))
+        c = Constraint("Quaker", "opinion",
+                       schema.get("Quaker").attribute("opinion").range)
+        final = ExcuseSemantics()
+        assert not final.satisfies(
+            schema, q, q.get_value("opinion"), c,
+            schema.excuses_against("Quaker", "opinion"))
+
+    def test_rule_rendering_matches_paper_formula(self):
+        schema = build_quaker_schema()
+        c = Constraint("Quaker", "opinion",
+                       schema.get("Quaker").attribute("opinion").range)
+        rule = ExcuseSemantics().render_rule(
+            c, schema.excuses_against("Quaker", "opinion"))
+        assert rule == ("IF x in Quaker THEN x.opinion in {'Dove} OR "
+                        "(x in Republican AND x.opinion in {'Hawk})")
+
+    def test_all_semantics_have_distinct_ordinals(self):
+        assert sorted(s.ordinal for s in ALL_SEMANTICS) == [1, 2, 3, 4]
+
+    def test_membership_via_subclass_counts(self, alcoholic_world):
+        schema, _p, shrink, constraint, excuses = alcoholic_world
+        store_obj = Instance(Surrogate(77), {"Alcoholic"})
+        assert ExcuseSemantics().satisfies(
+            schema, store_obj, shrink, constraint, excuses)

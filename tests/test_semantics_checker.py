@@ -1,0 +1,130 @@
+"""Conformance checking across whole objects (multi-membership etc.)."""
+
+import pytest
+
+from repro.objects import Instance, ObjectStore, Surrogate
+from repro.objects.store import CheckMode
+from repro.semantics import ConformanceChecker
+from repro.typesys import EnumSymbol, INAPPLICABLE
+
+
+@pytest.fixture()
+def store(hospital_schema):
+    return ObjectStore(hospital_schema, check_mode=CheckMode.NONE)
+
+
+@pytest.fixture()
+def checker(hospital_schema):
+    return ConformanceChecker(hospital_schema)
+
+
+def test_conformant_patient(store, checker):
+    doc = store.create("Physician", name="D", age=40,
+                       specialty=EnumSymbol("General"))
+    p = store.create("Patient", name="B", age=30, treatedBy=doc,
+                     bloodPressure=EnumSymbol("Normal_BP"))
+    assert checker.conforms(p)
+
+
+def test_range_violation_reported(store, checker):
+    p = store.create("Patient", name="B", age=300)
+    violations = checker.check(p)
+    assert any(v.attribute == "age" and v.class_name == "Person"
+               for v in violations)
+
+
+def test_violation_carries_rule_text(store, checker):
+    p = store.create("Patient", name="B", age=300)
+    v = [v for v in checker.check(p) if v.attribute == "age"][0]
+    assert "IF x in Person THEN" in v.rule
+
+
+def test_inapplicable_attribute_flagged(store, checker):
+    doc = store.create("Physician", name="D", age=40)
+    # `supervisor` belongs to Employee, not Physician.
+    doc._set_value("supervisor", doc)
+    violations = checker.check(doc)
+    assert any(v.kind == "inapplicable-attribute"
+               and v.attribute == "supervisor" for v in violations)
+
+
+def test_multi_membership_tightest_wins(store, checker):
+    """A renal-failure patient must have high BP -- unless also
+    hemorrhaging, in which case low BP is excused (the paper's medical
+    policy)."""
+    doc = store.create("Physician", name="D", age=40)
+    p = store.create("Renal_Failure_Patient", name="R", age=50,
+                     treatedBy=doc, bloodPressure=EnumSymbol("High_BP"))
+    assert checker.conforms(p)
+
+    store.set_value(p, "bloodPressure", EnumSymbol("Low_BP"),
+                    check=CheckMode.NONE)
+    assert not checker.conforms(p)
+
+    store.classify(p, "Hemorrhaging_Patient", check=CheckMode.NONE)
+    assert checker.conforms(p)
+
+
+def test_multi_membership_high_bp_not_allowed_when_hemorrhaging(
+        store, checker):
+    # The excuse is one-directional: Hemorrhaging overrides Renal, so a
+    # doubly-classified patient with High_BP violates the Hemorrhaging
+    # constraint (nothing excuses it).
+    p = store.create("Renal_Failure_Patient", name="R", age=50,
+                     bloodPressure=EnumSymbol("High_BP"))
+    store.classify(p, "Hemorrhaging_Patient", check=CheckMode.NONE)
+    violations = checker.check(p)
+    assert any(v.class_name == "Hemorrhaging_Patient" for v in violations)
+
+
+def test_ambulatory_ward_inapplicable(store, checker):
+    p = store.create("Ambulatory_Patient", name="A", age=20)
+    assert checker.conforms(p)
+    ward = store.create("Ward", floor=3, name="W")
+    store.set_value(p, "ward", ward, check=CheckMode.NONE)
+    violations = checker.check(p)
+    # ward: None on Ambulatory_Patient forbids an actual ward value.
+    assert any(v.class_name == "Ambulatory_Patient"
+               and v.attribute == "ward" for v in violations)
+
+
+def test_missing_values_ignored_by_default(store, checker):
+    p = store.create("Patient", name="B", age=30)  # no treatedBy yet
+    assert checker.conforms(p)
+
+
+def test_require_values_mode(store, hospital_schema):
+    strict = ConformanceChecker(hospital_schema, require_values=True)
+    p = store.create("Patient", name="B", age=30)
+    violations = strict.check(p)
+    assert any(v.kind == "missing-value" and v.attribute == "treatedBy"
+               for v in violations)
+
+
+def test_require_values_waived_by_none_excuse(store, hospital_schema):
+    """An Ambulatory patient's missing ward is fine even in strict mode:
+    the excuse admits INAPPLICABLE."""
+    strict = ConformanceChecker(hospital_schema, require_values=True)
+    doc = store.create("Physician", name="D", age=40)
+    hosp_violations = [
+        v for v in strict.check(
+            store.create("Ambulatory_Patient", name="A", age=20,
+                         treatedBy=doc))
+        if v.attribute == "ward"
+    ]
+    assert hosp_violations == []
+
+
+def test_check_attribute_prospective(store, checker):
+    doc = store.create("Physician", name="D", age=40)
+    shrink = store.create("Psychologist", name="P", age=45,
+                          therapyStyle=EnumSymbol("CBT"))
+    p = store.create("Patient", name="B", age=30, treatedBy=doc)
+    assert checker.check_attribute(p, "treatedBy", shrink)
+    assert not checker.check_attribute(p, "treatedBy", doc)
+
+
+def test_expanded_memberships(checker, store):
+    p = store.create("Alcoholic", name="A", age=30)
+    assert checker.expanded_memberships(p) == {
+        "Alcoholic", "Patient", "Person"}

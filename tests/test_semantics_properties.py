@@ -1,0 +1,129 @@
+"""Property-based relationships among the four candidate semantics.
+
+The candidates of Section 5.2 form a strictness spectrum; on random
+worlds these containments must hold:
+
+* everything the **final** semantics accepts, **broadened-range**
+  accepts (broadening only forgets the membership condition);
+* everything the final semantics accepts, **membership-waiver** accepts
+  (waiving is weaker than requiring the excusing range);
+* everything **exact-partition** accepts, the final semantics accepts
+  (the partition adds conditions, never removes any);
+* on objects belonging to *no* excusing class, all four agree with the
+  plain range check.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects import Instance, Surrogate
+from repro.schema import SchemaBuilder
+from repro.schema.schema import Constraint
+from repro.semantics import (
+    BroadenedRangeSemantics,
+    ExactPartitionSemantics,
+    ExcuseSemantics,
+    MembershipWaiverSemantics,
+)
+from repro.typesys import EnumSymbol, EnumerationType
+
+
+SYMBOLS = ("a", "b", "c", "d", "e", "f")
+
+
+def build_world(base_syms, excuse1_syms, excuse2_syms):
+    b = SchemaBuilder()
+    b.cls("Thing").attr("tag", set(SYMBOLS))
+    b.cls("B", isa="Thing").attr("tag", set(base_syms))
+    b.cls("E1", isa="Thing").attr("tag", set(excuse1_syms),
+                                  excuses=[("B", "tag")])
+    b.cls("E2", isa="Thing").attr("tag", set(excuse2_syms),
+                                  excuses=[("B", "tag")])
+    return b.build(validate=False)
+
+
+def nonempty_subsets():
+    return st.sets(st.sampled_from(SYMBOLS), min_size=1)
+
+
+@st.composite
+def worlds(draw):
+    schema = build_world(draw(nonempty_subsets()),
+                         draw(nonempty_subsets()),
+                         draw(nonempty_subsets()))
+    memberships = {"B"} | set(draw(st.sets(
+        st.sampled_from(("E1", "E2")))))
+    value = EnumSymbol(draw(st.sampled_from(SYMBOLS)))
+    entity = Instance(Surrogate(1), memberships, {"tag": value})
+    constraint = Constraint("B", "tag",
+                            schema.get("B").attribute("tag").range)
+    excuses = schema.excuses_against("B", "tag")
+    return schema, entity, value, constraint, excuses
+
+
+FINAL = ExcuseSemantics()
+BROAD = BroadenedRangeSemantics()
+WAIVER = MembershipWaiverSemantics()
+EXACT = ExactPartitionSemantics()
+
+
+@settings(max_examples=300, deadline=None)
+@given(worlds())
+def test_final_implies_broadened(world):
+    schema, entity, value, constraint, excuses = world
+    if FINAL.satisfies(schema, entity, value, constraint, excuses):
+        assert BROAD.satisfies(schema, entity, value, constraint, excuses)
+
+
+@settings(max_examples=300, deadline=None)
+@given(worlds())
+def test_final_implies_waiver(world):
+    schema, entity, value, constraint, excuses = world
+    if FINAL.satisfies(schema, entity, value, constraint, excuses):
+        assert WAIVER.satisfies(schema, entity, value, constraint,
+                                excuses)
+
+
+@settings(max_examples=300, deadline=None)
+@given(worlds())
+def test_exact_implies_final(world):
+    schema, entity, value, constraint, excuses = world
+    if EXACT.satisfies(schema, entity, value, constraint, excuses):
+        assert FINAL.satisfies(schema, entity, value, constraint, excuses)
+
+
+@settings(max_examples=300, deadline=None)
+@given(worlds())
+def test_all_agree_without_excusing_membership(world):
+    schema, entity, value, constraint, excuses = world
+    if entity.memberships & {"E1", "E2"}:
+        return
+    from repro.typesys.values import type_contains
+    plain = type_contains(constraint.range, value, schema, owner=entity)
+    # Final, waiver, and exact-partition all collapse to the plain range
+    # check when no excusing membership holds...
+    for semantics in (FINAL, WAIVER, EXACT):
+        assert semantics.satisfies(
+            schema, entity, value, constraint, excuses) is plain
+    # ...but broadened-range does NOT: it admits the excusing ranges for
+    # *everyone* -- which is exactly why the paper rejects it.  It still
+    # never rejects something the plain check accepts.
+    if plain:
+        assert BROAD.satisfies(schema, entity, value, constraint,
+                               excuses)
+
+
+@settings(max_examples=300, deadline=None)
+@given(worlds())
+def test_final_accepts_exactly_the_formula(world):
+    """The final semantics must compute the paper's formula literally."""
+    schema, entity, value, constraint, excuses = world
+    from repro.typesys.values import entity_is_member, type_contains
+    expected = type_contains(constraint.range, value, schema,
+                             owner=entity) or any(
+        entity_is_member(entity, e.excusing_class, schema)
+        and type_contains(e.range, value, schema, owner=entity)
+        for e in excuses)
+    assert FINAL.satisfies(schema, entity, value, constraint,
+                           excuses) is expected

@@ -1,0 +1,185 @@
+"""Storage engine: partitions, directory, pruned scans, logical files."""
+
+import pytest
+
+from repro.errors import NoSuchObjectError, StorageError, UnknownClassError
+from repro.storage import LogicalFile, StorageEngine
+from repro.storage.engine import ScanStats
+from repro.typesys import INAPPLICABLE, EnumSymbol
+
+
+@pytest.fixture(scope="module")
+def loaded(hospital_population):
+    pop = hospital_population
+    engine = StorageEngine(pop.store.schema)
+    engine.store_all(pop.store.instances())
+    return engine, pop
+
+
+class TestLogicalFile:
+    def test_append_read(self):
+        f = LogicalFile("t")
+        rid = f.append(b"abc")
+        assert f.read(rid) == b"abc"
+        assert len(f) == 1
+
+    def test_update(self):
+        f = LogicalFile("t")
+        rid = f.append(b"abc")
+        f.update(rid, b"xyz")
+        assert f.read(rid) == b"xyz"
+
+    def test_delete_tombstones(self):
+        f = LogicalFile("t")
+        rid = f.append(b"abc")
+        f.delete(rid)
+        assert len(f) == 0
+        with pytest.raises(StorageError):
+            f.read(rid)
+
+    def test_scan_skips_deleted(self):
+        f = LogicalFile("t")
+        keep = f.append(b"k")
+        f.delete(f.append(b"d"))
+        assert [rid for rid, _ in f.scan()] == [keep]
+
+    def test_bad_rowid(self):
+        with pytest.raises(StorageError):
+            LogicalFile("t").read(0)
+
+
+class TestPartitioning:
+    def test_exceptional_objects_get_own_partition(self, loaded):
+        engine, _pop = loaded
+        keys = {p.key for p in engine.partitions()}
+        assert ("Hospital",) in keys
+        assert ("Hospital", "Hospital$1") in keys
+
+    def test_swiss_partition_format_lacks_accreditation(self, loaded):
+        engine, _pop = loaded
+        swiss = next(p for p in engine.partitions()
+                     if p.key == ("Hospital", "Hospital$1"))
+        assert not swiss.format.has_field("accreditation")
+        plain = next(p for p in engine.partitions()
+                     if p.key == ("Hospital",))
+        assert plain.format.has_field("accreditation")
+
+    def test_row_counts_match_population(self, loaded):
+        engine, pop = loaded
+        assert engine.total_rows() == len(pop.store)
+
+    def test_describe_mentions_partitions(self, loaded):
+        engine, _pop = loaded
+        text = engine.describe()
+        assert "partitions" in text and "Hospital+Hospital$1" in text
+
+
+class TestPointAccess:
+    def test_fetch_round_trip(self, loaded):
+        engine, pop = loaded
+        patient = pop.patients[0]
+        row = engine.fetch(patient.surrogate)
+        assert row["name"] == patient.get_value("name")
+        assert row["age"] == patient.get_value("age")
+        assert row["treatedBy"] == patient.get_value(
+            "treatedBy").surrogate
+
+    def test_fetch_attribute(self, loaded):
+        engine, pop = loaded
+        patient = pop.patients[0]
+        assert engine.fetch_attribute(patient.surrogate, "age") == \
+            patient.get_value("age")
+        assert engine.fetch_attribute(patient.surrogate,
+                                      "nonexistent") is INAPPLICABLE
+
+    def test_fetch_unknown_surrogate(self, loaded):
+        engine, _pop = loaded
+        from repro.objects import Surrogate
+        with pytest.raises(NoSuchObjectError):
+            engine.fetch(Surrogate(10**9))
+
+    def test_memberships_of(self, loaded):
+        engine, pop = loaded
+        assert engine.memberships_of(pop.tubercular[0].surrogate) == \
+            ("Tubercular_Patient",)
+
+
+class TestMutation:
+    def test_update_in_place(self, hospital_population):
+        pop = hospital_population
+        engine = StorageEngine(pop.store.schema)
+        patient = pop.patients[0]
+        engine.store_instance(patient)
+        old_age = patient.get_value("age")
+        patient._set_value("age", old_age if old_age != 55 else 56)
+        patient._set_value("age", 55)
+        engine.store_instance(patient)
+        assert engine.fetch(patient.surrogate)["age"] == 55
+        patient._set_value("age", old_age)
+
+    def test_membership_change_moves_partition(self, hospital_schema):
+        from repro.objects import ObjectStore
+        from repro.objects.store import CheckMode
+        store = ObjectStore(hospital_schema, check_mode=CheckMode.NONE)
+        engine = StorageEngine(hospital_schema)
+        p = store.create("Patient", name="x", age=20)
+        engine.store_instance(p)
+        assert engine.memberships_of(p.surrogate) == ("Patient",)
+        store.classify(p, "Renal_Failure_Patient", check=CheckMode.NONE)
+        engine.store_instance(p)
+        assert engine.memberships_of(p.surrogate) == (
+            "Patient", "Renal_Failure_Patient")
+        assert engine.total_rows() == 1
+
+    def test_delete(self, hospital_schema):
+        from repro.objects import ObjectStore
+        store = ObjectStore(hospital_schema)
+        engine = StorageEngine(hospital_schema)
+        p = store.create("Person", name="x", age=20)
+        engine.store_instance(p)
+        engine.delete(p.surrogate)
+        with pytest.raises(NoSuchObjectError):
+            engine.fetch(p.surrogate)
+        assert engine.total_rows() == 0
+
+
+class TestScans:
+    def test_pruned_and_unpruned_agree(self, loaded):
+        engine, _pop = loaded
+        for class_name, attr in (("Patient", "age"),
+                                 ("Hospital", "accreditation"),
+                                 ("Person", "name")):
+            pruned = sorted(engine.scan_attribute(class_name, attr,
+                                                  prune=True))
+            unpruned = sorted(engine.scan_attribute(class_name, attr,
+                                                    prune=False))
+            assert pruned == unpruned
+
+    def test_pruning_reads_fewer_rows(self, loaded):
+        engine, _pop = loaded
+        fast, slow = ScanStats(), ScanStats()
+        list(engine.scan_attribute("Hospital", "accreditation",
+                                   prune=True, stats=fast))
+        list(engine.scan_attribute("Hospital", "accreditation",
+                                   prune=False, stats=slow))
+        assert fast.partitions_scanned < slow.partitions_scanned
+        assert fast.rows_read < slow.rows_read
+
+    def test_scan_values_correct(self, loaded):
+        engine, pop = loaded
+        ages = dict(engine.scan_attribute("Patient", "age"))
+        assert len(ages) == len(pop.patients)
+        for p in pop.patients:
+            assert ages[p.surrogate] == p.get_value("age")
+
+    def test_inapplicable_values_not_yielded(self, loaded):
+        engine, pop = loaded
+        accs = dict(engine.scan_attribute("Hospital", "accreditation"))
+        # Swiss hospitals have no accreditation; they never appear.
+        assert len(accs) == len(pop.hospitals)
+        assert all(isinstance(v, EnumSymbol) for v in accs.values())
+
+    def test_unknown_class_rejected(self, loaded):
+        engine, _pop = loaded
+        with pytest.raises(UnknownClassError):
+            list(engine.scan_attribute("Martian", "age"))

@@ -1,0 +1,132 @@
+"""Attribute indexes over partitioned storage."""
+
+import pytest
+
+from repro.errors import UnknownClassError
+from repro.objects import ObjectStore
+from repro.scenarios import populate_hospital
+from repro.storage import StorageEngine
+from repro.storage.index import AttributeIndex
+from repro.typesys import EnumSymbol, INAPPLICABLE
+
+
+@pytest.fixture()
+def loaded(hospital_schema):
+    pop = populate_hospital(schema=hospital_schema, n_patients=50,
+                            seed=31)
+    engine = StorageEngine(hospital_schema)
+    engine.store_all(pop.store.instances())
+    return pop, engine
+
+
+class TestIndexStructure:
+    def test_insert_and_lookup(self):
+        from repro.objects import Surrogate
+        idx = AttributeIndex("Patient", "age")
+        idx.insert(Surrogate(1), 30)
+        idx.insert(Surrogate(2), 30)
+        idx.insert(Surrogate(3), 40)
+        assert idx.lookup(30) == (Surrogate(1), Surrogate(2))
+        assert idx.lookup(99) == ()
+        assert len(idx) == 3
+        assert idx.distinct_values() == 2
+
+    def test_reinsert_moves_bucket(self):
+        from repro.objects import Surrogate
+        idx = AttributeIndex("Patient", "age")
+        idx.insert(Surrogate(1), 30)
+        idx.insert(Surrogate(1), 35)
+        assert idx.lookup(30) == ()
+        assert idx.lookup(35) == (Surrogate(1),)
+
+    def test_inapplicable_not_indexed(self):
+        from repro.objects import Surrogate
+        idx = AttributeIndex("Patient", "ward")
+        idx.insert(Surrogate(1), INAPPLICABLE)
+        assert len(idx) == 0
+
+    def test_remove(self):
+        from repro.objects import Surrogate
+        idx = AttributeIndex("Patient", "age")
+        idx.insert(Surrogate(1), 30)
+        idx.remove(Surrogate(1))
+        assert idx.lookup(30) == ()
+        idx.remove(Surrogate(1))  # idempotent
+
+
+class TestEngineIntegration:
+    def test_indexed_find_matches_scan(self, loaded):
+        pop, engine = loaded
+        scan_result = engine.find("Patient", "age", 50)
+        engine.create_index("Patient", "age")
+        index_result = engine.find("Patient", "age", 50)
+        assert index_result == scan_result
+
+    def test_index_covers_all_partitions_of_class(self, loaded):
+        pop, engine = loaded
+        index = engine.create_index("Patient", "age")
+        # Tubercular/alcoholic/etc. patients live in other partitions but
+        # are Patient instances; the index must include them.
+        assert len(index) == len(pop.patients)
+
+    def test_index_maintained_on_update(self, loaded):
+        pop, engine = loaded
+        engine.create_index("Patient", "age")
+        patient = pop.patients[0]
+        patient._set_value("age", 117)
+        engine.store_instance(patient)
+        assert engine.find("Patient", "age", 117) == (patient.surrogate,)
+
+    def test_index_maintained_on_delete(self, loaded):
+        pop, engine = loaded
+        engine.create_index("Patient", "age")
+        patient = pop.patients[0]
+        age = patient.get_value("age")
+        engine.delete(patient.surrogate)
+        assert patient.surrogate not in engine.find("Patient", "age", age)
+
+    def test_index_tracks_partition_moves(self, hospital_schema):
+        from repro.objects.store import CheckMode
+        store = ObjectStore(hospital_schema, check_mode=CheckMode.NONE)
+        engine = StorageEngine(hospital_schema)
+        engine.create_index("Renal_Failure_Patient", "age")
+        p = store.create("Patient", name="x", age=20,
+                         bloodPressure=EnumSymbol("High_BP"))
+        engine.store_instance(p)
+        assert engine.find("Renal_Failure_Patient", "age", 20) == ()
+        store.classify(p, "Renal_Failure_Patient", check=CheckMode.NONE)
+        engine.store_instance(p)
+        assert engine.find("Renal_Failure_Patient", "age", 20) == (
+            p.surrogate,)
+        store.declassify(p, "Renal_Failure_Patient")
+        engine.store_instance(p)
+        assert engine.find("Renal_Failure_Patient", "age", 20) == ()
+
+    def test_create_index_idempotent(self, loaded):
+        _pop, engine = loaded
+        a = engine.create_index("Patient", "age")
+        b = engine.create_index("Patient", "age")
+        assert a is b
+
+    def test_drop_index_falls_back_to_scan(self, loaded):
+        pop, engine = loaded
+        engine.create_index("Patient", "age")
+        engine.drop_index("Patient", "age")
+        expected = tuple(sorted(
+            p.surrogate for p in pop.patients if p.get_value("age") == 50))
+        assert engine.find("Patient", "age", 50) == expected
+
+    def test_unknown_class(self, loaded):
+        _pop, engine = loaded
+        with pytest.raises(UnknownClassError):
+            engine.create_index("Martian", "age")
+
+    def test_enum_valued_index(self, loaded):
+        pop, engine = loaded
+        engine.create_index("Hospital", "accreditation")
+        federal = engine.find("Hospital", "accreditation",
+                              EnumSymbol("Federal"))
+        expected = tuple(sorted(
+            h.surrogate for h in pop.hospitals
+            if h.get_value("accreditation") == EnumSymbol("Federal")))
+        assert federal == expected

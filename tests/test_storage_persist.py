@@ -1,0 +1,74 @@
+"""Snapshot save/load of the storage engine."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.scenarios import populate_hospital
+from repro.storage import StorageEngine
+from repro.storage.persist import load_engine, save_engine
+
+
+@pytest.fixture()
+def snapshot(tmp_path, hospital_schema):
+    pop = populate_hospital(schema=hospital_schema, n_patients=40,
+                            seed=21)
+    engine = StorageEngine(hospital_schema)
+    engine.store_all(pop.store.instances())
+    path = tmp_path / "snap"
+    save_engine(engine, str(path))
+    return pop, engine, str(path)
+
+
+def test_round_trip_preserves_every_row(snapshot, hospital_schema):
+    pop, engine, path = snapshot
+    loaded = load_engine(hospital_schema, path)
+    assert loaded.total_rows() == engine.total_rows()
+    for obj in pop.store.instances():
+        assert loaded.fetch(obj.surrogate) == engine.fetch(obj.surrogate)
+
+
+def test_round_trip_preserves_partitions(snapshot, hospital_schema):
+    _pop, engine, path = snapshot
+    loaded = load_engine(hospital_schema, path)
+    assert {p.key for p in loaded.partitions()} == \
+        {p.key for p in engine.partitions()}
+
+
+def test_scans_work_after_reload(snapshot, hospital_schema):
+    _pop, engine, path = snapshot
+    loaded = load_engine(hospital_schema, path)
+    original = sorted(engine.scan_attribute("Patient", "age"))
+    reloaded = sorted(loaded.scan_attribute("Patient", "age"))
+    assert original == reloaded
+
+
+def test_tombstones_survive(tmp_path, hospital_schema):
+    pop = populate_hospital(schema=hospital_schema, n_patients=10,
+                            seed=22)
+    engine = StorageEngine(hospital_schema)
+    engine.store_all(pop.store.instances())
+    victim = pop.patients[0]
+    engine.delete(victim.surrogate)
+    save_engine(engine, str(tmp_path / "snap"))
+    loaded = load_engine(hospital_schema, str(tmp_path / "snap"))
+    assert loaded.total_rows() == engine.total_rows()
+    with pytest.raises(Exception):
+        loaded.fetch(victim.surrogate)
+
+
+def test_missing_manifest_rejected(tmp_path, hospital_schema):
+    with pytest.raises(StorageError):
+        load_engine(hospital_schema, str(tmp_path / "nowhere"))
+
+
+def test_schema_mismatch_detected(snapshot):
+    """Reloading under a schema with an incompatible record layout fails
+    loudly instead of decoding garbage."""
+    _pop, _engine, path = snapshot
+    from repro.schema import SchemaBuilder
+    from repro.typesys import STRING
+    b = SchemaBuilder()
+    b.cls("Patient").attr("age", STRING)  # was an int field before
+    tiny = b.build()
+    with pytest.raises(StorageError):
+        load_engine(tiny, path)

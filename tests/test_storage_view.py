@@ -1,0 +1,106 @@
+"""Running compiled queries directly over stored records."""
+
+import pytest
+
+from repro.errors import NoSuchObjectError, UnknownClassError
+from repro.objects import Surrogate
+from repro.query import compile_query, execute
+from repro.scenarios import populate_hospital
+from repro.storage import StorageEngine
+from repro.storage.view import EngineView, StoredEntity
+
+
+@pytest.fixture(scope="module")
+def world(hospital_schema):
+    pop = populate_hospital(schema=hospital_schema, n_patients=60,
+                            seed=81, tubercular_fraction=0.1,
+                            alcoholic_fraction=0.15)
+    engine = StorageEngine(hospital_schema)
+    engine.store_all(pop.store.instances())
+    return pop, engine, EngineView(engine)
+
+
+class TestEntities:
+    def test_lazy_values(self, world):
+        pop, _engine, view = world
+        patient = pop.patients[0]
+        proxy = view.entity(patient.surrogate)
+        assert proxy._values is None  # nothing decoded yet
+        assert proxy.get_value("name") == patient.get_value("name")
+        assert proxy._values is not None
+
+    def test_entity_references_resolve_to_proxies(self, world):
+        pop, _engine, view = world
+        patient = pop.patients[0]
+        proxy = view.entity(patient.surrogate)
+        doctor = proxy.get_value("treatedBy")
+        assert isinstance(doctor, StoredEntity)
+        assert doctor.surrogate == patient.get_value("treatedBy").surrogate
+
+    def test_proxies_cached_and_equal(self, world):
+        pop, _engine, view = world
+        s = pop.patients[0].surrogate
+        assert view.entity(s) is view.entity(s)
+        assert view.entity(s) == view.entity(s)
+
+    def test_memberships(self, world):
+        pop, _engine, view = world
+        tb = pop.tubercular[0]
+        assert view.entity(tb.surrogate).memberships == (
+            "Tubercular_Patient",)
+
+    def test_unknown_surrogate(self, world):
+        _pop, _engine, view = world
+        with pytest.raises(NoSuchObjectError):
+            view.entity(Surrogate(10**9))
+
+
+class TestExtents:
+    def test_extent_counts_match_store(self, world):
+        pop, _engine, view = world
+        for class_name in ("Patient", "Alcoholic", "Hospital",
+                           "Hospital$1", "Person"):
+            assert view.count(class_name) == pop.store.count(class_name)
+
+    def test_unknown_class(self, world):
+        _pop, _engine, view = world
+        with pytest.raises(UnknownClassError):
+            view.extent("Martian")
+
+    def test_is_member(self, world):
+        pop, _engine, view = world
+        alc = view.entity(pop.alcoholics[0].surrogate)
+        assert view.is_member(alc, "Patient")
+        assert not view.is_member(alc, "Hospital")
+        assert not view.is_member(42, "Patient")
+
+
+class TestQueriesOverStorage:
+    QUERIES = (
+        "for p in Patient select p.name, p.age",
+        "for p in Patient where p.age > 40 select p.name",
+        "for p in Patient where p in Alcoholic "
+        "select p.treatedBy.therapyStyle",
+        "for p in Patient select p.name, p.treatedAt.location.city",
+        "for p in Patient select p.name, p.treatedAt.location.state",
+        "for p in Patient where p not in Tubercular_Patient "
+        "select p.treatedAt.location.state",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_view_and_store_agree(self, world, query):
+        pop, _engine, view = world
+        compiled = compile_query(query, pop.store.schema)
+        via_store, store_stats = execute(compiled, pop.store)
+        via_view, view_stats = execute(compiled, view)
+        assert sorted(map(repr, via_store)) == sorted(map(repr, via_view))
+        assert store_stats.rows_skipped == view_stats.rows_skipped
+
+    def test_check_elimination_works_over_storage(self, world):
+        pop, _engine, view = world
+        compiled = compile_query(
+            "for p in Patient where p not in Tubercular_Patient "
+            "select p.treatedAt.location.state", pop.store.schema)
+        _rows, stats = execute(compiled, view)
+        assert stats.checks_executed == 0
+        assert stats.rows_skipped == 0

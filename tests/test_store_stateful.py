@@ -1,0 +1,145 @@
+"""Stateful property testing of the object store.
+
+A hypothesis rule-based machine performs random creates, writes,
+classifications, and removals against the hospital schema (checks off,
+like a bulk loader) and asserts the store's structural invariants after
+every step:
+
+* extent closure: an object is in the extent of exactly the IS-A closure
+  of its memberships;
+* virtual-class consistency: membership in a virtual class holds iff the
+  reference count says some anchor exists, and every anchor is a live
+  object actually referencing it through the home attribute;
+* directory consistency: every extent entry resolves to a live object.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    consumes,
+    initialize,
+    invariant,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.objects import ObjectStore
+from repro.objects.store import CheckMode
+from repro.scenarios import build_hospital_schema
+from repro.typesys import EnumSymbol
+
+SCHEMA = build_hospital_schema()
+
+PATIENT_CLASSES = ("Patient", "Alcoholic", "Tubercular_Patient",
+                   "Ambulatory_Patient")
+
+
+class StoreMachine(RuleBasedStateMachine):
+    patients = Bundle("patients")
+    hospitals = Bundle("hospitals")
+
+    @initialize()
+    def setup(self):
+        self.store = ObjectStore(SCHEMA, check_mode=CheckMode.NONE)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @rule(target=hospitals, accredited=st.booleans())
+    def create_hospital(self, accredited):
+        hospital = self.store.create("Hospital")
+        if accredited:
+            self.store.set_value(hospital, "accreditation",
+                                 EnumSymbol("State"))
+        return hospital
+
+    @rule(target=patients, cls=st.sampled_from(PATIENT_CLASSES),
+          age=st.integers(1, 120))
+    def create_patient(self, cls, age):
+        return self.store.create(cls, age=age)
+
+    @rule(patient=patients, hospital=hospitals)
+    def treat_at(self, patient, hospital):
+        if self.store._objects.get(patient.surrogate) is not patient:
+            return  # already removed
+        if self.store._objects.get(hospital.surrogate) is not hospital:
+            return
+        self.store.set_value(patient, "treatedAt", hospital)
+
+    @rule(patient=patients)
+    def clear_treatment(self, patient):
+        if self.store._objects.get(patient.surrogate) is not patient:
+            return
+        self.store.unset_value(patient, "treatedAt")
+
+    @rule(patient=consumes(patients))
+    def remove_patient(self, patient):
+        if self.store._objects.get(patient.surrogate) is not patient:
+            return
+        self.store.remove(patient)
+
+    @rule(patient=patients,
+          extra=st.sampled_from(("Renal_Failure_Patient",
+                                 "Hemorrhaging_Patient")))
+    def classify_extra(self, patient, extra):
+        if self.store._objects.get(patient.surrogate) is not patient:
+            return
+        self.store.classify(patient, extra, check=CheckMode.NONE)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def extents_are_isa_closed(self):
+        store = getattr(self, "store", None)
+        if store is None:
+            return
+        for obj in store.instances():
+            expected = set()
+            for m in obj.memberships:
+                expected.update(SCHEMA.ancestors(m))
+            for class_name in expected:
+                assert obj.surrogate in store._extents.get(
+                    class_name, set()), (obj, class_name)
+        # and nothing extra:
+        for class_name, members in store._extents.items():
+            for surrogate in members:
+                obj = store._objects.get(surrogate)
+                assert obj is not None, "extent entry for dead object"
+                closure = set()
+                for m in obj.memberships:
+                    closure.update(SCHEMA.ancestors(m))
+                assert class_name in closure
+
+    @invariant()
+    def virtual_membership_matches_anchors(self):
+        store = getattr(self, "store", None)
+        if store is None:
+            return
+        # Recompute anchor counts from scratch and compare.
+        expected_counts = {}
+        for obj in store.instances():
+            for cdef in SCHEMA.virtual_classes():
+                origin = cdef.origin
+                if not store.is_member(obj, origin.owner_class):
+                    continue
+                value = obj.get_value(origin.attribute)
+                if hasattr(value, "surrogate"):
+                    key = (cdef.name, value.surrogate)
+                    expected_counts[key] = expected_counts.get(key, 0) + 1
+        assert expected_counts == dict(store._virtual_refs)
+        for obj in store.instances():
+            for cdef in SCHEMA.virtual_classes():
+                in_class = cdef.name in obj.memberships
+                anchored = (cdef.name, obj.surrogate) in expected_counts
+                assert in_class == anchored, (obj, cdef.name)
+
+
+StoreMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestStoreMachine = StoreMachine.TestCase

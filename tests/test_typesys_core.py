@@ -1,0 +1,136 @@
+"""Unit tests for type expression construction and invariants."""
+
+import pytest
+
+from repro.typesys import (
+    ANY,
+    ANY_ENTITY,
+    BOOLEAN,
+    INTEGER,
+    NONE,
+    REAL,
+    STRING,
+    ClassType,
+    Conditional,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+    UnionType,
+)
+
+
+class TestPrimitives:
+    def test_singletons_are_distinct(self):
+        names = {t.name for t in (STRING, INTEGER, REAL, BOOLEAN)}
+        assert len(names) == 4
+
+    def test_str_rendering(self):
+        assert str(INTEGER) == "Integer"
+        assert str(NONE) == "None"
+        assert str(ANY_ENTITY) == "AnyEntity"
+        assert str(ANY) == "Any"
+
+    def test_equality_is_structural(self):
+        from repro.typesys.core import PrimitiveType
+        assert PrimitiveType("String") == STRING
+        assert PrimitiveType("String") != INTEGER
+
+
+class TestIntRange:
+    def test_bounds_preserved(self):
+        r = IntRangeType(16, 65)
+        assert (r.lo, r.hi) == (16, 65)
+        assert str(r) == "16..65"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntRangeType(10, 5)
+
+    def test_singleton_range_allowed(self):
+        assert IntRangeType(7, 7).contains_range(IntRangeType(7, 7))
+
+    def test_contains_range(self):
+        outer = IntRangeType(1, 120)
+        assert outer.contains_range(IntRangeType(16, 65))
+        assert not IntRangeType(16, 65).contains_range(outer)
+
+
+class TestEnumeration:
+    def test_symbols_frozen(self):
+        e = EnumerationType(["Hawk", "Dove"])
+        assert e.symbols == frozenset({"Hawk", "Dove"})
+
+    def test_duplicates_collapse(self):
+        assert EnumerationType(["A", "A"]) == EnumerationType(["A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnumerationType([])
+
+    def test_str_sorted(self):
+        assert str(EnumerationType(["Dove", "Hawk"])) == "{'Dove, 'Hawk}"
+
+
+class TestRecordType:
+    def test_fields_sorted_canonically(self):
+        a = RecordType({"b": STRING, "a": INTEGER})
+        b = RecordType([("a", INTEGER), ("b", STRING)])
+        assert a == b
+        assert a.field_names() if hasattr(a, "field_names") else True
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            RecordType([("x", STRING), ("x", INTEGER)])
+
+    def test_field_lookup(self):
+        r = RecordType({"street": STRING})
+        assert r.field_type("street") == STRING
+        assert r.field_type("missing") is None
+
+    def test_str_rendering(self):
+        r = RecordType({"city": STRING})
+        assert str(r) == "[city: String]"
+
+
+class TestConditionalType:
+    def test_alternatives_normalized_order(self):
+        a = ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Psychologist"), "Alcoholic"),
+             (NONE, "Ambulatory")])
+        b = ConditionalType(
+            ClassType("Physician"),
+            [(NONE, "Ambulatory"),
+             (ClassType("Psychologist"), "Alcoholic")])
+        assert a == b
+
+    def test_tuple_alternatives_coerced(self):
+        c = ConditionalType(INTEGER, [(NONE, "Temporary_Employee")])
+        assert isinstance(c.alternatives[0], Conditional)
+
+    def test_str_matches_paper_notation(self):
+        c = ConditionalType(INTEGER, [(NONE, "Temporary_Employee")])
+        assert str(c) == "Integer + None/Temporary_Employee"
+
+    def test_conditions_and_lookup(self):
+        c = ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Psychologist"), "Alcoholic")])
+        assert c.conditions() == frozenset({"Alcoholic"})
+        assert c.alternative_for("Alcoholic") == (ClassType("Psychologist"),)
+        assert c.alternative_for("Nobody") == ()
+
+
+class TestUnionType:
+    def test_flattens_and_dedupes(self):
+        u = UnionType([STRING, UnionType([INTEGER, STRING])])
+        assert set(u.members) == {STRING, INTEGER}
+
+    def test_single_member_rejected(self):
+        with pytest.raises(ValueError):
+            UnionType([STRING, STRING])
+
+    def test_str(self):
+        u = UnionType([STRING, INTEGER])
+        assert " | " in str(u)

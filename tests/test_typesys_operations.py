@@ -1,0 +1,195 @@
+"""Normalization, meet, join, and disjointness."""
+
+import pytest
+
+from repro.typesys import (
+    ANY,
+    ANY_ENTITY,
+    INTEGER,
+    NONE,
+    REAL,
+    STRING,
+    ClassType,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+    SimpleClassGraph,
+    UnionType,
+    is_subtype,
+    join,
+    meet,
+    normalize,
+)
+from repro.typesys.operations import disjoint
+
+
+@pytest.fixture()
+def graph():
+    return SimpleClassGraph({
+        "Person": [],
+        "Physician": ["Person"],
+        "Cardiologist": ["Physician"],
+        "Psychologist": ["Person"],
+        "Patient": ["Person"],
+        "Alcoholic": ["Patient"],
+    })
+
+
+class TestNormalize:
+    def test_redundant_alternative_dropped(self, graph):
+        c = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Cardiologist"), "Alcoholic")])
+        assert normalize(c, graph) == ClassType("Physician")
+
+    def test_live_alternative_kept(self, graph):
+        c = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Psychologist"), "Alcoholic")])
+        assert normalize(c, graph) == c
+
+    def test_duplicate_alternatives_merge(self, graph):
+        c = ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Psychologist"), "Alcoholic"),
+             (ClassType("Psychologist"), "Alcoholic")])
+        n = normalize(c, graph)
+        assert len(n.alternatives) == 1
+
+    def test_union_collapses_subsumed_members(self, graph):
+        u = UnionType([ClassType("Physician"), ClassType("Cardiologist")])
+        assert normalize(u, graph) == ClassType("Physician")
+
+    def test_record_fields_normalized(self, graph):
+        r = RecordType({"x": ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Cardiologist"), "Alcoholic")])})
+        assert normalize(r, graph) == RecordType(
+            {"x": ClassType("Physician")})
+
+    def test_idempotent(self, graph):
+        c = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Psychologist"), "Alcoholic"),
+                             (NONE, "Patient")])
+        once = normalize(c, graph)
+        assert normalize(once, graph) == once
+
+
+class TestJoin:
+    def test_ordered_pairs(self, graph):
+        assert join(ClassType("Cardiologist"), ClassType("Physician"),
+                    graph) == ClassType("Physician")
+
+    def test_int_ranges_hull(self):
+        assert join(IntRangeType(1, 10), IntRangeType(5, 20)) == \
+            IntRangeType(1, 20)
+
+    def test_enum_union(self):
+        assert join(EnumerationType(["A"]), EnumerationType(["B"])) == \
+            EnumerationType(["A", "B"])
+
+    def test_class_join_via_common_ancestor(self, graph):
+        assert join(ClassType("Physician"), ClassType("Psychologist"),
+                    graph) == ClassType("Person")
+
+    def test_unrelated_classes_join_to_any_entity(self):
+        g = SimpleClassGraph({"A": [], "B": []})
+        assert join(ClassType("A"), ClassType("B"), g) == ANY_ENTITY
+
+    def test_record_join_keeps_common_fields(self, graph):
+        a = RecordType({"x": IntRangeType(1, 5), "y": STRING})
+        b = RecordType({"x": IntRangeType(3, 9)})
+        assert join(a, b, graph) == RecordType({"x": IntRangeType(1, 9)})
+
+    def test_join_is_upper_bound(self, graph):
+        pairs = [
+            (IntRangeType(1, 10), IntRangeType(5, 20)),
+            (EnumerationType(["A"]), EnumerationType(["B"])),
+            (ClassType("Physician"), ClassType("Psychologist")),
+            (STRING, INTEGER),
+        ]
+        for a, b in pairs:
+            upper = join(a, b, graph)
+            assert is_subtype(a, upper, graph)
+            assert is_subtype(b, upper, graph)
+
+
+class TestMeet:
+    def test_ordered_pairs(self, graph):
+        assert meet(ClassType("Cardiologist"), ClassType("Physician"),
+                    graph) == ClassType("Cardiologist")
+
+    def test_range_intersection(self):
+        assert meet(IntRangeType(1, 10), IntRangeType(5, 20)) == \
+            IntRangeType(5, 10)
+
+    def test_empty_range_intersection_is_none(self):
+        assert meet(IntRangeType(1, 3), IntRangeType(5, 9)) is None
+
+    def test_enum_intersection(self):
+        assert meet(EnumerationType(["A", "B"]),
+                    EnumerationType(["B", "C"])) == EnumerationType(["B"])
+
+    def test_incomparable_classes_unknown(self, graph):
+        # Not empty -- multi-membership is possible -- just unknown.
+        assert meet(ClassType("Physician"), ClassType("Psychologist"),
+                    graph) is None
+
+    def test_record_meet_merges_fields(self, graph):
+        a = RecordType({"x": IntRangeType(1, 10)})
+        b = RecordType({"x": IntRangeType(5, 20), "y": STRING})
+        assert meet(a, b, graph) == RecordType(
+            {"x": IntRangeType(5, 10), "y": STRING})
+
+    def test_meet_is_lower_bound_when_defined(self, graph):
+        pairs = [
+            (IntRangeType(1, 10), IntRangeType(5, 20)),
+            (EnumerationType(["A", "B"]), EnumerationType(["B"])),
+            (ClassType("Cardiologist"), ClassType("Physician")),
+        ]
+        for a, b in pairs:
+            lower = meet(a, b, graph)
+            assert lower is not None
+            assert is_subtype(lower, a, graph)
+            assert is_subtype(lower, b, graph)
+
+
+class TestDisjoint:
+    def test_disjoint_enums(self):
+        assert disjoint(EnumerationType(["Dove"]),
+                        EnumerationType(["Hawk"]))
+
+    def test_overlapping_enums_not_disjoint(self):
+        assert not disjoint(EnumerationType(["Dove", "Hawk"]),
+                            EnumerationType(["Hawk"]))
+
+    def test_disjoint_ranges(self):
+        assert disjoint(IntRangeType(1, 3), IntRangeType(7, 9))
+
+    def test_none_disjoint_from_everything_else(self):
+        assert disjoint(NONE, INTEGER)
+        assert disjoint(NONE, ClassType("Person"))
+        assert not disjoint(NONE, NONE)
+
+    def test_incomparable_classes_not_disjoint(self, graph):
+        # The renal-failure patient may also be hemorrhaging.
+        assert not disjoint(ClassType("Physician"),
+                            ClassType("Psychologist"), graph)
+
+    def test_cross_kind_disjoint(self):
+        assert disjoint(STRING, INTEGER)
+        assert disjoint(EnumerationType(["A"]), STRING)
+        assert disjoint(INTEGER, ClassType("Person"))
+
+    def test_int_real_share_values(self):
+        assert not disjoint(INTEGER, REAL)
+
+    def test_conditional_disjointness_requires_all_disjuncts(self):
+        c = ConditionalType(INTEGER, [(NONE, "Temp")])
+        assert disjoint(c, STRING)
+        assert not disjoint(c, IntRangeType(1, 5))
+
+    def test_records_disjoint_on_field(self):
+        a = RecordType({"x": EnumerationType(["A"])})
+        b = RecordType({"x": EnumerationType(["B"])})
+        assert disjoint(a, b)
+        assert not disjoint(a, RecordType({"y": STRING}))

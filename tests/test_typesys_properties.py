@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on type-system invariants.
+
+The central soundness property ties the whole library together: if
+``is_subtype(a, b)`` then every run-time value contained in ``a`` is
+contained in ``b``.  We generate random types over a fixed class graph,
+random values, and check that plus the lattice laws.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects import Instance, Surrogate
+from repro.typesys import (
+    BOOLEAN,
+    INAPPLICABLE,
+    INTEGER,
+    NONE,
+    STRING,
+    ClassType,
+    ConditionalType,
+    EnumSymbol,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+    SimpleClassGraph,
+    UnionType,
+    is_subtype,
+    join,
+    meet,
+    normalize,
+    type_contains,
+)
+from repro.typesys.operations import disjoint
+
+GRAPH = SimpleClassGraph({
+    "Person": [],
+    "Physician": ["Person"],
+    "Cardiologist": ["Physician"],
+    "Psychologist": ["Person"],
+    "Patient": ["Person"],
+    "Alcoholic": ["Patient"],
+    "Quaker": ["Person"],
+    "Republican": ["Person"],
+})
+CLASS_NAMES = ("Person", "Physician", "Cardiologist", "Psychologist",
+               "Patient", "Alcoholic", "Quaker", "Republican")
+SYMBOLS = ("Hawk", "Dove", "Ostrich", "Local", "State")
+
+
+def int_ranges():
+    return st.tuples(st.integers(-50, 50), st.integers(0, 30)).map(
+        lambda t: IntRangeType(t[0], t[0] + t[1]))
+
+
+def enumerations():
+    return st.sets(st.sampled_from(SYMBOLS), min_size=1).map(
+        EnumerationType)
+
+
+def scalar_types():
+    return st.one_of(
+        st.just(STRING), st.just(INTEGER), st.just(BOOLEAN),
+        st.just(NONE), int_ranges(), enumerations(),
+        st.sampled_from(CLASS_NAMES).map(ClassType),
+    )
+
+
+def conditional_types():
+    return st.tuples(
+        scalar_types(),
+        st.lists(st.tuples(scalar_types(),
+                           st.sampled_from(CLASS_NAMES)),
+                 min_size=1, max_size=3),
+    ).map(lambda t: ConditionalType(t[0], t[1]))
+
+
+def types(max_depth: int = 2):
+    base = st.one_of(scalar_types(), conditional_types())
+    if max_depth <= 0:
+        return base
+    return st.one_of(
+        base,
+        st.dictionaries(st.sampled_from(("a", "b", "c")),
+                        types(max_depth - 1),
+                        min_size=1, max_size=2).map(RecordType),
+        st.lists(types(0), min_size=2, max_size=3, unique_by=str).map(
+            lambda ts: UnionType(ts) if len(set(ts)) > 1 else ts[0]),
+    )
+
+
+def values():
+    entity = st.sets(st.sampled_from(CLASS_NAMES), min_size=1,
+                     max_size=2).map(
+        lambda ms: Instance(Surrogate(99), ms))
+    return st.one_of(
+        st.integers(-60, 90),
+        st.sampled_from(SYMBOLS).map(EnumSymbol),
+        st.text(max_size=4),
+        st.booleans(),
+        st.just(INAPPLICABLE),
+        entity,
+    )
+
+
+@settings(max_examples=200)
+@given(types())
+def test_subtype_reflexive(t):
+    assert is_subtype(t, t, GRAPH)
+
+
+@settings(max_examples=150, deadline=None)
+@given(types(), types(), types())
+def test_subtype_transitive(a, b, c):
+    if is_subtype(a, b, GRAPH) and is_subtype(b, c, GRAPH):
+        assert is_subtype(a, c, GRAPH)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(), types(), values())
+def test_subtype_sound_for_values(a, b, v):
+    """is_subtype(a, b) implies containment of every value (no owner --
+    conditional alternatives then require the base, which is the
+    conservative case)."""
+    if is_subtype(a, b, GRAPH) and type_contains(a, v, GRAPH):
+        assert type_contains(b, v, GRAPH)
+
+
+@settings(max_examples=200, deadline=None)
+@given(types(), types(), values())
+def test_disjoint_sound_for_values(a, b, v):
+    """Provably disjoint types share no run-time values."""
+    if disjoint(a, b, GRAPH):
+        assert not (type_contains(a, v, GRAPH)
+                    and type_contains(b, v, GRAPH))
+
+
+@settings(max_examples=150, deadline=None)
+@given(types(), types())
+def test_join_is_upper_bound(a, b):
+    upper = join(a, b, GRAPH)
+    assert is_subtype(a, upper, GRAPH)
+    assert is_subtype(b, upper, GRAPH)
+
+
+@settings(max_examples=150, deadline=None)
+@given(types(), types())
+def test_meet_is_lower_bound_when_defined(a, b):
+    lower = meet(a, b, GRAPH)
+    if lower is not None:
+        assert is_subtype(lower, a, GRAPH) or is_subtype(lower, b, GRAPH)
+
+
+@settings(max_examples=150, deadline=None)
+@given(types())
+def test_normalize_idempotent(t):
+    once = normalize(t, GRAPH)
+    assert normalize(once, GRAPH) == once
+
+
+@settings(max_examples=150, deadline=None)
+@given(types(), values())
+def test_normalize_preserves_membership_without_owner(t, v):
+    """Normalization must not change which values a type admits (checked
+    in the ownerless case)."""
+    assert type_contains(t, v, GRAPH) == type_contains(
+        normalize(t, GRAPH), v, GRAPH)
+
+
+@settings(max_examples=150, deadline=None)
+@given(types(), types())
+def test_subtype_antisymmetry_up_to_normalization(a, b):
+    """Mutual subtyping means the types admit the same values; their
+    normal forms need not be identical (nominal vs structural), but each
+    must remain a subtype of the other after normalization."""
+    if is_subtype(a, b, GRAPH) and is_subtype(b, a, GRAPH):
+        na, nb = normalize(a, GRAPH), normalize(b, GRAPH)
+        assert is_subtype(na, nb, GRAPH)
+        assert is_subtype(nb, na, GRAPH)

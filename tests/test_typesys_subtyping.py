@@ -1,0 +1,224 @@
+"""The subtype relation, including the paper's Section 5.4 theorems."""
+
+import pytest
+
+from repro.typesys import (
+    ANY,
+    ANY_ENTITY,
+    BOOLEAN,
+    INTEGER,
+    NONE,
+    REAL,
+    STRING,
+    ClassType,
+    ConditionalType,
+    EnumerationType,
+    IntRangeType,
+    RecordType,
+    SimpleClassGraph,
+    UnionType,
+    is_subtype,
+)
+
+
+@pytest.fixture()
+def graph():
+    g = SimpleClassGraph({
+        "Person": [],
+        "Physician": ["Person"],
+        "Cardiologist": ["Physician"],
+        "Oncologist": ["Physician"],
+        "Psychologist": ["Person"],
+        "Patient": ["Person"],
+        "Alcoholic": ["Patient"],
+        "SpecialAlc": ["Alcoholic"],
+    })
+    return g
+
+
+class TestBasics:
+    def test_reflexive(self, graph):
+        for t in (STRING, INTEGER, NONE, ANY, ANY_ENTITY,
+                  ClassType("Person"), IntRangeType(1, 5),
+                  EnumerationType(["A"])):
+            assert is_subtype(t, t, graph)
+
+    def test_any_is_top(self, graph):
+        assert is_subtype(ClassType("Person"), ANY, graph)
+        assert is_subtype(NONE, ANY, graph)
+        assert not is_subtype(ANY, STRING, graph)
+
+    def test_none_relates_only_to_itself_and_any(self):
+        assert is_subtype(NONE, NONE)
+        assert not is_subtype(NONE, STRING)
+        assert not is_subtype(STRING, NONE)
+        assert not is_subtype(NONE, ANY_ENTITY)
+
+    def test_distinct_primitives_unrelated(self):
+        assert not is_subtype(STRING, INTEGER)
+        assert not is_subtype(BOOLEAN, INTEGER)
+        assert not is_subtype(INTEGER, REAL)  # no implicit widening
+
+
+class TestIntRanges:
+    def test_range_below_integer(self):
+        assert is_subtype(IntRangeType(16, 65), INTEGER)
+        assert not is_subtype(INTEGER, IntRangeType(16, 65))
+
+    def test_nested_ranges(self):
+        assert is_subtype(IntRangeType(16, 65), IntRangeType(1, 120))
+        assert not is_subtype(IntRangeType(1, 120), IntRangeType(16, 65))
+
+    def test_overlapping_ranges_incomparable(self):
+        assert not is_subtype(IntRangeType(1, 50), IntRangeType(40, 90))
+        assert not is_subtype(IntRangeType(40, 90), IntRangeType(1, 50))
+
+
+class TestEnumerations:
+    def test_subset_inclusion(self):
+        dove = EnumerationType(["Dove"])
+        all_ = EnumerationType(["Hawk", "Dove", "Ostrich"])
+        assert is_subtype(dove, all_)
+        assert not is_subtype(all_, dove)
+
+    def test_disjoint_enums_unrelated(self):
+        assert not is_subtype(EnumerationType(["A"]),
+                              EnumerationType(["B"]))
+
+    def test_enums_not_strings(self):
+        assert not is_subtype(EnumerationType(["A"]), STRING)
+
+
+class TestClassTypes:
+    def test_isa_transitive(self, graph):
+        assert is_subtype(ClassType("Cardiologist"), ClassType("Person"),
+                          graph)
+
+    def test_not_symmetric(self, graph):
+        assert not is_subtype(ClassType("Person"),
+                              ClassType("Physician"), graph)
+
+    def test_siblings_unrelated(self, graph):
+        assert not is_subtype(ClassType("Physician"),
+                              ClassType("Psychologist"), graph)
+
+    def test_any_entity_tops_classes(self, graph):
+        assert is_subtype(ClassType("Person"), ANY_ENTITY, graph)
+        assert not is_subtype(ANY_ENTITY, ClassType("Person"), graph)
+
+    def test_unknown_class_only_reflexive(self, graph):
+        assert is_subtype(ClassType("Martian"), ClassType("Martian"), graph)
+        assert not is_subtype(ClassType("Martian"), ClassType("Person"),
+                              graph)
+
+
+class TestRecords:
+    def test_width_subtyping(self):
+        wide = RecordType({"street": STRING, "city": STRING})
+        narrow = RecordType({"city": STRING})
+        assert is_subtype(wide, narrow)
+        assert not is_subtype(narrow, wide)
+
+    def test_depth_subtyping(self):
+        sub = RecordType({"age": IntRangeType(16, 65)})
+        sup = RecordType({"age": IntRangeType(1, 120)})
+        assert is_subtype(sub, sup)
+        assert not is_subtype(sup, sub)
+
+    def test_class_to_record_via_effective_record(self):
+        g = SimpleClassGraph(
+            {"Employee": []},
+            records={"Employee": RecordType(
+                {"age": IntRangeType(16, 65), "name": STRING})})
+        assert is_subtype(ClassType("Employee"),
+                          RecordType({"age": IntRangeType(1, 120)}), g)
+
+    def test_record_never_below_class(self, graph):
+        assert not is_subtype(RecordType({"name": STRING}),
+                              ClassType("Person"), graph)
+
+    def test_recursive_class_record_coinduction(self):
+        # Employee's supervisor is an Employee: expanding must terminate.
+        g = SimpleClassGraph(
+            {"Employee": []},
+            records={"Employee": RecordType(
+                {"supervisor": ClassType("Employee")})})
+        target = RecordType(
+            {"supervisor": RecordType(
+                {"supervisor": ClassType("Employee")})})
+        assert is_subtype(ClassType("Employee"), target, g)
+
+
+class TestConditional:
+    """The paper's displayed theorems."""
+
+    def test_plain_below_conditional_via_base(self, graph):
+        # [treatedBy: Cardiologist] < [treatedBy: Physician + Psych/Alc]
+        cond = ConditionalType(ClassType("Physician"),
+                               [(ClassType("Psychologist"), "Alcoholic")])
+        assert is_subtype(ClassType("Cardiologist"), cond, graph)
+
+    def test_base_itself_below_conditional(self, graph):
+        cond = ConditionalType(ClassType("Physician"),
+                               [(ClassType("Psychologist"), "Alcoholic")])
+        assert is_subtype(ClassType("Physician"), cond, graph)
+
+    def test_alternative_not_admitted_unguarded(self, graph):
+        # Psychologist alone is NOT a subtype: the owner may not be an
+        # Alcoholic.
+        cond = ConditionalType(ClassType("Physician"),
+                               [(ClassType("Psychologist"), "Alcoholic")])
+        assert not is_subtype(ClassType("Psychologist"), cond, graph)
+
+    def test_record_level_theorem(self, graph):
+        sub = RecordType({"treatedBy": ClassType("Physician")})
+        sup = RecordType({"treatedBy": ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Psychologist"), "Alcoholic")])})
+        assert is_subtype(sub, sup, graph)
+
+    def test_conditional_below_conditional_same_condition(self, graph):
+        a = ConditionalType(ClassType("Cardiologist"),
+                            [(ClassType("Psychologist"), "Alcoholic")])
+        b = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Psychologist"), "Alcoholic")])
+        assert is_subtype(a, b, graph)
+        assert not is_subtype(b, a, graph)
+
+    def test_condition_narrowing_is_sound(self, graph):
+        # An alternative guarded by SpecialAlc is admitted by one guarded
+        # by its superclass Alcoholic...
+        a = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Psychologist"), "SpecialAlc")])
+        b = ConditionalType(ClassType("Physician"),
+                            [(ClassType("Psychologist"), "Alcoholic")])
+        assert is_subtype(a, b, graph)
+        # ...but not the other way around.
+        assert not is_subtype(b, a, graph)
+
+    def test_conditional_below_plain_requires_all_disjuncts(self, graph):
+        cond = ConditionalType(ClassType("Cardiologist"),
+                               [(ClassType("Oncologist"), "Alcoholic")])
+        assert is_subtype(cond, ClassType("Physician"), graph)
+        assert not is_subtype(
+            ConditionalType(ClassType("Cardiologist"),
+                            [(ClassType("Psychologist"), "Alcoholic")]),
+            ClassType("Physician"), graph)
+
+    def test_salary_example(self):
+        cond = ConditionalType(INTEGER, [(NONE, "Temporary_Employee")])
+        assert is_subtype(INTEGER, cond)
+        assert is_subtype(IntRangeType(0, 10), cond)
+        assert not is_subtype(NONE, cond)
+        assert not is_subtype(cond, INTEGER)
+
+
+class TestUnions:
+    def test_member_below_union(self, graph):
+        u = UnionType([ClassType("Physician"), ClassType("Psychologist")])
+        assert is_subtype(ClassType("Cardiologist"), u, graph)
+
+    def test_union_below_common_supertype(self, graph):
+        u = UnionType([ClassType("Physician"), ClassType("Psychologist")])
+        assert is_subtype(u, ClassType("Person"), graph)
+        assert not is_subtype(u, ClassType("Physician"), graph)

@@ -1,0 +1,80 @@
+"""The generated type theory reproduces the paper's displayed formulas."""
+
+import pytest
+
+from repro.typesys import ClassType, ConditionalType, NONE, RecordType
+from repro.typesys.theory import (
+    SubtypeAssertion,
+    class_theory,
+    is_theorem,
+    render_theory,
+)
+
+
+@pytest.fixture(scope="module")
+def theory_lines(hospital_schema):
+    return set(render_theory(hospital_schema).splitlines())
+
+
+class TestGeneratedAxioms:
+    def test_isa_axioms(self, theory_lines):
+        # "Patient < Person"
+        assert "Patient < Person" in theory_lines
+        assert "Physician < Person" in theory_lines
+
+    def test_attribute_axioms(self, theory_lines):
+        # "Patient < [treatedAt : Hospital]"
+        assert "Patient < [treatedAt: Hospital]" in theory_lines
+
+    def test_excused_attribute_axiom(self, theory_lines):
+        # "Patient < [treatedBy: Physician + Psychologist/Alcoholic]"
+        assert ("Patient < [treatedBy: Physician + Psychologist/Alcoholic]"
+                in theory_lines)
+
+    def test_virtual_classes_can_be_excluded(self, hospital_schema):
+        with_v = class_theory(hospital_schema, include_virtual=True)
+        without = class_theory(hospital_schema, include_virtual=False)
+        assert len(without) < len(with_v)
+        assert not any("$" in str(a.sub) for a in without)
+
+    def test_every_axiom_is_a_theorem(self, hospital_schema):
+        for axiom in class_theory(hospital_schema):
+            assert is_theorem(hospital_schema, axiom), str(axiom)
+
+
+class TestPaperTheorems:
+    """The deducible subtype facts the paper displays in Section 5.4."""
+
+    def test_cardiologist_record_below_physician_record(
+            self, hospital_schema):
+        # "[treatedBy : Cardiologist] < [treatedBy : Physician] will be
+        # deducible from Cardiologist < Physician" -- we use Oncologist,
+        # the schema's concrete physician subclass.
+        sub = RecordType({"treatedBy": ClassType("Oncologist")})
+        sup = RecordType({"treatedBy": ClassType("Physician")})
+        assert is_theorem(hospital_schema, (sub, sup))
+
+    def test_physician_record_below_conditional_record(
+            self, hospital_schema):
+        # "[treatedBy : Physician] < [treatedBy: Physician +
+        # Psychologist/Alcoholic] will be a theorem."
+        sub = RecordType({"treatedBy": ClassType("Physician")})
+        sup = RecordType({"treatedBy": ConditionalType(
+            ClassType("Physician"),
+            [(ClassType("Psychologist"), "Alcoholic")])})
+        assert is_theorem(hospital_schema, (sub, sup))
+
+    def test_non_theorem_rejected(self, hospital_schema):
+        sub = RecordType({"treatedBy": ClassType("Psychologist")})
+        sup = RecordType({"treatedBy": ClassType("Physician")})
+        assert not is_theorem(hospital_schema, (sub, sup))
+
+    def test_salary_conditional_axiom(self, employee_schema):
+        # "[salary : Integer + None / Temporary_Employee] is a type."
+        lines = set(render_theory(employee_schema).splitlines())
+        assert ("Employee < [salary: Integer + None/Temporary_Employee]"
+                in lines)
+
+    def test_assertion_str(self):
+        a = SubtypeAssertion(ClassType("A"), ClassType("B"))
+        assert str(a) == "A < B"

@@ -1,0 +1,162 @@
+"""Unit tests for the typing layer's data structures and rendering."""
+
+import pytest
+
+from repro.query import analyze
+from repro.query.typing import (
+    Possibility,
+    TypeReport,
+    UnsafeFinding,
+    render_assumption,
+)
+from repro.typesys import BOOLEAN, ClassType, STRING
+
+
+class TestRenderAssumption:
+    def test_positive(self):
+        assert render_assumption(("p", "Alcoholic", True)) == \
+            "p in Alcoholic"
+
+    def test_negative(self):
+        assert render_assumption(("p.treatedAt", "Hospital$1", False)) == \
+            "p.treatedAt not in Hospital$1"
+
+
+class TestPossibilityDescribe:
+    def test_scalar(self):
+        assert Possibility("scalar", STRING).describe() == "String"
+
+    def test_entity_single(self):
+        p = Possibility("entity", pos=frozenset({"Physician"}))
+        assert p.describe() == "Physician"
+
+    def test_entity_conjunction_sorted(self):
+        p = Possibility("entity",
+                        pos=frozenset({"Psychologist", "Physician"}))
+        assert p.describe() == "Physician & Psychologist"
+
+    def test_entity_empty_pos(self):
+        assert Possibility("entity").describe() == "AnyEntity"
+
+    def test_inapplicable(self):
+        assert Possibility("inapplicable").describe() == "INAPPLICABLE"
+
+    def test_assumptions_rendered(self):
+        p = Possibility("scalar", BOOLEAN,
+                        assumptions=frozenset({("p", "A", True),
+                                               ("q", "B", False)}))
+        text = p.describe()
+        assert text.startswith("Boolean [when ")
+        assert "p in A" in text and "q not in B" in text
+
+
+class TestUnsafeFinding:
+    def test_str_without_assumptions(self):
+        f = UnsafeFinding("error", "p.x", "boom")
+        assert str(f) == "error: p.x: boom"
+
+    def test_str_with_assumptions(self):
+        f = UnsafeFinding("unsafe", "p.x", "boom",
+                          frozenset({("p", "A", True)}))
+        assert str(f) == "unsafe: p.x: boom [when p in A]"
+
+
+class TestTypeReport:
+    def test_partitions_findings(self, hospital_schema):
+        report = analyze(
+            "for p in Person select p.supervisor, p.name",
+            hospital_schema)
+        assert report.errors and all(
+            f.severity == "error" for f in report.errors)
+        assert all(f.severity == "unsafe" for f in report.unsafe)
+        assert not report.is_safe
+
+    def test_describe_select_aligns_with_items(self, hospital_schema):
+        report = analyze("for p in Patient select p.name, p.treatedBy",
+                         hospital_schema)
+        lines = report.describe_select()
+        assert lines[0].startswith("p.name: String")
+        assert "Physician" in lines[1]
+
+
+class TestDisplayNarrowing:
+    """Rendering of narrowed possibility sets users actually see."""
+
+    def test_conditional_rendering_for_patient(self, hospital_schema):
+        report = analyze("for p in Patient select p.treatedBy",
+                         hospital_schema)
+        rendered = " | ".join(
+            p.describe() for p in report.select_possibilities[0])
+        assert "Physician" in rendered
+        assert "[when p in Alcoholic]" in rendered
+
+    def test_var_possibility_includes_facts(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p in Alcoholic select p",
+            hospital_schema)
+        (possibility,) = report.select_possibilities[0]
+        assert possibility.kind == "entity"
+        assert "Alcoholic" in possibility.pos
+
+    def test_negative_facts_recorded_on_var(self, hospital_schema):
+        report = analyze(
+            "for p in Patient where p not in Alcoholic select p",
+            hospital_schema)
+        (possibility,) = report.select_possibilities[0]
+        assert "Alcoholic" in possibility.neg
+
+
+class TestSemanticsOnOtherScenarios:
+    """The candidate semantics replayed on the bird and employee worlds."""
+
+    def test_penguin_swims_under_final_semantics(self, bird_schema):
+        from repro.objects import ObjectStore
+        from repro.objects.store import CheckMode
+        from repro.typesys import EnumSymbol
+        store = ObjectStore(bird_schema, check_mode=CheckMode.NONE)
+        pingu = store.create("Penguin", name="pingu",
+                             locomotion=EnumSymbol("Swims"),
+                             wingspan_cm=80)
+        assert store.checker.conforms(pingu)
+        # A flying penguin violates Penguin's own constraint.
+        store.set_value(pingu, "locomotion", EnumSymbol("Flies"),
+                        check=CheckMode.NONE)
+        assert not store.checker.conforms(pingu)
+
+    def test_broadened_range_would_allow_swimming_sparrows(
+            self, bird_schema):
+        from repro.objects import ObjectStore, Instance, Surrogate
+        from repro.schema.schema import Constraint
+        from repro.semantics import (
+            BroadenedRangeSemantics, ExcuseSemantics)
+        from repro.typesys import EnumSymbol
+        sparrow = Instance(Surrogate(1), {"Bird"},
+                           {"locomotion": EnumSymbol("Swims")})
+        constraint = Constraint(
+            "Bird", "locomotion",
+            bird_schema.get("Bird").attribute("locomotion").range)
+        excuses = bird_schema.excuses_against("Bird", "locomotion")
+        value = sparrow.get_value("locomotion")
+        assert BroadenedRangeSemantics().satisfies(
+            bird_schema, sparrow, value, constraint, excuses)
+        assert not ExcuseSemantics().satisfies(
+            bird_schema, sparrow, value, constraint, excuses)
+
+    def test_temporary_employee_membership_waiver_flaw(
+            self, employee_schema):
+        from repro.objects import Instance, Surrogate
+        from repro.schema.schema import Constraint
+        from repro.semantics import (
+            ExcuseSemantics, MembershipWaiverSemantics)
+        # Under the waiver semantics a temporary employee could hold a
+        # *string* salary: membership alone waives the constraint.
+        temp = Instance(Surrogate(1), {"Temporary_Employee"},
+                        {"salary": "lots"})
+        constraint = Constraint(
+            "Employee", "salary",
+            employee_schema.get("Employee").attribute("salary").range)
+        excuses = employee_schema.excuses_against("Employee", "salary")
+        assert MembershipWaiverSemantics().satisfies(
+            employee_schema, temp, "lots", constraint, excuses)
+        assert not ExcuseSemantics().satisfies(
+            employee_schema, temp, "lots", constraint, excuses)
