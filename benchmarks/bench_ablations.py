@@ -21,10 +21,15 @@ from repro.semantics.checker import ConformanceChecker
 
 
 class _NoExcuseChecker(ConformanceChecker):
-    """Conformance with the excuse registry ablated away."""
+    """Conformance with the excuse registry ablated away.
+
+    Runs on the walking (non-indexed) path: the constraint index bakes
+    excuses into its precomputed rows, which is exactly the machinery
+    this ablation turns off.
+    """
 
     def __init__(self, schema) -> None:
-        super().__init__(schema)
+        super().__init__(schema, use_index=False)
         schema_excuses = schema.excuses_against
 
         class _Mute:

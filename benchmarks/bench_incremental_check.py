@@ -1,0 +1,85 @@
+"""A3 -- incremental conformance engine vs the full-object baseline.
+
+The eager-write hot path: every ``set_value`` under ``CheckMode.EAGER``
+must verify the excuse semantics.  The seed re-derived and re-checked the
+*whole* object per write (``Engine.FULL``, kept as the baseline); the
+incremental engine resolves the write against the schema's constraint
+index through a cached membership-signature profile and checks only the
+written attribute's rows (``Engine.INCREMENTAL``).
+
+Measured: steady-state eager-write throughput during a churn workload
+over the hospital population, plus the engine counters showing the work
+avoided.  Acceptance floor: >= 2x.
+"""
+
+import time
+
+from conftest import report
+
+from repro.evaluation import render_table
+from repro.objects import Engine
+from repro.scenarios import populate_hospital
+from repro.typesys.values import EnumSymbol
+
+N_PATIENTS = 600
+ROUNDS = 4
+
+
+def _churn(pop, rounds=ROUNDS):
+    """The timed workload: repeated eager writes across the population."""
+    store = pop.store
+    pressures = (EnumSymbol("Normal_BP"), EnumSymbol("High_BP"))
+    writes = 0
+    t0 = time.perf_counter()
+    for round_no in range(rounds):
+        for i, patient in enumerate(pop.patients):
+            store.set_value(patient, "age", 20 + (i + round_no) % 60)
+            writes += 1
+            if not store.is_member(patient, "Hemorrhaging_Patient"):
+                store.set_value(patient, "bloodPressure",
+                                pressures[(i + round_no) % 2])
+                writes += 1
+    return writes, time.perf_counter() - t0
+
+
+def test_a3_incremental_write_throughput(benchmark, hospital_schema):
+    def run():
+        results = {}
+        for engine in (Engine.FULL, Engine.INCREMENTAL):
+            pop = populate_hospital(schema=hospital_schema,
+                                    n_patients=N_PATIENTS, seed=31,
+                                    engine=engine)
+            pop.store.checker.stats.reset()  # measure churn only
+            writes, elapsed = _churn(pop)
+            stats = pop.store.stats()
+            results[engine] = (writes, elapsed, stats)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    throughput = {}
+    for engine in (Engine.FULL, Engine.INCREMENTAL):
+        writes, elapsed, stats = results[engine]
+        throughput[engine] = writes / elapsed
+        rows.append((
+            engine, writes, f"{elapsed * 1000:.1f} ms",
+            f"{throughput[engine]:,.0f}",
+            stats["constraints_checked"], stats["constraints_skipped"],
+        ))
+    speedup = throughput[Engine.INCREMENTAL] / throughput[Engine.FULL]
+    rows.append(("speedup", "", "", f"{speedup:.1f}x", "", ""))
+
+    report("A3-incremental", render_table(
+        ["engine", "eager writes", "time", "writes/sec",
+         "constraints checked", "constraints skipped"],
+        rows,
+        f"A3: eager-write throughput, incremental vs full-object "
+        f"checking ({N_PATIENTS} patients, {ROUNDS} churn rounds)"))
+
+    full_stats = results[Engine.FULL][2]
+    incr_stats = results[Engine.INCREMENTAL][2]
+    assert incr_stats["violations_found"] == full_stats["violations_found"]
+    assert (incr_stats["constraints_checked"]
+            < full_stats["constraints_checked"] / 2)
+    assert speedup >= 2.0

@@ -13,6 +13,9 @@ Usage (also via ``python -m repro.cli``)::
     repro deduce <schema.cdl> <facts...>   # contrapositive deduction,
                                            # e.g. "y.treatedBy not in
                                            # Physician" "y not in Alcoholic"
+    repro stats [--engine full]            # conformance-engine counters
+                                           # for a standard hospital
+                                           # populate + churn workload
 
 Exit status: 0 on success/no errors, 1 on findings, 2 on usage errors.
 """
@@ -135,6 +138,32 @@ def cmd_deduce(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from repro.evaluation.reporting import render_table
+    from repro.scenarios.hospital import populate_hospital
+    from repro.typesys.values import EnumSymbol
+
+    pop = populate_hospital(n_patients=args.patients, seed=args.seed,
+                            engine=args.engine)
+    store = pop.store
+    if args.timing:
+        store.checker.stats.timing = True
+    # Churn phase: the eager-write workload the engine optimizes.
+    pressures = [EnumSymbol(s) for s in ("Normal_BP", "High_BP")]
+    for round_no in range(args.rounds):
+        for i, patient in enumerate(pop.patients):
+            store.set_value(patient, "age", 20 + (i + round_no) % 60)
+            if not store.is_member(patient, "Hemorrhaging_Patient"):
+                store.set_value(patient, "bloodPressure",
+                                pressures[(i + round_no) % 2])
+    rows = [(key, value) for key, value in sorted(store.stats().items())]
+    print(render_table(("metric", "value"), rows,
+                       title=f"engine stats ({args.engine}, "
+                             f"{args.patients} patients, "
+                             f"{args.rounds} churn rounds)"))
+    return 0
+
+
 def cmd_excuses(args) -> int:
     schema = _read_schema(args.schema)
     pairs = schema.excuse_pairs()
@@ -208,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("excuses", help="list all excused constraints")
     p.add_argument("schema")
     p.set_defaults(func=cmd_excuses)
+
+    p = sub.add_parser(
+        "stats",
+        help="conformance-engine counters for a standard workload")
+    p.add_argument("--patients", type=int, default=200)
+    p.add_argument("--rounds", type=int, default=3,
+                   help="churn rounds over the population (default 3)")
+    p.add_argument("--engine", choices=("incremental", "full"),
+                   default="incremental")
+    p.add_argument("--seed", type=int, default=1988)
+    p.add_argument("--timing", action="store_true",
+                   help="also accumulate wall time per event class")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -17,7 +17,7 @@ This is the database substrate the paper presumes (Sections 2c, 3c, 5.6):
 
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate
-from repro.objects.store import CheckMode, ObjectStore
+from repro.objects.store import CheckMode, Engine, ObjectStore
 from repro.objects.exceptional import (
     ExceptionRecord,
     ExceptionalIndividualRegistry,
@@ -25,6 +25,7 @@ from repro.objects.exceptional import (
 
 __all__ = [
     "CheckMode",
+    "Engine",
     "ExceptionRecord",
     "ExceptionalIndividualRegistry",
     "Instance",

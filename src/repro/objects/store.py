@@ -17,6 +17,36 @@ Responsibilities (paper sections in parentheses):
   run-time invariant is what makes the query checker's provenance
   reasoning sound (see DESIGN.md section 6 and
   :mod:`repro.query.typing`).
+
+Conformance engines
+-------------------
+
+Eager enforcement runs on one of two engines (``engine=`` at
+construction):
+
+* ``Engine.INCREMENTAL`` (default): verdicts come from the schema's
+  precomputed constraint index through the checker's signature-profile
+  cache, and each mutation checks only the constraints it can affect --
+  an attribute write checks that attribute's rows; gaining a membership
+  (``classify``, or a value entering a virtual class) checks the closure
+  delta's rows; losing one (``declassify``) checks the rows whose excuses
+  the loss can strip plus new applicability errors.
+* ``Engine.FULL``: every eagerly-checked mutation re-derives and
+  re-checks the whole affected object from the schema, with no index.
+  This is the seed's conservative full-object path, kept as the measured
+  baseline and as the oracle for the incremental engine's
+  property-tested equivalence.
+
+Both engines enforce the same semantics, including on membership *loss*:
+an object that conformed only through the excuse branch ``x in E`` is
+re-checked (and the declassification rolled back) when it leaves ``E``.
+
+Residue policy: when a value *leaves* a virtual class because its anchor
+moved away, the value may retain attributes that are no longer applicable
+(a Swiss address keeps its ``country``).  Such releases are never
+rejected -- rejecting them would make reassignment impossible -- and the
+affected objects are marked dirty instead; ``validate_dirty()`` (or
+``validate_all()``) surfaces the residue.
 """
 
 from __future__ import annotations
@@ -24,6 +54,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ConformanceError, NoSuchObjectError, UnknownClassError
+from repro.obs import EngineStats
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate, SurrogateAllocator
 from repro.schema.classdef import ClassDef
@@ -41,6 +72,13 @@ class CheckMode:
     NONE = "none"        # never (benchmarking substrate only)
 
 
+class Engine:
+    """How eager conformance verdicts are computed."""
+
+    INCREMENTAL = "incremental"  # constraint index + mutation-scoped checks
+    FULL = "full"                # re-derive whole-object checks (baseline)
+
+
 class ObjectStore:
     """Holds instances, their extents, and enforces the schema."""
 
@@ -48,10 +86,16 @@ class ObjectStore:
                  semantics: Optional[ConstraintSemantics] = None,
                  check_mode: str = CheckMode.EAGER,
                  strict_virtual_extents: bool = True,
-                 require_values: bool = False) -> None:
+                 require_values: bool = False,
+                 engine: str = Engine.INCREMENTAL,
+                 stats: Optional[EngineStats] = None) -> None:
+        if engine not in (Engine.INCREMENTAL, Engine.FULL):
+            raise ValueError(f"unknown conformance engine {engine!r}")
         self.schema = schema
-        self.checker = ConformanceChecker(schema, semantics,
-                                          require_values=require_values)
+        self.engine = engine
+        self.checker = ConformanceChecker(
+            schema, semantics, require_values=require_values,
+            use_index=(engine == Engine.INCREMENTAL), stats=stats)
         self.check_mode = check_mode
         self.strict_virtual_extents = strict_virtual_extents
         self._allocator = SurrogateAllocator()
@@ -64,6 +108,40 @@ class ObjectStore:
         for cdef in schema.virtual_classes():
             self._virtuals_by_attr.setdefault(
                 cdef.origin.attribute, []).append(cdef)
+        # Objects whose conformance an unchecked/residue-producing
+        # mutation may have invalidated: surrogate -> dirty attribute
+        # names, or None for "anything" (a membership changed).
+        self._dirty: Dict[Surrogate, Optional[Set[str]]] = {}
+        # While an eagerly-checked mutation runs, membership *gains* of
+        # other objects (values entering virtual classes) are journaled
+        # here as (instance, closure delta) so they can be checked.
+        self._join_log: Optional[List[Tuple[Instance, frozenset]]] = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of the engine counters plus store-level gauges."""
+        snap = self.checker.stats.snapshot()
+        snap["engine"] = self.engine
+        snap["objects"] = len(self._objects)
+        snap["extent_entries"] = sum(
+            len(members) for members in self._extents.values())
+        snap["virtual_refs"] = len(self._virtual_refs)
+        snap["dirty_objects"] = len(self._dirty)
+        return snap
+
+    def _mark_dirty(self, obj: Instance,
+                    attribute: Optional[str] = None) -> None:
+        current = self._dirty.get(obj.surrogate, ())
+        if attribute is None or current is None:
+            self._dirty[obj.surrogate] = None
+        else:
+            if current == ():
+                current = set()
+                self._dirty[obj.surrogate] = current
+            current.add(attribute)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -83,6 +161,8 @@ class ObjectStore:
         obj = Instance(self._allocator.allocate(), (class_name,))
         self._objects[obj.surrogate] = obj
         self._add_to_extents(obj, class_name)
+        if mode != CheckMode.EAGER:
+            self._mark_dirty(obj)
         try:
             for name, value in values.items():
                 self._set_value_internal(obj, name, value, mode)
@@ -92,9 +172,11 @@ class ObjectStore:
         return obj
 
     def remove(self, obj: Instance) -> None:
-        """Destroy an object: it leaves every extent, and entities it
-        referenced leave any virtual classes it anchored them in."""
+        """Destroy an object: it leaves every extent, entities it
+        referenced leave any virtual classes it anchored them in, and any
+        virtual-class reference counts held *against* it are purged."""
         self._require_live(obj)
+        self.checker.stats.removals += 1
         for name in obj.value_names():
             value = obj.get_value(name)
             if is_entity(value):
@@ -102,6 +184,15 @@ class ObjectStore:
         for class_name in list(self._extents):
             self._extents[class_name].discard(obj.surrogate)
         del self._objects[obj.surrogate]
+        self._dirty.pop(obj.surrogate, None)
+        # Anything still referencing the dead object keeps a dangling
+        # Python reference by design, but the refcount bookkeeping must
+        # not outlive the object: stale entries would corrupt the counts
+        # if the surrogate were ever re-issued (transaction rollback).
+        stale = [key for key in self._virtual_refs
+                 if key[1] == obj.surrogate]
+        for key in stale:
+            del self._virtual_refs[key]
 
     def get(self, surrogate: Surrogate) -> Instance:
         try:
@@ -125,7 +216,11 @@ class ObjectStore:
 
         E.g. making a patient an instance of both Renal_Failure_Patient
         and Hemorrhaging_Patient.  Conformance of the object under its
-        enlarged constraint set is checked (eagerly by default).
+        enlarged constraint set is checked (eagerly by default): the
+        incremental engine checks exactly the constraints the closure
+        delta introduces, the full engine re-checks the whole object.
+        Values pulled into virtual classes by the new membership are
+        checked the same way.
         """
         self._require_live(obj)
         if not self.schema.has_class(class_name):
@@ -133,28 +228,76 @@ class ObjectStore:
         if class_name in obj.memberships:
             return
         mode = check if check is not None else self.check_mode
-        obj._add_membership(class_name)
-        self._add_to_extents(obj, class_name)
-        self._cascade_virtuals(obj, class_name, +1)
-        if mode == CheckMode.EAGER:
-            violations = self.checker.check(obj)
-            if violations:
-                self._cascade_virtuals(obj, class_name, -1)
-                obj._remove_membership(class_name)
-                self._rebuild_extents_for(obj)
-                raise ConformanceError(
-                    obj.surrogate, class_name, violations[0].attribute,
-                    str(violations[0]))
+        self.checker.stats.classifies += 1
+        eager = mode == CheckMode.EAGER
+        before = self.checker.expanded_memberships(obj) if eager else None
+        joins = self._begin_join_log(eager)
+        try:
+            obj._add_membership(class_name)
+            self._add_to_extents(obj, class_name)
+            self._cascade_virtuals(obj, class_name, +1)
+        finally:
+            self._end_join_log(joins)
+        if not eager:
+            self._mark_dirty(obj)
+            return
+        delta = self.schema.ancestors(class_name) - before
+        blamed, violations = obj, self._check_membership_gain(obj, delta)
+        if not violations:
+            blamed, violations = self._check_joins(joins, skip=obj)
+        if violations:
+            self.checker.stats.rollbacks += 1
+            self._cascade_virtuals(obj, class_name, -1)
+            obj._remove_membership(class_name)
+            self._rebuild_extents_for(obj)
+            raise ConformanceError(
+                blamed.surrogate, violations[0].class_name,
+                violations[0].attribute, str(violations[0]))
 
-    def declassify(self, obj: Instance, class_name: str) -> None:
+    def declassify(self, obj: Instance, class_name: str,
+                   check: Optional[str] = None) -> None:
         """Remove a direct membership (and extents entries no other
-        membership justifies)."""
+        membership justifies).
+
+        Membership loss is non-monotonic under excuse semantics: an
+        object that conformed only through the excuse branch ``x in E``
+        stops conforming when it leaves ``E``.  Under eager checking the
+        object is re-checked after the removal and the declassification
+        is rolled back (raising :class:`ConformanceError`) if a remaining
+        constraint is now violated.  Values that merely become
+        *inapplicable* are residue (module docstring): the
+        declassification stands and the object is marked dirty.
+        """
         self._require_live(obj)
         if class_name not in obj.memberships:
             return
+        mode = check if check is not None else self.check_mode
+        self.checker.stats.declassifies += 1
+        eager = mode == CheckMode.EAGER
+        before = self.checker.expanded_memberships(obj) if eager else None
         self._cascade_virtuals(obj, class_name, -1)
         obj._remove_membership(class_name)
         self._rebuild_extents_for(obj)
+        if not eager:
+            self._mark_dirty(obj)
+            return
+        removed = before - self.checker.expanded_memberships(obj)
+        if self.engine == Engine.INCREMENTAL:
+            violations = self.checker.check_membership_loss(obj, removed)
+        else:
+            violations = self.checker.check(obj)
+        hard = [v for v in violations
+                if v.kind != "inapplicable-attribute"]
+        if hard:
+            self.checker.stats.rollbacks += 1
+            obj._add_membership(class_name)
+            self._add_to_extents(obj, class_name)
+            self._cascade_virtuals(obj, class_name, +1)
+            raise ConformanceError(
+                obj.surrogate, hard[0].class_name,
+                hard[0].attribute, str(hard[0]))
+        if violations:
+            self._mark_dirty(obj)
 
     def extent(self, class_name: str) -> Tuple[Instance, ...]:
         """The current extent, superclass extents included."""
@@ -202,41 +345,110 @@ class ObjectStore:
     def _set_value_internal(self, obj: Instance, attribute: str, value,
                             mode: str) -> None:
         old = obj.get_value(attribute)
-        if (mode == CheckMode.EAGER and self.strict_virtual_extents
-                and is_entity(value)):
+        stats = self.checker.stats
+        stats.writes += 1
+        eager = mode == CheckMode.EAGER
+        if eager and self.strict_virtual_extents and is_entity(value):
             # Unchecked writes (bulk loading) bypass the unshared
             # invariant along with every other check; the type checker's
             # provenance reasoning is sound for eagerly-checked stores.
             self._enforce_unshared(obj, attribute, value)
 
+        timing = stats.active
+        t0 = stats.clock() if timing else 0.0
+
         # Classify the new value into the virtual classes this assignment
         # anchors, release the old value's anchoring, then check.
-        acquired = self._acquire_virtual_targets(obj, attribute, value)
-        if is_entity(old):
-            self._release_virtual_targets(obj, attribute, old)
-        obj._set_value(attribute, value)
+        joins = self._begin_join_log(eager)
+        try:
+            self._acquire_virtual_targets(obj, attribute, value)
+            if is_entity(old):
+                self._release_virtual_targets(obj, attribute, old)
+            obj._set_value(attribute, value)
+        finally:
+            self._end_join_log(joins)
 
-        if mode != CheckMode.EAGER:
+        if not eager:
+            self._mark_dirty(obj, attribute)
+            if timing:
+                stats.record("write.unchecked", stats.clock() - t0)
             return
-        blamed = obj
-        violations = self.checker.check_attribute(obj, attribute, value)
-        if not violations and is_entity(value) and acquired:
-            violations = self.checker.check(value)
-            blamed = value
+        if self.engine == Engine.INCREMENTAL:
+            blamed = obj
+            violations = self.checker.check_attribute(obj, attribute, value)
+        else:
+            blamed = obj
+            violations = self.checker.check(obj)
+        if not violations:
+            blamed, violations = self._check_joins(joins, skip=obj)
         if violations:
             # Roll back: restore the old value and the anchoring counts.
+            stats.rollbacks += 1
             obj._set_value(attribute, old)
             if is_entity(old):
                 self._acquire_virtual_targets(obj, attribute, old)
             if is_entity(value):
                 self._release_virtual_targets(obj, attribute, value)
+            if timing:
+                stats.record("write.eager", stats.clock() - t0)
             v = violations[0]
             raise ConformanceError(blamed.surrogate, v.class_name,
                                    v.attribute, str(v))
+        if timing:
+            stats.record("write.eager", stats.clock() - t0)
 
-    def unset_value(self, obj: Instance, attribute: str) -> None:
-        """Clear an attribute (its value becomes INAPPLICABLE)."""
-        self.set_value(obj, attribute, INAPPLICABLE, check=CheckMode.NONE)
+    def unset_value(self, obj: Instance, attribute: str,
+                    check: Optional[str] = None) -> None:
+        """Clear an attribute (its value becomes INAPPLICABLE).
+
+        Runs through the normal checked path: in the default
+        values-optional mode clearing is always conformant, but with
+        ``require_values=True`` clearing an attribute some membership
+        class requires is rejected, and virtual-extent maintenance and
+        dirty tracking behave exactly as for any other write.
+        """
+        self.set_value(obj, attribute, INAPPLICABLE, check=check)
+
+    # ------------------------------------------------------------------
+    # Membership-delta checking (incremental engine)
+    # ------------------------------------------------------------------
+
+    def _check_membership_gain(self, obj: Instance,
+                               delta: frozenset) -> List[Violation]:
+        if self.engine == Engine.INCREMENTAL:
+            return self.checker.check_classes(obj, delta)
+        return self.checker.check(obj)
+
+    def _begin_join_log(
+            self, eager: bool
+    ) -> Optional[List[Tuple[Instance, frozenset]]]:
+        """Install (and return) a fresh membership-gain journal for the
+        duration of one eagerly-checked mutation; nested adjustments
+        append to it from :meth:`_adjust_virtual`."""
+        if not eager or self._join_log is not None:
+            return None
+        self._join_log = []
+        return self._join_log
+
+    def _end_join_log(
+            self, log: Optional[List[Tuple[Instance, frozenset]]]) -> None:
+        if log is not None:
+            self._join_log = None
+
+    def _check_joins(
+            self, log: Optional[List[Tuple[Instance, frozenset]]],
+            skip: Instance) -> Tuple[Instance, List[Violation]]:
+        """Check every object that gained a virtual-class membership
+        during the current mutation (the membership-change path the seed
+        left unchecked).  Returns (blamed object, violations)."""
+        if log:
+            for inst, delta in log:
+                if inst is skip:
+                    continue
+                violations = self._check_membership_gain(inst, delta)
+                if violations:
+                    return inst, violations
+        return skip, []
 
     # ------------------------------------------------------------------
     # Virtual-class extent maintenance (Section 5.6)
@@ -271,11 +483,22 @@ class ObjectStore:
 
     def _adjust_virtual(self, obj: Instance, virtual_name: str,
                         delta: int) -> None:
+        if self._objects.get(obj.surrogate) is not obj:
+            # A dangling reference to a removed object: its refcounts
+            # were purged with it, and cascading through its values would
+            # corrupt live objects' counts.
+            return
         key = (virtual_name, obj.surrogate)
         count = self._virtual_refs.get(key, 0) + delta
         if count > 0:
             self._virtual_refs[key] = count
             if virtual_name not in obj.memberships:
+                if self._join_log is not None:
+                    closure = self.checker.expanded_memberships(obj)
+                    gained = self.schema.ancestors(virtual_name) - closure
+                    self._join_log.append((obj, gained))
+                else:
+                    self._mark_dirty(obj)
                 obj._add_membership(virtual_name)
                 self._add_to_extents(obj, virtual_name)
                 self._cascade_virtuals(obj, virtual_name, +1)
@@ -285,6 +508,10 @@ class ObjectStore:
                 self._cascade_virtuals(obj, virtual_name, -1)
                 obj._remove_membership(virtual_name)
                 self._rebuild_extents_for(obj)
+                # Leaving a virtual class may strand no-longer-applicable
+                # values (residue policy, module docstring): tolerated,
+                # but recorded for validate_dirty().
+                self._mark_dirty(obj)
 
     def _cascade_virtuals(self, obj: Instance, class_name: str,
                           delta: int) -> None:
@@ -317,11 +544,42 @@ class ObjectStore:
     # ------------------------------------------------------------------
 
     def validate_all(self) -> List[Tuple[Instance, Violation]]:
-        """Check every object; used after deferred/bulk loading."""
+        """Check every object; used after deferred/bulk loading.  Clears
+        the dirty ledger for objects found conformant."""
         out: List[Tuple[Instance, Violation]] = []
         for obj in self._objects.values():
-            for violation in self.checker.check(obj):
+            problems = self.checker.check(obj)
+            for violation in problems:
                 out.append((obj, violation))
+            if not problems:
+                self._dirty.pop(obj.surrogate, None)
+        return out
+
+    def validate_dirty(self) -> List[Tuple[Instance, Violation]]:
+        """Check only the objects (and, where known, only the attributes)
+        that unchecked or residue-producing mutations have touched since
+        the last validation.  Equivalent to :meth:`validate_all` for
+        surfacing *new* problems, at a fraction of the work; objects
+        found conformant leave the dirty ledger."""
+        out: List[Tuple[Instance, Violation]] = []
+        for surrogate in sorted(self._dirty):
+            obj = self._objects.get(surrogate)
+            if obj is None:
+                continue
+            attrs = self._dirty[surrogate]
+            if attrs is None:
+                problems = self.checker.check(obj)
+            else:
+                problems = [
+                    v for name in sorted(attrs)
+                    for v in self.checker.check_attribute(
+                        obj, name, obj.get_value(name))
+                ]
+            if problems:
+                for violation in problems:
+                    out.append((obj, violation))
+            else:
+                del self._dirty[surrogate]
         return out
 
     def _require_live(self, obj: Instance) -> None:

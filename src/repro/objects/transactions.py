@@ -44,6 +44,10 @@ class StoreSnapshot:
             name: set(members) for name, members in store._extents.items()
         }
         self._virtual_refs = dict(store._virtual_refs)
+        self._dirty = {
+            surrogate: (None if attrs is None else set(attrs))
+            for surrogate, attrs in store._dirty.items()
+        }
         self._next_surrogate = store._allocator._next
 
     def restore(self) -> None:
@@ -63,6 +67,11 @@ class StoreSnapshot:
             store._extents[name] = set(members)
         store._virtual_refs.clear()
         store._virtual_refs.update(self._virtual_refs)
+        store._dirty.clear()
+        store._dirty.update({
+            surrogate: (None if attrs is None else set(attrs))
+            for surrogate, attrs in self._dirty.items()
+        })
         store._allocator._next = self._next_surrogate
 
 

@@ -1,0 +1,97 @@
+"""Observability for the conformance engine.
+
+The incremental engine's value proposition is *work avoided*: constraints
+not re-derived, objects not re-walked.  :class:`EngineStats` makes that
+visible -- the checker and the store increment its counters on the hot
+path, ``ObjectStore.stats()`` snapshots them, and the ``repro stats`` CLI
+subcommand renders the snapshot for a standard workload.
+
+Counters are plain attributes (an increment is one ``LOAD_ATTR`` +
+``INPLACE_ADD``; cheap enough for the eager-write path the engine is
+optimizing).  Timing is opt-in: with ``timing=True`` (or any hook
+registered) the store brackets each checked mutation and records wall
+time per event class; hooks receive ``(event, duration_seconds)`` and can
+forward to any external metrics sink.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+#: Every counter the engine maintains, in reporting order.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    # checker-side
+    "full_checks",          # whole-object check() calls
+    "attribute_checks",     # single-attribute check calls
+    "delta_checks",         # membership-delta (gain/loss) checks
+    "constraints_checked",  # individual (class, attribute) rules evaluated
+    "constraints_skipped",  # rules provably unaffected, skipped by the engine
+    "violations_found",
+    "profile_hits",         # signature-profile cache hits
+    "profile_misses",       # profiles built (cache misses / invalidations)
+    # store-side
+    "writes",
+    "classifies",
+    "declassifies",
+    "removals",
+    "rollbacks",            # eager rejections rolled back
+)
+
+
+class EngineStats:
+    """Counters and timing hooks shared by a checker/store pair."""
+
+    __slots__ = COUNTER_FIELDS + ("timing", "timings", "_hooks")
+
+    def __init__(self, timing: bool = False) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.timing = timing
+        self.timings: Dict[str, float] = {}
+        self._hooks: List[Callable[[str, float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether callers should bracket work with :meth:`clock`/:meth:`record`."""
+        return self.timing or bool(self._hooks)
+
+    def add_hook(self, hook: Callable[[str, float], None]) -> None:
+        """Register a ``(event, seconds)`` callback; implies timing."""
+        self._hooks.append(hook)
+
+    @staticmethod
+    def clock() -> float:
+        return time.perf_counter()
+
+    def record(self, event: str, seconds: float) -> None:
+        self.timings[event] = self.timings.get(event, 0.0) + seconds
+        for hook in self._hooks:
+            hook(event, seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All counters (and accumulated timings, when enabled)."""
+        out: Dict[str, object] = {
+            name: getattr(self, name) for name in COUNTER_FIELDS
+        }
+        for event, seconds in sorted(self.timings.items()):
+            out[f"time.{event}"] = round(seconds, 6)
+        return out
+
+    def reset(self) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.timings.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"EngineStats({inner})"

@@ -26,8 +26,10 @@ from repro.errors import (
 from repro.schema.classdef import ClassDef
 from repro.typesys.core import (
     ConditionalType,
+    NoneType,
     RecordType,
     Type,
+    UnionType,
 )
 
 
@@ -41,6 +43,41 @@ class Constraint:
 
     def __str__(self) -> str:
         return f"({self.owner}, {self.attribute}): {self.range}"
+
+
+def range_mentions_none(range_type: Type) -> bool:
+    """Whether a declared range speaks about applicability, so that an
+    unset (INAPPLICABLE) value is a real value that must be checked."""
+    if isinstance(range_type, NoneType):
+        return True
+    if isinstance(range_type, ConditionalType):
+        return range_mentions_none(range_type.base) or any(
+            range_mentions_none(a.type) for a in range_type.alternatives)
+    return False
+
+
+def _entity_sensitive(range_type: Type) -> bool:
+    """Whether membership of a value in the range can depend on the
+    *owner entity's* class memberships (conditional alternatives are
+    guarded by the owner; record fields re-anchor the owner to the value
+    itself and are therefore not entity-sensitive)."""
+    if isinstance(range_type, ConditionalType):
+        return True
+    if isinstance(range_type, UnionType):
+        return any(_entity_sensitive(m) for m in range_type.members)
+    return False
+
+
+@dataclass(frozen=True)
+class IndexedConstraint:
+    """One precomputed row of the conformance index: the constraint, the
+    excuses registered against it, and two predicates the checker would
+    otherwise re-derive per call."""
+
+    constraint: Constraint
+    excuses: Tuple["ExcuseEntry", ...]
+    mentions_none: bool
+    entity_sensitive: bool
 
 
 @dataclass(frozen=True)
@@ -68,6 +105,12 @@ class Schema:
         self._ancestors: Dict[str, frozenset] = {}
         self._excuse_index: Optional[Dict[Tuple[str, str],
                                           Tuple[ExcuseEntry, ...]]] = None
+        # class name -> rows for constraints *declared on* that class.
+        self._declared_index: Dict[str, Tuple[IndexedConstraint, ...]] = {}
+        # class name -> attribute -> rows from the whole IS-A closure.
+        self._constraint_index: Dict[
+            str, Dict[str, Tuple[IndexedConstraint, ...]]] = {}
+        self._version = 0
         for cdef in classes:
             self.add_class(cdef)
 
@@ -129,6 +172,16 @@ class Schema:
     def _invalidate(self) -> None:
         self._ancestors.clear()
         self._excuse_index = None
+        self._declared_index.clear()
+        self._constraint_index.clear()
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumps whenever the caches (ancestors,
+        excuse registry, constraint index) are invalidated.  External
+        caches keyed on schema-derived data compare against it."""
+        return self._version
 
     # ------------------------------------------------------------------
     # ClassGraph protocol + hierarchy queries
@@ -290,6 +343,49 @@ class Schema:
     def excuse_pairs(self) -> Tuple[Tuple[str, str], ...]:
         """All excused ``(class, attribute)`` pairs in the schema."""
         return tuple(sorted(self._excuses()))
+
+    # ------------------------------------------------------------------
+    # The conformance index (incremental engine substrate)
+    # ------------------------------------------------------------------
+
+    def declared_index(self, name: str) -> Tuple[IndexedConstraint, ...]:
+        """Index rows for the constraints *declared on* ``name`` itself,
+        in declaration order, with excuses and per-range predicates
+        precomputed.  Cached until the next schema mutation."""
+        cached = self._declared_index.get(name)
+        if cached is not None:
+            return cached
+        cdef = self.get(name)
+        rows = tuple(
+            IndexedConstraint(
+                Constraint(name, attr.name, attr.range),
+                self.excuses_against(name, attr.name),
+                range_mentions_none(attr.range),
+                _entity_sensitive(attr.range),
+            )
+            for attr in cdef.attributes
+        )
+        self._declared_index[name] = rows
+        return rows
+
+    def constraint_table(
+            self, name: str) -> Dict[str, Tuple[IndexedConstraint, ...]]:
+        """The flattened conformance table of one class: every
+        ``(class, attribute)`` constraint applicable to instances of
+        ``name`` (from the whole IS-A closure), keyed by attribute, with
+        owners in sorted order.  This is the per-class half of the
+        incremental engine's index; per-entity profiles are merged from
+        these by the checker."""
+        cached = self._constraint_index.get(name)
+        if cached is not None:
+            return cached
+        table: Dict[str, List[IndexedConstraint]] = {}
+        for ancestor in sorted(self.ancestors(name)):
+            for row in self.declared_index(ancestor):
+                table.setdefault(row.constraint.attribute, []).append(row)
+        frozen = {attr: tuple(rows) for attr, rows in table.items()}
+        self._constraint_index[name] = frozen
+        return frozen
 
     def is_excused_by_membership(self, owner: str, attribute: str,
                                  member_of: Iterable[str]) -> bool:

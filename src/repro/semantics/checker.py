@@ -10,14 +10,35 @@ objects belonging to several classes.
 The checker also reports *applicability* errors: a value stored under an
 attribute name that no membership class declares ("supervisor is not
 applicable to arbitrary persons, only to employees").
+
+Two evaluation strategies produce the same verdicts:
+
+* the **indexed** path (default) resolves each entity's direct-membership
+  signature to a cached *profile* -- the flattened ``(class, attribute)``
+  constraint rows with excuses prefetched, merged from the schema's
+  per-class :meth:`~repro.schema.schema.Schema.constraint_table` index --
+  and offers membership-delta checks (:meth:`check_classes`,
+  :meth:`check_membership_loss`) so mutations re-derive only the
+  constraints they can affect;
+* the **walking** path (``use_index=False``) re-derives constraints and
+  excuses from the schema on every call, exactly as the original
+  implementation did.  It is kept as the measured baseline
+  (``benchmarks/bench_incremental_check.py``) and as the oracle the
+  incremental verdicts are property-tested against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.schema.schema import Constraint, Schema
+from repro.obs import EngineStats
+from repro.schema.schema import (
+    Constraint,
+    IndexedConstraint,
+    Schema,
+    range_mentions_none,
+)
 from repro.semantics.candidates import ConstraintSemantics, ExcuseSemantics
 from repro.typesys.values import INAPPLICABLE, value_repr
 
@@ -45,6 +66,27 @@ class Violation:
                 f"{self.rule}")
 
 
+class _Profile:
+    """The precomputed conformance profile of one membership signature:
+    every constraint row an entity with those direct memberships is
+    subject to, in the deterministic (sorted owner, declaration) order the
+    checker reports violations in."""
+
+    __slots__ = ("expanded", "rows", "by_attr", "applicable")
+
+    def __init__(self, expanded: FrozenSet[str],
+                 rows: Tuple[IndexedConstraint, ...]) -> None:
+        self.expanded = expanded
+        self.rows = rows
+        by_attr: Dict[str, List[IndexedConstraint]] = {}
+        for row in rows:
+            by_attr.setdefault(row.constraint.attribute, []).append(row)
+        self.by_attr: Dict[str, Tuple[IndexedConstraint, ...]] = {
+            attr: tuple(entries) for attr, entries in by_attr.items()
+        }
+        self.applicable = frozenset(self.by_attr)
+
+
 class ConformanceChecker:
     """Checks entities against a schema under a chosen semantics.
 
@@ -58,33 +100,131 @@ class ConformanceChecker:
         When True, an attribute declared with a range that does not admit
         :data:`INAPPLICABLE` must have a value (strict database mode);
         when False missing values are ignored (useful while populating).
+    use_index:
+        When True (default) verdicts are computed through the schema's
+        constraint index and a per-signature profile cache; when False
+        every call re-walks the hierarchy (the measured baseline).
+    stats:
+        An :class:`~repro.obs.EngineStats` to increment; one is created
+        when not supplied.
     """
 
     def __init__(self, schema: Schema,
                  semantics: Optional[ConstraintSemantics] = None,
-                 require_values: bool = False) -> None:
+                 require_values: bool = False,
+                 use_index: bool = True,
+                 stats: Optional[EngineStats] = None) -> None:
         self.schema = schema
         self.semantics = semantics or ExcuseSemantics()
         self.require_values = require_values
+        self.use_index = use_index
+        self.stats = stats if stats is not None else EngineStats()
+        self._profiles: Dict[FrozenSet[str], _Profile] = {}
+        self._schema_version = schema.version
 
     # ------------------------------------------------------------------
+    # Profiles (signature -> flattened constraint rows)
+    # ------------------------------------------------------------------
+
+    def _profile_for(self, memberships: FrozenSet[str]) -> _Profile:
+        if self._schema_version != self.schema.version:
+            self._profiles.clear()
+            self._schema_version = self.schema.version
+        profile = self._profiles.get(memberships)
+        if profile is not None:
+            self.stats.profile_hits += 1
+            return profile
+        self.stats.profile_misses += 1
+        expanded: Set[str] = set()
+        for m in memberships:
+            expanded.update(self.schema.ancestors(m))
+        rows: List[IndexedConstraint] = []
+        for class_name in sorted(expanded):
+            rows.extend(self.schema.declared_index(class_name))
+        profile = _Profile(frozenset(expanded), tuple(rows))
+        self._profiles[memberships] = profile
+        return profile
+
+    def _profile(self, entity) -> _Profile:
+        return self._profile_for(entity.memberships)
 
     def expanded_memberships(self, entity) -> Set[str]:
         """All classes the entity belongs to, closed under IS-A."""
+        if self.use_index:
+            return set(self._profile(entity).expanded)
         out: Set[str] = set()
         for m in entity.memberships:
             out.update(self.schema.ancestors(m))
         return out
 
     def applicable_attribute_names(self, entity) -> Set[str]:
+        if self.use_index:
+            return set(self._profile(entity).applicable)
         names: Set[str] = set()
         for class_name in self.expanded_memberships(entity):
             names.update(
                 a.name for a in self.schema.get(class_name).attributes)
         return names
 
+    # ------------------------------------------------------------------
+    # Per-row verdicts (shared by every entry point)
+    # ------------------------------------------------------------------
+
+    def _check_row(self, entity, value,
+                   row: IndexedConstraint) -> Optional[Violation]:
+        """The verdict for one constraint row, or None when satisfied.
+        Returns None (a silent skip) for unset values in values-optional
+        mode when the range does not speak about applicability."""
+        if value is INAPPLICABLE and not self.require_values:
+            # Unset attribute: nothing to check yet (unless the declared
+            # range itself speaks about applicability, in which case
+            # INAPPLICABLE is a real value and must be checked).
+            if not row.mentions_none:
+                return None
+        self.stats.constraints_checked += 1
+        constraint = row.constraint
+        if value is INAPPLICABLE and self.require_values:
+            if not self.semantics.satisfies(
+                    self.schema, entity, value, constraint, row.excuses):
+                self.stats.violations_found += 1
+                return Violation("missing-value", constraint.owner,
+                                 constraint.attribute, value)
+            return None
+        if not self.semantics.satisfies(
+                self.schema, entity, value, constraint, row.excuses):
+            self.stats.violations_found += 1
+            return Violation(
+                "constraint", constraint.owner, constraint.attribute, value,
+                self.semantics.render_rule(constraint, row.excuses))
+        return None
+
+    # ------------------------------------------------------------------
+    # Whole-object checks
+    # ------------------------------------------------------------------
+
     def check(self, entity) -> List[Violation]:
         """All violations for one entity (empty list = conformant)."""
+        self.stats.full_checks += 1
+        if not self.use_index:
+            return self._check_walking(entity)
+        profile = self._profile(entity)
+        violations: List[Violation] = []
+        for row in profile.rows:
+            violation = self._check_row(
+                entity, entity.get_value(row.constraint.attribute), row)
+            if violation is not None:
+                violations.append(violation)
+        for name in sorted(set(entity.value_names()) - profile.applicable):
+            value = entity.get_value(name)
+            if value is INAPPLICABLE:
+                continue
+            self.stats.violations_found += 1
+            violations.append(Violation(
+                "inapplicable-attribute", "?", name, value))
+        return violations
+
+    def _check_walking(self, entity) -> List[Violation]:
+        """The original re-derive-everything implementation (baseline)."""
         violations: List[Violation] = []
         memberships = self.expanded_memberships(entity)
         applicable = set()
@@ -95,23 +235,22 @@ class ConformanceChecker:
                 applicable.add(attr.name)
                 value = entity.get_value(attr.name)
                 if value is INAPPLICABLE and not self.require_values:
-                    # Unset attribute: nothing to check yet (unless the
-                    # declared range itself speaks about applicability, in
-                    # which case INAPPLICABLE is a real value and must be
-                    # checked -- handled below by admits_inapplicable).
-                    if not _range_mentions_none(attr.range):
+                    if not range_mentions_none(attr.range):
                         continue
+                self.stats.constraints_checked += 1
                 constraint = Constraint(class_name, attr.name, attr.range)
                 excuses = self.schema.excuses_against(class_name, attr.name)
                 if value is INAPPLICABLE and self.require_values:
                     satisfied = self.semantics.satisfies(
                         self.schema, entity, value, constraint, excuses)
                     if not satisfied:
+                        self.stats.violations_found += 1
                         violations.append(Violation(
                             "missing-value", class_name, attr.name, value))
                     continue
                 if not self.semantics.satisfies(
                         self.schema, entity, value, constraint, excuses):
+                    self.stats.violations_found += 1
                     violations.append(Violation(
                         "constraint", class_name, attr.name, value,
                         self.semantics.render_rule(constraint, excuses)))
@@ -120,6 +259,7 @@ class ConformanceChecker:
             value = entity.get_value(name)
             if value is INAPPLICABLE:
                 continue
+            self.stats.violations_found += 1
             violations.append(Violation(
                 "inapplicable-attribute", "?", name, value))
         return violations
@@ -127,10 +267,41 @@ class ConformanceChecker:
     def conforms(self, entity) -> bool:
         return not self.check(entity)
 
+    # ------------------------------------------------------------------
+    # Scoped checks (the incremental engine's entry points)
+    # ------------------------------------------------------------------
+
     def check_attribute(self, entity, attribute: str,
                         value) -> List[Violation]:
         """Violations that *would* arise from setting ``attribute`` to
-        ``value`` on ``entity`` (used by the store for eager checking)."""
+        ``value`` on ``entity`` (used by the store for eager checking).
+
+        Unset values follow the same policy as :meth:`check`: in
+        values-optional mode an INAPPLICABLE value is only checked against
+        constraints whose range speaks about applicability, so clearing an
+        attribute through the checked path agrees with a full re-check.
+        """
+        self.stats.attribute_checks += 1
+        if not self.use_index:
+            return self._check_attribute_walking(entity, attribute, value)
+        profile = self._profile(entity)
+        entries = profile.by_attr.get(attribute)
+        if not entries:
+            if value is INAPPLICABLE:
+                return []  # clearing a never-applicable attribute is a no-op
+            self.stats.violations_found += 1
+            return [Violation("inapplicable-attribute", "?", attribute,
+                              value)]
+        self.stats.constraints_skipped += len(profile.rows) - len(entries)
+        violations: List[Violation] = []
+        for row in entries:
+            violation = self._check_row(entity, value, row)
+            if violation is not None:
+                violations.append(violation)
+        return violations
+
+    def _check_attribute_walking(self, entity, attribute: str,
+                                 value) -> List[Violation]:
         violations: List[Violation] = []
         memberships = self.expanded_memberships(entity)
         declared_anywhere = False
@@ -139,24 +310,96 @@ class ConformanceChecker:
             if attr is None:
                 continue
             declared_anywhere = True
+            if value is INAPPLICABLE and not self.require_values:
+                if not range_mentions_none(attr.range):
+                    continue
+            self.stats.constraints_checked += 1
             constraint = Constraint(class_name, attribute, attr.range)
             excuses = self.schema.excuses_against(class_name, attribute)
+            if value is INAPPLICABLE and self.require_values:
+                if not self.semantics.satisfies(
+                        self.schema, entity, value, constraint, excuses):
+                    self.stats.violations_found += 1
+                    violations.append(Violation(
+                        "missing-value", class_name, attribute, value))
+                continue
             if not self.semantics.satisfies(
                     self.schema, entity, value, constraint, excuses):
+                self.stats.violations_found += 1
                 violations.append(Violation(
                     "constraint", class_name, attribute, value,
                     self.semantics.render_rule(constraint, excuses)))
-        if not declared_anywhere:
+        if not declared_anywhere and value is not INAPPLICABLE:
+            self.stats.violations_found += 1
             violations.append(Violation(
                 "inapplicable-attribute", "?", attribute, value))
         return violations
 
+    def check_classes(self, entity,
+                      class_names: Iterable[str]) -> List[Violation]:
+        """Violations against only the constraints *declared on* the given
+        classes.  This is the membership-gain delta check: when an entity
+        joins a class, the constraints introduced by the closure delta are
+        the only ones whose verdict can newly fail (extra memberships can
+        satisfy more excuse branches, never fewer, and applicability only
+        widens)."""
+        self.stats.delta_checks += 1
+        violations: List[Violation] = []
+        checked = 0
+        for class_name in sorted(set(class_names)):
+            for row in self.schema.declared_index(class_name):
+                checked += 1
+                violation = self._check_row(
+                    entity, entity.get_value(row.constraint.attribute), row)
+                if violation is not None:
+                    violations.append(violation)
+        if self.use_index:
+            profile = self._profile(entity)
+            self.stats.constraints_skipped += max(
+                0, len(profile.rows) - checked)
+        return violations
+
+    def check_membership_loss(self, entity,
+                              removed: Iterable[str]) -> List[Violation]:
+        """Violations that can arise from the entity having *left* the
+        ``removed`` classes (the closure delta of a declassification,
+        computed by the store; the entity's memberships are already
+        reduced).  Only two kinds of rules can newly fail:
+
+        * remaining constraints with an excuse whose excusing class is in
+          ``removed`` (the non-monotonic hazard: a value that conformed
+          via the excuse branch ``x in E`` loses its excuse), plus the
+          rare entity-sensitive ranges (conditional alternatives);
+        * stored values whose attribute is no longer declared by any
+          remaining membership class (new applicability errors).
+        """
+        self.stats.delta_checks += 1
+        removed_set = frozenset(removed)
+        profile = self._profile(entity)
+        violations: List[Violation] = []
+        checked = 0
+        for row in profile.rows:
+            affected = row.entity_sensitive or any(
+                e.excusing_class in removed_set for e in row.excuses)
+            if not affected:
+                continue
+            checked += 1
+            violation = self._check_row(
+                entity, entity.get_value(row.constraint.attribute), row)
+            if violation is not None:
+                violations.append(violation)
+        self.stats.constraints_skipped += len(profile.rows) - checked
+        for name in sorted(set(entity.value_names()) - profile.applicable):
+            value = entity.get_value(name)
+            if value is INAPPLICABLE:
+                continue
+            self.stats.violations_found += 1
+            violations.append(Violation(
+                "inapplicable-attribute", "?", name, value))
+        return violations
+
 
 def _range_mentions_none(range_type) -> bool:
-    from repro.typesys.core import ConditionalType, NoneType
-    if isinstance(range_type, NoneType):
-        return True
-    if isinstance(range_type, ConditionalType):
-        return _range_mentions_none(range_type.base) or any(
-            _range_mentions_none(a.type) for a in range_type.alternatives)
-    return False
+    # Retained alias: the predicate now lives next to the schema's
+    # constraint index, which precomputes it per row.
+    return range_mentions_none(range_type)

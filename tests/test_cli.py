@@ -194,3 +194,25 @@ class TestExcuses:
         path.write_text("class Person with name: String; end")
         assert main(["excuses", str(path)]) == 0
         assert "no excuses" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_runs_standard_workload(self, capsys):
+        assert main(["stats", "--patients", "40", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats (incremental" in out
+        assert "constraints_skipped" in out
+        assert "writes" in out
+
+    def test_stats_full_engine(self, capsys):
+        assert main(["stats", "--patients", "40", "--rounds", "1",
+                     "--engine", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats (full" in out
+        assert "full_checks" in out
+
+    def test_stats_timing_rows(self, capsys):
+        assert main(["stats", "--patients", "40", "--rounds", "1",
+                     "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "time.write.eager" in out

@@ -247,3 +247,176 @@ class TestVirtualExtents:
         store.set_value(hosp, "location", addr2)
         assert not store.is_member(addr, "Address$1")
         assert store.is_member(addr2, "Address$1")
+
+
+class TestDeclassifyRecheck:
+    """Membership loss is non-monotonic: leaving the excusing class must
+    re-check what the excuse was holding up (and roll back)."""
+
+    def _alcoholic(self, store):
+        psy = store.create("Psychologist", name="Dr. P", age=50,
+                           therapyStyle=EnumSymbol("CBT"))
+        alc = store.create("Patient", name="al", age=40)
+        store.classify(alc, "Alcoholic")
+        store.set_value(alc, "treatedBy", psy)
+        return alc, psy
+
+    def test_declassify_excusing_class_rolls_back(self, store):
+        alc, psy = self._alcoholic(store)
+        # treatedBy=psy conforms only via the Alcoholic excuse branch;
+        # leaving Alcoholic would leave the object nonconformant.
+        with pytest.raises(ConformanceError) as exc:
+            store.declassify(alc, "Alcoholic")
+        assert "treatedBy" in str(exc.value)
+        assert store.is_member(alc, "Alcoholic")
+        assert store.count("Alcoholic") == 1
+        assert alc.get_value("treatedBy") is psy
+
+    def test_declassify_allowed_once_excuse_unneeded(self, store):
+        alc, _psy = self._alcoholic(store)
+        store.unset_value(alc, "treatedBy")
+        store.declassify(alc, "Alcoholic")
+        assert not store.is_member(alc, "Alcoholic")
+        assert store.is_member(alc, "Patient")
+
+    def test_declassify_unchecked_keeps_residue_dirty(self, store):
+        alc, psy = self._alcoholic(store)
+        store.declassify(alc, "Alcoholic", check=CheckMode.NONE)
+        assert not store.is_member(alc, "Alcoholic")
+        problems = store.validate_dirty()
+        assert any(obj is alc and v.attribute == "treatedBy"
+                   for obj, v in problems)
+
+    def test_declassify_bp_adjudication_rolls_back(self, store, doc):
+        p = store.create("Patient", name="r", age=50, treatedBy=doc,
+                         bloodPressure=EnumSymbol("Low_BP"))
+        store.classify(p, "Hemorrhaging_Patient")
+        store.classify(p, "Renal_Failure_Patient")
+        # Low_BP conforms to Renal's {'High_BP} only through the
+        # Hemorrhaging adjudication excuse.
+        with pytest.raises(ConformanceError):
+            store.declassify(p, "Hemorrhaging_Patient")
+        assert store.is_member(p, "Hemorrhaging_Patient")
+
+
+class TestRemovePurgesVirtualRefs:
+    def _anchored_swiss(self, store, doc):
+        addr = store.create("Address", check=CheckMode.NONE,
+                            street="Bergweg", city="Zurich")
+        store.set_value(addr, "country", EnumSymbol("Switzerland"),
+                        check=CheckMode.NONE)
+        hosp = store.create("Hospital", check=CheckMode.NONE,
+                            location=addr)
+        tb = store.create("Tubercular_Patient", name="t", age=30,
+                          treatedBy=doc)
+        store.set_value(tb, "treatedAt", hosp)
+        return tb, hosp, addr
+
+    def test_remove_purges_refcounts_against_the_dead_object(
+            self, store, doc):
+        tb, hosp, addr = self._anchored_swiss(store, doc)
+        assert ("Hospital$1", hosp.surrogate) in store._virtual_refs
+        store.remove(hosp)
+        assert not any(surrogate == hosp.surrogate
+                       for _name, surrogate in store._virtual_refs)
+
+    def test_stale_anchor_release_cannot_corrupt_live_counts(
+            self, store, doc):
+        tb, hosp, addr = self._anchored_swiss(store, doc)
+        # A second Swiss hospital sharing the same address.
+        hosp2 = store.create("Hospital", check=CheckMode.NONE,
+                             location=addr)
+        tb2 = store.create("Tubercular_Patient", name="t2", age=31,
+                           treatedBy=doc)
+        store.set_value(tb2, "treatedAt", hosp2)
+        store.remove(hosp)
+        # Dropping the dangling reference to the dead hospital must not
+        # cascade through its values and release the live address.
+        store.unset_value(tb, "treatedAt")
+        assert store.is_member(addr, "Address$1")
+        assert ("Address$1", addr.surrogate) in store._virtual_refs
+
+    def test_refcounts_clean_after_remove_and_fresh_anchor(
+            self, store, doc):
+        tb, hosp, addr = self._anchored_swiss(store, doc)
+        store.remove(tb)
+        store.remove(hosp)
+        store.remove(addr)
+        assert store._virtual_refs == {}
+        tb2, hosp2, addr2 = self._anchored_swiss(store, doc)
+        assert store._virtual_refs == {
+            ("Hospital$1", hosp2.surrogate): 1,
+            ("Address$1", addr2.surrogate): 1,
+        }
+
+
+class TestUnsetValueChecked:
+    def test_unset_goes_through_conformance(self, hospital_schema):
+        store = ObjectStore(hospital_schema, require_values=True)
+        p = store.create("Person", name="n", age=30)
+        with pytest.raises(ConformanceError):
+            store.unset_value(p, "name")
+        assert p.get_value("name") == "n"
+
+    def test_unset_allowed_when_values_optional(self, store):
+        p = store.create("Person", name="n", age=30)
+        store.unset_value(p, "name")
+        assert p.get_value("name") is INAPPLICABLE
+
+    def test_unset_maintains_virtual_extents(self, store, doc):
+        addr = store.create("Address", check=CheckMode.NONE,
+                            street="Bergweg", city="Zurich")
+        store.set_value(addr, "country", EnumSymbol("Switzerland"),
+                        check=CheckMode.NONE)
+        hosp = store.create("Hospital", check=CheckMode.NONE,
+                            location=addr)
+        tb = store.create("Tubercular_Patient", name="t", age=30,
+                          treatedBy=doc)
+        store.set_value(tb, "treatedAt", hosp)
+        store.unset_value(tb, "treatedAt")
+        assert not store.is_member(hosp, "Hospital$1")
+        assert not store.is_member(addr, "Address$1")
+
+    def test_unset_can_still_be_forced_unchecked(self, hospital_schema):
+        store = ObjectStore(hospital_schema, require_values=True)
+        p = store.create("Person", name="n", age=30)
+        store.unset_value(p, "name", check=CheckMode.NONE)
+        assert p.get_value("name") is INAPPLICABLE
+
+
+class TestEngineObservability:
+    def test_stats_counters_move(self, store):
+        p = store.create("Person", name="n", age=30)
+        store.set_value(p, "age", 31)
+        snap = store.stats()
+        assert snap["engine"] == "incremental"
+        assert snap["writes"] >= 3          # create's values + the update
+        assert snap["attribute_checks"] >= 3
+        assert snap["objects"] == 1
+        assert snap["rollbacks"] == 0
+
+    def test_full_engine_is_selectable(self, hospital_schema):
+        from repro.objects import Engine
+        store = ObjectStore(hospital_schema, engine=Engine.FULL)
+        p = store.create("Person", name="n", age=30)
+        with pytest.raises(ConformanceError):
+            store.set_value(p, "age", 999)
+        snap = store.stats()
+        assert snap["engine"] == "full"
+        assert snap["full_checks"] >= 1
+        assert snap["rollbacks"] == 1
+        assert p.get_value("age") == 30
+
+    def test_unknown_engine_rejected(self, hospital_schema):
+        with pytest.raises(ValueError):
+            ObjectStore(hospital_schema, engine="psychic")
+
+    def test_deferred_writes_tracked_and_validated_dirty(self, store):
+        p = store.create("Person", check=CheckMode.NONE, name="n",
+                         age=999)
+        assert store.stats()["dirty_objects"] == 1
+        problems = store.validate_dirty()
+        assert [(obj, v.attribute) for obj, v in problems] == [(p, "age")]
+        store.set_value(p, "age", 30, check=CheckMode.NONE)
+        assert store.validate_dirty() == []
+        assert store.stats()["dirty_objects"] == 0
