@@ -14,7 +14,7 @@ avoided.  Acceptance floor: >= 2x.
 
 import time
 
-from conftest import report
+from conftest import report, report_json
 
 from repro.evaluation import render_table
 from repro.objects import Engine
@@ -79,6 +79,19 @@ def test_a3_incremental_write_throughput(benchmark, hospital_schema):
 
     full_stats = results[Engine.FULL][2]
     incr_stats = results[Engine.INCREMENTAL][2]
+    report_json("incremental", {
+        "experiment": "A3-incremental",
+        "n_patients": N_PATIENTS,
+        "rounds": ROUNDS,
+        "writes": results[Engine.INCREMENTAL][0],
+        "full_writes_per_sec": round(throughput[Engine.FULL], 1),
+        "incremental_writes_per_sec": round(
+            throughput[Engine.INCREMENTAL], 1),
+        "speedup": round(speedup, 2),
+        "constraints_checked_full": full_stats["constraints_checked"],
+        "constraints_checked_incremental":
+            incr_stats["constraints_checked"],
+    })
     assert incr_stats["violations_found"] == full_stats["violations_found"]
     assert (incr_stats["constraints_checked"]
             < full_stats["constraints_checked"] / 2)

@@ -7,6 +7,7 @@ Usage (also via ``python -m repro.cli``)::
     repro type <schema.cdl> <Class> <attr> # the relaxed conditional type
     repro check <schema.cdl> "<query>"     # safety analysis of a query
     repro explain <schema.cdl> "<query>"   # compiled plan + check sites
+                  [--index attr ...]       # + index pushdown decisions
     repro excuses <schema.cdl>             # list every excused pair
     repro theory <schema.cdl>              # the generated type theory
     repro diff <old.cdl> <new.cdl>         # structural schema diff
@@ -76,11 +77,17 @@ def cmd_check(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    from repro.query.compiler import compile_query
+    from repro.objects.store import ObjectStore
+    from repro.query.planner import plan_query
     schema = _read_schema(args.schema)
-    compiled = compile_query(args.query, schema,
-                             eliminate_checks=not args.all_checked)
-    print(compiled.explain())
+    # The planner needs a store for its physical design; an empty one is
+    # enough to show which conjuncts would be pushed down.
+    store = ObjectStore(schema)
+    for attribute in args.index or ():
+        store.create_index(attribute)
+    plan = plan_query(args.query, store,
+                      eliminate_checks=not args.all_checked)
+    print(plan.explain(store if args.index else None))
     return 0
 
 
@@ -207,11 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("explain",
-                       help="show the compiled plan and check sites")
+                       help="show the compiled plan, check sites, and "
+                            "index pushdowns")
     p.add_argument("schema")
     p.add_argument("query")
     p.add_argument("--all-checked", action="store_true",
                    help="compile without check elimination (baseline)")
+    p.add_argument("--index", action="append", metavar="ATTR",
+                   help="assume a secondary index on ATTR (repeatable); "
+                        "sargable equality conjuncts on it are pushed "
+                        "down")
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("theory",

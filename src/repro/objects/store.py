@@ -57,11 +57,16 @@ from repro.errors import ConformanceError, NoSuchObjectError, UnknownClassError
 from repro.obs import EngineStats
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate, SurrogateAllocator
+from repro.query.indexes import IndexManager, StoreIndex
 from repro.schema.classdef import ClassDef
 from repro.schema.schema import Schema
 from repro.semantics.candidates import ConstraintSemantics
 from repro.semantics.checker import ConformanceChecker, Violation
 from repro.typesys.values import INAPPLICABLE, is_entity
+
+
+#: Shared empty extent for classes with no instances yet.
+_EMPTY_EXTENT: Set = set()
 
 
 class CheckMode:
@@ -116,6 +121,11 @@ class ObjectStore:
         # other objects (values entering virtual classes) are journaled
         # here as (instance, closure delta) so they can be checked.
         self._join_log: Optional[List[Tuple[Instance, frozenset]]] = None
+        # Sorted extent snapshots, per class, served by extent() until a
+        # membership/extent mutation invalidates them.
+        self._extent_cache: Dict[str, Tuple[Instance, ...]] = {}
+        # Secondary attribute indexes + the planner's plan cache.
+        self.indexes = IndexManager(self)
 
     # ------------------------------------------------------------------
     # Observability
@@ -130,6 +140,10 @@ class ObjectStore:
             len(members) for members in self._extents.values())
         snap["virtual_refs"] = len(self._virtual_refs)
         snap["dirty_objects"] = len(self._dirty)
+        snap["indexes"] = len(self.indexes)
+        snap["plans_in_cache"] = len(self.indexes.plan_cache)
+        for name, value in self.indexes.qstats.snapshot().items():
+            snap[f"query.{name}"] = value
         return snap
 
     def _mark_dirty(self, obj: Instance,
@@ -160,6 +174,7 @@ class ObjectStore:
         mode = check if check is not None else self.check_mode
         obj = Instance(self._allocator.allocate(), (class_name,))
         self._objects[obj.surrogate] = obj
+        self.indexes.on_create(obj.surrogate)
         self._add_to_extents(obj, class_name)
         if mode != CheckMode.EAGER:
             self._mark_dirty(obj)
@@ -183,7 +198,9 @@ class ObjectStore:
                 self._release_virtual_targets(obj, name, value)
         for class_name in list(self._extents):
             self._extents[class_name].discard(obj.surrogate)
+        self._extent_cache.clear()
         del self._objects[obj.surrogate]
+        self.indexes.on_remove(obj.surrogate)
         self._dirty.pop(obj.surrogate, None)
         # Anything still referencing the dead object keeps a dangling
         # Python reference by design, but the refcount bookkeeping must
@@ -300,11 +317,28 @@ class ObjectStore:
             self._mark_dirty(obj)
 
     def extent(self, class_name: str) -> Tuple[Instance, ...]:
-        """The current extent, superclass extents included."""
+        """The current extent, superclass extents included.
+
+        The sorted snapshot is cached per class and invalidated by the
+        membership-changing mutation paths, so repeated scans do not pay
+        the O(n log n) sort per call."""
         if not self.schema.has_class(class_name):
             raise UnknownClassError(class_name)
+        cached = self._extent_cache.get(class_name)
+        if cached is not None:
+            return cached
         surrogates = self._extents.get(class_name, set())
-        return tuple(self._objects[s] for s in sorted(surrogates))
+        result = tuple(self._objects[s] for s in sorted(surrogates))
+        self._extent_cache[class_name] = result
+        return result
+
+    def extent_surrogates(self, class_name: str) -> Set[Surrogate]:
+        """The extent as a surrogate set -- the class-membership index
+        the planner intersects posting lists against.  Callers must not
+        mutate the returned set."""
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        return self._extents.get(class_name, _EMPTY_EXTENT)
 
     def count(self, class_name: str) -> int:
         if not self.schema.has_class(class_name):
@@ -316,9 +350,18 @@ class ObjectStore:
             self.schema.is_subclass(m, class_name) for m in obj.memberships
         )
 
+    def create_index(self, attribute: str) -> StoreIndex:
+        """Build (or return) the secondary index on ``attribute``; see
+        :mod:`repro.query.indexes` for the excuse-aware semantics."""
+        return self.indexes.create(attribute)
+
+    def drop_index(self, attribute: str) -> None:
+        self.indexes.drop(attribute)
+
     def _add_to_extents(self, obj: Instance, class_name: str) -> None:
         for ancestor in self.schema.ancestors(class_name):
             self._extents.setdefault(ancestor, set()).add(obj.surrogate)
+            self._extent_cache.pop(ancestor, None)
 
     def _rebuild_extents_for(self, obj: Instance) -> None:
         keep: Set[str] = set()
@@ -329,6 +372,7 @@ class ObjectStore:
                 members.add(obj.surrogate)
             else:
                 members.discard(obj.surrogate)
+        self._extent_cache.clear()
 
     # ------------------------------------------------------------------
     # Attribute writes
@@ -365,6 +409,7 @@ class ObjectStore:
             if is_entity(old):
                 self._release_virtual_targets(obj, attribute, old)
             obj._set_value(attribute, value)
+            self.indexes.on_value_change(obj.surrogate, attribute, value)
         finally:
             self._end_join_log(joins)
 
@@ -385,6 +430,7 @@ class ObjectStore:
             # Roll back: restore the old value and the anchoring counts.
             stats.rollbacks += 1
             obj._set_value(attribute, old)
+            self.indexes.on_value_change(obj.surrogate, attribute, old)
             if is_entity(old):
                 self._acquire_virtual_targets(obj, attribute, old)
             if is_entity(value):

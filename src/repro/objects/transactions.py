@@ -49,6 +49,8 @@ class StoreSnapshot:
             for surrogate, attrs in store._dirty.items()
         }
         self._next_surrogate = store._allocator._next
+        # Secondary indexes roll back with the values they mirror.
+        self._index_state = store.indexes.snapshot()
 
     def restore(self) -> None:
         store = self._store
@@ -73,6 +75,8 @@ class StoreSnapshot:
             for surrogate, attrs in self._dirty.items()
         })
         store._allocator._next = self._next_surrogate
+        store._extent_cache.clear()
+        store.indexes.restore(self._index_state)
 
 
 class TransactionError(Exception):

@@ -1,10 +1,15 @@
-"""Observability for the conformance engine.
+"""Observability for the conformance engine and the query layer.
 
 The incremental engine's value proposition is *work avoided*: constraints
 not re-derived, objects not re-walked.  :class:`EngineStats` makes that
 visible -- the checker and the store increment its counters on the hot
 path, ``ObjectStore.stats()`` snapshots them, and the ``repro stats`` CLI
 subcommand renders the snapshot for a standard workload.
+
+:class:`QueryStats` plays the same role for the read path: the planner
+and the store's index manager count plans cached and re-used, index
+lookups served, rows pruned without being visited, and the incremental
+maintenance work the write path spends keeping the indexes current.
 
 Counters are plain attributes (an increment is one ``LOAD_ATTR`` +
 ``INPLACE_ADD``; cheap enough for the eager-write path the engine is
@@ -95,3 +100,39 @@ class EngineStats:
         inner = ", ".join(
             f"{k}={v}" for k, v in self.snapshot().items() if v)
         return f"EngineStats({inner})"
+
+
+#: Every query-layer counter, in reporting order.
+QUERY_COUNTER_FIELDS: Tuple[str, ...] = (
+    "plans_cached",     # plans built and stored in a plan cache
+    "plan_hits",        # cache lookups answered without recompiling
+    "plan_misses",      # cache lookups that had to plan from scratch
+    "index_scans",      # executions that ran through the index path
+    "full_scans",       # executions that fell back to the full scan
+    "index_lookups",    # posting-list / extent-set probes served
+    "rows_pruned",      # rows never visited thanks to index pruning
+    "index_updates",    # incremental posting maintenance operations
+)
+
+
+class QueryStats:
+    """Counters shared by a store's index manager and the planner."""
+
+    __slots__ = QUERY_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in QUERY_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name)
+                for name in QUERY_COUNTER_FIELDS}
+
+    def reset(self) -> None:
+        for name in QUERY_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"QueryStats({inner})"

@@ -24,6 +24,12 @@ occur".  This package implements both:
   compilation to an executable plan where run-time safety checks are
   inserted *only* at accesses the analysis could not prove safe; the
   interpreter counts checks so the saving is measurable (benchmark E3).
+* :mod:`repro.query.indexes` / :mod:`repro.query.planner` -- secondary
+  attribute indexes (excuse-aware: INAPPLICABLE and unhashable-residue
+  posting lists keep indexed results scan-exact), a cost-based planner
+  that pushes sargable ``where`` conjuncts into index probes and
+  extent-set intersections, and a schema-versioned plan cache
+  (benchmark A4).
 """
 
 from repro.query.ast import (
@@ -50,6 +56,14 @@ from repro.query.typing import (
 from repro.query.analysis import analyze
 from repro.query.compiler import CompiledQuery, compile_query
 from repro.query.interpreter import ExecutionStats, execute
+from repro.query.indexes import IndexManager, PlanCache, StoreIndex
+from repro.query.planner import (
+    Pushdown,
+    QueryPlan,
+    execute_plan,
+    execute_planned,
+    plan_query,
+)
 
 __all__ = [
     "And",
@@ -59,13 +73,18 @@ __all__ = [
     "Const",
     "ExecutionStats",
     "InClass",
+    "IndexManager",
     "Not",
     "NotInClass",
     "Or",
     "Path",
+    "PlanCache",
     "Possibility",
+    "Pushdown",
     "Query",
+    "QueryPlan",
     "QueryTyper",
+    "StoreIndex",
     "TypeReport",
     "UnsafeFinding",
     "Var",
@@ -73,5 +92,8 @@ __all__ = [
     "analyze",
     "compile_query",
     "execute",
+    "execute_plan",
+    "execute_planned",
     "parse_query",
+    "plan_query",
 ]

@@ -1,0 +1,297 @@
+"""Secondary attribute indexes over the live object store.
+
+A :class:`StoreIndex` is a hash index over the values of one attribute
+across *all* live objects, maintained incrementally by the store's
+checked-mutation path (writes, creates, removals, transaction rollback).
+Class scoping happens at query time by intersecting a posting list with
+the source extent, so one index serves every class that declares -- or
+excuses -- the attribute.
+
+Excuse-awareness
+----------------
+
+Under the paper's excuse semantics an indexed attribute can hold values
+from *several* type branches at once: the relaxed constraint
+``[p : T0 + T1/E1]`` admits base-range values, excuse-range values (for
+members of ``E1``), and -- when an excuse range is ``None`` -- the value
+:data:`INAPPLICABLE` itself.  A value-keyed hash index is branch-blind
+(it keys on the stored value, whichever branch admitted it), which is
+exactly what makes indexed equality agree with scan semantics; the two
+branch-sensitive populations get their own posting lists:
+
+* the **INAPPLICABLE posting** holds every live object with *no* value
+  for the attribute -- whether unset, inapplicable to the object's
+  classes, or excused away by a ``None`` alternative.  The planner needs
+  it because a guarded scan *skips* (and counts) such rows; an indexed
+  plan must visit them to reproduce ``rows_skipped`` exactly (see
+  ``docs/SEMANTICS.md`` section 8).
+* the **residue posting** holds objects whose value could not be hashed.
+  No such value exists in the core value universe, but the index refuses
+  to silently prune what it cannot key: residue rows are always handed
+  back as candidates.
+
+The :class:`IndexManager` owns all of a store's indexes plus the plan
+cache the planner keys on ``(query text, schema version, index version,
+compile options)``; creating or dropping an index bumps ``version`` so
+cached plans that baked in the old physical design stop matching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.obs import QueryStats
+from repro.typesys.values import INAPPLICABLE
+
+#: Shared empty set returned by lookups that find nothing.
+_EMPTY: frozenset = frozenset()
+
+
+class StoreIndex:
+    """Hash index over one attribute: value -> set of surrogates, plus
+    the INAPPLICABLE and residue posting lists."""
+
+    __slots__ = ("attribute", "_buckets", "_entries", "inapplicable",
+                 "residue")
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._buckets: Dict[object, Set] = {}
+        # surrogate -> indexed value (reverse map for O(1) maintenance).
+        self._entries: Dict[object, object] = {}
+        #: Live objects with no value for the attribute.
+        self.inapplicable: Set = set()
+        #: Live objects whose value is unhashable (never prunable).
+        self.residue: Set = set()
+
+    # Maintenance ------------------------------------------------------
+
+    def add(self, surrogate, value) -> None:
+        """Index ``surrogate`` as newly live with ``value``."""
+        if value is INAPPLICABLE:
+            self.inapplicable.add(surrogate)
+            return
+        try:
+            self._buckets.setdefault(value, set()).add(surrogate)
+        except TypeError:
+            self.residue.add(surrogate)
+            return
+        self._entries[surrogate] = value
+
+    def discard(self, surrogate) -> None:
+        """Forget ``surrogate`` entirely (object removed)."""
+        self.inapplicable.discard(surrogate)
+        self.residue.discard(surrogate)
+        old = self._entries.pop(surrogate, None)
+        if old is not None:
+            bucket = self._buckets.get(old)
+            if bucket is not None:
+                bucket.discard(surrogate)
+                if not bucket:
+                    del self._buckets[old]
+
+    def update(self, surrogate, value) -> None:
+        """Move ``surrogate`` to the posting for ``value``."""
+        self.discard(surrogate)
+        self.add(surrogate, value)
+
+    # Lookup -----------------------------------------------------------
+
+    def lookup(self, value) -> frozenset:
+        """Surrogates whose value equals ``value`` (scan `=` semantics)."""
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:          # unhashable probe matches nothing
+            return _EMPTY
+        return frozenset(bucket) if bucket else _EMPTY
+
+    def selectivity(self, value) -> int:
+        """Exact posting size for ``value`` (the planner's cardinality)."""
+        try:
+            bucket = self._buckets.get(value)
+        except TypeError:
+            return 0
+        return len(bucket) if bucket else 0
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self.inapplicable) + len(self.residue)
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def describe(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "distinct_values": len(self._buckets),
+            "inapplicable": len(self.inapplicable),
+            "residue": len(self.residue),
+        }
+
+    # Snapshot (transactions) ------------------------------------------
+
+    def _snapshot(self):
+        return (
+            {value: set(members) for value, members in self._buckets.items()},
+            dict(self._entries),
+            set(self.inapplicable),
+            set(self.residue),
+        )
+
+    def _restore(self, state) -> None:
+        buckets, entries, inapplicable, residue = state
+        self._buckets = {v: set(m) for v, m in buckets.items()}
+        self._entries = dict(entries)
+        self.inapplicable = set(inapplicable)
+        self.residue = set(residue)
+
+    def __repr__(self) -> str:
+        return (f"<StoreIndex {self.attribute}: {len(self._entries)} "
+                f"entries, {len(self._buckets)} values, "
+                f"{len(self.inapplicable)} inapplicable>")
+
+
+class PlanCache:
+    """A bounded LRU of compiled query plans.
+
+    Keys embed the schema and index-design version counters, so a stale
+    plan simply never matches again -- no eager invalidation pass."""
+
+    def __init__(self, capacity: int = 256,
+                 stats: Optional[QueryStats] = None) -> None:
+        self.capacity = capacity
+        self.stats = stats if stats is not None else QueryStats()
+        self._plans: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        plan = self._plans.get(key)
+        if plan is None:
+            self.stats.plan_misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.stats.plan_hits += 1
+        return plan
+
+    def put(self, key, plan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        self.stats.plans_cached += 1
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+class IndexManager:
+    """All secondary indexes of one object store, plus its plan cache.
+
+    The store calls the ``on_*`` hooks from its mutation paths; the
+    planner reads postings through :meth:`lookup`/:meth:`inapplicable`
+    and keys plans on :attr:`version`.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._indexes: Dict[str, StoreIndex] = {}
+        #: Bumped whenever the set of indexes changes (physical design).
+        self.version = 0
+        self.qstats = QueryStats()
+        self.plan_cache = PlanCache(stats=self.qstats)
+
+    # Administration ---------------------------------------------------
+
+    def create(self, attribute: str) -> StoreIndex:
+        """Build (or return) the index on ``attribute`` from the live
+        population; kept current by the store from then on."""
+        existing = self._indexes.get(attribute)
+        if existing is not None:
+            return existing
+        index = StoreIndex(attribute)
+        for obj in self._store.instances():
+            index.add(obj.surrogate, obj.get_value(attribute))
+        self._indexes[attribute] = index
+        self.version += 1
+        return index
+
+    def drop(self, attribute: str) -> None:
+        if self._indexes.pop(attribute, None) is not None:
+            self.version += 1
+
+    def get(self, attribute: str) -> Optional[StoreIndex]:
+        return self._indexes.get(attribute)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._indexes))
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._indexes
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    # Store-side maintenance hooks -------------------------------------
+
+    def on_create(self, surrogate) -> None:
+        """A new object is live; it starts with every attribute unset."""
+        for index in self._indexes.values():
+            index.inapplicable.add(surrogate)
+        if self._indexes:
+            self.qstats.index_updates += len(self._indexes)
+
+    def on_remove(self, surrogate) -> None:
+        for index in self._indexes.values():
+            index.discard(surrogate)
+        if self._indexes:
+            self.qstats.index_updates += len(self._indexes)
+
+    def on_value_change(self, surrogate, attribute: str, value) -> None:
+        index = self._indexes.get(attribute)
+        if index is None:
+            return
+        index.update(surrogate, value)
+        self.qstats.index_updates += 1
+
+    # Planner-side reads -----------------------------------------------
+
+    def lookup(self, attribute: str, value) -> frozenset:
+        # Probe counting is the executor's job (it also counts the
+        # extent-set probes this manager never sees).
+        return self._indexes[attribute].lookup(value)
+
+    def inapplicable(self, attribute: str) -> Set:
+        return self._indexes[attribute].inapplicable
+
+    def residue(self, attribute: str) -> Set:
+        return self._indexes[attribute].residue
+
+    def selectivity(self, attribute: str, value) -> int:
+        return self._indexes[attribute].selectivity(value)
+
+    # Snapshot (transactions) ------------------------------------------
+
+    def snapshot(self):
+        return {attr: index._snapshot()
+                for attr, index in self._indexes.items()}
+
+    def restore(self, state) -> None:
+        rebuilt: Dict[str, StoreIndex] = {}
+        for attr, index_state in state.items():
+            index = StoreIndex(attr)
+            index._restore(index_state)
+            rebuilt[attr] = index
+        changed = set(rebuilt) != set(self._indexes)
+        self._indexes = rebuilt
+        if changed:
+            # The physical design moved.  The counter stays monotone --
+            # never restored backwards -- so a plan keyed against a
+            # version from inside the rolled-back scope can never collide
+            # with a future design that happens to reuse the number.
+            self.version += 1
+
+    def describe(self) -> Dict[str, Dict[str, int]]:
+        return {attr: index.describe()
+                for attr, index in sorted(self._indexes.items())}

@@ -1,9 +1,17 @@
-"""Executing compiled queries against an object store."""
+"""Executing compiled queries against an object store.
+
+:func:`execute` is the guarded full scan -- every row of the source
+extent is visited and the compiled ``where``/``select`` closures decide
+its fate.  The planner (:mod:`repro.query.planner`) reuses the same row
+loop through :func:`run_rows`, feeding it the reduced visit set its
+index pushdowns computed; keeping a single loop is what makes "indexed
+results exactly match scan semantics" true by construction row-wise.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.query.ast import Query
 from repro.query.compiler import (
@@ -17,12 +25,17 @@ from repro.schema.schema import Schema
 
 @dataclass
 class ExecutionStats:
-    """Counters exposed so check elimination is measurable (bench E3)."""
+    """Counters exposed so check elimination and index pruning are
+    measurable (benches E3 and A4)."""
 
     rows_scanned: int = 0
     rows_returned: int = 0
     rows_skipped: int = 0
     checks_executed: int = 0
+    #: Rows the planner proved away without visiting (0 for full scans).
+    rows_pruned: int = 0
+    #: Posting-list / extent-set probes this execution performed.
+    index_lookups: int = 0
 
 
 def execute(compiled: Union[CompiledQuery, str], store,
@@ -40,10 +53,19 @@ def execute(compiled: Union[CompiledQuery, str], store,
         compiled = compile_query(compiled, schema, **compile_kwargs)
 
     stats = ExecutionStats()
+    rows = run_rows(compiled, store, store.extent(compiled.source_class),
+                    stats)
+    return rows, stats
+
+
+def run_rows(compiled: CompiledQuery, store, objects: Iterable,
+             stats: ExecutionStats) -> List[tuple]:
+    """The shared row loop: evaluate the full compiled ``where`` and
+    ``select`` over ``objects``, updating ``stats`` in place."""
     if compiled.aggregates is not None:
-        return _execute_aggregate(compiled, store, stats)
+        return _run_aggregate(compiled, store, objects, stats)
     rows: List[tuple] = []
-    for obj in store.extent(compiled.source_class):
+    for obj in objects:
         stats.rows_scanned += 1
         ctx = RuntimeContext(store=store,
                              bindings={compiled.var: obj},
@@ -55,7 +77,7 @@ def execute(compiled: Union[CompiledQuery, str], store,
             stats.rows_returned += 1
         except SkipRow:
             stats.rows_skipped += 1
-    return rows, stats
+    return rows
 
 
 class _Accumulator:
@@ -94,13 +116,12 @@ class _Accumulator:
         return self.best
 
 
-def _execute_aggregate(compiled: CompiledQuery, store,
-                       stats: ExecutionStats
-                       ) -> Tuple[List[tuple], ExecutionStats]:
+def _run_aggregate(compiled: CompiledQuery, store, objects: Iterable,
+                   stats: ExecutionStats) -> List[tuple]:
     accumulators = [
         _Accumulator(function) for function, _fn in compiled.aggregates
     ]
-    for obj in store.extent(compiled.source_class):
+    for obj in objects:
         stats.rows_scanned += 1
         ctx = RuntimeContext(store=store,
                              bindings={compiled.var: obj},
@@ -117,4 +138,4 @@ def _execute_aggregate(compiled: CompiledQuery, store,
         except SkipRow:
             stats.rows_skipped += 1
     stats.rows_returned = 1
-    return [tuple(a.result() for a in accumulators)], stats
+    return [tuple(a.result() for a in accumulators)]

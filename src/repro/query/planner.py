@@ -1,0 +1,380 @@
+"""Cost-based query planning: predicate pushdown into index lookups.
+
+The compiler (:mod:`repro.query.compiler`) decides *how each row is
+checked*; this module decides *which rows are visited at all*.  A plan
+wraps a compiled query with the sargable ``where`` conjuncts the planner
+proved safe to push down:
+
+* ``x.attr = const`` -- an equality probe into the store's secondary
+  hash index on ``attr`` (:mod:`repro.query.indexes`);
+* ``x in Class`` / ``x not in Class`` -- an intersection with (or
+  subtraction of) the class's extent surrogate set, the membership index
+  the store maintains anyway.
+
+Exactness under excuse semantics
+--------------------------------
+
+The guarded scan does not merely filter rows -- it *skips* them (counted
+in ``rows_skipped``) when a guarded access hits INAPPLICABLE, and the
+planner must reproduce that behaviour bit for bit.  Two rules make the
+indexed plan provably scan-equivalent:
+
+1. **Skip rows are visited, not pruned.**  For every pushed equality the
+   executor unions in the index's INAPPLICABLE posting (restricted to
+   the candidates so far) *before* intersecting with the value posting.
+   Those rows are then run through the unchanged compiled ``where``
+   closure, which skips/raises/nulls them exactly as the scan would.
+2. **A pushdown is only legal while the residual prefix cannot skip.**
+   Conjuncts are evaluated left to right with short-circuit ``and``; a
+   row pruned by conjunct *j* is silently dropped by the scan only if no
+   conjunct *i < j* can raise a skip first.  Residual conjuncts that
+   contain attribute accesses can; once one appears, every later
+   sargable conjunct is blocked (reported in ``explain()``).  Pushed
+   conjuncts themselves never break the rule: memberships cannot skip,
+   and equalities contribute their skip rows to the visit set.
+
+Rows that survive pruning are executed by the interpreter's ordinary row
+loop over the surrogate-sorted visit set, so results, order, and
+``rows_skipped`` all match the full scan exactly (property-tested in
+``tests/test_planner_equivalence_properties.py``).
+
+Costing is deliberately simple: posting sizes and ``store.count()`` are
+exact, so the executor compares the materialized visit set against the
+extent and falls back to the scan when pruning bought nothing.  Plans
+are cached per store, keyed on (query text, schema version, index-design
+version, compile options) -- a repeated query skips parse, type
+analysis, compilation, and pushdown extraction entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.query.ast import (
+    Aggregate,
+    And,
+    Compare,
+    Const,
+    Expr,
+    InClass,
+    Not,
+    NotInClass,
+    Or,
+    Path,
+    Query,
+    Var,
+    When,
+)
+from repro.query.compiler import CompiledQuery, compile_query
+from repro.query.interpreter import ExecutionStats, run_rows
+from repro.schema.schema import Schema
+
+#: compile_query keyword options that shape the plan, with defaults;
+#: normalized into the cache key so ``{}`` and explicit defaults agree.
+_COMPILE_OPTION_DEFAULTS: Tuple[Tuple[str, object], ...] = (
+    ("eliminate_checks", True),
+    ("assume_unshared", True),
+    ("on_unsafe", "skip"),
+    ("raise_on_error", True),
+    ("optimize_source", True),
+)
+
+
+@dataclass(frozen=True)
+class Pushdown:
+    """One sargable conjunct the executor resolves through an index."""
+
+    kind: str                          # "eq" | "member" | "not-member"
+    text: str                          # the conjunct, for explain()
+    attribute: Optional[str] = None    # eq: the indexed attribute
+    value: object = None               # eq: the probe constant
+    class_name: Optional[str] = None   # member/not-member: the class
+
+
+@dataclass
+class QueryPlan:
+    """A compiled query plus its pushdown decisions."""
+
+    compiled: CompiledQuery
+    pushdowns: Tuple[Pushdown, ...]
+    #: Conjuncts left to the guarded row loop.
+    residual: Tuple[str, ...]
+    #: (conjunct text, reason) pairs for sargable-but-not-pushed ones.
+    blocked: Tuple[Tuple[str, str], ...]
+    schema_version: int
+    index_version: int
+
+    def explain(self, store=None) -> str:
+        """The compiled plan plus the planner's physical decisions; pass
+        a populated store for live cardinality estimates."""
+        lines = [self.compiled.explain(), ""]
+        source = self.compiled.source_class
+        if not self.pushdowns and not self.blocked:
+            lines.append("access path: full extent scan "
+                         f"(no sargable conjunct for extent({source}))")
+        else:
+            lines.append("access path: cost-based at execute() -- index "
+                         "pushdowns when they prune, else full scan")
+        for p in self.pushdowns:
+            if p.kind == "eq":
+                via = f"index({p.attribute}) + its INAPPLICABLE posting"
+            elif p.kind == "member":
+                via = f"extent-set intersection ({p.class_name})"
+            else:
+                via = f"extent-set subtraction ({p.class_name})"
+            estimate = ""
+            if store is not None:
+                estimate = f"  ~{self._estimate(p, store)} rows"
+            lines.append(f"  [pushdown] {p.text}  via {via}{estimate}")
+        for text in self.residual:
+            lines.append(f"  [residual] {text}  -- guarded row loop")
+        for text, reason in self.blocked:
+            lines.append(f"  [blocked ] {text}  -- {reason}")
+        if store is not None:
+            lines.append(
+                f"  extent({source}): {store.count(source)} rows")
+        return "\n".join(lines)
+
+    def _estimate(self, p: Pushdown, store) -> int:
+        if p.kind == "eq":
+            index = store.indexes.get(p.attribute)
+            return index.selectivity(p.value) if index is not None else 0
+        if p.kind == "member":
+            return store.count(p.class_name)
+        return max(store.count(self.compiled.source_class) -
+                   store.count(p.class_name), 0)
+
+
+# ----------------------------------------------------------------------
+# Pushdown extraction
+# ----------------------------------------------------------------------
+
+def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Top-level ``and`` conjuncts, in evaluation (left-to-right) order."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _contains_path(expr: Expr) -> bool:
+    """Whether evaluating ``expr`` can touch an attribute (and therefore
+    potentially skip the row)."""
+    if isinstance(expr, Path):
+        return True
+    if isinstance(expr, (Var, Const)):
+        return False
+    if isinstance(expr, (InClass, NotInClass)):
+        return _contains_path(expr.expr)
+    if isinstance(expr, Not):
+        return _contains_path(expr.operand)
+    if isinstance(expr, (And, Or)):
+        return _contains_path(expr.left) or _contains_path(expr.right)
+    if isinstance(expr, Compare):
+        return _contains_path(expr.left) or _contains_path(expr.right)
+    if isinstance(expr, When):
+        return (_contains_path(expr.condition) or _contains_path(expr.then)
+                or _contains_path(expr.otherwise))
+    if isinstance(expr, Aggregate):
+        return expr.operand is not None and _contains_path(expr.operand)
+    return True   # unknown node: assume the worst
+
+
+def _as_sargable(conjunct: Expr, var: str,
+                 schema: Schema) -> Optional[Pushdown]:
+    """Recognize an index-servable conjunct, or None."""
+    if isinstance(conjunct, InClass) or isinstance(conjunct, NotInClass):
+        if (isinstance(conjunct.expr, Var) and conjunct.expr.name == var
+                and schema.has_class(conjunct.class_name)):
+            kind = "member" if isinstance(conjunct, InClass) else "not-member"
+            return Pushdown(kind=kind, text=str(conjunct),
+                            class_name=conjunct.class_name)
+        return None
+    if isinstance(conjunct, Compare) and conjunct.op == "=":
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Const) and isinstance(right, Path):
+            left, right = right, left
+        if (isinstance(left, Path) and isinstance(right, Const)
+                and isinstance(left.base, Var) and left.base.name == var):
+            return Pushdown(kind="eq", text=str(conjunct),
+                            attribute=left.attribute, value=right.value)
+    return None
+
+
+def build_plan(compiled: CompiledQuery, schema: Schema,
+               manager) -> QueryPlan:
+    """Extract the pushdowns for one compiled query against the store's
+    current physical design (``manager`` is its IndexManager)."""
+    query = compiled.query
+    pushdowns: List[Pushdown] = []
+    residual: List[str] = []
+    blocked: List[Tuple[str, str]] = []
+    prefix_can_skip = False
+    for conjunct in split_conjuncts(query.where):
+        p = _as_sargable(conjunct, query.var, schema)
+        if p is not None and p.kind == "eq" and p.attribute not in manager:
+            blocked.append((p.text, f"no index on {p.attribute!r}"))
+            p = None
+        if p is None:
+            residual.append(str(conjunct))
+            if _contains_path(conjunct):
+                # This conjunct may skip rows; pruning by any later
+                # conjunct would miss those skips (module docstring).
+                prefix_can_skip = True
+            continue
+        if prefix_can_skip:
+            blocked.append(
+                (p.text, "a residual conjunct before it can skip rows"))
+            residual.append(str(conjunct))
+            continue
+        pushdowns.append(p)
+    return QueryPlan(
+        compiled=compiled,
+        pushdowns=tuple(pushdowns),
+        residual=tuple(residual),
+        blocked=tuple(blocked),
+        schema_version=schema.version,
+        index_version=manager.version,
+    )
+
+
+# ----------------------------------------------------------------------
+# Planning with the plan cache
+# ----------------------------------------------------------------------
+
+def _options_key(compile_kwargs: Dict[str, object]) -> Tuple:
+    unknown = set(compile_kwargs) - {k for k, _ in _COMPILE_OPTION_DEFAULTS}
+    if unknown:
+        raise TypeError(
+            f"unknown compile option(s): {', '.join(sorted(unknown))}")
+    return tuple(
+        compile_kwargs.get(name, default)
+        for name, default in _COMPILE_OPTION_DEFAULTS
+    )
+
+
+def plan_query(query: Union[str, Query], store,
+               **compile_kwargs) -> QueryPlan:
+    """Plan (or fetch the cached plan for) ``query`` against ``store``.
+
+    The cache key is (query text, schema version, index-design version,
+    compile options): a hit skips parse, type analysis, compilation, and
+    pushdown extraction; any schema mutation or index create/drop simply
+    stops the old key from matching.
+    """
+    schema = store.schema
+    manager = store.indexes
+    text = query if isinstance(query, str) else str(query)
+    key = (text, schema.version, manager.version,
+           _options_key(compile_kwargs))
+    plan = manager.plan_cache.get(key)
+    if plan is not None:
+        return plan
+    compiled = compile_query(query, schema, **compile_kwargs)
+    plan = build_plan(compiled, schema, manager)
+    manager.plan_cache.put(key, plan)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def execute_plan(plan: QueryPlan, store) -> Tuple[List[tuple],
+                                                  ExecutionStats]:
+    """Run a plan: prune through the indexes when that wins, fall back
+    to the guarded full scan when it does not.  Results and
+    ``rows_skipped`` match :func:`repro.query.interpreter.execute` on
+    the same compiled query exactly."""
+    compiled = plan.compiled
+    manager = store.indexes
+    qstats = manager.qstats
+    stats = ExecutionStats()
+    source = compiled.source_class
+    pushdowns = plan.pushdowns
+    # The physical design may have moved since the plan was built (e.g.
+    # an index dropped, or a stale plan object re-executed): anything
+    # missing means scan, never a wrong answer.
+    if pushdowns and any(
+            p.kind == "eq" and p.attribute not in manager
+            for p in pushdowns):
+        pushdowns = ()
+
+    extent_set = store.extent_surrogates(source)
+    scan_rows = len(extent_set)
+
+    if pushdowns and scan_rows:
+        # Quick pre-estimate from index stats / extent counts: skip the
+        # set algebra when no pushdown can possibly prune.
+        floor = scan_rows
+        for p in pushdowns:
+            if p.kind == "eq":
+                floor = min(floor, manager.selectivity(p.attribute, p.value)
+                            + len(manager.inapplicable(p.attribute)))
+            elif p.kind == "member":
+                floor = min(floor, store.count(p.class_name))
+        if floor >= scan_rows and not any(
+                p.kind == "not-member" for p in pushdowns):
+            pushdowns = ()
+
+    if not pushdowns or not scan_rows:
+        qstats.full_scans += 1
+        rows = run_rows(compiled, store, store.extent(source), stats)
+        return rows, stats
+
+    # Materialize the candidate set in conjunct order, accumulating the
+    # rows each pushed equality would have skipped (they must be visited).
+    cand = extent_set
+    skips: set = set()
+    lookups = 0
+    for p in pushdowns:
+        if p.kind == "eq":
+            skips |= manager.inapplicable(p.attribute) & cand
+            matched = manager.lookup(p.attribute, p.value) & cand
+            residue = manager.residue(p.attribute)
+            if residue:
+                matched = set(matched) | (residue & cand)
+            cand = matched
+            lookups += 1
+        elif p.kind == "member":
+            cand = cand & store.extent_surrogates(p.class_name)
+            lookups += 1
+        else:
+            cand = cand - store.extent_surrogates(p.class_name)
+            lookups += 1
+    qstats.index_lookups += lookups
+    stats.index_lookups = lookups
+
+    visit = cand | skips
+    pruned = scan_rows - len(visit)
+    if pruned <= 0:
+        # Pruning bought nothing; the plain scan avoids the set algebra
+        # next time the costs look like this.
+        qstats.full_scans += 1
+        rows = run_rows(compiled, store, store.extent(source), stats)
+        return rows, stats
+
+    qstats.index_scans += 1
+    qstats.rows_pruned += pruned
+    stats.rows_pruned = pruned
+    objects = [store.get(s) for s in sorted(visit)]
+    rows = run_rows(compiled, store, objects, stats)
+    return rows, stats
+
+
+def execute_planned(query: Union[str, Query], store,
+                    **compile_kwargs) -> Tuple[List[tuple],
+                                               ExecutionStats]:
+    """Plan-cache-aware execution: the one-call read path.
+
+    Accepts anything store-like; a read-only view without an index
+    manager (e.g. :class:`repro.storage.view.EngineView`) falls back to
+    the plain guarded scan.
+    """
+    if not hasattr(store, "indexes"):
+        from repro.query.interpreter import execute
+        return execute(query, store, **compile_kwargs)
+    plan = plan_query(query, store, **compile_kwargs)
+    return execute_plan(plan, store)

@@ -344,6 +344,20 @@ class Schema:
         """All excused ``(class, attribute)`` pairs in the schema."""
         return tuple(sorted(self._excuses()))
 
+    def constraints_on_attribute(
+            self, attribute: str) -> Tuple[IndexedConstraint, ...]:
+        """Every constraint over ``attribute``, across all declaring
+        classes, with their excuses precomputed -- what a secondary
+        index on the attribute must be prepared to store (the value
+        universe of a class-blind index is the union of every declaring
+        class's relaxed constraint)."""
+        rows = []
+        for cdef in self.classes():
+            for row in self.declared_index(cdef.name):
+                if row.constraint.attribute == attribute:
+                    rows.append(row)
+        return tuple(sorted(rows, key=lambda r: r.constraint.owner))
+
     # ------------------------------------------------------------------
     # The conformance index (incremental engine substrate)
     # ------------------------------------------------------------------
