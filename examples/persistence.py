@@ -19,7 +19,6 @@ from repro import StorageEngine, execute
 from repro.scenarios import populate_hospital
 from repro.storage.persist import load_engine, save_engine
 from repro.storage.rebuild import rebuild_store
-from repro.typesys import EnumSymbol
 
 
 def main() -> None:

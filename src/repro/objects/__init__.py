@@ -18,12 +18,15 @@ This is the database substrate the paper presumes (Sections 2c, 3c, 5.6):
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate
 from repro.objects.store import CheckMode, Engine, ObjectStore
+from repro.objects.bulk import BulkReport, BulkSession
 from repro.objects.exceptional import (
     ExceptionRecord,
     ExceptionalIndividualRegistry,
 )
 
 __all__ = [
+    "BulkReport",
+    "BulkSession",
     "CheckMode",
     "Engine",
     "ExceptionRecord",

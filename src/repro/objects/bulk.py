@@ -1,0 +1,487 @@
+"""Batched ingestion: profile-compiled checking, deferred maintenance.
+
+The per-object write path pays, for every ``create``/``set_value``, the
+interpreted conformance check *plus* incremental extent, secondary-index
+and dirty-ledger maintenance.  When thousands of objects arrive at once
+that is the wrong amortization: objects sharing a direct-membership
+signature are subject to an identical constraint table, so the check can
+be compiled once per signature (:mod:`repro.semantics.compiled`) and the
+bookkeeping merged once per batch.
+
+:class:`BulkSession` stages rows without touching the store, then commits
+them in one merge:
+
+* staged objects are grouped by signature; each group's constraint table
+  is compiled to a specialized closure (excuse branches folded, provably
+  unfalsifiable rows eliminated), falling back to the interpreted
+  checker for profiles the compiler declines (non-excuse semantics);
+* objects that interact with **virtual classes** -- a virtual class in
+  the expanded signature, or an entity value landing on a virtual class's
+  home attribute -- take the store's ordinary per-object path *after* the
+  fast merge, so reference counting, join checking and cascades behave
+  exactly as for sequential writes;
+* under ``check="eager"`` the profile groups are validated before
+  anything becomes visible, optionally in parallel chunks
+  (``concurrent.futures``; compiled checkers are pure, results are
+  plain data, and the merge is deterministic in staging order);
+* extents, index postings and the dirty ledger are updated in one pass
+  per batch, and the index design version is bumped **once** so plans
+  cached mid-batch never outlive the merge.
+
+Semantics are all-or-nothing: any failure (a conformance violation, an
+unshared-structure violation, an unknown class) restores the store --
+objects, extents, postings, virtual refcounts, dirty ledger, allocator
+*and* stats counters -- to the pre-batch state and re-raises.  A
+committed batch is observationally equivalent to applying each row
+sequentially as ``create(primary)`` / ``classify(extra)`` /
+``set_value(attr, value)`` under the same check mode (property-tested in
+``tests/test_bulk_properties.py``); the one deliberate divergence is
+error *reporting* granularity -- a failing batch reports one violating
+object, not necessarily the first in row order, because fast-path groups
+are validated before per-object-path rows are applied.
+
+The staging and commit loops below are written for throughput -- class
+tuples validated once per distinct tuple, signatures interned, virtual
+anchoring decided per ``(classes, attribute)``, instances built in one
+shot -- because this path's reason to exist is benchmark A5's floor
+over the (already incremental) sequential write path.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union,
+)
+
+from repro.errors import ConformanceError, UnknownClassError
+from repro.objects.instance import Instance
+from repro.objects.store import CheckMode, ObjectStore
+from repro.objects.surrogate import Surrogate
+from repro.objects.transactions import StoreSnapshot
+from repro.semantics.checker import Violation, expand_signature
+from repro.semantics.compiled import CompiledProfileChecker
+from repro.typesys.values import INAPPLICABLE, is_entity
+
+
+@dataclass
+class BulkReport:
+    """What one committed batch did."""
+
+    objects: int            # rows staged and merged
+    fast_objects: int       # merged through the batched path
+    fallback_objects: int   # applied through the per-object path
+    profiles: int           # distinct signatures in the fast path
+    compiled_profiles: int  # of those, served by a compiled checker
+    check: str              # the check mode the batch ran under
+    parallel: int           # worker count used for validation
+    instances: Tuple[Instance, ...]  # staged instances, in row order
+
+
+class _Staged:
+    """One staged row: the pre-built instance (full memberships and
+    values already applied), the class tuple, and the write list the
+    row is equivalent to."""
+
+    __slots__ = ("pos", "obj", "classes", "values", "write_attrs",
+                 "n_writes")
+
+    def __init__(self, pos: int, obj: Instance,
+                 classes: Tuple[str, ...],
+                 values: Dict[str, object],
+                 write_attrs: Tuple[str, ...]) -> None:
+        self.pos = pos
+        self.obj = obj
+        self.classes = classes
+        self.values = values
+        self.write_attrs = write_attrs    # includes INAPPLICABLE writes
+        self.n_writes = len(write_attrs)
+
+
+def _check_chunk(
+    chunk: Sequence[Tuple[CompiledProfileChecker, _Staged]]
+) -> List[Tuple[int, List[Violation]]]:
+    """Validate one chunk of (checker, staged) pairs; pure data in, pure
+    data out, so chunks may run on any thread."""
+    failures: List[Tuple[int, List[Violation]]] = []
+    for checker, staged in chunk:
+        violations = checker.check(staged.obj)
+        if violations:
+            failures.append((staged.pos, violations))
+    return failures
+
+
+class BulkSession:
+    """Stage many rows, commit them as one batch.
+
+    Usage::
+
+        with store.bulk_session(check="eager", parallel=4) as session:
+            h = session.add("Hospital", location=addr)
+            session.add("Patient", name="pat", treatedAt=h)
+        report = session.report
+
+    ``add`` returns the staged :class:`Instance` immediately so later
+    rows can reference it; nothing is visible in the store until the
+    ``with`` block exits (or :meth:`commit` is called).  An exception —
+    the body's or the commit's — aborts the whole batch.
+    """
+
+    def __init__(self, store: ObjectStore,
+                 check: str = CheckMode.DEFERRED,
+                 parallel: int = 1) -> None:
+        if check not in (CheckMode.EAGER, CheckMode.DEFERRED):
+            raise ValueError(
+                f"bulk check mode must be 'eager' or 'deferred', "
+                f"got {check!r}")
+        if parallel < 1:
+            raise ValueError("parallel must be >= 1")
+        self._store = store
+        self._mode = check
+        self._parallel = parallel
+        self._staged: List[_Staged] = []
+        self._closed = False
+        self._snapshot = StoreSnapshot(store, include_stats=True)
+        #: Class tuples already validated against the schema.
+        # class spec -> (validated class tuple, membership-set template)
+        self._known: Dict[Tuple[str, ...],
+                          Tuple[Tuple[str, ...], Set[str]]] = {}
+        self._allocator = store._allocator
+        self.report: Optional[BulkReport] = None
+
+    # ------------------------------------------------------------------
+    # Staging
+    # ------------------------------------------------------------------
+
+    def add(self, classes: Union[str, Iterable[str]],
+            **values) -> Instance:
+        """Stage one row: an object of the given class(es) with initial
+        values.  The first class is the primary (the others are applied
+        as classifications, before the values, at commit)."""
+        return self._stage(classes, values)
+
+    def add_row(self, row: Mapping[str, object]) -> Instance:
+        """Stage one row given as a mapping: a ``"class"`` (or
+        ``"classes"``) key plus attribute values."""
+        fields = dict(row)
+        classes = fields.pop("classes", None)
+        single = fields.pop("class", None)
+        if classes is None:
+            if single is None:
+                raise ValueError(
+                    "row needs a 'class' or 'classes' key")
+            classes = single
+        elif single is not None:
+            raise ValueError("row has both 'class' and 'classes'")
+        return self._stage(classes, fields)
+
+    def _stage(self, classes, values: Dict[str, object]) -> Instance:
+        """The staging hot path; ``values`` must be a fresh dict the
+        session may keep."""
+        if self._closed:
+            raise RuntimeError("bulk session already committed/aborted")
+        if isinstance(classes, str):
+            key: Tuple[str, ...] = (classes,)
+        else:
+            key = tuple(classes)
+        known = self._known.get(key)
+        if known is None:
+            class_tuple = (key if len(key) == len(set(key))
+                           else tuple(dict.fromkeys(key)))
+            if not class_tuple:
+                raise ValueError("a staged row needs at least one class")
+            schema = self._store.schema
+            for name in class_tuple:
+                if not schema.has_class(name):
+                    raise UnknownClassError(name)
+            known = (class_tuple, set(class_tuple))
+            self._known[key] = known
+        class_tuple, members = known
+        write_attrs = tuple(values)
+        if INAPPLICABLE in values.values():
+            # An explicit INAPPLICABLE write counts as a write (the
+            # sequential path checks and indexes it) but stores nothing.
+            values = {k: v for k, v in values.items()
+                      if v is not INAPPLICABLE}
+        obj = Instance.__new__(Instance)
+        # Inlined ``SurrogateAllocator.allocate`` -- same monotone
+        # counter, without a method call per staged row.
+        allocator = self._allocator
+        obj.surrogate = Surrogate(allocator._next)
+        allocator._next += 1
+        obj._memberships = members.copy()
+        obj._values = values
+        staged = self._staged
+        staged.append(_Staged(len(staged), obj, class_tuple, values,
+                              write_attrs))
+        return obj
+
+    def __len__(self) -> int:
+        return len(self._staged)
+
+    # ------------------------------------------------------------------
+    # Context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "BulkSession":
+        self._require_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.abort()
+            return False
+        self.commit()
+        return False
+
+    def abort(self) -> None:
+        """Discard the staged rows and undo any side effects (surrogate
+        allocation) staging had."""
+        if self._closed:
+            return
+        self._closed = True
+        self._snapshot.restore()
+        self._staged.clear()
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit(self) -> BulkReport:
+        """Merge the staged rows into the store, all or nothing."""
+        self._require_open()
+        self._closed = True
+        store = self._store
+        stats = store.checker.stats
+        staged = self._staged
+        try:
+            fast, slow = self._partition()
+            groups = self._group(fast)
+            compiled_for = self._compile(groups)
+            if self._mode == CheckMode.EAGER:
+                self._validate_fast(groups, compiled_for)
+            self._merge_fast(fast, groups)
+            for entry in slow:
+                self._apply_fallback(entry)
+            stats.bulk_loads += 1
+            stats.bulk_objects += len(fast)
+            stats.bulk_fallbacks += len(slow)
+        except BaseException:
+            self._snapshot.restore()
+            raise
+        self.report = BulkReport(
+            objects=len(staged),
+            fast_objects=len(fast),
+            fallback_objects=len(slow),
+            profiles=len(groups),
+            compiled_profiles=sum(
+                1 for checker in compiled_for.values()
+                if checker is not None),
+            check=self._mode,
+            parallel=self._parallel,
+            instances=tuple(entry.obj for entry in staged),
+        )
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Commit phases
+    # ------------------------------------------------------------------
+
+    def _partition(self) -> Tuple[List[_Staged], List[_Staged]]:
+        """Split staged rows into the batched fast path and the rows
+        that must take the store's per-object path because they interact
+        with virtual-class maintenance."""
+        store = self._store
+        schema = store.schema
+        fast: List[_Staged] = []
+        slow: List[_Staged] = []
+        slow_by_sig: Dict[Tuple[str, ...], bool] = {}
+        #: (classes, attribute) -> an entity value here anchors a virtual.
+        anchor: Dict[Tuple[Tuple[str, ...], str], bool] = {}
+        virtual_attrs = frozenset(store._virtuals_by_attr)
+        for entry in self._staged:
+            key = entry.classes
+            sig_slow = slow_by_sig.get(key)
+            if sig_slow is None:
+                sig_slow = any(
+                    schema.get(name).virtual
+                    for name in expand_signature(schema, key))
+                slow_by_sig[key] = sig_slow
+            if not sig_slow and virtual_attrs:
+                for attribute in virtual_attrs.intersection(entry.values):
+                    if not is_entity(entry.values[attribute]):
+                        continue
+                    hit = anchor.get((key, attribute))
+                    if hit is None:
+                        hit = self._attribute_anchors(key, attribute)
+                        anchor[(key, attribute)] = hit
+                    if hit:
+                        sig_slow = True
+                        break
+            (slow if sig_slow else fast).append(entry)
+        return fast, slow
+
+    def _attribute_anchors(self, classes: Tuple[str, ...],
+                           attribute: str) -> bool:
+        """Whether an entity value at ``attribute`` would land on a
+        virtual class's home attribute for these memberships (and so
+        must go through the store's reference-counting write path)."""
+        schema = self._store.schema
+        for cdef in self._store._virtuals_by_attr.get(attribute, ()):
+            owner = cdef.origin.owner_class
+            if any(name == owner or schema.is_subclass(name, owner)
+                   for name in classes):
+                return True
+        return False
+
+    def _group(self, fast: List[_Staged]
+               ) -> "Dict[frozenset, List[_Staged]]":
+        """Group the fast instances by direct-membership signature."""
+        groups: Dict[frozenset, List[_Staged]] = {}
+        interned: Dict[Tuple[str, ...], frozenset] = {}
+        for entry in fast:
+            signature = interned.get(entry.classes)
+            if signature is None:
+                signature = frozenset(entry.classes)
+                interned[entry.classes] = signature
+            bucket = groups.get(signature)
+            if bucket is None:
+                bucket = groups[signature] = []
+            bucket.append(entry)
+        return groups
+
+    def _compile(self, groups
+                 ) -> "Dict[frozenset, Optional[CompiledProfileChecker]]":
+        """Compile (or decline) every signature up front on the calling
+        thread, so validation workers never touch the compile cache."""
+        cache = self._store._compiled_profile_cache()
+        return {signature: cache.get(signature) for signature in groups}
+
+    def _validate_fast(self, groups, compiled_for) -> None:
+        """Eager validation of the fast path: unshared-structure checks
+        in row order, then per-profile conformance, compiled groups
+        possibly in parallel.  Raises :class:`ConformanceError` on the
+        earliest-staged violating object."""
+        store = self._store
+        stats = store.checker.stats
+        if store.strict_virtual_extents:
+            # Only values that are members of some virtual class can
+            # violate unshared structure; collect those members once.
+            virtual_members = set()
+            for cdef in store.schema.virtual_classes():
+                virtual_members |= store._extents.get(cdef.name, set())
+            if virtual_members:
+                for entries in groups.values():
+                    for entry in entries:
+                        for attribute, value in entry.values.items():
+                            if (is_entity(value) and
+                                    value.surrogate in virtual_members):
+                                store._enforce_unshared(
+                                    entry.obj, attribute, value)
+        work: List[Tuple[CompiledProfileChecker, _Staged]] = []
+        failures: List[Tuple[int, List[Violation]]] = []
+        for signature, entries in groups.items():
+            checker = compiled_for[signature]
+            if checker is None:
+                # Interpreted fallback: counters tick, so keep it on the
+                # committing thread.
+                for entry in entries:
+                    violations = store.checker.check(entry.obj)
+                    if violations:
+                        failures.append((entry.pos, violations))
+            else:
+                work.extend((checker, entry) for entry in entries)
+        if work:
+            stats.compiled_checks += len(work)
+            if self._parallel > 1 and len(work) > 1:
+                # Warm the schema's ancestor cache so worker threads only
+                # ever read shared structure.
+                schema = store.schema
+                for name in schema.class_names():
+                    schema.ancestors(name)
+                chunk_size = max(
+                    1, math.ceil(len(work) / (self._parallel * 4)))
+                chunks = [work[i:i + chunk_size]
+                          for i in range(0, len(work), chunk_size)]
+                with ThreadPoolExecutor(
+                        max_workers=self._parallel) as pool:
+                    for result in pool.map(_check_chunk, chunks):
+                        failures.extend(result)
+            else:
+                failures.extend(_check_chunk(work))
+        if failures:
+            pos, violations = min(failures, key=lambda f: f[0])
+            stats.violations_found += len(violations)
+            first = violations[0]
+            raise ConformanceError(
+                self._staged[pos].obj.surrogate, first.class_name,
+                first.attribute, str(first))
+
+    def _merge_fast(self, fast: List[_Staged], groups) -> None:
+        """Make the fast-path objects visible: registration, one extent
+        pass per profile, one index pass per batch (single design-version
+        bump), dirty marks and counters."""
+        store = self._store
+        if not fast:
+            return
+        objects = store._objects
+        indexed = (set(store.indexes.attributes())
+                   if len(store.indexes) else None)
+        # Freshly-created objects have no ledger entry, so marking
+        # whole-object dirty is a plain insert (no merge logic).
+        deferred = self._mode != CheckMode.EAGER
+        dirty = store._dirty
+        merged: List[Instance] = []
+        append = merged.append
+        total_writes = 0
+        classifies = 0
+        indexed_writes = 0
+        for entry in fast:
+            obj = entry.obj
+            surrogate = obj.surrogate
+            objects[surrogate] = obj
+            append(obj)
+            total_writes += entry.n_writes
+            classifies += len(entry.classes) - 1
+            if indexed:
+                for attribute in entry.write_attrs:
+                    if attribute in indexed:
+                        indexed_writes += 1
+            if deferred:
+                dirty[surrogate] = None
+        extents = store._extents
+        schema = store.schema
+        for signature, entries in groups.items():
+            surrogates = [entry.obj.surrogate for entry in entries]
+            for class_name in expand_signature(schema, signature):
+                extents.setdefault(class_name, set()).update(surrogates)
+        store._extent_cache.clear()
+        store.indexes.bulk_add(merged, indexed_writes)
+        stats = store.checker.stats
+        stats.writes += total_writes
+        stats.classifies += classifies
+
+    def _apply_fallback(self, entry: _Staged) -> None:
+        """Apply one virtual-class-involved row through the store's
+        ordinary machinery, in the sequential order the batch is
+        equivalent to: install bare, classify the extra classes, then
+        write the values (the staged instance is un-baked first so the
+        checked paths see the same transitions a sequential caller would
+        produce)."""
+        store = self._store
+        obj = entry.obj
+        obj._memberships = {entry.classes[0]}
+        obj._values = {}
+        store._install_new(obj, entry.classes[0], self._mode)
+        for extra in entry.classes[1:]:
+            store.classify(obj, extra, check=self._mode)
+        for attribute in entry.write_attrs:
+            store._set_value_internal(
+                obj, attribute, entry.values.get(attribute, INAPPLICABLE),
+                self._mode)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("bulk session already committed/aborted")

@@ -126,6 +126,9 @@ class ObjectStore:
         self._extent_cache: Dict[str, Tuple[Instance, ...]] = {}
         # Secondary attribute indexes + the planner's plan cache.
         self.indexes = IndexManager(self)
+        # Per-signature compiled conformance checkers (bulk ingestion);
+        # built lazily on the first bulk load.
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -173,11 +176,7 @@ class ObjectStore:
             raise UnknownClassError(class_name)
         mode = check if check is not None else self.check_mode
         obj = Instance(self._allocator.allocate(), (class_name,))
-        self._objects[obj.surrogate] = obj
-        self.indexes.on_create(obj.surrogate)
-        self._add_to_extents(obj, class_name)
-        if mode != CheckMode.EAGER:
-            self._mark_dirty(obj)
+        self._install_new(obj, class_name, mode)
         try:
             for name, value in values.items():
                 self._set_value_internal(obj, name, value, mode)
@@ -185,6 +184,18 @@ class ObjectStore:
             self.remove(obj)
             raise
         return obj
+
+    def _install_new(self, obj: Instance, class_name: str,
+                     mode: str) -> None:
+        """Register a freshly-allocated instance as live: objects map,
+        index postings, extents, and (for unchecked modes) the dirty
+        ledger.  Shared by :meth:`create` and the bulk loader's
+        per-object fallback path."""
+        self._objects[obj.surrogate] = obj
+        self.indexes.on_create(obj.surrogate)
+        self._add_to_extents(obj, class_name)
+        if mode != CheckMode.EAGER:
+            self._mark_dirty(obj)
 
     def remove(self, obj: Instance) -> None:
         """Destroy an object: it leaves every extent, entities it
@@ -442,6 +453,57 @@ class ObjectStore:
                                    v.attribute, str(v))
         if timing:
             stats.record("write.eager", stats.clock() - t0)
+
+    # ------------------------------------------------------------------
+    # Bulk ingestion
+    # ------------------------------------------------------------------
+
+    def bulk_session(self, check: str = CheckMode.DEFERRED,
+                     parallel: int = 1):
+        """An incremental bulk-load scope; see
+        :class:`repro.objects.bulk.BulkSession`.  Rows staged inside the
+        ``with`` block are merged as one all-or-nothing batch on exit."""
+        from repro.objects.bulk import BulkSession
+        return BulkSession(self, check=check, parallel=parallel)
+
+    def bulk_load(self, rows, *, check: str = CheckMode.DEFERRED,
+                  parallel: int = 1):
+        """Load many rows as one batch; returns a
+        :class:`repro.objects.bulk.BulkReport`.
+
+        Each row is a mapping with a ``"class"`` (or ``"classes"``) key
+        plus attribute values, or a ``(classes, values)`` pair.
+        Equivalent to sequential checked ``create``/``classify``/
+        ``set_value`` calls under the same ``check`` mode, but conformance
+        is checked by per-signature compiled closures (optionally across
+        ``parallel`` worker threads) and extent/index/dirty maintenance
+        is merged once per batch.  Any failure rolls the whole batch
+        back.
+        """
+        from repro.objects.bulk import BulkSession
+        session = BulkSession(self, check=check, parallel=parallel)
+        with session:
+            stage = session._stage
+            add_row = session.add_row
+            for row in rows:
+                if isinstance(row, tuple):
+                    classes, values = row
+                    stage(classes, dict(values))
+                else:
+                    add_row(row)
+        return session.report
+
+    def _compiled_profile_cache(self):
+        """The store's per-signature compiled-checker cache (lazy)."""
+        cache = self._compiled_cache
+        if cache is None:
+            from repro.semantics.compiled import CompiledProfileCache
+            cache = CompiledProfileCache(
+                self.schema, self.checker.semantics,
+                require_values=self.checker.require_values,
+                stats=self.checker.stats)
+            self._compiled_cache = cache
+        return cache
 
     def unset_value(self, obj: Instance, attribute: str,
                     check: Optional[str] = None) -> None:

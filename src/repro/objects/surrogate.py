@@ -8,12 +8,18 @@ storage engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True, order=True)
-class Surrogate:
-    """An opaque, totally-ordered entity identifier."""
+class Surrogate(NamedTuple):
+    """An opaque, totally-ordered entity identifier.
+
+    A one-field named tuple rather than a frozen dataclass: surrogates
+    key every hot dict in the store (objects, extents, postings, the
+    dirty ledger), and the tuple's C-level ``__hash__``/``__eq__`` keep
+    those lookups off the Python call stack.  Immutability, ordering and
+    the ``Surrogate(id=n)`` repr are unchanged.
+    """
 
     id: int
 

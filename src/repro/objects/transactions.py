@@ -31,9 +31,18 @@ from repro.objects.surrogate import Surrogate
 
 
 class StoreSnapshot:
-    """A full, restorable copy of a store's mutable state."""
+    """A full, restorable copy of a store's mutable state.
 
-    def __init__(self, store: ObjectStore) -> None:
+    With ``include_stats=True`` the engine and query counters are captured
+    and restored too.  Transactions deliberately leave counters alone (a
+    rolled-back attempt still did the work it counted); the bulk loader
+    uses it because its acceptance contract is that a failed batch leaves
+    *every* observable -- extents, postings, dirty ledger, and the stats
+    counters -- identical to the pre-batch state.
+    """
+
+    def __init__(self, store: ObjectStore,
+                 include_stats: bool = False) -> None:
         self._store = store
         self._objects: Dict[Surrogate, Instance] = dict(store._objects)
         self._state: Dict[Surrogate, Tuple[frozenset, dict]] = {
@@ -51,6 +60,9 @@ class StoreSnapshot:
         self._next_surrogate = store._allocator._next
         # Secondary indexes roll back with the values they mirror.
         self._index_state = store.indexes.snapshot()
+        self._stats_state = (
+            (store.checker.stats.capture(), store.indexes.qstats.capture())
+            if include_stats else None)
 
     def restore(self) -> None:
         store = self._store
@@ -77,6 +89,10 @@ class StoreSnapshot:
         store._allocator._next = self._next_surrogate
         store._extent_cache.clear()
         store.indexes.restore(self._index_state)
+        if self._stats_state is not None:
+            engine_state, query_state = self._stats_state
+            store.checker.stats.restore(engine_state)
+            store.indexes.qstats.restore(query_state)
 
 
 class TransactionError(Exception):

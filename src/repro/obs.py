@@ -41,6 +41,13 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "declassifies",
     "removals",
     "rollbacks",            # eager rejections rolled back
+    # bulk-ingestion side
+    "bulk_loads",           # bulk batches committed
+    "bulk_objects",         # objects merged through the bulk fast path
+    "bulk_fallbacks",       # staged objects routed to the per-object path
+    "profiles_compiled",    # signature profiles compiled to closures
+    "compiled_checks",      # whole-object checks served by a compiled profile
+    "compiled_rows_elided", # always-satisfied rows dropped at compile time
 )
 
 
@@ -96,6 +103,24 @@ class EngineStats:
             setattr(self, name, 0)
         self.timings.clear()
 
+    # ------------------------------------------------------------------
+    # Rollback support (bulk ingestion's all-or-nothing semantics)
+    # ------------------------------------------------------------------
+
+    def capture(self) -> Dict[str, object]:
+        """Counter + timing state, restorable via :meth:`restore`."""
+        state: Dict[str, object] = {
+            name: getattr(self, name) for name in COUNTER_FIELDS
+        }
+        state["__timings__"] = dict(self.timings)
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        for name in COUNTER_FIELDS:
+            setattr(self, name, state[name])
+        self.timings.clear()
+        self.timings.update(state["__timings__"])  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{k}={v}" for k, v in self.snapshot().items() if v)
@@ -131,6 +156,14 @@ class QueryStats:
     def reset(self) -> None:
         for name in QUERY_COUNTER_FIELDS:
             setattr(self, name, 0)
+
+    def capture(self) -> Dict[str, int]:
+        """Counter state, restorable via :meth:`restore`."""
+        return self.snapshot()
+
+    def restore(self, state: Dict[str, int]) -> None:
+        for name in QUERY_COUNTER_FIELDS:
+            setattr(self, name, state[name])
 
     def __repr__(self) -> str:
         inner = ", ".join(

@@ -18,7 +18,7 @@ skips the offending row.  ``eliminate_checks=False`` guards *every* access
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import QueryError, QueryTypeError
 from repro.query.ast import (

@@ -39,7 +39,7 @@ cached plans that baked in the old physical design stop matching.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.obs import QueryStats
 from repro.typesys.values import INAPPLICABLE
@@ -247,6 +247,54 @@ class IndexManager:
             index.discard(surrogate)
         if self._indexes:
             self.qstats.index_updates += len(self._indexes)
+
+    def bulk_add(self, objects, indexed_writes: int = 0) -> None:
+        """Index a batch of newly-live objects in one pass per index and
+        bump the design version **once** for the whole batch.
+
+        Equivalent to ``on_create`` + ``on_value_change`` per object --
+        an object with no value for an indexed attribute lands on the
+        INAPPLICABLE posting, exactly as the incremental hooks would
+        leave it.  ``indexed_writes`` is the number of staged writes that
+        touched indexed attributes, so the ``index_updates`` counter
+        advances as the sequential path would.
+
+        The version bump is deliberate and conservative: plans compiled
+        while the batch was staged were costed against pre-batch
+        cardinalities, and the monotone version counter is the plan
+        cache's only invalidation mechanism (see ``PlanCache``).
+        """
+        if not objects:
+            return
+        for index in self._indexes.values():
+            attribute = index.attribute
+            buckets = index._buckets
+            entries = index._entries
+            inapplicable_add = index.inapplicable.add
+            residue_add = index.residue.add
+            for obj in objects:
+                # Inlined StoreIndex.add (this loop dominates deferred
+                # bulk merges); objects here are always live-store
+                # instances, so the value dict is read directly.
+                surrogate = obj.surrogate
+                value = obj._values.get(attribute, INAPPLICABLE)
+                if value is INAPPLICABLE:
+                    inapplicable_add(surrogate)
+                    continue
+                try:
+                    bucket = buckets.get(value)
+                    if bucket is None:
+                        buckets[value] = {surrogate}
+                    else:
+                        bucket.add(surrogate)
+                except TypeError:
+                    residue_add(surrogate)
+                    continue
+                entries[surrogate] = value
+        if self._indexes:
+            self.qstats.index_updates += (
+                len(self._indexes) * len(objects) + indexed_writes)
+        self.version += 1
 
     def on_value_change(self, surrogate, attribute: str, value) -> None:
         index = self._indexes.get(attribute)

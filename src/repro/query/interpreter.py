@@ -11,9 +11,8 @@ results exactly match scan semantics" true by construction row-wise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Tuple, Union
 
-from repro.query.ast import Query
 from repro.query.compiler import (
     CompiledQuery,
     RuntimeContext,

@@ -35,14 +35,22 @@ from repro.semantics.candidates import (
     ALL_SEMANTICS,
 )
 from repro.semantics.checker import ConformanceChecker, Violation
+from repro.semantics.compiled import (
+    CompiledProfileCache,
+    CompiledProfileChecker,
+    compile_profile,
+)
 
 __all__ = [
     "ALL_SEMANTICS",
     "BroadenedRangeSemantics",
+    "CompiledProfileCache",
+    "CompiledProfileChecker",
     "ConformanceChecker",
     "ConstraintSemantics",
     "ExactPartitionSemantics",
     "ExcuseSemantics",
     "MembershipWaiverSemantics",
     "Violation",
+    "compile_profile",
 ]

@@ -66,6 +66,28 @@ class Violation:
                 f"{self.rule}")
 
 
+def expand_signature(schema: Schema,
+                     memberships: Iterable[str]) -> FrozenSet[str]:
+    """The IS-A closure of a direct-membership signature."""
+    expanded: Set[str] = set()
+    for m in memberships:
+        expanded.update(schema.ancestors(m))
+    return frozenset(expanded)
+
+
+def profile_rows(schema: Schema,
+                 expanded: FrozenSet[str]) -> Tuple[IndexedConstraint, ...]:
+    """Every constraint row an entity with the given expanded memberships
+    is subject to, in the deterministic (sorted owner, declaration) order
+    the checker reports violations in.  Shared by the interpreted profile
+    cache and the bulk loader's compiled profiles so both see the same
+    rows in the same order."""
+    rows: List[IndexedConstraint] = []
+    for class_name in sorted(expanded):
+        rows.extend(schema.declared_index(class_name))
+    return tuple(rows)
+
+
 class _Profile:
     """The precomputed conformance profile of one membership signature:
     every constraint row an entity with those direct memberships is
@@ -135,13 +157,8 @@ class ConformanceChecker:
             self.stats.profile_hits += 1
             return profile
         self.stats.profile_misses += 1
-        expanded: Set[str] = set()
-        for m in memberships:
-            expanded.update(self.schema.ancestors(m))
-        rows: List[IndexedConstraint] = []
-        for class_name in sorted(expanded):
-            rows.extend(self.schema.declared_index(class_name))
-        profile = _Profile(frozenset(expanded), tuple(rows))
+        expanded = expand_signature(self.schema, memberships)
+        profile = _Profile(expanded, profile_rows(self.schema, expanded))
         self._profiles[memberships] = profile
         return profile
 

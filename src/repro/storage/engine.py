@@ -106,10 +106,39 @@ class StorageEngine:
         self._update_indexes(obj.surrogate, info.key, values)
 
     def store_all(self, objects) -> int:
+        """Insert or update many objects, resolving each partition once
+        per membership signature instead of once per object.
+
+        New objects are grouped by signature and appended to their
+        partition file in one pass (the bulk loader feeds freshly-merged
+        batches through here); objects already in the directory take the
+        per-object update path, which handles partition moves.
+        """
         count = 0
+        new_by_key: Dict[PartitionKey, List[Instance]] = {}
         for obj in objects:
-            self.store_instance(obj)
             count += 1
+            if obj.surrogate in self._directory:
+                self.store_instance(obj)
+                continue
+            key: PartitionKey = tuple(sorted(obj.memberships))
+            new_by_key.setdefault(key, []).append(obj)
+        for key, batch in new_by_key.items():
+            info = self.partition_for(key)
+            encode = info.format.encode_row
+            append = info.file.append
+            for obj in batch:
+                values = {}
+                for name in obj.value_names():
+                    value = obj.get_value(name)
+                    surrogate = getattr(value, "surrogate", None)
+                    values[name] = (surrogate if surrogate is not None
+                                    else value)
+                rowid = append(encode(values))
+                self._directory[obj.surrogate] = (key, rowid)
+                self._reverse[(key, rowid)] = obj.surrogate
+                if self._indexes:
+                    self._update_indexes(obj.surrogate, key, values)
         return count
 
     def delete(self, surrogate: Surrogate) -> None:

@@ -54,6 +54,10 @@ def rebuild_store(engine: StorageEngine,
     store._allocator._next = high_water + 1
 
     # Pass 2: values, with surrogate references re-linked to instances.
+    # These writes bypass the checked path, so every rebuilt object is
+    # marked dirty: nothing here proved the stored data conformant, and
+    # validate_dirty() must not silently vouch for unchecked loads
+    # (validate_all below clears the mark for objects it finds clean).
     for surrogate, obj in instances.items():
         for name, value in engine.fetch(surrogate).items():
             if isinstance(value, Surrogate):
@@ -64,6 +68,7 @@ def rebuild_store(engine: StorageEngine,
                         "is not stored")
                 value = target
             obj._set_value(name, value)
+        store._mark_dirty(obj)
 
     # Pass 3: virtual-class reference counts (the implicit extents'
     # bookkeeping), recomputed from the anchoring attributes.

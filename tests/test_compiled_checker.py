@@ -1,0 +1,194 @@
+"""Compiled profile checkers agree with the interpreted checker.
+
+``compile_profile`` specializes one signature's constraint table into a
+closure; the contract is *exact* agreement with
+``ConformanceChecker.check`` -- same :class:`Violation` objects, same
+order -- for any entity with that signature.  Verified here on the
+paper's hospital population (clean and deliberately corrupted) and,
+property-style, on random excuse-bearing hierarchies.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.objects.instance import Instance
+from repro.objects.surrogate import Surrogate
+from repro.scenarios import build_hospital_schema
+from repro.scenarios.generators import (
+    RandomHierarchyConfig,
+    generate_random_hierarchy,
+)
+from repro.semantics import (
+    CompiledProfileCache,
+    ConformanceChecker,
+    compile_profile,
+)
+from repro.semantics.candidates import (
+    BroadenedRangeSemantics,
+    ExcuseSemantics,
+)
+from repro.typesys import EnumSymbol
+from repro.typesys.values import INAPPLICABLE
+
+HOSPITAL = build_hospital_schema()
+
+
+def _compare(schema, entity, require_values=False):
+    """Assert compiled == interpreted for one entity; returns the
+    (shared) violation list."""
+    interpreted = ConformanceChecker(schema,
+                                     require_values=require_values)
+    compiled = compile_profile(schema, frozenset(entity.memberships),
+                               require_values=require_values)
+    assert compiled is not None, entity.memberships
+    expected = interpreted.check(entity)
+    assert compiled.check(entity) == expected
+    return expected
+
+
+class TestHospitalParity:
+
+    def test_whole_population(self, hospital_population):
+        store = hospital_population.store
+        schema = store.schema
+        checked = 0
+        for obj in store.instances():
+            signature = frozenset(obj.memberships)
+            if any(schema.get(name).virtual for name in signature):
+                continue  # compiler declines; covered below
+            _compare(schema, obj)
+            checked += 1
+        assert checked > 50
+
+    def test_corrupted_population(self, hospital_population):
+        """Flip each object's values to out-of-range garbage and demand
+        identical violation lists (kinds, owners, order and all)."""
+        store = hospital_population.store
+        schema = store.schema
+        corruptions = itertools.cycle([
+            ("age", 999), ("age", EnumSymbol("old")),
+            ("bloodPressure", EnumSymbol("Purple")),
+            ("treatedBy", 7), ("name", 12), ("floor", "three"),
+            ("specialty", EnumSymbol("Alchemy")),
+        ])
+        mismatches = 0
+        for obj, (attribute, bad) in zip(store.instances(), corruptions):
+            signature = frozenset(obj.memberships)
+            if any(schema.get(name).virtual for name in signature):
+                continue
+            twin = Instance(obj.surrogate, obj.memberships)
+            for name in obj.value_names():
+                twin._set_value(name, obj.get_value(name))
+            twin._set_value(attribute, bad)
+            violations = _compare(schema, twin)
+            mismatches += bool(violations)
+        assert mismatches > 30  # the corruption actually bit
+
+    def test_require_values_mode(self):
+        bare = Instance(Surrogate(1), ("Patient",))
+        interpreted = ConformanceChecker(HOSPITAL, require_values=True)
+        compiled = compile_profile(HOSPITAL, frozenset(("Patient",)),
+                                   require_values=True)
+        expected = interpreted.check(bare)
+        assert any(v.kind == "missing-value" for v in expected)
+        assert compiled.check(bare) == expected
+
+    def test_inapplicable_attribute_violations_match(self):
+        ward = Instance(Surrogate(2), ("Ward",))
+        ward._set_value("floor", 3)
+        ward._set_value("name", "W")
+        ward._set_value("age", 9)        # Ward declares no age
+        ward._set_value("ward", EnumSymbol("x"))
+        violations = _compare(HOSPITAL, ward)
+        assert [v.attribute for v in violations
+                if v.kind == "inapplicable-attribute"] == ["age", "ward"]
+
+
+class TestCompilerDecisions:
+
+    def test_declines_virtual_signatures(self):
+        assert compile_profile(
+            HOSPITAL, frozenset(("Hospital", "Hospital$1"))) is None
+
+    def test_declines_non_excuse_semantics(self):
+        assert compile_profile(
+            HOSPITAL, frozenset(("Patient",)),
+            semantics=BroadenedRangeSemantics()) is None
+
+    def test_eliminates_unfalsifiable_rows(self):
+        # Person.home ranges over ANY Address-or-so? Use a signature and
+        # count: every compiled profile reports how many rows it dropped,
+        # and dropped rows must be exactly the always-satisfiable ones.
+        checker = compile_profile(HOSPITAL, frozenset(("Patient",)))
+        assert checker.rows_total == \
+            len(checker.rows) + checker.rows_elided
+        # Elision never loses violations: proven by the parity tests.
+
+    def test_cache_serves_hits_and_declines(self):
+        cache = CompiledProfileCache(HOSPITAL)
+        first = cache.get(frozenset(("Patient",)))
+        assert first is not None
+        assert cache.get(frozenset(("Patient",))) is first
+        assert cache.get(frozenset(("Hospital", "Hospital$1"))) is None
+        # Declines are cached too (no recompile attempt storm).
+        assert frozenset(("Hospital", "Hospital$1")) in cache._compiled
+
+    def test_cache_invalidates_on_schema_change(self):
+        from repro.schema.classdef import ClassDef
+        schema = build_hospital_schema()
+        cache = CompiledProfileCache(schema)
+        first = cache.get(frozenset(("Ward",)))
+        schema.add_class(ClassDef("Annex", ("Ward",), ()))
+        second = cache.get(frozenset(("Ward",)))
+        assert second is not first
+
+
+# ----------------------------------------------------------------------
+# Property: random excuse-bearing hierarchies
+# ----------------------------------------------------------------------
+
+_N_CLASSES = 12
+_SYMBOLS = tuple(f"n{i}" for i in range(4)) + tuple(f"d{i}" for i in range(4))
+
+
+@st.composite
+def _random_case(draw):
+    seed = draw(st.integers(0, 10_000))
+    schema = generate_random_hierarchy(RandomHierarchyConfig(
+        n_classes=_N_CLASSES, n_attributes=3, override_prob=0.6,
+        contradiction_prob=0.5, excuse_intent_prob=0.7,
+        seed=seed)).excuses_schema
+    n_direct = draw(st.integers(1, 3))
+    memberships = draw(st.lists(
+        st.sampled_from([f"C{i}" for i in range(_N_CLASSES)]),
+        min_size=n_direct, max_size=n_direct, unique=True))
+    values = draw(st.dictionaries(
+        st.sampled_from(["attr0", "attr1", "attr2"]),
+        st.one_of(
+            st.sampled_from(_SYMBOLS).map(EnumSymbol),
+            st.integers(0, 3),           # wrong kind entirely
+            st.just(INAPPLICABLE),
+        ),
+        max_size=3))
+    return schema, tuple(memberships), values
+
+
+@settings(max_examples=120, deadline=None)
+@given(_random_case(), st.booleans())
+def test_compiled_matches_interpreted_on_random_hierarchies(
+        case, require_values):
+    schema, memberships, values = case
+    entity = Instance(Surrogate(1), memberships)
+    for name, value in values.items():
+        entity._set_value(name, value)
+
+    interpreted = ConformanceChecker(schema,
+                                     require_values=require_values)
+    compiled = compile_profile(schema, frozenset(memberships),
+                               semantics=ExcuseSemantics(),
+                               require_values=require_values)
+    assert compiled is not None  # no virtuals in generated hierarchies
+    assert compiled.check(entity) == interpreted.check(entity)

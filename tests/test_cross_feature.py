@@ -12,14 +12,12 @@ import pytest
 from repro.errors import ConformanceError
 from repro.objects import ObjectStore
 from repro.objects.derived import DefinedClassCatalog
-from repro.objects.store import CheckMode
 from repro.objects.transactions import transaction
 from repro.query import compile_query, execute
 from repro.scenarios import populate_hospital
 from repro.semantics.assertions import AssertionChecker
 from repro.storage import StorageEngine
 from repro.storage.view import EngineView
-from repro.typesys import EnumSymbol, INAPPLICABLE
 
 
 @pytest.fixture(scope="module")

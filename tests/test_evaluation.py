@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import ALL_MECHANISMS, ExceptionScenario
+from repro.baselines import ALL_MECHANISMS
 from repro.evaluation import (
     DESIDERATA,
     desiderata_matrix,

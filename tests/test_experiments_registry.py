@@ -3,7 +3,6 @@
 import importlib
 import os
 
-import pytest
 
 from repro.evaluation.experiments import (
     EXPERIMENTS,

@@ -8,7 +8,6 @@ query results against hand-computed answers.
 import pytest
 
 from repro import (
-    ObjectStore,
     StorageEngine,
     analyze,
     compile_query,

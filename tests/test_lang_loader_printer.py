@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import CDLError, SchemaError
 from repro.lang import load_schema, print_class, print_schema
-from repro.scenarios.hospital import HOSPITAL_CDL
-from repro.typesys import NONE, STRING, ClassType, EnumerationType
+from repro.typesys import STRING, ClassType, EnumerationType
 
 
 class TestLoading:

@@ -5,7 +5,6 @@ import pytest
 from repro.lang import load_schema, print_class, print_schema
 from repro.lang.printer import _format_type
 from repro.typesys import (
-    ANY_ENTITY,
     BOOLEAN,
     INTEGER,
     NONE,

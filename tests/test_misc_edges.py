@@ -1,6 +1,5 @@
 """Edge cases across small modules: errors, instances, facts, rendering."""
 
-import pytest
 
 from repro.errors import (
     AmbiguousInheritanceError,

@@ -21,7 +21,7 @@ from repro import (
 from repro.errors import ConformanceError, SchemaError
 from repro.objects.store import CheckMode
 from repro.scenarios import build_employee_schema, build_hospital_schema
-from repro.typesys import ClassType, EnumSymbol, RecordType, STRING
+from repro.typesys import ClassType, EnumSymbol, RecordType
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Compound conditions: fact propagation through and/or/not and nesting."""
 
-import pytest
 
 from repro.query import analyze, compile_query, execute
 

@@ -1,6 +1,5 @@
 """Contrapositive membership deduction (the paper's 'conversely' case)."""
 
-import pytest
 
 from repro.query.deduction import (
     deduce_non_memberships,

@@ -12,7 +12,7 @@ import pytest
 
 from repro.objects import ObjectStore
 from repro.objects.transactions import transaction
-from repro.query.indexes import IndexManager, PlanCache, StoreIndex
+from repro.query.indexes import PlanCache, StoreIndex
 from repro.scenarios import populate_hospital
 from repro.typesys import INAPPLICABLE
 
@@ -254,3 +254,55 @@ class TestStats:
         assert snap["indexes"] == 1
         assert "query.index_updates" in snap
         assert "plans_in_cache" in snap
+
+
+class TestPhysicalDesignVersioning:
+    """Regression: every change to the set of indexes -- create, drop,
+    and drop-then-recreate -- must land on a version number no cached
+    plan has ever been keyed against."""
+
+    def test_drop_then_recreate_never_reuses_a_version(self, store):
+        seen = {store.indexes.version}
+        store.create_index("age")
+        assert store.indexes.version not in seen
+        seen.add(store.indexes.version)
+        store.drop_index("age")
+        assert store.indexes.version not in seen
+        seen.add(store.indexes.version)
+        # Recreating the same index is a *new* physical design: its
+        # postings were rebuilt from the live population, and plans
+        # cached against the first incarnation must not match.
+        store.create_index("age")
+        assert store.indexes.version not in seen
+
+    def test_dropping_a_missing_index_is_version_neutral(self, store):
+        version = store.indexes.version
+        store.drop_index("age")        # never existed
+        assert store.indexes.version == version
+
+    def test_cached_plan_not_served_across_drop(self, store):
+        from repro.query import execute_planned
+        for i in range(6):
+            store.create("Patient", name=f"p{i}", age=30 + i)
+        store.create_index("age")
+        query = "for p in Patient where p.age = 32 select p.name"
+        first, _ = execute_planned(query, store)
+        hits_before = store.indexes.qstats.plan_hits
+        again, _ = execute_planned(query, store)
+        assert again == first
+        assert store.indexes.qstats.plan_hits == hits_before + 1
+        store.drop_index("age")
+        misses_before = store.indexes.qstats.plan_misses
+        after_drop, _ = execute_planned(query, store)
+        # Same answer, but through a freshly-compiled plan: the old key
+        # embeds the dropped design's version and can never hit again.
+        assert after_drop == first
+        assert store.indexes.qstats.plan_misses == misses_before + 1
+
+    def test_bulk_merge_bumps_version_once(self, store):
+        store.create_index("age")
+        version = store.indexes.version
+        store.bulk_load(
+            [("Patient", {"name": f"p{i}", "age": 30}) for i in range(5)],
+            check="eager")
+        assert store.indexes.version == version + 1

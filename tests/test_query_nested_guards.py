@@ -1,8 +1,7 @@
 """Guards on nested paths and multi-alternative conditional typing."""
 
-import pytest
 
-from repro.query import analyze, compile_query, execute
+from repro.query import analyze, execute
 from repro.objects import ObjectStore
 from repro.objects.store import CheckMode
 from repro.typesys import EnumSymbol

@@ -17,7 +17,7 @@ from repro.query import (
     execute_planned,
     plan_query,
 )
-from repro.query.planner import build_plan, split_conjuncts
+from repro.query.planner import split_conjuncts
 from repro.query.parser import parse_query
 from repro.scenarios import populate_hospital
 from repro.storage import StorageEngine

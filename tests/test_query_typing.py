@@ -9,7 +9,6 @@ import pytest
 
 from repro.errors import QueryTypeError, UnknownClassError
 from repro.query import analyze
-from repro.query.typing import Possibility
 
 
 def possibilities(report, index=0):

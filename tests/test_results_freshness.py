@@ -132,3 +132,25 @@ def test_bench_query_json_structure():
     # queries (the benchmark asserts >= 5x when regenerating).
     assert data["min_selective_speedup"] >= 5.0
     assert data["plan_cache"]["hits"] > 0
+
+
+def test_bench_bulk_json_structure():
+    data = _bench_json("BENCH_bulk.json")
+    assert data["experiment"] == "A5-bulk-ingest"
+    assert data["n_objects"] >= 10_000
+    paths = data["paths"]
+    assert {"bulk eager p=1", "bulk eager p=4", "bulk deferred"} \
+        <= set(paths)
+    for name, entry in paths.items():
+        assert entry["time_s"] > 0 and entry["objects_per_sec"] > 0
+        assert entry["speedup"] > 1.0, name
+    # The committed run cleared both acceptance floors (the benchmark
+    # asserts them again on regeneration).
+    assert data["eager_p1_speedup"] >= 3.0
+    assert data["best_speedup"] >= 5.0
+    assert data["best_speedup"] == max(
+        entry["speedup"] for entry in paths.values())
+    # Every distinct membership signature in the workload was served by
+    # a compiled checker.
+    assert data["profiles_compiled"] >= 1
+    assert data["validate_dirty_s"] > 0

@@ -4,8 +4,6 @@ import pytest
 
 from repro.objects import ObjectStore
 from repro.scenarios import (
-    build_bird_schema,
-    build_employee_schema,
     build_quaker_schema,
     create_dick,
     populate_hospital,

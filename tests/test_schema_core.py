@@ -14,7 +14,6 @@ from repro.typesys import (
     ClassType,
     ConditionalType,
     IntRangeType,
-    RecordType,
 )
 
 

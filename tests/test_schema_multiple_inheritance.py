@@ -10,7 +10,6 @@ import pytest
 
 from repro.errors import ConformanceError, SchemaError
 from repro.objects import ObjectStore
-from repro.objects.store import CheckMode
 from repro.schema import SchemaBuilder
 from repro.typesys import EnumSymbol, IntRangeType
 

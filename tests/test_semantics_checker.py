@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.objects import Instance, ObjectStore, Surrogate
+from repro.objects import ObjectStore
 from repro.objects.store import CheckMode
 from repro.semantics import ConformanceChecker
-from repro.typesys import EnumSymbol, INAPPLICABLE
+from repro.typesys import EnumSymbol
 
 
 @pytest.fixture()

@@ -26,7 +26,7 @@ from repro.semantics import (
     ExcuseSemantics,
     MembershipWaiverSemantics,
 )
-from repro.typesys import EnumSymbol, EnumerationType
+from repro.typesys import EnumSymbol
 
 
 SYMBOLS = ("a", "b", "c", "d", "e", "f")

@@ -10,7 +10,6 @@ from repro.storage.records import kind_of_range
 from repro.typesys import (
     ANY_ENTITY,
     BOOLEAN,
-    INAPPLICABLE,
     INTEGER,
     NONE,
     REAL,

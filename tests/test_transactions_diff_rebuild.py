@@ -243,3 +243,34 @@ class TestRebuild:
             if other.surrogate in store._objects
         )
         assert store.is_member(hospital, "Hospital$1") == still_anchored
+
+    def test_rebuilt_objects_are_dirty_until_validated(
+            self, hospital_schema):
+        """Regression: pass 2 of the rebuild writes values through the
+        unchecked path, so nothing has vouched for the stored data --
+        every rebuilt object must sit in the dirty ledger, and
+        ``validate_dirty`` must surface corruption the snapshot
+        carried."""
+        pop = populate_hospital(schema=hospital_schema, n_patients=10,
+                                seed=76)
+        victim = pop.patients[0]
+        pop.store.set_value(victim, "age", 400,
+                            check=CheckMode.NONE)   # corrupt the source
+        engine = StorageEngine(hospital_schema)
+        engine.store_all(pop.store.instances())
+
+        store = rebuild_store(engine)
+        assert set(store._dirty) == set(store._objects)
+        problems = store.validate_dirty()
+        assert [(obj.surrogate, v.attribute) for obj, v in problems] == \
+            [(victim.surrogate, "age")]
+        # Validation consumed the ledger: only the violator stays dirty.
+        assert set(store._dirty) == {victim.surrogate}
+
+    def test_validated_rebuild_starts_clean(self, hospital_schema):
+        pop = populate_hospital(schema=hospital_schema, n_patients=10,
+                                seed=77)
+        engine = StorageEngine(hospital_schema)
+        engine.store_all(pop.store.instances())
+        store = rebuild_store(engine, validate=True)
+        assert not store._dirty

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.typesys import (
-    ANY,
     ANY_ENTITY,
     INTEGER,
     NONE,

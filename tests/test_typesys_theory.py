@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.typesys import ClassType, ConditionalType, NONE, RecordType
+from repro.typesys import ClassType, ConditionalType, RecordType
 from repro.typesys.theory import (
     SubtypeAssertion,
     class_theory,

@@ -1,15 +1,13 @@
 """Unit tests for the typing layer's data structures and rendering."""
 
-import pytest
 
 from repro.query import analyze
 from repro.query.typing import (
     Possibility,
-    TypeReport,
     UnsafeFinding,
     render_assumption,
 )
-from repro.typesys import BOOLEAN, ClassType, STRING
+from repro.typesys import BOOLEAN, STRING
 
 
 class TestRenderAssumption:
