@@ -21,6 +21,14 @@ Usage (also via ``python -m repro.cli``)::
                 [--check eager|deferred]   # batched ingest path
                 [--parallel N] [--validate]
                 [--persist DIR]
+    repro recover <dir>                    # recover a durable store
+                                           # (checkpoint + WAL replay),
+                                           # report what was rebuilt
+    repro checkpoint <dir>                 # recover, then write a fresh
+                                           # atomic checkpoint (rotates
+                                           # the WAL)
+    repro wal-dump <dir>                   # decode the active WAL
+                                           # segment, record by record
 
 Exit status: 0 on success/no errors, 1 on findings, 2 on usage errors.
 """
@@ -252,6 +260,55 @@ def cmd_load(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    from repro.objects.store import ObjectStore
+    store = ObjectStore.open(args.directory)
+    report = store.last_recovery
+    print(report.describe())
+    for obj, violation in report.violations[:args.max_violations]:
+        print(f"  {obj.surrogate}: {violation}")
+    if len(report.violations) > args.max_violations:
+        print(f"  ... and "
+              f"{len(report.violations) - args.max_violations} more")
+    store.close()
+    return 0 if report.conformant else 1
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.objects.store import ObjectStore
+    store = ObjectStore.open(args.directory)
+    replayed = store.last_recovery.replayed
+    manifest = store.checkpoint()
+    entry = manifest["checkpoint"]
+    print(f"checkpoint generation {manifest['generation']}: "
+          f"{entry['objects']} object(s), {entry['length']} bytes "
+          f"-> {entry['file']} ({replayed} WAL record(s) folded in)")
+    store.close()
+    return 0
+
+
+def cmd_wal_dump(args) -> int:
+    import os
+
+    from repro.storage.fsio import OS_FS
+    from repro.storage.recovery import read_manifest
+    from repro.storage.wal import dump_wal
+
+    manifest = read_manifest(OS_FS, args.directory)
+    wal_entry = manifest.get("wal")
+    if wal_entry is None:
+        print("(durability \"none\": the store has no WAL segment)")
+        return 0
+    lines = dump_wal(
+        OS_FS, os.path.join(args.directory, wal_entry["file"]),
+        base_seq=wal_entry.get("base_seq", 0))
+    print(f"segment {wal_entry['file']} "
+          f"(base seq {wal_entry.get('base_seq', 0)})")
+    for line in lines:
+        print(line)
+    return 0
+
+
 def cmd_excuses(args) -> int:
     schema = _read_schema(args.schema)
     pairs = schema.excuse_pairs()
@@ -351,6 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store the loaded population to a storage-"
                         "engine directory")
     p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser(
+        "recover",
+        help="recover a durable store directory and report the result")
+    p.add_argument("directory")
+    p.add_argument("--max-violations", type=int, default=10,
+                   help="violations to print in full (default 10)")
+    p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="write a fresh atomic checkpoint of a durable store "
+             "(folds the WAL into the snapshot and rotates it)")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "wal-dump",
+        help="decode a durable store's active WAL segment")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_wal_dump)
 
     p = sub.add_parser(
         "stats",

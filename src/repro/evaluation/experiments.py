@@ -113,6 +113,19 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "identical rows and identical rows_skipped",
         ("repro.query.indexes", "repro.query.planner"),
         "bench_query_index.py"),
+    Experiment(
+        "A5", "Bulk ingestion pipeline", "substrate",
+        "profile-compiled conformance checkers make batched ingest "
+        ">= 3x the per-object eager path with identical final state",
+        ("repro.objects.bulk", "repro.semantics.compiled"),
+        "bench_bulk_ingest.py"),
+    Experiment(
+        "A6", "Crash-consistent durability", "substrate",
+        "WAL-backed stores keep >= 0.5x the in-memory write rate and "
+        "recover a 10k-object store in < 5 s; every crash point "
+        "recovers a committed prefix (fault-injection sweeps)",
+        ("repro.storage.wal", "repro.storage.recovery"),
+        "bench_wal_durability.py"),
 )
 
 

@@ -256,6 +256,12 @@ class BulkSession:
         store = self._store
         stats = store.checker.stats
         staged = self._staged
+        journal = store._journal
+        if journal is not None:
+            # The fallback path runs the store's journaled methods;
+            # suspend per-operation logging -- a committed batch is one
+            # WAL record, all-or-nothing across recovery too.
+            journal.pause()
         try:
             fast, slow = self._partition()
             groups = self._group(fast)
@@ -271,6 +277,11 @@ class BulkSession:
         except BaseException:
             self._snapshot.restore()
             raise
+        finally:
+            if journal is not None:
+                journal.resume()
+        if journal is not None and staged:
+            journal.log_bulk(staged, self._mode)
         self.report = BulkReport(
             objects=len(staged),
             fast_objects=len(fast),

@@ -1,0 +1,233 @@
+"""A crash-consistent object store: checked mutations journaled to a WAL.
+
+:class:`DurableObjectStore` is an :class:`~repro.objects.store.ObjectStore`
+bound to a directory.  Every mutation that survives the checked paths --
+``create`` / ``set_value`` (incl. unset) / ``classify`` / ``declassify`` /
+``remove``, and each committed bulk batch as a single record -- is
+appended to the write-ahead log *after* the in-memory apply succeeds and
+*before* the call returns.  Rejected mutations (a
+:class:`~repro.errors.ConformanceError` rolled back by the store) never
+reach the log, and mutations inside a :func:`~repro.objects.transactions.
+transaction` are group-committed: buffered until the transaction commits,
+discarded if it aborts.  Replay of the log through the same checked paths
+(:mod:`repro.storage.recovery`) therefore reconstructs exactly the
+committed prefix of the mutation history -- including every derived
+structure (extents, virtual-class memberships and reference counts,
+dirty marks) the original run produced.
+
+Obtain one through ``ObjectStore.open(path, durability="wal")``; with
+``durability="none"`` the same class skips the journal and only persists
+on explicit :meth:`checkpoint` (still atomically -- an interrupted
+checkpoint never clobbers the previous good one).
+
+The journal deliberately records **logical** operations, not byte deltas:
+the store's consistency is defined by the paper's conformance formula,
+and re-running the checked mutation is the one mechanism guaranteed to
+re-establish it (in the spirit of DL^N's deterministic exception
+handling under any evaluation order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.objects.instance import Instance
+from repro.objects.store import ObjectStore
+from repro.storage.wal import WriteAheadLog, encode_value, encode_values
+from repro.typesys.values import INAPPLICABLE
+
+
+class StoreJournal:
+    """The store-facing face of one :class:`WriteAheadLog`.
+
+    Adds a suspension counter (bulk commits and recovery replay run the
+    ordinary store paths without logging each internal step) and the
+    op-specific record shapes.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+        self._paused = 0
+
+    # -- suspension ----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._paused == 0
+
+    def pause(self) -> None:
+        self._paused += 1
+
+    def resume(self) -> None:
+        self._paused -= 1
+
+    # -- transactions (group commit) -----------------------------------
+
+    def begin(self) -> None:
+        self.wal.begin()
+
+    def commit(self) -> None:
+        self.wal.commit()
+
+    def abort(self) -> None:
+        self.wal.abort()
+
+    # -- records -------------------------------------------------------
+
+    def record(self, op: str, fields: dict) -> None:
+        """Append one logical record (``fields`` is handed to the log
+        as-is -- build a fresh dict per call)."""
+        if self._paused == 0:
+            self.wal.append_fields(op, fields)
+
+    def log_bulk(self, staged, mode: str) -> None:
+        """One record for a whole committed batch (all-or-nothing across
+        recovery, exactly like the in-process rollback contract)."""
+        if self._paused:
+            return
+        rows = []
+        for entry in staged:
+            rows.append({
+                "sid": entry.obj.surrogate.id,
+                "classes": list(entry.classes),
+                "values": {
+                    name: encode_value(entry.values.get(name))
+                    if name in entry.values else {"$": "na"}
+                    for name in entry.write_attrs
+                },
+            })
+        self.wal.append("bulk", mode=mode, rows=rows)
+
+
+class DurableObjectStore(ObjectStore):
+    """An object store bound to an on-disk directory (see module doc).
+
+    Not constructed directly -- use ``ObjectStore.open(directory, ...)``
+    (or :func:`repro.storage.recovery.open_store`), which initializes or
+    recovers the directory and attaches the journal.
+    """
+
+    def __init__(self, schema, *, directory: str, fs, durability: str,
+                 sync: str = "group", **kwargs) -> None:
+        super().__init__(schema, **kwargs)
+        self.directory = directory
+        self.fs = fs
+        self.durability = durability
+        self.sync_policy = sync
+        #: Filled by :func:`repro.storage.recovery.recover_store`.
+        self.last_recovery = None
+
+    # ------------------------------------------------------------------
+    # Journaled mutation paths
+    # ------------------------------------------------------------------
+
+    def create(self, class_name: str, check: Optional[str] = None,
+               **values) -> Instance:
+        journal = self._journal
+        if journal is None:
+            return super().create(class_name, check=check, **values)
+        # The base path's failure handling removes the half-built object
+        # through self.remove; pause so that internal removal of a
+        # never-logged create is not itself logged.
+        journal.pause()
+        try:
+            obj = super().create(class_name, check=check, **values)
+        finally:
+            journal.resume()
+        fields = {"sid": obj.surrogate.id, "cls": class_name,
+                  "values": encode_values(values)}
+        if check is not None and check != self.check_mode:
+            fields["mode"] = check      # replay defaults to check_mode
+        journal.record("create", fields)
+        return obj
+
+    def set_value(self, obj: Instance, attribute: str, value,
+                  check: Optional[str] = None) -> None:
+        super().set_value(obj, attribute, value, check=check)
+        journal = self._journal
+        if journal is not None:
+            if value is INAPPLICABLE:
+                fields = {"sid": obj.surrogate.id, "attr": attribute}
+                op = "unset"
+            else:
+                fields = {"sid": obj.surrogate.id, "attr": attribute,
+                          "value": encode_value(value)}
+                op = "set"
+            if check is not None and check != self.check_mode:
+                fields["mode"] = check
+            journal.record(op, fields)
+
+    def classify(self, obj: Instance, class_name: str,
+                 check: Optional[str] = None) -> None:
+        already = class_name in obj.memberships
+        super().classify(obj, class_name, check=check)
+        journal = self._journal
+        if journal is not None and not already:
+            fields = {"sid": obj.surrogate.id, "cls": class_name}
+            if check is not None and check != self.check_mode:
+                fields["mode"] = check
+            journal.record("classify", fields)
+
+    def declassify(self, obj: Instance, class_name: str,
+                   check: Optional[str] = None) -> None:
+        present = class_name in obj.memberships
+        super().declassify(obj, class_name, check=check)
+        journal = self._journal
+        if journal is not None and present:
+            fields = {"sid": obj.surrogate.id, "cls": class_name}
+            if check is not None and check != self.check_mode:
+                fields["mode"] = check
+            journal.record("declassify", fields)
+
+    def remove(self, obj: Instance) -> None:
+        sid = obj.surrogate.id
+        super().remove(obj)
+        journal = self._journal
+        if journal is not None:
+            journal.record("remove", {"sid": sid})
+
+    def validate_all(self):
+        # Validation sweeps mutate durable state too (conformant objects
+        # leave the dirty ledger), so they are journaled and re-run on
+        # replay.
+        out = super().validate_all()
+        journal = self._journal
+        if journal is not None:
+            journal.record("validate", {"scope": "all"})
+        return out
+
+    def validate_dirty(self):
+        out = super().validate_dirty()
+        journal = self._journal
+        if journal is not None:
+            journal.record("validate", {"scope": "dirty"})
+        return out
+
+    # ------------------------------------------------------------------
+    # Durability lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Write an atomic snapshot covering the whole WAL so far; the
+        log is rotated to a fresh segment.  Returns the new manifest."""
+        from repro.storage.recovery import checkpoint_store
+        return checkpoint_store(self)
+
+    def sync(self) -> None:
+        """Force every acknowledged record to stable storage."""
+        if self._journal is not None:
+            self._journal.wal.flush()
+
+    def close(self) -> None:
+        """Flush and close the WAL; the store stays usable in memory but
+        further mutations are no longer journaled."""
+        if self._journal is not None:
+            self._journal.wal.close()
+            self._journal = None
+
+    def __enter__(self) -> "DurableObjectStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -129,6 +129,9 @@ class ObjectStore:
         # Per-signature compiled conformance checkers (bulk ingestion);
         # built lazily on the first bulk load.
         self._compiled_cache = None
+        # Durability journal (a StoreJournal); attached by the durable
+        # subclass / recovery, None for a purely in-memory store.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Observability
@@ -163,6 +166,24 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str, schema: Optional[Schema] = None,
+             durability: Optional[str] = None, **kwargs):
+        """Open a crash-consistent store bound to ``directory``.
+
+        A fresh directory is initialized (requires ``schema``); an
+        existing one is recovered -- last good checkpoint, WAL tail
+        replayed through the checked paths, torn tail truncated -- with
+        the :class:`~repro.storage.recovery.RecoveryReport` on
+        ``store.last_recovery``.  ``durability`` is ``"wal"`` (default:
+        every checked mutation journaled) or ``"none"`` (persist only at
+        explicit ``checkpoint()``, still atomically).  See
+        :mod:`repro.objects.durable`.
+        """
+        from repro.storage.recovery import open_store
+        return open_store(directory, schema=schema,
+                          durability=durability, **kwargs)
 
     def create(self, class_name: str, check: Optional[str] = None,
                **values) -> Instance:

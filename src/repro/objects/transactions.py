@@ -109,6 +109,13 @@ def transaction(store: ObjectStore,
     violation rolls back and raises :class:`TransactionError`.
     """
     snapshot = StoreSnapshot(store)
+    journal = store._journal
+    if journal is not None:
+        # Group commit: records buffered until the scope exits cleanly,
+        # discarded (sequence rolled back) if it raises -- the WAL sees
+        # committed transactions as one atomic batch and aborted ones
+        # not at all, mirroring the snapshot restore.
+        journal.begin()
     try:
         yield
         if validate_on_commit:
@@ -118,4 +125,8 @@ def transaction(store: ObjectStore,
                     "; ".join(str(v) for _obj, v in problems[:5]))
     except BaseException:
         snapshot.restore()
+        if journal is not None:
+            journal.abort()
         raise
+    if journal is not None:
+        journal.commit()

@@ -48,6 +48,15 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "profiles_compiled",    # signature profiles compiled to closures
     "compiled_checks",      # whole-object checks served by a compiled profile
     "compiled_rows_elided", # always-satisfied rows dropped at compile time
+    # durability side (WAL + checkpoints + recovery)
+    "wal_records",          # logical records appended to the WAL
+    "wal_commits",          # commit batches written out (group commit)
+    "wal_syncs",            # fsyncs issued by the WAL
+    "wal_bytes",            # framed bytes appended
+    "checkpoints",          # atomic checkpoints taken
+    "recoveries",           # recoveries performed into this store
+    "wal_replayed",         # records replayed through the checked paths
+    "wal_truncated_bytes",  # torn-tail bytes truncated during recovery
 )
 
 

@@ -33,13 +33,31 @@ from repro.storage.records import (
 )
 from repro.storage.files import LogicalFile
 from repro.storage.engine import PartitionInfo, StorageEngine
+from repro.storage.fsio import OS_FS, FileSystem, atomic_write_bytes
+from repro.storage.wal import WriteAheadLog, dump_wal, scan_wal
+from repro.storage.recovery import (
+    RecoveryReport,
+    checkpoint_store,
+    open_store,
+    recover_store,
+)
 
 __all__ = [
     "FieldCodec",
     "FieldSpec",
+    "FileSystem",
     "LogicalFile",
+    "OS_FS",
     "PartitionInfo",
     "RecordFormat",
+    "RecoveryReport",
     "StorageEngine",
+    "WriteAheadLog",
+    "atomic_write_bytes",
+    "checkpoint_store",
+    "dump_wal",
     "format_for_classes",
+    "open_store",
+    "recover_store",
+    "scan_wal",
 ]

@@ -2,12 +2,24 @@
 
 A snapshot is a directory:
 
-* ``manifest.txt`` -- one line per partition: the membership signature
-  and its row count (human-inspectable);
-* ``<signature>.dat`` -- the partition's rows, each length-prefixed, in
-  rowid order (tombstones preserved as zero-length markers);
-* ``directory.dat`` -- the surrogate directory (surrogate id, partition
-  signature, rowid), binary.
+* ``manifest.txt`` -- the commit point: a versioned header naming the
+  snapshot generation, then one line per partition with the membership
+  signature, its live row count, the data file's byte length, CRC32, and
+  file name (human-inspectable);
+* ``<signature>@<gen>.dat`` -- the partition's rows, each length-prefixed,
+  in rowid order (tombstones preserved as sentinel markers);
+* ``directory@<gen>.dat`` -- the surrogate directory (surrogate id,
+  partition signature, rowid), binary.
+
+Crash consistency: every file is written to a temp name, fsynced, and
+renamed into place, and each save writes a **fresh generation** of data
+files before atomically replacing the manifest.  A save interrupted at
+any point therefore never clobbers the previous good snapshot -- the old
+manifest still names the old generation's files, which are only deleted
+after the new manifest is durable.  ``load_engine`` validates each data
+file's length and checksum against the manifest (and every row's framing
+against the file), so a truncated or bit-flipped ``.dat`` fails loudly
+instead of surfacing as garbage rows.
 
 Loading reconstructs an engine against the *same* schema; formats are
 re-derived from the schema, so a snapshot taken under one schema must be
@@ -20,108 +32,212 @@ class definitions).
 from __future__ import annotations
 
 import os
+import re
 import struct
-from typing import List, Tuple
+import zlib
+from typing import List, Optional, Tuple
 
 from repro.errors import ReproError, StorageError
 from repro.objects.surrogate import Surrogate
 from repro.schema.schema import Schema
 from repro.storage.engine import StorageEngine
+from repro.storage.fsio import OS_FS, FileSystem, atomic_write_bytes
 
 _MANIFEST = "manifest.txt"
-_DIRECTORY = "directory.dat"
+_HEADER_RE = re.compile(r"#repro-snapshot v2 gen=(\d+)$")
+_DIRECTORY_KEY = "@directory"
 _TOMBSTONE = 0xFFFFFFFF
+_GEN_FILE_RE = re.compile(r".+@\d+\.dat$")
 
 
-def _signature_filename(key: Tuple[str, ...]) -> str:
+def _signature_filename(key: Tuple[str, ...], gen: int) -> str:
     # `$` appears in virtual class names; keep it, it is filesystem-safe.
-    return "+".join(key) + ".dat"
+    return f"{'+'.join(key)}@{gen}.dat"
 
 
-def save_engine(engine: StorageEngine, directory: str) -> None:
-    """Write a snapshot of ``engine`` into ``directory``."""
-    os.makedirs(directory, exist_ok=True)
-    manifest_lines: List[str] = []
+def _partition_bytes(info) -> bytes:
+    chunks: List[bytes] = []
+    for rowid in range(len(info.file._rows)):
+        row = info.file._rows[rowid]
+        if row is None:
+            chunks.append(struct.pack(">I", _TOMBSTONE))
+        else:
+            chunks.append(struct.pack(">I", len(row)))
+            chunks.append(row)
+    return b"".join(chunks)
+
+
+def _current_generation(fs: FileSystem, directory: str) -> int:
+    path = os.path.join(directory, _MANIFEST)
+    if not fs.exists(path):
+        return 0
+    first = fs.read_bytes(path).split(b"\n", 1)[0].decode(
+        "utf-8", "replace")
+    match = _HEADER_RE.match(first)
+    return int(match.group(1)) if match else 0
+
+
+def save_engine(engine: StorageEngine, directory: str,
+                fs: Optional[FileSystem] = None) -> None:
+    """Write a snapshot of ``engine`` into ``directory``, atomically.
+
+    The previous snapshot (if any) stays loadable until the new
+    manifest's rename commits; its data files are garbage-collected
+    afterwards.
+    """
+    fs = fs or OS_FS
+    fs.makedirs(directory)
+    gen = _current_generation(fs, directory) + 1
+    manifest_lines: List[str] = [f"#repro-snapshot v2 gen={gen}"]
     for info in engine.partitions():
-        manifest_lines.append(f"{'+'.join(info.key)}\t{len(info.file)}")
-        path = os.path.join(directory, _signature_filename(info.key))
-        with open(path, "wb") as f:
-            for rowid in range(len(info.file._rows)):
-                row = info.file._rows[rowid]
-                if row is None:
-                    f.write(struct.pack(">I", _TOMBSTONE))
-                else:
-                    f.write(struct.pack(">I", len(row)))
-                    f.write(row)
-    with open(os.path.join(directory, _MANIFEST), "w") as f:
-        f.write("\n".join(manifest_lines) + "\n")
+        data = _partition_bytes(info)
+        name = _signature_filename(info.key, gen)
+        manifest_lines.append(
+            f"{'+'.join(info.key)}\t{len(info.file)}\t{len(data)}\t"
+            f"{zlib.crc32(data)}\t{name}")
+        atomic_write_bytes(fs, os.path.join(directory, name), data)
 
-    with open(os.path.join(directory, _DIRECTORY), "wb") as f:
-        for surrogate, (key, rowid) in sorted(
-                engine._directory.items()):
-            signature = "+".join(key).encode("utf-8")
-            f.write(struct.pack(">qII", surrogate.id, len(signature),
-                                rowid))
-            f.write(signature)
+    chunks: List[bytes] = []
+    for surrogate, (key, rowid) in sorted(engine._directory.items()):
+        signature = "+".join(key).encode("utf-8")
+        chunks.append(struct.pack(">qII", surrogate.id, len(signature),
+                                  rowid))
+        chunks.append(signature)
+    dir_data = b"".join(chunks)
+    dir_name = f"directory@{gen}.dat"
+    manifest_lines.append(
+        f"{_DIRECTORY_KEY}\t{len(engine._directory)}\t{len(dir_data)}\t"
+        f"{zlib.crc32(dir_data)}\t{dir_name}")
+    atomic_write_bytes(fs, os.path.join(directory, dir_name), dir_data)
+
+    # Commit point: readers switch from the old generation to this one.
+    atomic_write_bytes(fs, os.path.join(directory, _MANIFEST),
+                       ("\n".join(manifest_lines) + "\n").encode("utf-8"))
+
+    # Best-effort GC of superseded generations.
+    keep = {_signature_filename(info.key, gen)
+            for info in engine.partitions()} | {dir_name}
+    for name in fs.listdir(directory):
+        if _GEN_FILE_RE.match(name) and name not in keep:
+            fs.remove(os.path.join(directory, name))
 
 
-def load_engine(schema: Schema, directory: str) -> StorageEngine:
+def _read_validated(fs: FileSystem, directory: str, name: str,
+                    expected_length: int, expected_crc: int,
+                    what: str) -> bytes:
+    path = os.path.join(directory, name)
+    if not fs.exists(path):
+        raise StorageError(f"snapshot {what} file {name!r} is missing")
+    data = fs.read_bytes(path)
+    if len(data) != expected_length:
+        raise StorageError(
+            f"snapshot {what} file {name!r} is truncated or padded: "
+            f"expected {expected_length} bytes, found {len(data)}")
+    if zlib.crc32(data) != expected_crc:
+        raise StorageError(
+            f"snapshot {what} file {name!r} is corrupt "
+            "(checksum mismatch)")
+    return data
+
+
+def load_engine(schema: Schema, directory: str,
+                fs: Optional[FileSystem] = None) -> StorageEngine:
     """Reconstruct an engine from a snapshot taken under ``schema``."""
+    fs = fs or OS_FS
     manifest_path = os.path.join(directory, _MANIFEST)
-    if not os.path.exists(manifest_path):
+    if not fs.exists(manifest_path):
         raise StorageError(f"no snapshot manifest in {directory!r}")
     engine = StorageEngine(schema)
 
-    with open(manifest_path) as f:
-        entries = [line.split("\t") for line in f.read().splitlines()
-                   if line]
+    lines = fs.read_bytes(manifest_path).decode("utf-8").splitlines()
+    if not lines or not _HEADER_RE.match(lines[0]):
+        raise StorageError(
+            f"snapshot manifest in {directory!r} lacks the v2 header "
+            "(unversioned snapshots predate checksum validation; "
+            "regenerate with save_engine)")
 
-    for signature, expected_count in entries:
-        key = tuple(signature.split("+"))
-        try:
-            info = engine.partition_for(key)
-        except ReproError as exc:
+    directory_entry = None
+    for line in lines[1:]:
+        if not line:
+            continue
+        parts = line.split("\t")
+        if len(parts) != 5:
             raise StorageError(
-                f"partition {signature!r} cannot be rebuilt under the "
-                f"current schema: {exc}") from exc
-        path = os.path.join(directory, _signature_filename(key))
-        with open(path, "rb") as f:
-            data = f.read()
-        offset = 0
-        while offset < len(data):
-            (length,) = struct.unpack_from(">I", data, offset)
-            offset += 4
-            if length == _TOMBSTONE:
-                rowid = info.file.append(b"")
-                info.file.delete(rowid)
-                continue
-            row = data[offset:offset + length]
-            offset += length
-            # Verify the row decodes under the current schema's format --
-            # a changed schema fails loudly here rather than corrupting.
-            try:
-                info.format.decode_row(row)
-            except Exception as exc:
-                raise StorageError(
-                    f"partition {signature!r} does not match the current "
-                    f"schema: {exc}") from exc
-            info.file.append(row)
-        if len(info.file) != int(expected_count):
-            raise StorageError(
-                f"partition {signature!r}: expected {expected_count} "
-                f"live rows, found {len(info.file)}")
+                f"malformed snapshot manifest line: {line!r}")
+        signature, count, length, crc, name = parts
+        entry = (signature, int(count), int(length), int(crc), name)
+        if signature == _DIRECTORY_KEY:
+            directory_entry = entry
+            continue
+        _load_partition(engine, fs, directory, entry)
+    if directory_entry is None:
+        raise StorageError(
+            f"snapshot manifest in {directory!r} has no directory entry")
 
-    with open(os.path.join(directory, _DIRECTORY), "rb") as f:
-        data = f.read()
+    _signature, count, length, crc, name = directory_entry
+    data = _read_validated(fs, directory, name, length, crc, "directory")
     offset = 0
+    loaded = 0
     while offset < len(data):
+        if offset + 16 > len(data):
+            raise StorageError("snapshot directory is truncated mid-entry")
         surrogate_id, sig_len, rowid = struct.unpack_from(
             ">qII", data, offset)
         offset += 16
+        if offset + sig_len > len(data):
+            raise StorageError("snapshot directory is truncated mid-entry")
         signature = data[offset:offset + sig_len].decode("utf-8")
         offset += sig_len
         key = tuple(signature.split("+"))
         surrogate = Surrogate(surrogate_id)
         engine._directory[surrogate] = (key, rowid)
         engine._reverse[(key, rowid)] = surrogate
+        loaded += 1
+    if loaded != count:
+        raise StorageError(
+            f"snapshot directory: expected {count} entries, "
+            f"found {loaded}")
     return engine
+
+
+def _load_partition(engine: StorageEngine, fs: FileSystem,
+                    directory: str, entry) -> None:
+    signature, expected_count, length, crc, name = entry
+    key = tuple(signature.split("+"))
+    try:
+        info = engine.partition_for(key)
+    except ReproError as exc:
+        raise StorageError(
+            f"partition {signature!r} cannot be rebuilt under the "
+            f"current schema: {exc}") from exc
+    data = _read_validated(fs, directory, name, length, crc,
+                           f"partition {signature!r}")
+    offset = 0
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise StorageError(
+                f"partition {signature!r} is truncated mid-row")
+        (row_length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        if row_length == _TOMBSTONE:
+            rowid = info.file.append(b"")
+            info.file.delete(rowid)
+            continue
+        if offset + row_length > len(data):
+            raise StorageError(
+                f"partition {signature!r} is truncated mid-row")
+        row = data[offset:offset + row_length]
+        offset += row_length
+        # Verify the row decodes under the current schema's format --
+        # a changed schema fails loudly here rather than corrupting.
+        try:
+            info.format.decode_row(row)
+        except Exception as exc:
+            raise StorageError(
+                f"partition {signature!r} does not match the current "
+                f"schema: {exc}") from exc
+        info.file.append(row)
+    if len(info.file) != expected_count:
+        raise StorageError(
+            f"partition {signature!r}: expected {expected_count} "
+            f"live rows, found {len(info.file)}")

@@ -1,0 +1,573 @@
+"""Crash recovery: checkpoints + WAL replay through the checked paths.
+
+A durable store directory contains::
+
+    MANIFEST               -- JSON commit point (always replaced atomically)
+    schema.cdl             -- the schema, pretty-printed (self-contained dir)
+    checkpoint-<g>.ckpt    -- framed instance records, CRC32 per frame,
+                              whole-file length+CRC recorded in MANIFEST
+    wal-<g>.log            -- the active WAL segment (durability="wal")
+
+``<g>`` is the checkpoint generation: every checkpoint writes a *new*
+checkpoint file and a *new* WAL segment, then atomically replaces the
+MANIFEST to point at them, then deletes the superseded generation.  A
+crash at any point leaves either the old MANIFEST (old checkpoint + old
+WAL, both intact) or the new one (new checkpoint + fresh WAL) -- never a
+mix, and never a clobbered previous snapshot.
+
+Recovery (:func:`recover_store`):
+
+1. read the MANIFEST; load the schema (unless one is supplied);
+2. load the last good checkpoint, validating length and CRC, and rebuild
+   every derived structure -- extents (IS-A closed), virtual-class
+   reference counts, secondary indexes, the dirty ledger, the surrogate
+   allocator;
+3. replay the WAL tail **through the checked store paths** (the same
+   ``create``/``set_value``/``classify``/... the live engine ran), so the
+   conformance invariants are re-established rather than trusted;
+4. truncate a torn tail at the first bad CRC / short frame / sequence
+   break (a crash can tear at most the suffix);
+5. validate every object (the ``validate_all`` sweep, non-destructively)
+   and report violations in the :class:`RecoveryReport`.
+
+The recovered state is always a **prefix** of the committed operation
+sequence: whole operations (and whole bulk batches / transactions, which
+are one record / one group), never a hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.objects.instance import Instance
+from repro.objects.surrogate import Surrogate
+from repro.storage.fsio import OS_FS, FileSystem, atomic_write_bytes
+from repro.storage.wal import (
+    WAL_MAGIC,
+    WriteAheadLog,
+    decode_value,
+    encode_value,
+    frame_record,
+    iter_frames,
+    scan_wal,
+)
+
+MANIFEST_NAME = "MANIFEST"
+SCHEMA_NAME = "schema.cdl"
+MANIFEST_FORMAT = 1
+
+DURABILITY_WAL = "wal"
+DURABILITY_NONE = "none"
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did (see module docstring for the phases)."""
+
+    directory: str
+    checkpoint_objects: int = 0
+    replayed: int = 0
+    last_seq: int = 0
+    truncated_bytes: int = 0
+    wal_stopped: str = "clean-end"
+    violations: List[Tuple[Instance, object]] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"recovered {self.directory}",
+            f"  checkpoint objects : {self.checkpoint_objects}",
+            f"  wal records replayed: {self.replayed} "
+            f"(through seq {self.last_seq})",
+        ]
+        if self.truncated_bytes:
+            lines.append(f"  torn tail truncated : "
+                         f"{self.truncated_bytes} byte(s) "
+                         f"({self.wal_stopped})")
+        lines.append(f"  validate_all        : "
+                     f"{len(self.violations)} violation(s)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Manifest + checkpoint files
+# ----------------------------------------------------------------------
+
+def _manifest_path(directory: str) -> str:
+    return os.path.join(directory, MANIFEST_NAME)
+
+
+def read_manifest(fs: FileSystem, directory: str) -> dict:
+    path = _manifest_path(directory)
+    if not fs.exists(path):
+        raise StorageError(
+            f"{directory!r} is not a durable store (no {MANIFEST_NAME})")
+    try:
+        manifest = json.loads(fs.read_bytes(path).decode("utf-8"))
+    except ValueError as exc:
+        raise StorageError(
+            f"corrupt {MANIFEST_NAME} in {directory!r}: {exc}") from exc
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise StorageError(
+            f"unsupported manifest format {manifest.get('format')!r}")
+    return manifest
+
+
+def _write_manifest(fs: FileSystem, directory: str,
+                    manifest: dict) -> None:
+    data = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8")
+    atomic_write_bytes(fs, _manifest_path(directory), data)
+
+
+def _dirty_to_json(store) -> Dict[str, Optional[List[str]]]:
+    return {
+        str(surrogate.id): (None if attrs is None else sorted(attrs))
+        for surrogate, attrs in store._dirty.items()
+    }
+
+
+def _write_checkpoint(fs: FileSystem, directory: str, store,
+                      generation: int) -> dict:
+    """Write ``checkpoint-<generation>.ckpt`` atomically; returns its
+    manifest entry."""
+    chunks: List[bytes] = [WAL_MAGIC]
+    chunks.append(frame_record({
+        "kind": "header",
+        "next_surrogate": store._allocator._next,
+        "dirty": _dirty_to_json(store),
+    }))
+    count = 0
+    for surrogate in sorted(store._objects):
+        obj = store._objects[surrogate]
+        chunks.append(frame_record({
+            "sid": surrogate.id,
+            "classes": sorted(obj.memberships),
+            "values": {name: encode_value(obj.get_value(name))
+                       for name in obj.value_names()},
+        }))
+        count += 1
+    data = b"".join(chunks)
+    name = f"checkpoint-{generation}.ckpt"
+    atomic_write_bytes(fs, os.path.join(directory, name), data)
+    return {"file": name, "length": len(data), "crc": zlib.crc32(data),
+            "objects": count}
+
+
+def _load_checkpoint(fs: FileSystem, directory: str, store,
+                     entry: dict) -> int:
+    """Populate ``store`` from a checkpoint file: objects, extents,
+    virtual reference counts, and the dirty ledger."""
+    path = os.path.join(directory, entry["file"])
+    if not fs.exists(path):
+        raise StorageError(f"checkpoint file {entry['file']!r} is missing")
+    data = fs.read_bytes(path)
+    if len(data) != entry["length"]:
+        raise StorageError(
+            f"checkpoint {entry['file']!r} is truncated: expected "
+            f"{entry['length']} bytes, found {len(data)}")
+    if zlib.crc32(data) != entry["crc"]:
+        raise StorageError(
+            f"checkpoint {entry['file']!r} is corrupt (checksum mismatch)")
+    if data[:len(WAL_MAGIC)] != WAL_MAGIC:
+        raise StorageError(
+            f"checkpoint {entry['file']!r} has a bad magic header")
+
+    header = None
+    shells: Dict[int, Tuple[Instance, dict]] = {}
+    consumed = len(WAL_MAGIC)
+    for end, payload in iter_frames(data, consumed):
+        record = json.loads(payload.decode("utf-8"))
+        if header is None:
+            if record.get("kind") != "header":
+                raise StorageError(
+                    f"checkpoint {entry['file']!r} lacks its header "
+                    "record")
+            header = record
+        else:
+            obj = Instance(Surrogate(record["sid"]), record["classes"])
+            shells[record["sid"]] = (obj, record["values"])
+        consumed = end
+    if consumed != len(data):
+        # The whole-file CRC matched, so an inner framing error means a
+        # writer bug, not a crash; fail loudly.
+        raise StorageError(
+            f"checkpoint {entry['file']!r} has undecodable records")
+    if header is None:
+        raise StorageError(f"checkpoint {entry['file']!r} is empty")
+    if len(shells) != entry["objects"]:
+        raise StorageError(
+            f"checkpoint {entry['file']!r}: expected {entry['objects']} "
+            f"objects, found {len(shells)}")
+
+    def resolve(sid: int):
+        try:
+            return shells[sid][0]
+        except KeyError:
+            raise StorageError(
+                f"checkpoint references unknown object @{sid}") from None
+
+    for sid, (obj, encoded_values) in shells.items():
+        for name, encoded in encoded_values.items():
+            obj._values[name] = decode_value(encoded, resolve)
+        store._objects[obj.surrogate] = obj
+        for class_name in obj.memberships:
+            store._add_to_extents(obj, class_name)
+
+    _rebuild_virtual_refs(store)
+
+    for sid_text, attrs in header.get("dirty", {}).items():
+        store._dirty[Surrogate(int(sid_text))] = (
+            None if attrs is None else set(attrs))
+    store._allocator._next = header["next_surrogate"]
+    return len(shells)
+
+
+def _rebuild_virtual_refs(store) -> None:
+    """Recount virtual-class anchoring from current values: each entity
+    value sitting on a virtual class's home attribute of a member of the
+    owner class holds one reference."""
+    from repro.typesys.values import is_entity
+    refs = store._virtual_refs
+    for obj in store._objects.values():
+        for name in obj.value_names():
+            value = obj.get_value(name)
+            if not is_entity(value):
+                continue
+            for cdef in store._home_virtuals(obj, name):
+                key = (cdef.name, value.surrogate)
+                refs[key] = refs.get(key, 0) + 1
+
+
+# ----------------------------------------------------------------------
+# WAL replay (through the checked store paths)
+# ----------------------------------------------------------------------
+
+def _replay_record(store, record) -> None:
+    fields = record.fields
+
+    def resolve(sid: int):
+        obj = store._objects.get(Surrogate(sid))
+        if obj is None:
+            raise StorageError(
+                f"WAL record seq {record.seq} references unknown "
+                f"object @{sid}")
+        return obj
+
+    op = record.op
+    try:
+        if op == "create":
+            sid = fields["sid"]
+            store._allocator._next = max(store._allocator._next, sid)
+            obj = store.create(fields["cls"], check=fields.get("mode"))
+            if obj.surrogate.id != sid:
+                raise StorageError(
+                    f"replay allocated @{obj.surrogate.id} for a create "
+                    f"logged as @{sid}")
+            for name, encoded in fields["values"].items():
+                store.set_value(obj, name, decode_value(encoded, resolve),
+                                check=fields.get("mode"))
+        elif op == "set":
+            store.set_value(resolve(fields["sid"]), fields["attr"],
+                            decode_value(fields["value"], resolve),
+                            check=fields.get("mode"))
+        elif op == "unset":
+            store.unset_value(resolve(fields["sid"]), fields["attr"],
+                              check=fields.get("mode"))
+        elif op == "classify":
+            store.classify(resolve(fields["sid"]), fields["cls"],
+                           check=fields.get("mode"))
+        elif op == "declassify":
+            store.declassify(resolve(fields["sid"]), fields["cls"],
+                             check=fields.get("mode"))
+        elif op == "remove":
+            store.remove(resolve(fields["sid"]))
+        elif op == "validate":
+            if fields["scope"] == "all":
+                store.validate_all()
+            else:
+                store.validate_dirty()
+        elif op == "txn":
+            # A committed transaction: its operations share one frame
+            # (and one sequence number), so they arrived -- and replay --
+            # as an atomic unit.
+            from repro.storage.wal import WalRecord
+            for sub in fields["ops"]:
+                sub = dict(sub)
+                sub_op = sub.pop("op")
+                _replay_record(store, WalRecord(
+                    record.seq, sub_op, sub, record.end_offset))
+        elif op == "bulk":
+            _replay_bulk(store, fields)
+        else:
+            raise StorageError(f"unknown WAL op {op!r}")
+    except StorageError:
+        raise
+    except Exception as exc:
+        # A logged operation succeeded when it ran; failing on replay
+        # means the log and the checkpoint disagree -- surface it rather
+        # than recovering silently-divergent state.
+        raise StorageError(
+            f"WAL replay failed at seq {record.seq} ({op}): "
+            f"{exc}") from exc
+
+
+def _replay_bulk(store, fields) -> None:
+    """Re-commit one logged batch through the bulk pipeline, forcing the
+    originally-allocated surrogates."""
+    from repro.objects.bulk import BulkSession
+    session = BulkSession(store, check=fields.get("mode"))
+    staged: Dict[int, Instance] = {}
+
+    def resolve(sid: int):
+        obj = store._objects.get(Surrogate(sid))
+        if obj is None:
+            obj = staged.get(sid)
+        if obj is None:
+            raise StorageError(
+                f"bulk record references unknown object @{sid}")
+        return obj
+
+    try:
+        for row in fields["rows"]:
+            sid = row["sid"]
+            store._allocator._next = max(store._allocator._next, sid)
+            values = {name: decode_value(encoded, resolve)
+                      for name, encoded in row["values"].items()}
+            instance = session._stage(tuple(row["classes"]), values)
+            if instance.surrogate.id != sid:
+                raise StorageError(
+                    f"bulk replay allocated @{instance.surrogate.id} "
+                    f"for a row logged as @{sid}")
+            staged[sid] = instance
+    except BaseException:
+        session.abort()
+        raise
+    session.commit()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint + open/recover entry points
+# ----------------------------------------------------------------------
+
+def _store_config(store) -> dict:
+    return {
+        "check_mode": store.check_mode,
+        "engine": store.engine,
+        "strict_virtual_extents": store.strict_virtual_extents,
+        "require_values": store.checker.require_values,
+    }
+
+
+def checkpoint_store(store: "DurableObjectStore") -> dict:
+    """Atomically snapshot ``store`` into its directory and rotate the
+    WAL; returns the new manifest."""
+    from repro.objects.durable import StoreJournal
+    fs = store.fs
+    directory = store.directory
+    journal = store._journal
+    old = getattr(store, "_manifest", None) or {}
+    generation = old.get("generation", 0) + 1
+
+    if journal is not None:
+        if journal.wal.in_group:
+            raise StorageError(
+                "cannot checkpoint inside an open transaction")
+        journal.wal.flush()
+        base_seq = journal.wal.last_seq
+    else:
+        base_seq = 0
+
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "generation": generation,
+        "durability": store.durability,
+        "store": _store_config(store),
+        "indexes": list(store.indexes.attributes()),
+        "checkpoint": _write_checkpoint(fs, directory, store, generation),
+        "schema": old.get("schema"),
+    }
+
+    new_wal = None
+    if store.durability == DURABILITY_WAL:
+        wal_name = f"wal-{generation}.log"
+        new_wal = WriteAheadLog(
+            os.path.join(directory, wal_name), fs=fs,
+            sync=store.sync_policy, base_seq=base_seq,
+            stats=store.checker.stats)
+        manifest["wal"] = {"file": wal_name, "base_seq": base_seq}
+
+    _write_manifest(fs, directory, manifest)
+
+    # Swap the journal to the fresh segment, then GC the old generation.
+    if journal is not None:
+        journal.wal.close()
+    if new_wal is not None:
+        if journal is not None:
+            journal.wal = new_wal
+        else:
+            store._journal = StoreJournal(new_wal)
+    old_gen = old.get("generation")
+    if old_gen is not None and old_gen != generation:
+        old_ckpt = (old.get("checkpoint") or {}).get("file")
+        if old_ckpt:
+            fs.remove(os.path.join(directory, old_ckpt))
+        old_wal = (old.get("wal") or {}).get("file")
+        if old_wal:
+            fs.remove(os.path.join(directory, old_wal))
+    store._manifest = manifest
+    store.checker.stats.checkpoints += 1
+    return manifest
+
+
+def open_store(directory: str, schema=None, durability: str = None,
+               fs: Optional[FileSystem] = None, sync: str = "group",
+               sync_every: int = 1024, validate: bool = True,
+               **store_kwargs) -> "DurableObjectStore":
+    """Open (initialize or recover) a durable store directory.
+
+    ``durability`` defaults to the directory's manifest for existing
+    stores and to ``"wal"`` for fresh ones.  Extra keyword arguments are
+    forwarded to :class:`~repro.objects.store.ObjectStore` (for existing
+    stores they override the persisted configuration).
+    """
+    from repro.objects.durable import DurableObjectStore, StoreJournal
+    fs = fs or OS_FS
+    if fs.exists(_manifest_path(directory)):
+        return recover_store(directory, schema=schema,
+                             durability=durability, fs=fs, sync=sync,
+                             sync_every=sync_every, validate=validate,
+                             **store_kwargs)
+
+    if schema is None:
+        raise StorageError(
+            f"{directory!r} has no store yet; opening a fresh one "
+            "requires a schema")
+    durability = durability or DURABILITY_WAL
+    if durability not in (DURABILITY_WAL, DURABILITY_NONE):
+        raise StorageError(f"unknown durability level {durability!r}")
+    fs.makedirs(directory)
+
+    from repro.lang import print_schema
+    schema_text = print_schema(schema).encode("utf-8")
+    atomic_write_bytes(fs, os.path.join(directory, SCHEMA_NAME),
+                       schema_text)
+
+    store = DurableObjectStore(schema, directory=directory, fs=fs,
+                               durability=durability, sync=sync,
+                               **store_kwargs)
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "generation": 1,
+        "durability": durability,
+        "store": _store_config(store),
+        "indexes": [],
+        "checkpoint": _write_checkpoint(fs, directory, store, 1),
+        "schema": {"file": SCHEMA_NAME, "crc": zlib.crc32(schema_text)},
+    }
+    if durability == DURABILITY_WAL:
+        wal = WriteAheadLog(os.path.join(directory, "wal-1.log"), fs=fs,
+                            sync=sync, sync_every=sync_every, base_seq=0,
+                            stats=store.checker.stats)
+        manifest["wal"] = {"file": "wal-1.log", "base_seq": 0}
+        store._journal = StoreJournal(wal)
+    _write_manifest(fs, directory, manifest)
+    store._manifest = manifest
+    return store
+
+
+def recover_store(directory: str, schema=None, durability: str = None,
+                  fs: Optional[FileSystem] = None, sync: str = "group",
+                  sync_every: int = 1024, validate: bool = True,
+                  **store_kwargs) -> "DurableObjectStore":
+    """Recover a store from its directory (module docstring, phases
+    1-5); the report lands on ``store.last_recovery``."""
+    from repro.objects.durable import DurableObjectStore, StoreJournal
+    fs = fs or OS_FS
+    manifest = read_manifest(fs, directory)
+    durability = durability or manifest.get("durability", DURABILITY_WAL)
+
+    if schema is None:
+        schema_entry = manifest.get("schema") or {}
+        schema_path = os.path.join(
+            directory, schema_entry.get("file", SCHEMA_NAME))
+        if not fs.exists(schema_path):
+            raise StorageError(
+                f"no schema stored in {directory!r}; pass one explicitly")
+        text = fs.read_bytes(schema_path)
+        if ("crc" in schema_entry
+                and zlib.crc32(text) != schema_entry["crc"]):
+            raise StorageError(
+                f"stored schema in {directory!r} is corrupt "
+                "(checksum mismatch)")
+        from repro.lang import load_schema
+        schema = load_schema(text.decode("utf-8"))
+
+    config = dict(manifest.get("store", {}))
+    config.update(store_kwargs)
+    store = DurableObjectStore(schema, directory=directory, fs=fs,
+                               durability=durability, sync=sync, **config)
+    report = RecoveryReport(directory=directory)
+
+    report.checkpoint_objects = _load_checkpoint(
+        fs, directory, store, manifest["checkpoint"])
+    for attribute in manifest.get("indexes", ()):
+        store.create_index(attribute)
+
+    wal_entry = manifest.get("wal")
+    scan = None
+    if wal_entry is not None:
+        wal_path = os.path.join(directory, wal_entry["file"])
+        base_seq = wal_entry.get("base_seq", 0)
+        scan = scan_wal(fs, wal_path, base_seq=base_seq)
+        for record in scan.records:
+            _replay_record(store, record)
+        report.replayed = len(scan.records)
+        report.last_seq = scan.last_seq or base_seq
+        report.wal_stopped = scan.stopped
+        if scan.stopped not in ("clean-end", "missing") \
+                and scan.torn_bytes:
+            fs.truncate(wal_path, scan.good_end)
+            report.truncated_bytes = scan.torn_bytes
+
+    stats = store.checker.stats
+    stats.recoveries += 1
+    stats.wal_replayed += report.replayed
+    stats.wal_truncated_bytes += report.truncated_bytes
+
+    if validate:
+        # The validate_all sweep, without clearing the dirty ledger --
+        # recovery must not mutate the state it just reconstructed.
+        for obj in store._objects.values():
+            for violation in store.checker.check(obj):
+                report.violations.append((obj, violation))
+
+    if durability == DURABILITY_WAL:
+        if wal_entry is None or scan is None or scan.stopped == "missing":
+            generation = manifest.get("generation", 1)
+            wal_name = f"wal-{generation}.log"
+            wal_path = os.path.join(directory, wal_name)
+            manifest["wal"] = {"file": wal_name,
+                               "base_seq": report.last_seq}
+            wal = WriteAheadLog(wal_path, fs=fs, sync=sync,
+                                sync_every=sync_every,
+                                base_seq=report.last_seq, stats=stats)
+            _write_manifest(fs, directory, manifest)
+        else:
+            wal = WriteAheadLog(
+                os.path.join(directory, wal_entry["file"]), fs=fs,
+                sync=sync, sync_every=sync_every,
+                base_seq=report.last_seq, stats=stats)
+        store._journal = StoreJournal(wal)
+
+    store._manifest = manifest
+    store.last_recovery = report
+    return store

@@ -1,0 +1,307 @@
+"""Fault-injection filesystem for crash-consistency tests.
+
+Implements the :class:`repro.storage.fsio.FileSystem` interface fully in
+memory, distinguishing the three places a byte can live:
+
+* a **handle buffer** (process-buffered writes) -- lost in every crash;
+* the **OS cache** (``flush``-ed bytes) -- survives a process kill, may
+  be lost or partially written back on power failure;
+* **stable storage** (``sync``-ed bytes) -- survives everything.
+
+:class:`FaultFS` counts every mutating operation and can raise
+:class:`SimulatedCrash` at the Nth one, optionally applying the torn
+prefix of an in-flight write first.  After the crash,
+:meth:`FaultFS.crash_state` materializes the post-crash disk under one of
+three adversarial policies:
+
+* ``"synced"``  -- power failure, OS cache lost: only fsynced bytes;
+* ``"flushed"`` -- process kill: everything flushed to the OS survives;
+* ``"torn"``    -- power failure mid-writeback: fsynced bytes plus a
+  prefix of the unsynced tail.
+
+Metadata operations (``replace``, ``remove``, ``makedirs``) are modeled
+as atomic and immediately durable: rename atomicity is exactly the
+guarantee journaling filesystems provide and the one
+``atomic_write_bytes`` builds on; what crash consistency must defend
+against -- and what this model makes adversarial -- is *file contents*
+lagging behind (``sync_dir`` is still counted as a crash point, so
+crashes on either side of every rename are exercised).
+
+:func:`store_digest` is the shared observable-state fingerprint the
+recovery tests compare against: objects (memberships + values, entity
+references by surrogate id), virtual-class reference counts, and the
+dirty ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.storage.fsio import FileSystem
+from repro.typesys.values import INAPPLICABLE, is_entity
+
+
+class SimulatedCrash(BaseException):
+    """The process dies here.  Derived from BaseException so ordinary
+    ``except Exception`` recovery/rollback code cannot swallow it --
+    exactly like a real ``kill -9``."""
+
+
+class _MemFile:
+    __slots__ = ("cached", "durable", "synced")
+
+    def __init__(self, cached: bytes = b"", durable: bytes = b"",
+                 synced: bool = False) -> None:
+        self.cached = cached      # the OS view (flushed bytes)
+        self.durable = durable    # the platter view (fsynced bytes)
+        self.synced = synced      # ever fsynced at all
+
+
+class _MemHandle:
+    """A writable handle over a :class:`_MemFile`."""
+
+    def __init__(self, fs: "MemFS", file: _MemFile) -> None:
+        self._fs = fs
+        self._file = file
+        self._buffer: List[bytes] = []
+
+    def write(self, data: bytes) -> int:
+        self._fs._on_write(self, data)
+        return len(data)
+
+    def _accept(self, data: bytes) -> None:
+        self._buffer.append(data)
+
+    def _push_to_cache(self, data: bytes) -> None:
+        self._file.cached += data
+
+    def flush(self) -> None:
+        self._fs._count("flush")
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._buffer:
+            self._file.cached += b"".join(self._buffer)
+            self._buffer.clear()
+
+    def sync(self) -> None:
+        self._fs._count("sync")
+        self._drain()
+        self._file.durable = self._file.cached
+        self._file.synced = True
+
+    def tell(self) -> int:
+        return len(self._file.cached) + sum(len(b) for b in self._buffer)
+
+    def close(self) -> None:
+        # Python's close flushes process buffers to the OS.
+        self._drain()
+
+
+class MemFS(FileSystem):
+    """Plain in-memory filesystem (no faults): the substrate recovery
+    runs on after a simulated crash, and a fast disk substitute for
+    sweeps."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None) -> None:
+        self.files: Dict[str, _MemFile] = {}
+        self.dirs: set = set()
+        if files:
+            for path, data in files.items():
+                self.files[path] = _MemFile(data, data, True)
+                self._note_parents(path)
+
+    def _note_parents(self, path: str) -> None:
+        while "/" in path:
+            path = path.rsplit("/", 1)[0]
+            self.dirs.add(path)
+
+    # -- hooks FaultFS overrides ---------------------------------------
+
+    def _count(self, op: str) -> None:
+        pass
+
+    def _on_write(self, handle: _MemHandle, data: bytes) -> None:
+        self._count("write")
+        handle._accept(data)
+
+    # -- FileSystem interface ------------------------------------------
+
+    def open_write(self, path: str) -> _MemHandle:
+        self._count("open_write")
+        file = _MemFile()
+        old = self.files.get(path)
+        if old is not None:
+            # Truncation is not durable until the first fsync: the
+            # platter keeps the old content (adversarial model).
+            file.durable = old.durable
+            file.synced = old.synced
+        self.files[path] = file
+        self._note_parents(path)
+        return _MemHandle(self, file)
+
+    def open_append(self, path: str) -> _MemHandle:
+        file = self.files.get(path)
+        if file is None:
+            file = self.files[path] = _MemFile()
+            self._note_parents(path)
+        return _MemHandle(self, file)
+
+    def read_bytes(self, path: str) -> bytes:
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        return file.cached
+
+    def exists(self, path: str) -> bool:
+        return path in self.files or path in self.dirs
+
+    def listdir(self, path: str) -> List[str]:
+        prefix = path.rstrip("/") + "/"
+        out = set()
+        for name in self.files:
+            if name.startswith(prefix):
+                out.add(name[len(prefix):].split("/", 1)[0])
+        return sorted(out)
+
+    def makedirs(self, path: str) -> None:
+        self.dirs.add(path.rstrip("/"))
+        self._note_parents(path.rstrip("/"))
+
+    def replace(self, src: str, dst: str) -> None:
+        self._count("replace")
+        if src not in self.files:
+            raise FileNotFoundError(src)
+        self.files[dst] = self.files.pop(src)
+
+    def remove(self, path: str) -> None:
+        self._count("remove")
+        self.files.pop(path, None)
+
+    def truncate(self, path: str, length: int) -> None:
+        self._count("truncate")
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        file.cached = file.cached[:length]
+        file.durable = file.cached
+        file.synced = True
+
+    def size(self, path: str) -> int:
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        return len(file.cached)
+
+    def sync_dir(self, path: str) -> None:
+        self._count("sync_dir")
+
+    # -- test helpers --------------------------------------------------
+
+    def bit_flip(self, path: str, offset: int, bit: int = 0) -> None:
+        """Corrupt one bit of a file, in every layer (a latent media
+        error: present no matter which crash policy is applied)."""
+        file = self.files[path]
+        for attr in ("cached", "durable"):
+            data = bytearray(getattr(file, attr))
+            if offset < len(data):
+                data[offset] ^= (1 << bit)
+                setattr(file, attr, bytes(data))
+
+    def crash_state(self, policy: str = "synced") -> Dict[str, bytes]:
+        """The post-crash disk as plain ``path -> bytes`` (seed a fresh
+        :class:`MemFS` with it to run recovery)."""
+        out: Dict[str, bytes] = {}
+        for path, file in self.files.items():
+            if policy == "flushed":
+                out[path] = file.cached
+            elif policy == "synced":
+                if file.synced:
+                    out[path] = file.durable
+                # never-synced files may simply not exist after power loss
+            elif policy == "torn":
+                if file.synced:
+                    tail = file.cached[len(file.durable):]
+                    out[path] = file.durable + tail[:len(tail) // 2]
+                elif file.cached:
+                    out[path] = file.cached[:len(file.cached) // 2]
+            else:
+                raise ValueError(f"unknown crash policy {policy!r}")
+        return out
+
+
+class FaultFS(MemFS):
+    """A :class:`MemFS` that dies at the Nth mutating operation.
+
+    ``crash_at`` is 1-based over the counted operations (writes, flushes,
+    fsyncs, file-handle opens for writing, renames, removes, truncates,
+    directory syncs).  ``tear_writes`` additionally pushes the first half
+    of the in-flight write into the OS cache before dying, modeling a
+    torn sector.  The counter only runs while :attr:`armed`.
+    """
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None,
+                 crash_at: Optional[int] = None,
+                 tear_writes: bool = False) -> None:
+        super().__init__(files)
+        self.crash_at = crash_at
+        self.tear_writes = tear_writes
+        self.armed = True
+        self.ops = 0
+        self.op_log: List[str] = []
+
+    def _count(self, op: str) -> None:
+        if not self.armed:
+            return
+        self.ops += 1
+        self.op_log.append(op)
+        if self.crash_at is not None and self.ops >= self.crash_at:
+            raise SimulatedCrash(f"crashed at op {self.ops} ({op})")
+
+    def _on_write(self, handle: _MemHandle, data: bytes) -> None:
+        if (self.armed and self.crash_at is not None
+                and self.ops + 1 >= self.crash_at and self.tear_writes):
+            self.ops += 1
+            self.op_log.append("write-torn")
+            # The torn prefix reaches the OS cache; the crash policies
+            # then decide how much of it survives.
+            handle._push_to_cache(data[:len(data) // 2])
+            raise SimulatedCrash(f"torn write at op {self.ops}")
+        super()._on_write(handle, data)
+
+
+# ----------------------------------------------------------------------
+# Shared observable-state digest
+# ----------------------------------------------------------------------
+
+def _freeze_value(value):
+    if is_entity(value):
+        return ("@", value.surrogate.id)
+    if value is INAPPLICABLE:
+        return ("na",)
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if hasattr(value, "field_names"):  # RecordValue
+        return tuple((n, _freeze_value(value.get_value(n)))
+                     for n in value.field_names())
+    return (type(value).__name__, repr(value))
+
+
+def store_digest(store):
+    """A hashable fingerprint of everything recovery must reproduce:
+    live objects (memberships + values), virtual-class reference counts,
+    and the dirty ledger."""
+    objects = tuple(sorted(
+        (surrogate.id,
+         tuple(sorted(obj.memberships)),
+         tuple(sorted((name, _freeze_value(obj.get_value(name)))
+                      for name in obj.value_names())))
+        for surrogate, obj in store._objects.items()))
+    virtual_refs = tuple(sorted(
+        ((name, surrogate.id), count)
+        for (name, surrogate), count in store._virtual_refs.items()
+        if count))
+    dirty = tuple(sorted(
+        (surrogate.id, None if attrs is None else tuple(sorted(attrs)))
+        for surrogate, attrs in store._dirty.items()))
+    return (objects, virtual_refs, dirty)

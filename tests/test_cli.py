@@ -216,3 +216,51 @@ class TestStats:
                      "--timing"]) == 0
         out = capsys.readouterr().out
         assert "time.write.eager" in out
+
+
+class TestDurability:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        from repro.objects.store import ObjectStore
+        from repro.scenarios.hospital import build_hospital_schema
+        directory = str(tmp_path / "store")
+        store = ObjectStore.open(directory, build_hospital_schema(),
+                                 durability="wal", sync="always")
+        ward = store.create("Ward", floor=3, name="West")
+        store.create("Person", name="Casey", age=41)
+        store.close()
+        return directory
+
+    def test_recover_reports_clean_store(self, store_dir, capsys):
+        assert main(["recover", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "0 violation(s)" in out
+
+    def test_recover_missing_directory_exits_two(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_checkpoint_rotates_generation(self, store_dir, capsys):
+        assert main(["checkpoint", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint generation 2" in out
+        assert "2 object(s)" in out
+        # The fold consumed the WAL: nothing left to replay.
+        assert main(["recover", store_dir]) == 0
+        assert "replayed: 0" in capsys.readouterr().out
+
+    def test_wal_dump_lists_records(self, store_dir, capsys):
+        assert main(["wal-dump", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "segment wal-1.log" in out
+        assert "create" in out
+
+    def test_wal_dump_durability_none(self, tmp_path, capsys):
+        from repro.objects.store import ObjectStore
+        from repro.scenarios.hospital import build_hospital_schema
+        directory = str(tmp_path / "plain")
+        ObjectStore.open(directory, build_hospital_schema(),
+                         durability="none").close()
+        assert main(["wal-dump", directory]) == 0
+        assert "no WAL" in capsys.readouterr().out

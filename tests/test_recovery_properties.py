@@ -1,0 +1,214 @@
+"""Property-based crash consistency: random workloads, random crashes.
+
+Hypothesis drives two properties over the durable store:
+
+1. **Journaling is invisible** -- for any mutation sequence, a WAL-backed
+   store ends in exactly the state a plain in-memory :class:`ObjectStore`
+   ends in (same acceptances, same rejections, same digest).
+
+2. **Crashes recover a committed prefix** -- for any mutation sequence,
+   any crash point, and any crash policy, recovery lands on the digest of
+   some committed operation prefix (pre-op or post-op state, never a
+   hybrid) and reports exactly the violations that state had live.
+
+Sequences include rejected writes, aborted and committed transactions,
+and deferred bulk batches, so the atomicity units exercised are the
+single record, the transaction group, and the bulk batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConformanceError, ReproError
+from repro.objects import ObjectStore
+from repro.scenarios import build_hospital_schema
+from repro.storage.recovery import open_store
+from repro.typesys import EnumSymbol
+
+from tests.faultfs import FaultFS, MemFS, SimulatedCrash, store_digest
+
+SCHEMA = build_hospital_schema()
+DIR = "/store"
+
+# ----------------------------------------------------------------------
+# Operation vocabulary.  Every op is a plain tuple; object-valued slots
+# are indexes resolved modulo the live population so any drawn sequence
+# is applicable.
+# ----------------------------------------------------------------------
+
+_op = st.one_of(
+    st.tuples(st.just("ward"), st.integers(0, 39)),
+    st.tuples(st.just("patient"), st.integers(0, 119)),
+    st.tuples(st.just("set_age"), st.integers(0, 7),
+              st.sampled_from([25, 60, 119, 200])),      # 200 rejected
+    st.tuples(st.just("set_bp"), st.integers(0, 7),
+              st.sampled_from(["Normal_BP", "High_BP", "Low_BP"])),
+    st.tuples(st.just("unset"), st.integers(0, 7),
+              st.sampled_from(["age", "bloodPressure"])),
+    st.tuples(st.just("classify"), st.integers(0, 7),
+              st.sampled_from(["Alcoholic", "Ambulatory_Patient"])),
+    st.tuples(st.just("declassify"), st.integers(0, 7),
+              st.sampled_from(["Alcoholic", "Ambulatory_Patient"])),
+    st.tuples(st.just("remove"), st.integers(0, 7)),
+    st.tuples(st.just("txn"), st.integers(0, 7), st.integers(21, 90),
+              st.booleans()),                            # abort flag
+    st.tuples(st.just("bulk"), st.integers(1, 4), st.booleans()),
+    st.tuples(st.just("validate"), st.sampled_from(["all", "dirty"])),
+)
+
+_ops = st.lists(_op, min_size=4, max_size=14)
+
+
+def _pick(pool, index):
+    return pool[index % len(pool)] if pool else None
+
+
+def _apply(store, ctx, op):
+    """Apply one op; rejected mutations raise ConformanceError inside
+    and are swallowed (they must leave no trace, logged or otherwise)."""
+    kind = op[0]
+    try:
+        if kind == "ward":
+            ctx["wards"].append(store.create(
+                "Ward", floor=1 + op[1] % 40, name=f"W{op[1]}"))
+        elif kind == "patient":
+            ctx["patients"].append(store.create(
+                "Patient", name=f"P{op[1]}", age=20 + op[1] % 90))
+        elif kind == "set_age":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                store.set_value(target, "age", op[2])
+        elif kind == "set_bp":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                store.set_value(target, "bloodPressure",
+                                EnumSymbol(op[2]))
+        elif kind == "unset":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                store.unset_value(target, op[2])
+        elif kind == "classify":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                store.classify(target, op[2])
+        elif kind == "declassify":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                store.declassify(target, op[2])
+        elif kind == "remove":
+            target = _pick(ctx["patients"], op[1])
+            if target is not None:
+                ctx["patients"].remove(target)
+                store.remove(target)
+        elif kind == "txn":
+            target = _pick(ctx["patients"], op[1])
+            from repro.objects.transactions import transaction
+            try:
+                with transaction(store):
+                    ward = store.create("Ward", floor=2, name="T")
+                    ctx["wards"].append(ward)
+                    if target is not None:
+                        store.set_value(target, "age", op[2])
+                    if op[3]:
+                        raise _Abort()
+            except _Abort:
+                ctx["wards"].pop()
+        elif kind == "bulk":
+            mode = "deferred" if op[2] else "eager"
+            with store.bulk_session(check=mode) as session:
+                for i in range(op[1]):
+                    session.add("Ward", floor=3 + i, name=f"B{i}")
+        elif kind == "validate":
+            if op[1] == "all":
+                store.validate_all()
+            else:
+                store.validate_dirty()
+    except ConformanceError:
+        pass
+
+
+class _Abort(Exception):
+    pass
+
+
+def _run(store, ops, oracle=None):
+    ctx = {"wards": [], "patients": []}
+    if oracle is not None:
+        oracle.setdefault(store_digest(store), _violations(store))
+    for op in ops:
+        _apply(store, ctx, op)
+        if oracle is not None:
+            oracle.setdefault(store_digest(store), _violations(store))
+
+
+def _violations(store):
+    return frozenset(
+        (obj.surrogate.id, str(v))
+        for obj in store._objects.values()
+        for v in store.checker.check(obj))
+
+
+# ----------------------------------------------------------------------
+# Property 1: journaling is invisible.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_durable_store_matches_plain_store(ops):
+    plain = ObjectStore(SCHEMA)
+    _run(plain, ops)
+
+    fs = MemFS()
+    durable = open_store(DIR, SCHEMA, durability="wal", fs=fs,
+                         sync="always")
+    _run(durable, ops)
+    assert store_digest(durable) == store_digest(plain)
+    durable.close()
+
+    # ... and the state survives a clean close/reopen through the WAL.
+    reopened = open_store(DIR, fs=fs)
+    assert store_digest(reopened) == store_digest(plain)
+    reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Property 2: crashes recover a committed prefix.
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops, data=st.data())
+def test_random_crash_recovers_a_committed_prefix(ops, data):
+    probe = FaultFS()
+    store = open_store(DIR, SCHEMA, durability="wal", fs=probe,
+                       sync="always")
+    oracle = {}
+    _run(store, ops, oracle=oracle)
+    store.close()
+    total = probe.ops
+    assert total > 0
+
+    point = data.draw(st.integers(1, total), label="crash point")
+    policy = data.draw(st.sampled_from(["synced", "flushed", "torn"]),
+                       label="crash policy")
+    fs = FaultFS(crash_at=point, tear_writes=policy == "torn")
+    with pytest.raises(SimulatedCrash):
+        crashed = open_store(DIR, SCHEMA, durability="wal", fs=fs,
+                             sync="always")
+        _run(crashed, ops)
+        crashed.close()
+        pytest.fail("crash point inside the workload never fired")
+
+    disk = MemFS(fs.crash_state(policy))
+    if not disk.exists(f"{DIR}/MANIFEST"):
+        return      # died before the very first commit point
+    recovered = open_store(DIR, fs=disk)
+    digest = store_digest(recovered)
+    assert digest in oracle, (
+        f"crash at op {point}/{total} ({policy}): recovered state is "
+        "not any committed prefix")
+    found = frozenset((obj.surrogate.id, str(v))
+                      for obj, v in recovered.last_recovery.violations)
+    assert found == oracle[digest]
+    recovered.close()

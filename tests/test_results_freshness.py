@@ -154,3 +154,23 @@ def test_bench_bulk_json_structure():
     # a compiled checker.
     assert data["profiles_compiled"] >= 1
     assert data["validate_dirty_s"] > 0
+
+
+def test_bench_wal_json_structure():
+    data = _bench_json("BENCH_wal.json")
+    assert data["experiment"] == "A6-wal-durability"
+    assert data["n_objects"] >= 10_000
+    paths = data["paths"]
+    assert {"in-memory", "none", "wal group", "wal always"} <= set(paths)
+    for name, entry in paths.items():
+        assert entry["time_s"] > 0 and entry["objects_per_sec"] > 0
+    # The committed run cleared both acceptance floors (the benchmark
+    # asserts them again on regeneration).
+    assert data["write_ratio"] >= 0.5
+    assert data["write_ratio"] == paths["wal group"]["ratio_vs_none"]
+    assert data["recovery_s"] < 5.0
+    # Recovery replayed the whole eager workload from the log.
+    assert data["recovery_replayed"] >= data["n_objects"]
+    # fsync-per-commit must not beat batched group commit.
+    assert (paths["wal always"]["objects_per_sec"]
+            <= paths["wal group"]["objects_per_sec"])
