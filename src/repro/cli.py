@@ -253,7 +253,9 @@ def cmd_load(args) -> int:
         from repro.storage.engine import StorageEngine
         from repro.storage.persist import save_engine
         engine = StorageEngine(schema)
-        engine.store_all(store.instances())
+        # Export from a snapshot: one consistent committed epoch, even if
+        # the store is being served concurrently.
+        engine.store_all(store.snapshot().instances())
         save_engine(engine, args.persist)
         print(f"persisted {engine.total_rows()} rows in "
               f"{engine.partition_count()} partitions to {args.persist}")

@@ -126,6 +126,14 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         "recovers a committed prefix (fault-injection sweeps)",
         ("repro.storage.wal", "repro.storage.recovery"),
         "bench_wal_durability.py"),
+    Experiment(
+        "A7", "Concurrent serving via MVCC snapshots", "substrate",
+        "snapshot readers never block on the writer: 4 reader threads "
+        "sustain >= 2x the aggregate query throughput of a lock-coupled "
+        "reader while a transactional writer churns a 10k-object store",
+        ("repro.objects.pipeline", "repro.objects.snapshot",
+         "repro.objects.concurrent"),
+        "bench_concurrent.py"),
 )
 
 

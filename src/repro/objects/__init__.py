@@ -10,6 +10,11 @@ This is the database substrate the paper presumes (Sections 2c, 3c, 5.6):
   patients, so the store classifies/declassifies those values as the
   referencing attributes change;
 * writes are checked against the excuse semantics (eagerly by default);
+* every mutation flows through one command pipeline
+  (:mod:`repro.objects.pipeline`), reads can run against immutable MVCC
+  snapshots (:mod:`repro.objects.snapshot`), and
+  :class:`~repro.objects.concurrent.ConcurrentStore` serves both to
+  multiple threads;
 * the per-individual run-time exception mechanism of Borgida 1985
   (reference [4]) is provided as a baseline in
   :mod:`repro.objects.exceptional`.
@@ -18,6 +23,14 @@ This is the database substrate the paper presumes (Sections 2c, 3c, 5.6):
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate
 from repro.objects.store import CheckMode, Engine, ObjectStore
+from repro.objects.pipeline import (
+    MutationCommand,
+    MutationPipeline,
+    RestorePoint,
+    TransactionError,
+)
+from repro.objects.snapshot import SnapshotInstance, StoreSnapshot
+from repro.objects.concurrent import ConcurrentStore
 from repro.objects.bulk import BulkReport, BulkSession
 from repro.objects.exceptional import (
     ExceptionRecord,
@@ -28,10 +41,17 @@ __all__ = [
     "BulkReport",
     "BulkSession",
     "CheckMode",
+    "ConcurrentStore",
     "Engine",
     "ExceptionRecord",
     "ExceptionalIndividualRegistry",
     "Instance",
+    "MutationCommand",
+    "MutationPipeline",
     "ObjectStore",
+    "RestorePoint",
+    "SnapshotInstance",
+    "StoreSnapshot",
     "Surrogate",
+    "TransactionError",
 ]

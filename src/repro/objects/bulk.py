@@ -58,9 +58,9 @@ from typing import (
 
 from repro.errors import ConformanceError, UnknownClassError
 from repro.objects.instance import Instance
+from repro.objects.pipeline import BulkCommand, RestorePoint
 from repro.objects.store import CheckMode, ObjectStore
 from repro.objects.surrogate import Surrogate
-from repro.objects.transactions import StoreSnapshot
 from repro.semantics.checker import Violation, expand_signature
 from repro.semantics.compiled import CompiledProfileChecker
 from repro.typesys.values import INAPPLICABLE, is_entity
@@ -143,7 +143,7 @@ class BulkSession:
         self._parallel = parallel
         self._staged: List[_Staged] = []
         self._closed = False
-        self._snapshot = StoreSnapshot(store, include_stats=True)
+        self._snapshot = RestorePoint(store, include_stats=True)
         #: Class tuples already validated against the schema.
         # class spec -> (validated class tuple, membership-set template)
         self._known: Dict[Tuple[str, ...],
@@ -213,6 +213,8 @@ class BulkSession:
         allocator._next += 1
         obj._memberships = members.copy()
         obj._values = values
+        # Fresh containers: no snapshot can have captured them.
+        obj._cow_stamp = self._store._snapshot_stamp
         staged = self._staged
         staged.append(_Staged(len(staged), obj, class_tuple, values,
                               write_attrs))
@@ -250,45 +252,25 @@ class BulkSession:
     # ------------------------------------------------------------------
 
     def commit(self) -> BulkReport:
-        """Merge the staged rows into the store, all or nothing."""
+        """Merge the staged rows into the store, all or nothing.
+
+        The batch is one pipeline command: validation, merge, fallback
+        rows, the single WAL record and the epoch bump all happen inside
+        :meth:`repro.objects.pipeline.MutationPipeline.apply_bulk` (the
+        per-row fallback applies run nested, so they are never journaled
+        individually)."""
         self._require_open()
         self._closed = True
-        store = self._store
-        stats = store.checker.stats
         staged = self._staged
-        journal = store._journal
-        if journal is not None:
-            # The fallback path runs the store's journaled methods;
-            # suspend per-operation logging -- a committed batch is one
-            # WAL record, all-or-nothing across recovery too.
-            journal.pause()
-        try:
-            fast, slow = self._partition()
-            groups = self._group(fast)
-            compiled_for = self._compile(groups)
-            if self._mode == CheckMode.EAGER:
-                self._validate_fast(groups, compiled_for)
-            self._merge_fast(fast, groups)
-            for entry in slow:
-                self._apply_fallback(entry)
-            stats.bulk_loads += 1
-            stats.bulk_objects += len(fast)
-            stats.bulk_fallbacks += len(slow)
-        except BaseException:
-            self._snapshot.restore()
-            raise
-        finally:
-            if journal is not None:
-                journal.resume()
-        if journal is not None and staged:
-            journal.log_bulk(staged, self._mode)
+        command = BulkCommand(self)
+        self._store._pipeline.execute(command)
         self.report = BulkReport(
             objects=len(staged),
-            fast_objects=len(fast),
-            fallback_objects=len(slow),
-            profiles=len(groups),
+            fast_objects=len(command.fast),
+            fallback_objects=len(command.slow),
+            profiles=len(command.groups),
             compiled_profiles=sum(
-                1 for checker in compiled_for.values()
+                1 for checker in command.compiled_for.values()
                 if checker is not None),
             check=self._mode,
             parallel=self._parallel,
@@ -370,27 +352,14 @@ class BulkSession:
         cache = self._store._compiled_profile_cache()
         return {signature: cache.get(signature) for signature in groups}
 
-    def _validate_fast(self, groups, compiled_for) -> None:
-        """Eager validation of the fast path: unshared-structure checks
-        in row order, then per-profile conformance, compiled groups
-        possibly in parallel.  Raises :class:`ConformanceError` on the
+    def _check_profiles(self, groups, compiled_for) -> None:
+        """Per-profile conformance for the fast path, compiled groups
+        possibly in parallel (the unshared-structure sweep runs first,
+        in the pipeline's :meth:`~repro.objects.pipeline.MutationPipeline.
+        bulk_validate`).  Raises :class:`ConformanceError` on the
         earliest-staged violating object."""
         store = self._store
         stats = store.checker.stats
-        if store.strict_virtual_extents:
-            # Only values that are members of some virtual class can
-            # violate unshared structure; collect those members once.
-            virtual_members = set()
-            for cdef in store.schema.virtual_classes():
-                virtual_members |= store._extents.get(cdef.name, set())
-            if virtual_members:
-                for entries in groups.values():
-                    for entry in entries:
-                        for attribute, value in entry.values.items():
-                            if (is_entity(value) and
-                                    value.surrogate in virtual_members):
-                                store._enforce_unshared(
-                                    entry.obj, attribute, value)
         work: List[Tuple[CompiledProfileChecker, _Staged]] = []
         failures: List[Tuple[int, List[Violation]]] = []
         for signature, entries in groups.items():
@@ -429,69 +398,6 @@ class BulkSession:
             raise ConformanceError(
                 self._staged[pos].obj.surrogate, first.class_name,
                 first.attribute, str(first))
-
-    def _merge_fast(self, fast: List[_Staged], groups) -> None:
-        """Make the fast-path objects visible: registration, one extent
-        pass per profile, one index pass per batch (single design-version
-        bump), dirty marks and counters."""
-        store = self._store
-        if not fast:
-            return
-        objects = store._objects
-        indexed = (set(store.indexes.attributes())
-                   if len(store.indexes) else None)
-        # Freshly-created objects have no ledger entry, so marking
-        # whole-object dirty is a plain insert (no merge logic).
-        deferred = self._mode != CheckMode.EAGER
-        dirty = store._dirty
-        merged: List[Instance] = []
-        append = merged.append
-        total_writes = 0
-        classifies = 0
-        indexed_writes = 0
-        for entry in fast:
-            obj = entry.obj
-            surrogate = obj.surrogate
-            objects[surrogate] = obj
-            append(obj)
-            total_writes += entry.n_writes
-            classifies += len(entry.classes) - 1
-            if indexed:
-                for attribute in entry.write_attrs:
-                    if attribute in indexed:
-                        indexed_writes += 1
-            if deferred:
-                dirty[surrogate] = None
-        extents = store._extents
-        schema = store.schema
-        for signature, entries in groups.items():
-            surrogates = [entry.obj.surrogate for entry in entries]
-            for class_name in expand_signature(schema, signature):
-                extents.setdefault(class_name, set()).update(surrogates)
-        store._extent_cache.clear()
-        store.indexes.bulk_add(merged, indexed_writes)
-        stats = store.checker.stats
-        stats.writes += total_writes
-        stats.classifies += classifies
-
-    def _apply_fallback(self, entry: _Staged) -> None:
-        """Apply one virtual-class-involved row through the store's
-        ordinary machinery, in the sequential order the batch is
-        equivalent to: install bare, classify the extra classes, then
-        write the values (the staged instance is un-baked first so the
-        checked paths see the same transitions a sequential caller would
-        produce)."""
-        store = self._store
-        obj = entry.obj
-        obj._memberships = {entry.classes[0]}
-        obj._values = {}
-        store._install_new(obj, entry.classes[0], self._mode)
-        for extra in entry.classes[1:]:
-            store.classify(obj, extra, check=self._mode)
-        for attribute in entry.write_attrs:
-            store._set_value_internal(
-                obj, attribute, entry.values.get(attribute, INAPPLICABLE),
-                self._mode)
 
     def _require_open(self) -> None:
         if self._closed:

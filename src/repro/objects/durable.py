@@ -15,6 +15,14 @@ committed prefix of the mutation history -- including every derived
 structure (extents, virtual-class memberships and reference counts,
 dirty marks) the original run produced.
 
+The journaling itself is a pipeline stage: each depth-1
+:class:`~repro.objects.pipeline.MutationCommand` that reports
+``mutated`` appends its own logical record (nested internal commands --
+a failing create's cleanup removal, a bulk batch's per-object fallback
+rows -- never reach the log), so this subclass carries no per-mutation
+overrides; it binds the directory, the journal and the checkpoint
+lifecycle.
+
 Obtain one through ``ObjectStore.open(path, durability="wal")``; with
 ``durability="none"`` the same class skips the journal and only persists
 on explicit :meth:`checkpoint` (still atomically -- an interrupted
@@ -29,20 +37,16 @@ handling under any evaluation order).
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.objects.instance import Instance
 from repro.objects.store import ObjectStore
-from repro.storage.wal import WriteAheadLog, encode_value, encode_values
-from repro.typesys.values import INAPPLICABLE
+from repro.storage.wal import WriteAheadLog, encode_value
 
 
 class StoreJournal:
     """The store-facing face of one :class:`WriteAheadLog`.
 
-    Adds a suspension counter (bulk commits and recovery replay run the
-    ordinary store paths without logging each internal step) and the
-    op-specific record shapes.
+    Adds a suspension counter (recovery replay runs the ordinary store
+    paths without logging each replayed step) and the op-specific record
+    shapes.
     """
 
     def __init__(self, wal: WriteAheadLog) -> None:
@@ -116,92 +120,6 @@ class DurableObjectStore(ObjectStore):
         self.sync_policy = sync
         #: Filled by :func:`repro.storage.recovery.recover_store`.
         self.last_recovery = None
-
-    # ------------------------------------------------------------------
-    # Journaled mutation paths
-    # ------------------------------------------------------------------
-
-    def create(self, class_name: str, check: Optional[str] = None,
-               **values) -> Instance:
-        journal = self._journal
-        if journal is None:
-            return super().create(class_name, check=check, **values)
-        # The base path's failure handling removes the half-built object
-        # through self.remove; pause so that internal removal of a
-        # never-logged create is not itself logged.
-        journal.pause()
-        try:
-            obj = super().create(class_name, check=check, **values)
-        finally:
-            journal.resume()
-        fields = {"sid": obj.surrogate.id, "cls": class_name,
-                  "values": encode_values(values)}
-        if check is not None and check != self.check_mode:
-            fields["mode"] = check      # replay defaults to check_mode
-        journal.record("create", fields)
-        return obj
-
-    def set_value(self, obj: Instance, attribute: str, value,
-                  check: Optional[str] = None) -> None:
-        super().set_value(obj, attribute, value, check=check)
-        journal = self._journal
-        if journal is not None:
-            if value is INAPPLICABLE:
-                fields = {"sid": obj.surrogate.id, "attr": attribute}
-                op = "unset"
-            else:
-                fields = {"sid": obj.surrogate.id, "attr": attribute,
-                          "value": encode_value(value)}
-                op = "set"
-            if check is not None and check != self.check_mode:
-                fields["mode"] = check
-            journal.record(op, fields)
-
-    def classify(self, obj: Instance, class_name: str,
-                 check: Optional[str] = None) -> None:
-        already = class_name in obj.memberships
-        super().classify(obj, class_name, check=check)
-        journal = self._journal
-        if journal is not None and not already:
-            fields = {"sid": obj.surrogate.id, "cls": class_name}
-            if check is not None and check != self.check_mode:
-                fields["mode"] = check
-            journal.record("classify", fields)
-
-    def declassify(self, obj: Instance, class_name: str,
-                   check: Optional[str] = None) -> None:
-        present = class_name in obj.memberships
-        super().declassify(obj, class_name, check=check)
-        journal = self._journal
-        if journal is not None and present:
-            fields = {"sid": obj.surrogate.id, "cls": class_name}
-            if check is not None and check != self.check_mode:
-                fields["mode"] = check
-            journal.record("declassify", fields)
-
-    def remove(self, obj: Instance) -> None:
-        sid = obj.surrogate.id
-        super().remove(obj)
-        journal = self._journal
-        if journal is not None:
-            journal.record("remove", {"sid": sid})
-
-    def validate_all(self):
-        # Validation sweeps mutate durable state too (conformant objects
-        # leave the dirty ledger), so they are journaled and re-run on
-        # replay.
-        out = super().validate_all()
-        journal = self._journal
-        if journal is not None:
-            journal.record("validate", {"scope": "all"})
-        return out
-
-    def validate_dirty(self):
-        out = super().validate_dirty()
-        journal = self._journal
-        if journal is not None:
-            journal.record("validate", {"scope": "dirty"})
-        return out
 
     # ------------------------------------------------------------------
     # Durability lifecycle

@@ -23,13 +23,16 @@ from repro.typesys.values import INAPPLICABLE
 class Instance:
     """One entity: a surrogate, direct class memberships, and values."""
 
-    __slots__ = ("surrogate", "_memberships", "_values")
+    __slots__ = ("surrogate", "_memberships", "_values", "_cow_stamp")
 
     def __init__(self, surrogate, memberships: Iterable[str] = (),
                  values: Dict[str, object] = None) -> None:
         self.surrogate = surrogate
         self._memberships: Set[str] = set(memberships)
         self._values: Dict[str, object] = dict(values or {})
+        # Copy-on-write stamp: the store's snapshot stamp as of the last
+        # time the containers above were privatized (-1 = never shared).
+        self._cow_stamp: int = -1
 
     # Entity protocol ----------------------------------------------------
 

@@ -1,0 +1,965 @@
+"""The unified mutation pipeline: every write is one command, one path.
+
+Historically each mutation entry point -- ``create``/``remove``,
+``classify``/``declassify``, ``set_value``/``unset_value``, transaction
+scopes, and bulk batches -- carried its own hand-written orchestration of
+the same five concerns, duplicated across ``store.py``,
+``transactions.py``, ``bulk.py`` and ``durable.py``.  This module is the
+single home for that orchestration.  A mutation is a typed
+:class:`MutationCommand` executed by the store's
+:class:`MutationPipeline`, and every command flows through one ordered
+stage sequence:
+
+1. **admit** -- liveness / schema checks (raises before anything moves);
+2. **apply** -- conformance checking (incremental, full, or
+   profile-compiled) interleaved with extent, virtual-class and
+   secondary-index maintenance, rolling its own work back on violation;
+3. **journal** -- on a durable store, the surviving command is appended
+   to the WAL as one logical record (nested commands -- a bulk batch's
+   per-object fallback, a failing create's internal removal -- never
+   reach the log because only depth-1 commands are journaled);
+4. **commit** -- the store epoch is bumped and observers are notified.
+
+The pipeline also owns the store's **write lock**: commands, transaction
+scopes and snapshot capture all serialize through ``store._write_lock``,
+which is what makes :meth:`~repro.objects.store.ObjectStore.snapshot`
+reads safe from other threads (see :mod:`repro.objects.snapshot` and
+:mod:`repro.objects.concurrent`).
+
+Copy-on-write discipline
+------------------------
+
+Snapshot captures are O(live structure roots), not O(state): a snapshot
+records *references* to instance membership/value dicts, extent sets and
+index postings.  The pipeline therefore privatizes any structure it is
+about to mutate when the structure is older than the newest snapshot
+stamp (``store._snapshot_stamp``): instances through
+``store._prepare_write``, extent sets through :meth:`writable_extent`,
+index postings through the manager's own copy-on-write hooks.  Captured
+references are thus frozen forever, and a snapshot taken before a
+committed mutation can never observe it.
+
+This module is deliberately the **only** place that mutates
+``store._extents`` and index internals -- enforced by
+``tests/test_api_hygiene.py`` (the AST ban ruff cannot express).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConformanceError, UnknownClassError
+from repro.objects.instance import Instance
+from repro.objects.surrogate import Surrogate
+from repro.semantics.checker import Violation
+from repro.typesys.values import INAPPLICABLE, is_entity
+
+
+class CheckMode:
+    """When conformance is enforced."""
+
+    EAGER = "eager"      # on every write (default)
+    DEFERRED = "deferred"  # only via validate_all()
+    NONE = "none"        # never (benchmarking substrate only)
+
+
+class Engine:
+    """How eager conformance verdicts are computed."""
+
+    INCREMENTAL = "incremental"  # constraint index + mutation-scoped checks
+    FULL = "full"                # re-derive whole-object checks (baseline)
+
+
+class TransactionError(Exception):
+    """Raised when commit-time validation fails inside a transaction."""
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+class MutationCommand:
+    """One mutation flowing through the pipeline.
+
+    ``mutated`` reports whether the apply stage changed committed state:
+    no-op commands (classify to an existing membership, declassify of an
+    absent one) and rolled-back attempts leave it False, so they neither
+    reach the journal nor bump the store epoch -- a cached snapshot
+    stays valid across them.
+    """
+
+    op = "?"
+    __slots__ = ("check", "mutated")
+
+    def __init__(self, check: Optional[str] = None) -> None:
+        self.check = check
+        self.mutated = False
+
+    def mode(self, store) -> str:
+        return self.check if self.check is not None else store.check_mode
+
+    def apply(self, pipe: "MutationPipeline"):
+        raise NotImplementedError
+
+    def journal(self, pipe: "MutationPipeline", journal) -> None:
+        """Append this command's logical WAL record (depth-1 commands on
+        a journaling store only)."""
+
+    def _mode_field(self, store, fields: dict) -> dict:
+        if self.check is not None and self.check != store.check_mode:
+            fields["mode"] = self.check   # replay defaults to check_mode
+        return fields
+
+
+class CreateCommand(MutationCommand):
+    op = "create"
+    __slots__ = ("class_name", "values", "result")
+
+    def __init__(self, class_name: str, values: Dict[str, object],
+                 check: Optional[str] = None) -> None:
+        super().__init__(check)
+        self.class_name = class_name
+        self.values = values
+        self.result: Optional[Instance] = None
+
+    def apply(self, pipe):
+        self.result = pipe.apply_create(self.class_name, self.values,
+                                        self.mode(pipe.store))
+        self.mutated = True
+        return self.result
+
+    def journal(self, pipe, journal):
+        from repro.storage.wal import encode_values
+        fields = {"sid": self.result.surrogate.id, "cls": self.class_name,
+                  "values": encode_values(self.values)}
+        journal.record("create", self._mode_field(pipe.store, fields))
+
+
+class RemoveCommand(MutationCommand):
+    op = "remove"
+    __slots__ = ("obj", "sid")
+
+    def __init__(self, obj: Instance) -> None:
+        super().__init__(None)
+        self.obj = obj
+        self.sid = obj.surrogate.id
+
+    def apply(self, pipe):
+        pipe.apply_remove(self.obj)
+        self.mutated = True
+
+    def journal(self, pipe, journal):
+        journal.record("remove", {"sid": self.sid})
+
+
+class ClassifyCommand(MutationCommand):
+    op = "classify"
+    __slots__ = ("obj", "class_name")
+
+    def __init__(self, obj: Instance, class_name: str,
+                 check: Optional[str] = None) -> None:
+        super().__init__(check)
+        self.obj = obj
+        self.class_name = class_name
+
+    def apply(self, pipe):
+        self.mutated = pipe.apply_classify(
+            self.obj, self.class_name, self.mode(pipe.store))
+
+    def journal(self, pipe, journal):
+        fields = {"sid": self.obj.surrogate.id, "cls": self.class_name}
+        journal.record("classify", self._mode_field(pipe.store, fields))
+
+
+class DeclassifyCommand(MutationCommand):
+    op = "declassify"
+    __slots__ = ("obj", "class_name")
+
+    def __init__(self, obj: Instance, class_name: str,
+                 check: Optional[str] = None) -> None:
+        super().__init__(check)
+        self.obj = obj
+        self.class_name = class_name
+
+    def apply(self, pipe):
+        self.mutated = pipe.apply_declassify(
+            self.obj, self.class_name, self.mode(pipe.store))
+
+    def journal(self, pipe, journal):
+        fields = {"sid": self.obj.surrogate.id, "cls": self.class_name}
+        journal.record("declassify", self._mode_field(pipe.store, fields))
+
+
+class SetValueCommand(MutationCommand):
+    op = "set"
+    __slots__ = ("obj", "attribute", "value")
+
+    def __init__(self, obj: Instance, attribute: str, value,
+                 check: Optional[str] = None) -> None:
+        super().__init__(check)
+        self.obj = obj
+        self.attribute = attribute
+        self.value = value
+
+    def apply(self, pipe):
+        pipe.store._require_live(self.obj)
+        pipe.apply_set_value(self.obj, self.attribute, self.value,
+                             self.mode(pipe.store))
+        self.mutated = True
+
+    def journal(self, pipe, journal):
+        from repro.storage.wal import encode_value
+        if self.value is INAPPLICABLE:
+            op = "unset"
+            fields = {"sid": self.obj.surrogate.id, "attr": self.attribute}
+        else:
+            op = "set"
+            fields = {"sid": self.obj.surrogate.id, "attr": self.attribute,
+                      "value": encode_value(self.value)}
+        journal.record(op, self._mode_field(pipe.store, fields))
+
+
+class ValidateCommand(MutationCommand):
+    op = "validate"
+    __slots__ = ("scope", "result")
+
+    def __init__(self, scope: str) -> None:
+        super().__init__(None)
+        self.scope = scope
+        self.result: List[Tuple[Instance, Violation]] = []
+
+    def apply(self, pipe):
+        self.result = pipe.apply_validate(self.scope)
+        # Validation sweeps mutate durable state (conformant objects
+        # leave the dirty ledger), so they are journaled and replayed.
+        self.mutated = True
+        return self.result
+
+    def journal(self, pipe, journal):
+        journal.record("validate", {"scope": self.scope})
+
+
+class BulkCommand(MutationCommand):
+    """One staged bulk batch committed as a single pipeline command (and
+    a single WAL record)."""
+
+    op = "bulk"
+    __slots__ = ("session", "fast", "slow", "groups", "compiled_for")
+
+    def __init__(self, session) -> None:
+        super().__init__(session._mode)
+        self.session = session
+
+    def apply(self, pipe):
+        self.fast, self.slow, self.groups, self.compiled_for = \
+            pipe.apply_bulk(self.session)
+        self.mutated = bool(self.session._staged)
+
+    def journal(self, pipe, journal):
+        journal.log_bulk(self.session._staged, self.session._mode)
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+class MutationPipeline:
+    """Executes commands for one store through the staged sequence.
+
+    Holds the store's write lock for the duration of each command (and
+    of whole transaction scopes), tracks nesting depth so internal
+    re-entrant applies (a failing create's removal, a bulk batch's
+    per-object fallback rows) are never journaled and never bump the
+    epoch, and owns all extent / virtual-class / index maintenance.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self._depth = 0
+        #: Open transaction scopes (all on the lock-holding thread).
+        self._txn_depth = 0
+        #: Commands committed inside an open transaction: observer
+        #: notification is deferred to scope commit (and dropped on
+        #: rollback), so observers only ever see durable commands.
+        self._pending: List[MutationCommand] = []
+
+    # ------------------------------------------------------------------
+    # Stage driver
+    # ------------------------------------------------------------------
+
+    def execute(self, command: MutationCommand):
+        store = self.store
+        with store._write_lock:
+            self._depth += 1
+            try:
+                result = command.apply(self)
+            finally:
+                self._depth -= 1
+            if self._depth == 0 and command.mutated:
+                journal = store._journal
+                if journal is not None:
+                    command.journal(self, journal)
+                store._epoch += 1
+                if self._txn_depth:
+                    self._pending.append(command)
+                else:
+                    for observer in store.observers:
+                        observer(command)
+            return result
+
+    @contextmanager
+    def transaction(self, validate_on_commit: bool = False):
+        """Atomic scope: every command commits or none does.
+
+        The write lock is held for the whole scope, so no snapshot (and
+        no other thread's command) can ever observe an uncommitted
+        intermediate state; on a durable store the WAL group-commits the
+        scope as one record.  Rollback restores every structure through
+        the copy-on-write discipline, so snapshots captured before the
+        scope stay untouched.
+        """
+        store = self.store
+        with store._write_lock:
+            # Seed the committed-epoch snapshot cache: reads issued
+            # inside the scope (stats(), same-thread snapshot()) are
+            # served this pre-transaction epoch, never partial state.
+            store.snapshot()
+            restore_point = RestorePoint(store)
+            journal = store._journal
+            if journal is not None:
+                # Group commit: records buffered until the scope exits
+                # cleanly, discarded (sequence rolled back) on abort.
+                journal.begin()
+            self._txn_depth += 1
+            mark = len(self._pending)
+            try:
+                yield
+                if validate_on_commit:
+                    problems = store.validate_all()
+                    if problems:
+                        raise TransactionError(
+                            "; ".join(str(v) for _obj, v in problems[:5]))
+            except BaseException:
+                self._txn_depth -= 1
+                del self._pending[mark:]
+                restore_point.restore()
+                if journal is not None:
+                    journal.abort()
+                raise
+            self._txn_depth -= 1
+            if journal is not None:
+                journal.commit()
+            if self._txn_depth == 0 and self._pending:
+                pending, self._pending = self._pending, []
+                for command in pending:
+                    for observer in store.observers:
+                        observer(command)
+
+    # ------------------------------------------------------------------
+    # Apply stage: create / remove
+    # ------------------------------------------------------------------
+
+    def apply_create(self, class_name: str, values: Dict[str, object],
+                     mode: str) -> Instance:
+        store = self.store
+        if not store.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        obj = Instance(store._allocator.allocate(), (class_name,))
+        obj._cow_stamp = store._snapshot_stamp   # fresh dicts, never captured
+        self.install_new(obj, class_name, mode)
+        try:
+            for name, value in values.items():
+                self.apply_set_value(obj, name, value, mode)
+        except ConformanceError:
+            self.apply_remove(obj)
+            raise
+        return obj
+
+    def install_new(self, obj: Instance, class_name: str,
+                    mode: str) -> None:
+        """Register a freshly-allocated instance as live: objects map,
+        index postings, extents, and (for unchecked modes) the dirty
+        ledger."""
+        store = self.store
+        store._objects[obj.surrogate] = obj
+        store.indexes.on_create(obj.surrogate)
+        self.add_to_extents(obj, class_name)
+        if mode != CheckMode.EAGER:
+            store._mark_dirty(obj)
+
+    def apply_remove(self, obj: Instance) -> None:
+        store = self.store
+        store._require_live(obj)
+        store.checker.stats.removals += 1
+        for name in obj.value_names():
+            value = obj.get_value(name)
+            if is_entity(value):
+                self.release_virtual_targets(obj, name, value)
+        surrogate = obj.surrogate
+        for class_name, members in store._extents.items():
+            if surrogate in members:
+                self.writable_extent(class_name).discard(surrogate)
+                store._extent_cache.pop(class_name, None)
+        del store._objects[surrogate]
+        store.indexes.on_remove(surrogate)
+        store._dirty.pop(surrogate, None)
+        # Anything still referencing the dead object keeps a dangling
+        # Python reference by design, but the refcount bookkeeping must
+        # not outlive the object: stale entries would corrupt the counts
+        # if the surrogate were ever re-issued (transaction rollback).
+        stale = [key for key in store._virtual_refs if key[1] == surrogate]
+        for key in stale:
+            del store._virtual_refs[key]
+
+    # ------------------------------------------------------------------
+    # Apply stage: membership changes
+    # ------------------------------------------------------------------
+
+    def apply_classify(self, obj: Instance, class_name: str,
+                       mode: str) -> bool:
+        store = self.store
+        store._require_live(obj)
+        if not store.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        if class_name in obj.memberships:
+            return False
+        checker = store.checker
+        checker.stats.classifies += 1
+        eager = mode == CheckMode.EAGER
+        before = checker.expanded_memberships(obj) if eager else None
+        joins = self.begin_join_log(eager)
+        try:
+            store._prepare_write(obj)
+            obj._add_membership(class_name)
+            self.add_to_extents(obj, class_name)
+            self.cascade_virtuals(obj, class_name, +1)
+        finally:
+            self.end_join_log(joins)
+        if not eager:
+            store._mark_dirty(obj)
+            return True
+        delta = store.schema.ancestors(class_name) - before
+        blamed, violations = obj, self.check_membership_gain(obj, delta)
+        if not violations:
+            blamed, violations = self.check_joins(joins, skip=obj)
+        if violations:
+            checker.stats.rollbacks += 1
+            self.cascade_virtuals(obj, class_name, -1)
+            obj._remove_membership(class_name)
+            self.rebuild_extents_for(obj)
+            raise ConformanceError(
+                blamed.surrogate, violations[0].class_name,
+                violations[0].attribute, str(violations[0]))
+        return True
+
+    def apply_declassify(self, obj: Instance, class_name: str,
+                         mode: str) -> bool:
+        store = self.store
+        store._require_live(obj)
+        if class_name not in obj.memberships:
+            return False
+        checker = store.checker
+        checker.stats.declassifies += 1
+        eager = mode == CheckMode.EAGER
+        before = checker.expanded_memberships(obj) if eager else None
+        self.cascade_virtuals(obj, class_name, -1)
+        store._prepare_write(obj)
+        obj._remove_membership(class_name)
+        self.rebuild_extents_for(obj)
+        if not eager:
+            store._mark_dirty(obj)
+            return True
+        removed = before - checker.expanded_memberships(obj)
+        if store.engine == Engine.INCREMENTAL:
+            violations = checker.check_membership_loss(obj, removed)
+        else:
+            violations = checker.check(obj)
+        hard = [v for v in violations if v.kind != "inapplicable-attribute"]
+        if hard:
+            checker.stats.rollbacks += 1
+            obj._add_membership(class_name)
+            self.add_to_extents(obj, class_name)
+            self.cascade_virtuals(obj, class_name, +1)
+            raise ConformanceError(
+                obj.surrogate, hard[0].class_name,
+                hard[0].attribute, str(hard[0]))
+        if violations:
+            store._mark_dirty(obj)
+        return True
+
+    # ------------------------------------------------------------------
+    # Apply stage: attribute writes
+    # ------------------------------------------------------------------
+
+    def apply_set_value(self, obj: Instance, attribute: str, value,
+                        mode: str) -> None:
+        store = self.store
+        old = obj.get_value(attribute)
+        stats = store.checker.stats
+        stats.writes += 1
+        eager = mode == CheckMode.EAGER
+        if eager and store.strict_virtual_extents and is_entity(value):
+            # Unchecked writes (bulk loading) bypass the unshared
+            # invariant along with every other check; the type checker's
+            # provenance reasoning is sound for eagerly-checked stores.
+            self.enforce_unshared(obj, attribute, value)
+
+        timing = stats.active
+        t0 = stats.clock() if timing else 0.0
+
+        # Classify the new value into the virtual classes this assignment
+        # anchors, release the old value's anchoring, then check.
+        joins = self.begin_join_log(eager)
+        try:
+            self.acquire_virtual_targets(obj, attribute, value)
+            if is_entity(old):
+                self.release_virtual_targets(obj, attribute, old)
+            store._prepare_write(obj)
+            obj._set_value(attribute, value)
+            store.indexes.on_value_change(obj.surrogate, attribute, value)
+        finally:
+            self.end_join_log(joins)
+
+        if not eager:
+            store._mark_dirty(obj, attribute)
+            if timing:
+                stats.record("write.unchecked", stats.clock() - t0)
+            return
+        blamed = obj
+        if store.engine == Engine.INCREMENTAL:
+            violations = store.checker.check_attribute(obj, attribute, value)
+        else:
+            violations = store.checker.check(obj)
+        if not violations:
+            blamed, violations = self.check_joins(joins, skip=obj)
+        if violations:
+            # Roll back: restore the old value and the anchoring counts.
+            stats.rollbacks += 1
+            obj._set_value(attribute, old)
+            store.indexes.on_value_change(obj.surrogate, attribute, old)
+            if is_entity(old):
+                self.acquire_virtual_targets(obj, attribute, old)
+            if is_entity(value):
+                self.release_virtual_targets(obj, attribute, value)
+            if timing:
+                stats.record("write.eager", stats.clock() - t0)
+            v = violations[0]
+            raise ConformanceError(blamed.surrogate, v.class_name,
+                                   v.attribute, str(v))
+        if timing:
+            stats.record("write.eager", stats.clock() - t0)
+
+    # ------------------------------------------------------------------
+    # Apply stage: whole-store validation
+    # ------------------------------------------------------------------
+
+    def apply_validate(self, scope: str) -> List[Tuple[Instance, Violation]]:
+        store = self.store
+        out: List[Tuple[Instance, Violation]] = []
+        if scope == "all":
+            for obj in store._objects.values():
+                problems = store.checker.check(obj)
+                for violation in problems:
+                    out.append((obj, violation))
+                if not problems:
+                    store._dirty.pop(obj.surrogate, None)
+            return out
+        for surrogate in sorted(store._dirty):
+            obj = store._objects.get(surrogate)
+            if obj is None:
+                continue
+            attrs = store._dirty[surrogate]
+            if attrs is None:
+                problems = store.checker.check(obj)
+            else:
+                problems = [
+                    v for name in sorted(attrs)
+                    for v in store.checker.check_attribute(
+                        obj, name, obj.get_value(name))
+                ]
+            if problems:
+                for violation in problems:
+                    out.append((obj, violation))
+            else:
+                del store._dirty[surrogate]
+        return out
+
+    # ------------------------------------------------------------------
+    # Apply stage: bulk batches
+    # ------------------------------------------------------------------
+
+    def apply_bulk(self, session):
+        """Commit one staged bulk batch: validate the fast-path groups,
+        merge them in one pass, run virtual-class-involved rows through
+        the ordinary (nested, unjournaled) apply paths.  All-or-nothing:
+        any failure restores the pre-batch state."""
+        store = self.store
+        stats = store.checker.stats
+        try:
+            fast, slow = session._partition()
+            groups = session._group(fast)
+            compiled_for = session._compile(groups)
+            if session._mode == CheckMode.EAGER:
+                self.bulk_validate(session, groups, compiled_for)
+            self.bulk_merge(fast, groups, session._mode)
+            for entry in slow:
+                self.bulk_fallback(entry, session._mode)
+            stats.bulk_loads += 1
+            stats.bulk_objects += len(fast)
+            stats.bulk_fallbacks += len(slow)
+        except BaseException:
+            session._snapshot.restore()
+            raise
+        return fast, slow, groups, compiled_for
+
+    def bulk_validate(self, session, groups, compiled_for) -> None:
+        """Eager validation of the fast path: unshared-structure checks,
+        then per-profile conformance (compiled groups possibly across
+        session worker threads).  Raises on the earliest-staged
+        violating object."""
+        store = self.store
+        if store.strict_virtual_extents:
+            # Only values that are members of some virtual class can
+            # violate unshared structure; collect those members once.
+            virtual_members: Set[Surrogate] = set()
+            for cdef in store.schema.virtual_classes():
+                virtual_members |= store._extents.get(cdef.name, set())
+            if virtual_members:
+                for entries in groups.values():
+                    for entry in entries:
+                        for attribute, value in entry.values.items():
+                            if (is_entity(value) and
+                                    value.surrogate in virtual_members):
+                                self.enforce_unshared(
+                                    entry.obj, attribute, value)
+        session._check_profiles(groups, compiled_for)
+
+    def bulk_merge(self, fast, groups, mode: str) -> None:
+        """Make the fast-path objects visible: registration, one extent
+        pass per profile, one index pass per batch (single design-version
+        bump), dirty marks and counters."""
+        from repro.semantics.checker import expand_signature
+        store = self.store
+        if not fast:
+            return
+        objects = store._objects
+        indexed = (set(store.indexes.attributes())
+                   if len(store.indexes) else None)
+        # Freshly-created objects have no ledger entry, so marking
+        # whole-object dirty is a plain insert (no merge logic).
+        deferred = mode != CheckMode.EAGER
+        dirty = store._dirty
+        merged: List[Instance] = []
+        append = merged.append
+        total_writes = 0
+        classifies = 0
+        indexed_writes = 0
+        for entry in fast:
+            obj = entry.obj
+            surrogate = obj.surrogate
+            objects[surrogate] = obj
+            append(obj)
+            total_writes += entry.n_writes
+            classifies += len(entry.classes) - 1
+            if indexed:
+                for attribute in entry.write_attrs:
+                    if attribute in indexed:
+                        indexed_writes += 1
+            if deferred:
+                dirty[surrogate] = None
+        schema = store.schema
+        for signature, entries in groups.items():
+            surrogates = [entry.obj.surrogate for entry in entries]
+            for class_name in expand_signature(schema, signature):
+                members = store._extents.get(class_name)
+                if members is None:
+                    store._extents[class_name] = set(surrogates)
+                    store._extent_cow[class_name] = store._snapshot_stamp
+                else:
+                    self.writable_extent(class_name).update(surrogates)
+                store._extent_cache.pop(class_name, None)
+        store.indexes.bulk_add(merged, indexed_writes)
+        stats = store.checker.stats
+        stats.writes += total_writes
+        stats.classifies += classifies
+
+    def bulk_fallback(self, entry, mode: str) -> None:
+        """Apply one virtual-class-involved row through the ordinary
+        apply stages, in the sequential order the batch is equivalent
+        to: install bare, classify the extra classes, then write the
+        values (the staged instance is un-baked first so the checked
+        paths see the same transitions a sequential caller would
+        produce).  Runs nested -- never journaled individually."""
+        store = self.store
+        obj = entry.obj
+        obj._memberships = {entry.classes[0]}
+        obj._values = {}
+        obj._cow_stamp = store._snapshot_stamp
+        self.install_new(obj, entry.classes[0], mode)
+        for extra in entry.classes[1:]:
+            self.apply_classify(obj, extra, mode)
+        for attribute in entry.write_attrs:
+            self.apply_set_value(
+                obj, attribute, entry.values.get(attribute, INAPPLICABLE),
+                mode)
+
+    # ------------------------------------------------------------------
+    # Extent maintenance (the only mutation site for store._extents)
+    # ------------------------------------------------------------------
+
+    def writable_extent(self, class_name: str) -> Set[Surrogate]:
+        """The extent set for ``class_name``, privatized for writing:
+        if the current set predates the newest snapshot stamp it is
+        copied first, so captured references stay frozen."""
+        store = self.store
+        members = store._extents[class_name]
+        if store._extent_cow.get(class_name) != store._snapshot_stamp:
+            members = set(members)
+            store._extents[class_name] = members
+            store._extent_cow[class_name] = store._snapshot_stamp
+        return members
+
+    def add_to_extents(self, obj: Instance, class_name: str) -> None:
+        """IS-A-closed extent insertion, delta-aware: ancestors that
+        already contain the object are left untouched -- their cached
+        sorted snapshots stay valid (no needless invalidation)."""
+        store = self.store
+        surrogate = obj.surrogate
+        extents = store._extents
+        for ancestor in store.schema.ancestors(class_name):
+            members = extents.get(ancestor)
+            if members is None:
+                extents[ancestor] = {surrogate}
+                store._extent_cow[ancestor] = store._snapshot_stamp
+                store._extent_cache.pop(ancestor, None)
+            elif surrogate not in members:
+                self.writable_extent(ancestor).add(surrogate)
+                store._extent_cache.pop(ancestor, None)
+
+    def rebuild_extents_for(self, obj: Instance) -> None:
+        """Re-derive the object's extent entries from its remaining
+        memberships, delta-aware: only classes whose membership actually
+        changes are touched (and only their cached extents invalidated),
+        so a membership-neutral mutation invalidates nothing."""
+        store = self.store
+        keep: Set[str] = set()
+        for m in obj.memberships:
+            keep.update(store.schema.ancestors(m))
+        surrogate = obj.surrogate
+        for class_name, members in store._extents.items():
+            if class_name in keep:
+                if surrogate not in members:
+                    self.writable_extent(class_name).add(surrogate)
+                    store._extent_cache.pop(class_name, None)
+            elif surrogate in members:
+                self.writable_extent(class_name).discard(surrogate)
+                store._extent_cache.pop(class_name, None)
+
+    # ------------------------------------------------------------------
+    # Membership-delta checking (incremental engine)
+    # ------------------------------------------------------------------
+
+    def check_membership_gain(self, obj: Instance,
+                              delta: frozenset) -> List[Violation]:
+        store = self.store
+        if store.engine == Engine.INCREMENTAL:
+            return store.checker.check_classes(obj, delta)
+        return store.checker.check(obj)
+
+    def begin_join_log(
+            self, eager: bool
+    ) -> Optional[List[Tuple[Instance, frozenset]]]:
+        """Install (and return) a fresh membership-gain journal for the
+        duration of one eagerly-checked mutation; nested adjustments
+        append to it from :meth:`adjust_virtual`."""
+        store = self.store
+        if not eager or store._join_log is not None:
+            return None
+        store._join_log = []
+        return store._join_log
+
+    def end_join_log(
+            self, log: Optional[List[Tuple[Instance, frozenset]]]) -> None:
+        if log is not None:
+            self.store._join_log = None
+
+    def check_joins(
+            self, log: Optional[List[Tuple[Instance, frozenset]]],
+            skip: Instance) -> Tuple[Instance, List[Violation]]:
+        """Check every object that gained a virtual-class membership
+        during the current mutation (the membership-change path the seed
+        left unchecked).  Returns (blamed object, violations)."""
+        if log:
+            for inst, delta in log:
+                if inst is skip:
+                    continue
+                violations = self.check_membership_gain(inst, delta)
+                if violations:
+                    return inst, violations
+        return skip, []
+
+    # ------------------------------------------------------------------
+    # Virtual-class extent maintenance (Section 5.6)
+    # ------------------------------------------------------------------
+
+    def acquire_virtual_targets(self, obj: Instance, attribute: str,
+                                value) -> None:
+        if not is_entity(value):
+            return
+        for cdef in self.store._home_virtuals(obj, attribute):
+            self.adjust_virtual(value, cdef.name, +1)
+
+    def release_virtual_targets(self, obj: Instance, attribute: str,
+                                value) -> None:
+        if not is_entity(value):
+            return
+        for cdef in self.store._home_virtuals(obj, attribute):
+            self.adjust_virtual(value, cdef.name, -1)
+
+    def adjust_virtual(self, obj: Instance, virtual_name: str,
+                       delta: int) -> None:
+        store = self.store
+        if store._objects.get(obj.surrogate) is not obj:
+            # A dangling reference to a removed object: its refcounts
+            # were purged with it, and cascading through its values would
+            # corrupt live objects' counts.
+            return
+        key = (virtual_name, obj.surrogate)
+        count = store._virtual_refs.get(key, 0) + delta
+        if count > 0:
+            store._virtual_refs[key] = count
+            if virtual_name not in obj.memberships:
+                if store._join_log is not None:
+                    closure = store.checker.expanded_memberships(obj)
+                    gained = store.schema.ancestors(virtual_name) - closure
+                    store._join_log.append((obj, gained))
+                else:
+                    store._mark_dirty(obj)
+                store._prepare_write(obj)
+                obj._add_membership(virtual_name)
+                self.add_to_extents(obj, virtual_name)
+                self.cascade_virtuals(obj, virtual_name, +1)
+        else:
+            store._virtual_refs.pop(key, None)
+            if virtual_name in obj.memberships:
+                self.cascade_virtuals(obj, virtual_name, -1)
+                store._prepare_write(obj)
+                obj._remove_membership(virtual_name)
+                self.rebuild_extents_for(obj)
+                # Leaving a virtual class may strand no-longer-applicable
+                # values (residue policy): tolerated, but recorded for
+                # validate_dirty().
+                store._mark_dirty(obj)
+
+    def cascade_virtuals(self, obj: Instance, class_name: str,
+                         delta: int) -> None:
+        """Membership in ``class_name`` anchors the values of nested
+        embedding attributes: gaining H1 puts the hospital's location into
+        A1; losing it releases the location."""
+        store = self.store
+        for cdef in store.schema.virtual_classes_with_origin_owner(
+                class_name):
+            value = obj.get_value(cdef.origin.attribute)
+            if is_entity(value):
+                self.adjust_virtual(value, cdef.name, delta)
+
+    def enforce_unshared(self, obj: Instance, attribute: str,
+                         value: Instance) -> None:
+        """Reject referencing a virtual-class member through any site
+        other than the virtual class's home attribute."""
+        store = self.store
+        homes = {c.name for c in store._home_virtuals(obj, attribute)}
+        for m in value.memberships:
+            cdef = (store.schema.get(m)
+                    if store.schema.has_class(m) else None)
+            if cdef is None or not cdef.virtual:
+                continue
+            if m not in homes:
+                raise ConformanceError(
+                    obj.surrogate, m, attribute,
+                    f"{value.surrogate} belongs to virtual class {m!r} "
+                    f"({cdef.origin}) and may only be referenced through "
+                    "that attribute (strict_virtual_extents)")
+
+
+# ----------------------------------------------------------------------
+# Restore points (transactions, bulk all-or-nothing)
+# ----------------------------------------------------------------------
+
+class RestorePoint:
+    """A full, restorable copy of a store's mutable state.
+
+    With ``include_stats=True`` the engine and query counters are captured
+    and restored too.  Transactions deliberately leave counters alone (a
+    rolled-back attempt still did the work it counted); the bulk loader
+    uses it because its acceptance contract is that a failed batch leaves
+    *every* observable -- extents, postings, dirty ledger, and the stats
+    counters -- identical to the pre-batch state.
+
+    Restoring installs **fresh** membership/value/extent containers (and
+    rebuilt indexes) stamped at the current snapshot stamp, so MVCC
+    snapshots captured before -- or during -- the aborted scope keep
+    their frozen references; the epoch is bumped so cached snapshots are
+    re-derived rather than trusted across a rollback.
+    """
+
+    def __init__(self, store, include_stats: bool = False) -> None:
+        self._store = store
+        self._objects: Dict[Surrogate, Instance] = dict(store._objects)
+        self._state: Dict[Surrogate, Tuple[frozenset, dict]] = {
+            surrogate: (obj.memberships, obj.values_snapshot())
+            for surrogate, obj in store._objects.items()
+        }
+        self._extents: Dict[str, Set[Surrogate]] = {
+            name: set(members) for name, members in store._extents.items()
+        }
+        self._virtual_refs = dict(store._virtual_refs)
+        self._dirty = {
+            surrogate: (None if attrs is None else set(attrs))
+            for surrogate, attrs in store._dirty.items()
+        }
+        self._next_surrogate = store._allocator._next
+        # Secondary indexes roll back with the values they mirror.
+        self._index_state = store.indexes.snapshot()
+        self._stats_state = (
+            (store.checker.stats.capture(), store.indexes.qstats.capture())
+            if include_stats else None)
+
+    def restore(self) -> None:
+        store = self._store
+        with store._write_lock:
+            self._restore_locked(store)
+
+    def _restore_locked(self, store) -> None:
+        stamp = store._snapshot_stamp
+        # Objects created after the restore point vanish; removed ones
+        # return, and every surviving instance is reset in place
+        # (identity kept) with fresh, privately-owned containers.
+        store._objects.clear()
+        store._objects.update(self._objects)
+        for surrogate, obj in self._objects.items():
+            memberships, values = self._state[surrogate]
+            obj._memberships = set(memberships)
+            obj._values = dict(values)
+            obj._cow_stamp = stamp
+        store._extents.clear()
+        store._extent_cow.clear()
+        for name, members in self._extents.items():
+            store._extents[name] = set(members)
+            store._extent_cow[name] = stamp
+        store._virtual_refs.clear()
+        store._virtual_refs.update(self._virtual_refs)
+        store._dirty.clear()
+        store._dirty.update({
+            surrogate: (None if attrs is None else set(attrs))
+            for surrogate, attrs in self._dirty.items()
+        })
+        store._allocator._next = self._next_surrogate
+        store._extent_cache.clear()
+        store.indexes.restore(self._index_state)
+        if self._stats_state is not None:
+            engine_state, query_state = self._stats_state
+            store.checker.stats.restore(engine_state)
+            store.indexes.qstats.restore(query_state)
+        store._epoch += 1

@@ -1,0 +1,292 @@
+"""Immutable point-in-time views of an object store (MVCC reads).
+
+``ObjectStore.snapshot()`` returns a :class:`StoreSnapshot`: a frozen,
+epoch-stamped view of the committed state that serves the whole read
+surface -- ``extent`` / ``extent_surrogates`` / ``count`` / ``get`` /
+``is_member`` / ``instances`` / ``run_query`` / ``stats`` -- without
+ever touching the live mutable maps again.  A snapshot taken before a
+committed mutation can never observe it, and a long analytical query
+runs against one consistent epoch while writers keep committing.
+
+Capture is O(number of live roots), not O(state): the snapshot records
+*references* to each instance's membership-set and value-dict, to each
+extent set, and to each index's posting containers.  The write side
+(:mod:`repro.objects.pipeline` and the index manager's hooks) never
+mutates a structure an open snapshot may have captured -- it privatizes
+the structure first when its copy-on-write stamp predates the newest
+snapshot (``store._snapshot_stamp``), so every captured reference is
+frozen forever.
+
+Rows come back as :class:`SnapshotInstance` wrappers: surrogate-
+identical, read-only views over the captured membership/value
+containers.  Entity *values* inside those containers are returned raw
+(the live :class:`~repro.objects.instance.Instance` references the
+store holds), which preserves the identity semantics queries and index
+buckets rely on; membership questions about them are answered from the
+snapshot's captured state (``snapshot.is_member`` keys on the
+surrogate), so class-membership reads are isolated even for nested
+entities.
+
+Snapshots may be shared freely across reader threads: all internal
+lazy caches (sorted extents, instance wrappers) are populated with
+idempotent inserts, and the planner's plan cache -- shared with the
+live store -- takes its own lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.errors import NoSuchObjectError, UnknownClassError
+
+#: Shared empty results.
+_EMPTY_SET: Set = set()
+_EMPTY_FROZEN: frozenset = frozenset()
+
+
+class SnapshotInstance:
+    """A read-only view of one instance as of a snapshot's epoch.
+
+    Implements the entity protocol (``memberships`` / ``get_value``), so
+    anything that consumes instances read-only -- the query interpreter,
+    the conformance checker, ``repro load --persist`` -- accepts it.
+    Mutators are deliberately absent, and the live store refuses it
+    (``_require_live`` compares identities), so a snapshot row can never
+    be written through.
+    """
+
+    __slots__ = ("surrogate", "_memberships", "_values")
+
+    def __init__(self, surrogate, memberships: Set[str],
+                 values: Dict[str, object]) -> None:
+        self.surrogate = surrogate
+        self._memberships = memberships   # captured ref -- never mutated
+        self._values = values             # captured ref -- never mutated
+
+    @property
+    def memberships(self) -> frozenset:
+        return frozenset(self._memberships)
+
+    def get_value(self, name: str):
+        from repro.typesys.values import INAPPLICABLE
+        return self._values.get(name, INAPPLICABLE)
+
+    def value_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._values))
+
+    def values_snapshot(self) -> Dict[str, object]:
+        return dict(self._values)
+
+    def __getitem__(self, name: str):
+        return self.get_value(name)
+
+    def __repr__(self) -> str:
+        classes = ",".join(sorted(self._memberships)) or "<none>"
+        return f"<SnapshotInstance {self.surrogate} : {classes}>"
+
+
+class SnapshotIndexes:
+    """The planner-facing face of the secondary indexes, frozen at one
+    epoch.
+
+    Posting *containers* are captured by reference (the manager's hooks
+    privatize an index before mutating it); the plan cache and query
+    counters are shared with the live store -- plans are keyed on the
+    captured design version, so a plan built against this snapshot never
+    collides with one built against a later physical design.
+    """
+
+    __slots__ = ("version", "plan_cache", "qstats", "_postings")
+
+    def __init__(self, manager) -> None:
+        self.version = manager.version
+        self.plan_cache = manager.plan_cache
+        self.qstats = manager.qstats
+        # attr -> (buckets, entries, inapplicable, residue), all refs.
+        self._postings = {
+            attr: (index._buckets, index._entries,
+                   index.inapplicable, index.residue)
+            for attr, index in manager._indexes.items()
+        }
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._postings))
+
+    def lookup(self, attribute: str, value) -> frozenset:
+        buckets = self._postings[attribute][0]
+        try:
+            bucket = buckets.get(value)
+        except TypeError:          # unhashable probe matches nothing
+            return _EMPTY_FROZEN
+        return frozenset(bucket) if bucket else _EMPTY_FROZEN
+
+    def selectivity(self, attribute: str, value) -> int:
+        buckets = self._postings[attribute][0]
+        try:
+            bucket = buckets.get(value)
+        except TypeError:
+            return 0
+        return len(bucket) if bucket else 0
+
+    def inapplicable(self, attribute: str) -> Set:
+        return self._postings[attribute][2]
+
+    def residue(self, attribute: str) -> Set:
+        return self._postings[attribute][3]
+
+
+class StoreSnapshot:
+    """One committed epoch of a store, frozen (see module docstring).
+
+    Build through ``store.snapshot()`` -- it serializes with writers,
+    reuses the cached snapshot when the epoch has not moved, and advances
+    the copy-on-write stamp that keeps the captured references frozen.
+    """
+
+    def __init__(self, store) -> None:
+        # Called under store._write_lock (from ObjectStore.snapshot()).
+        self.epoch: int = store._epoch
+        self.schema = store.schema
+        self.engine: str = store.engine
+        self.check_mode: str = store.check_mode
+        # surrogate -> (membership set ref, value dict ref); refs must be
+        # captured eagerly -- the writer privatizes by *reassigning* the
+        # instance's containers, so a lazy read would see the new live
+        # ones.
+        self._objects: Dict[object, Tuple[Set[str], Dict[str, object]]] = {
+            surrogate: (obj._memberships, obj._values)
+            for surrogate, obj in store._objects.items()
+        }
+        self._extents: Dict[str, Set] = dict(store._extents)
+        self.indexes = SnapshotIndexes(store.indexes)
+        # Gauges, captured as plain ints (the live maps move on).
+        self._extent_entries = sum(
+            len(members) for members in self._extents.values())
+        self._n_virtual_refs = len(store._virtual_refs)
+        self._n_dirty = len(store._dirty)
+        self._n_indexes = len(store.indexes)
+        self._plans_in_cache = len(store.indexes.plan_cache)
+        self._counters = store.checker.stats.snapshot()
+        self._query_counters = store.indexes.qstats.snapshot()
+        # Lazy, idempotently-populated caches (thread-shared).
+        self._wrappers: Dict[object, SnapshotInstance] = {}
+        self._extent_rows: Dict[str, Tuple[SnapshotInstance, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def _wrap(self, surrogate) -> SnapshotInstance:
+        wrapper = self._wrappers.get(surrogate)
+        if wrapper is None:
+            memberships, values = self._objects[surrogate]
+            # setdefault keeps wrappers canonical per snapshot even when
+            # two reader threads race to build the same one, so identity
+            # comparisons inside one snapshot behave like live reads.
+            wrapper = self._wrappers.setdefault(
+                surrogate, SnapshotInstance(surrogate, memberships, values))
+        return wrapper
+
+    def get(self, surrogate) -> SnapshotInstance:
+        if surrogate not in self._objects:
+            raise NoSuchObjectError(str(surrogate))
+        return self._wrap(surrogate)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, surrogate) -> bool:
+        return surrogate in self._objects
+
+    def instances(self) -> Iterator[SnapshotInstance]:
+        for surrogate in self._objects:
+            yield self._wrap(surrogate)
+
+    # ------------------------------------------------------------------
+    # Extents and membership
+    # ------------------------------------------------------------------
+
+    def extent(self, class_name: str) -> Tuple[SnapshotInstance, ...]:
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        cached = self._extent_rows.get(class_name)
+        if cached is not None:
+            return cached
+        surrogates = self._extents.get(class_name, _EMPTY_SET)
+        rows = tuple(self._wrap(s) for s in sorted(surrogates))
+        return self._extent_rows.setdefault(class_name, rows)
+
+    def extent_surrogates(self, class_name: str) -> Set:
+        """Captured surrogate set (callers must not mutate it)."""
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        return self._extents.get(class_name, _EMPTY_SET)
+
+    def count(self, class_name: str) -> int:
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        return len(self._extents.get(class_name, _EMPTY_SET))
+
+    def is_member(self, obj, class_name: str) -> bool:
+        """Membership as of this snapshot, for live instances, snapshot
+        wrappers, and (falling back to what the object itself reports)
+        dangling references the snapshot never saw live."""
+        state = self._objects.get(obj.surrogate)
+        memberships = state[0] if state is not None else obj.memberships
+        schema = self.schema
+        return any(
+            schema.is_subclass(m, class_name) for m in memberships)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def run_query(self, query, **compile_kwargs):
+        """Plan-cache-aware query execution against this epoch; returns
+        ``(rows, ExecutionStats)`` exactly like
+        :func:`repro.query.planner.execute_planned` on a live store."""
+        from repro.query.planner import execute_planned
+        return execute_planned(query, self, **compile_kwargs)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self, live_counters: Optional[Dict] = None,
+              live_query: Optional[Dict] = None,
+              n_indexes: Optional[int] = None,
+              plans_in_cache: Optional[int] = None) -> Dict[str, object]:
+        """The store's ``stats()`` dict as of this epoch.
+
+        Gauges (object/extent/dirty/refcount populations) always come
+        from the captured state.  Counters default to their captured
+        values; the live store passes its current ones instead (they are
+        monotone and tick on read-only work the epoch never sees).
+        """
+        snap = dict(live_counters if live_counters is not None
+                    else self._counters)
+        snap["engine"] = self.engine
+        snap["objects"] = len(self._objects)
+        snap["extent_entries"] = self._extent_entries
+        snap["virtual_refs"] = self._n_virtual_refs
+        snap["dirty_objects"] = self._n_dirty
+        snap["indexes"] = (n_indexes if n_indexes is not None
+                           else self._n_indexes)
+        snap["plans_in_cache"] = (
+            plans_in_cache if plans_in_cache is not None
+            else self._plans_in_cache)
+        query_counters = (live_query if live_query is not None
+                          else self._query_counters)
+        for name, value in query_counters.items():
+            snap[f"query.{name}"] = value
+        return snap
+
+    def __repr__(self) -> str:
+        return (f"<StoreSnapshot epoch={self.epoch} "
+                f"objects={len(self._objects)}>")

@@ -18,6 +18,24 @@ Responsibilities (paper sections in parentheses):
   reasoning sound (see DESIGN.md section 6 and
   :mod:`repro.query.typing`).
 
+Mutation pipeline and MVCC reads
+--------------------------------
+
+Every mutation entry point -- ``create``/``remove``, ``classify``/
+``declassify``, ``set_value``/``unset_value``, transaction scopes, bulk
+batches -- is a thin constructor for a typed command executed by the
+store's :class:`~repro.objects.pipeline.MutationPipeline`, the single
+owner of conformance checking, extent/virtual-class maintenance,
+secondary-index maintenance, WAL journaling, and observer notification.
+Each committed command bumps the store **epoch**; :meth:`snapshot`
+returns an immutable epoch-stamped :class:`~repro.objects.snapshot.
+StoreSnapshot` (copy-on-write: capture is by reference, writers
+privatize before mutating), which is what :meth:`run_query`,
+:meth:`stats` and the :class:`~repro.objects.concurrent.ConcurrentStore`
+facade read.  The store's own ``extent``/``get`` remain *live* views --
+read-your-own-writes inside a transaction -- while snapshots are always
+committed state.
+
 Conformance engines
 -------------------
 
@@ -51,37 +69,36 @@ affected objects are marked dirty instead; ``validate_dirty()`` (or
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import ConformanceError, NoSuchObjectError, UnknownClassError
+from repro.errors import NoSuchObjectError, UnknownClassError
 from repro.obs import EngineStats
 from repro.objects.instance import Instance
+from repro.objects.pipeline import (
+    CheckMode,
+    ClassifyCommand,
+    CreateCommand,
+    DeclassifyCommand,
+    Engine,
+    MutationPipeline,
+    RemoveCommand,
+    SetValueCommand,
+    ValidateCommand,
+)
 from repro.objects.surrogate import Surrogate, SurrogateAllocator
 from repro.query.indexes import IndexManager, StoreIndex
 from repro.schema.classdef import ClassDef
 from repro.schema.schema import Schema
 from repro.semantics.candidates import ConstraintSemantics
 from repro.semantics.checker import ConformanceChecker, Violation
-from repro.typesys.values import INAPPLICABLE, is_entity
+from repro.typesys.values import INAPPLICABLE
+
+__all__ = ["CheckMode", "Engine", "ObjectStore"]
 
 
 #: Shared empty extent for classes with no instances yet.
 _EMPTY_EXTENT: Set = set()
-
-
-class CheckMode:
-    """When conformance is enforced."""
-
-    EAGER = "eager"      # on every write (default)
-    DEFERRED = "deferred"  # only via validate_all()
-    NONE = "none"        # never (benchmarking substrate only)
-
-
-class Engine:
-    """How eager conformance verdicts are computed."""
-
-    INCREMENTAL = "incremental"  # constraint index + mutation-scoped checks
-    FULL = "full"                # re-derive whole-object checks (baseline)
 
 
 class ObjectStore:
@@ -124,8 +141,25 @@ class ObjectStore:
         # Sorted extent snapshots, per class, served by extent() until a
         # membership/extent mutation invalidates them.
         self._extent_cache: Dict[str, Tuple[Instance, ...]] = {}
+        # --- MVCC state (see objects/snapshot.py) ---------------------
+        # Writers serialize on this lock; snapshot capture does too.
+        self._write_lock = threading.RLock()
+        #: Bumped once per committed mutating command.
+        self._epoch = 0
+        #: Copy-on-write stamp: advanced per snapshot built; a structure
+        #: whose stamp is older may be captured and must be privatized
+        #: before mutation.
+        self._snapshot_stamp = 0
+        #: Per-class extent-set stamps (same discipline).
+        self._extent_cow: Dict[str, int] = {}
+        self._snapshot_cache = None
+        #: Called with each committed command (post-commit, in order);
+        #: inside a transaction, deferred to scope commit.
+        self.observers: List = []
         # Secondary attribute indexes + the planner's plan cache.
         self.indexes = IndexManager(self)
+        # The single mutation path (commands, stages, write lock).
+        self._pipeline = MutationPipeline(self)
         # Per-signature compiled conformance checkers (bulk ingestion);
         # built lazily on the first bulk load.
         self._compiled_cache = None
@@ -138,19 +172,22 @@ class ObjectStore:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """A snapshot of the engine counters plus store-level gauges."""
-        snap = self.checker.stats.snapshot()
-        snap["engine"] = self.engine
-        snap["objects"] = len(self._objects)
-        snap["extent_entries"] = sum(
-            len(members) for members in self._extents.values())
-        snap["virtual_refs"] = len(self._virtual_refs)
-        snap["dirty_objects"] = len(self._dirty)
-        snap["indexes"] = len(self.indexes)
-        snap["plans_in_cache"] = len(self.indexes.plan_cache)
-        for name, value in self.indexes.qstats.snapshot().items():
-            snap[f"query.{name}"] = value
-        return snap
+        """Engine counters plus store-level gauges, epoch-consistent.
+
+        Gauges come from the snapshot layer -- the last *committed*
+        epoch -- so calling this mid-transaction (or from another thread
+        while a transaction holds the write lock elsewhere: the call
+        serializes on it) never reports half-applied state.  Counters
+        are the live monotone values (they also tick on read-only work
+        no epoch records).
+        """
+        with self._write_lock:
+            snap = self.snapshot()
+            return snap.stats(
+                live_counters=self.checker.stats.snapshot(),
+                live_query=self.indexes.qstats.snapshot(),
+                n_indexes=len(self.indexes),
+                plans_in_cache=len(self.indexes.plan_cache))
 
     def _mark_dirty(self, obj: Instance,
                     attribute: Optional[str] = None) -> None:
@@ -162,6 +199,47 @@ class ObjectStore:
                 current = set()
                 self._dirty[obj.surrogate] = current
             current.add(attribute)
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """An immutable view of the last committed epoch (see
+        :class:`~repro.objects.snapshot.StoreSnapshot`).
+
+        Reused while the epoch stands still; otherwise the copy-on-write
+        stamp advances and a fresh capture is taken under the write
+        lock.  Inside a transaction scope the pre-transaction epoch is
+        served -- a snapshot never exposes uncommitted state.
+        """
+        from repro.objects.snapshot import StoreSnapshot
+        with self._write_lock:
+            cached = self._snapshot_cache
+            if cached is not None and (
+                    self._pipeline._txn_depth > 0
+                    or cached.epoch == self._epoch):
+                self.checker.stats.snapshot_reuses += 1
+                return cached
+            self._snapshot_stamp += 1
+            snap = StoreSnapshot(self)
+            self._snapshot_cache = snap
+            self.checker.stats.snapshots_built += 1
+            return snap
+
+    def run_query(self, query, **compile_kwargs):
+        """Plan-cache-aware query execution against the last committed
+        epoch; returns ``(rows, ExecutionStats)``."""
+        return self.snapshot().run_query(query, **compile_kwargs)
+
+    def _prepare_write(self, obj: Instance) -> None:
+        """Privatize an instance's membership/value containers before an
+        in-place mutation, so references captured by any snapshot stay
+        frozen.  Called by the pipeline only (under the write lock)."""
+        if obj._cow_stamp != self._snapshot_stamp:
+            obj._memberships = set(obj._memberships)
+            obj._values = dict(obj._values)
+            obj._cow_stamp = self._snapshot_stamp
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -193,55 +271,14 @@ class ObjectStore:
         superclasses.  Values go through the same checked path as
         :meth:`set_value`; on failure the half-built object is removed.
         """
-        if not self.schema.has_class(class_name):
-            raise UnknownClassError(class_name)
-        mode = check if check is not None else self.check_mode
-        obj = Instance(self._allocator.allocate(), (class_name,))
-        self._install_new(obj, class_name, mode)
-        try:
-            for name, value in values.items():
-                self._set_value_internal(obj, name, value, mode)
-        except ConformanceError:
-            self.remove(obj)
-            raise
-        return obj
-
-    def _install_new(self, obj: Instance, class_name: str,
-                     mode: str) -> None:
-        """Register a freshly-allocated instance as live: objects map,
-        index postings, extents, and (for unchecked modes) the dirty
-        ledger.  Shared by :meth:`create` and the bulk loader's
-        per-object fallback path."""
-        self._objects[obj.surrogate] = obj
-        self.indexes.on_create(obj.surrogate)
-        self._add_to_extents(obj, class_name)
-        if mode != CheckMode.EAGER:
-            self._mark_dirty(obj)
+        return self._pipeline.execute(
+            CreateCommand(class_name, values, check))
 
     def remove(self, obj: Instance) -> None:
         """Destroy an object: it leaves every extent, entities it
         referenced leave any virtual classes it anchored them in, and any
         virtual-class reference counts held *against* it are purged."""
-        self._require_live(obj)
-        self.checker.stats.removals += 1
-        for name in obj.value_names():
-            value = obj.get_value(name)
-            if is_entity(value):
-                self._release_virtual_targets(obj, name, value)
-        for class_name in list(self._extents):
-            self._extents[class_name].discard(obj.surrogate)
-        self._extent_cache.clear()
-        del self._objects[obj.surrogate]
-        self.indexes.on_remove(obj.surrogate)
-        self._dirty.pop(obj.surrogate, None)
-        # Anything still referencing the dead object keeps a dangling
-        # Python reference by design, but the refcount bookkeeping must
-        # not outlive the object: stale entries would corrupt the counts
-        # if the surrogate were ever re-issued (transaction rollback).
-        stale = [key for key in self._virtual_refs
-                 if key[1] == obj.surrogate]
-        for key in stale:
-            del self._virtual_refs[key]
+        self._pipeline.execute(RemoveCommand(obj))
 
     def get(self, surrogate: Surrogate) -> Instance:
         try:
@@ -271,37 +308,7 @@ class ObjectStore:
         Values pulled into virtual classes by the new membership are
         checked the same way.
         """
-        self._require_live(obj)
-        if not self.schema.has_class(class_name):
-            raise UnknownClassError(class_name)
-        if class_name in obj.memberships:
-            return
-        mode = check if check is not None else self.check_mode
-        self.checker.stats.classifies += 1
-        eager = mode == CheckMode.EAGER
-        before = self.checker.expanded_memberships(obj) if eager else None
-        joins = self._begin_join_log(eager)
-        try:
-            obj._add_membership(class_name)
-            self._add_to_extents(obj, class_name)
-            self._cascade_virtuals(obj, class_name, +1)
-        finally:
-            self._end_join_log(joins)
-        if not eager:
-            self._mark_dirty(obj)
-            return
-        delta = self.schema.ancestors(class_name) - before
-        blamed, violations = obj, self._check_membership_gain(obj, delta)
-        if not violations:
-            blamed, violations = self._check_joins(joins, skip=obj)
-        if violations:
-            self.checker.stats.rollbacks += 1
-            self._cascade_virtuals(obj, class_name, -1)
-            obj._remove_membership(class_name)
-            self._rebuild_extents_for(obj)
-            raise ConformanceError(
-                blamed.surrogate, violations[0].class_name,
-                violations[0].attribute, str(violations[0]))
+        self._pipeline.execute(ClassifyCommand(obj, class_name, check))
 
     def declassify(self, obj: Instance, class_name: str,
                    check: Optional[str] = None) -> None:
@@ -317,43 +324,16 @@ class ObjectStore:
         *inapplicable* are residue (module docstring): the
         declassification stands and the object is marked dirty.
         """
-        self._require_live(obj)
-        if class_name not in obj.memberships:
-            return
-        mode = check if check is not None else self.check_mode
-        self.checker.stats.declassifies += 1
-        eager = mode == CheckMode.EAGER
-        before = self.checker.expanded_memberships(obj) if eager else None
-        self._cascade_virtuals(obj, class_name, -1)
-        obj._remove_membership(class_name)
-        self._rebuild_extents_for(obj)
-        if not eager:
-            self._mark_dirty(obj)
-            return
-        removed = before - self.checker.expanded_memberships(obj)
-        if self.engine == Engine.INCREMENTAL:
-            violations = self.checker.check_membership_loss(obj, removed)
-        else:
-            violations = self.checker.check(obj)
-        hard = [v for v in violations
-                if v.kind != "inapplicable-attribute"]
-        if hard:
-            self.checker.stats.rollbacks += 1
-            obj._add_membership(class_name)
-            self._add_to_extents(obj, class_name)
-            self._cascade_virtuals(obj, class_name, +1)
-            raise ConformanceError(
-                obj.surrogate, hard[0].class_name,
-                hard[0].attribute, str(hard[0]))
-        if violations:
-            self._mark_dirty(obj)
+        self._pipeline.execute(DeclassifyCommand(obj, class_name, check))
 
     def extent(self, class_name: str) -> Tuple[Instance, ...]:
-        """The current extent, superclass extents included.
+        """The current *live* extent, superclass extents included (the
+        latest state, uncommitted transaction writes visible to their
+        own thread; use :meth:`snapshot` for a stable committed view).
 
-        The sorted snapshot is cached per class and invalidated by the
-        membership-changing mutation paths, so repeated scans do not pay
-        the O(n log n) sort per call."""
+        The sorted snapshot is cached per class and invalidated only by
+        mutations that actually change the class's membership set, so
+        repeated scans do not pay the O(n log n) sort per call."""
         if not self.schema.has_class(class_name):
             raise UnknownClassError(class_name)
         cached = self._extent_cache.get(class_name)
@@ -365,9 +345,9 @@ class ObjectStore:
         return result
 
     def extent_surrogates(self, class_name: str) -> Set[Surrogate]:
-        """The extent as a surrogate set -- the class-membership index
-        the planner intersects posting lists against.  Callers must not
-        mutate the returned set."""
+        """The live extent as a surrogate set -- the class-membership
+        index the planner intersects posting lists against.  Callers
+        must not mutate the returned set."""
         if not self.schema.has_class(class_name):
             raise UnknownClassError(class_name)
         return self._extents.get(class_name, _EMPTY_EXTENT)
@@ -385,26 +365,22 @@ class ObjectStore:
     def create_index(self, attribute: str) -> StoreIndex:
         """Build (or return) the secondary index on ``attribute``; see
         :mod:`repro.query.indexes` for the excuse-aware semantics."""
-        return self.indexes.create(attribute)
+        with self._write_lock:
+            index = self.indexes.create(attribute)
+            # A design change is a committed state change: snapshots must
+            # re-capture so their gauges and plan keys see the new index.
+            self._epoch += 1
+            return index
 
     def drop_index(self, attribute: str) -> None:
-        self.indexes.drop(attribute)
+        with self._write_lock:
+            self.indexes.drop(attribute)
+            self._epoch += 1
 
     def _add_to_extents(self, obj: Instance, class_name: str) -> None:
-        for ancestor in self.schema.ancestors(class_name):
-            self._extents.setdefault(ancestor, set()).add(obj.surrogate)
-            self._extent_cache.pop(ancestor, None)
-
-    def _rebuild_extents_for(self, obj: Instance) -> None:
-        keep: Set[str] = set()
-        for m in obj.memberships:
-            keep.update(self.schema.ancestors(m))
-        for class_name, members in self._extents.items():
-            if class_name in keep:
-                members.add(obj.surrogate)
-            else:
-                members.discard(obj.surrogate)
-        self._extent_cache.clear()
+        """Recovery/rebuild entry point; live mutation paths go through
+        the pipeline, the single owner of extent maintenance."""
+        self._pipeline.add_to_extents(obj, class_name)
 
     # ------------------------------------------------------------------
     # Attribute writes
@@ -414,66 +390,21 @@ class ObjectStore:
                   check: Optional[str] = None) -> None:
         """Set ``obj.attribute = value`` with conformance enforcement and
         virtual-extent maintenance."""
-        self._require_live(obj)
-        mode = check if check is not None else self.check_mode
-        self._set_value_internal(obj, attribute, value, mode)
+        self._pipeline.execute(
+            SetValueCommand(obj, attribute, value, check))
 
-    def _set_value_internal(self, obj: Instance, attribute: str, value,
-                            mode: str) -> None:
-        old = obj.get_value(attribute)
-        stats = self.checker.stats
-        stats.writes += 1
-        eager = mode == CheckMode.EAGER
-        if eager and self.strict_virtual_extents and is_entity(value):
-            # Unchecked writes (bulk loading) bypass the unshared
-            # invariant along with every other check; the type checker's
-            # provenance reasoning is sound for eagerly-checked stores.
-            self._enforce_unshared(obj, attribute, value)
+    def unset_value(self, obj: Instance, attribute: str,
+                    check: Optional[str] = None) -> None:
+        """Clear an attribute (its value becomes INAPPLICABLE).
 
-        timing = stats.active
-        t0 = stats.clock() if timing else 0.0
-
-        # Classify the new value into the virtual classes this assignment
-        # anchors, release the old value's anchoring, then check.
-        joins = self._begin_join_log(eager)
-        try:
-            self._acquire_virtual_targets(obj, attribute, value)
-            if is_entity(old):
-                self._release_virtual_targets(obj, attribute, old)
-            obj._set_value(attribute, value)
-            self.indexes.on_value_change(obj.surrogate, attribute, value)
-        finally:
-            self._end_join_log(joins)
-
-        if not eager:
-            self._mark_dirty(obj, attribute)
-            if timing:
-                stats.record("write.unchecked", stats.clock() - t0)
-            return
-        if self.engine == Engine.INCREMENTAL:
-            blamed = obj
-            violations = self.checker.check_attribute(obj, attribute, value)
-        else:
-            blamed = obj
-            violations = self.checker.check(obj)
-        if not violations:
-            blamed, violations = self._check_joins(joins, skip=obj)
-        if violations:
-            # Roll back: restore the old value and the anchoring counts.
-            stats.rollbacks += 1
-            obj._set_value(attribute, old)
-            self.indexes.on_value_change(obj.surrogate, attribute, old)
-            if is_entity(old):
-                self._acquire_virtual_targets(obj, attribute, old)
-            if is_entity(value):
-                self._release_virtual_targets(obj, attribute, value)
-            if timing:
-                stats.record("write.eager", stats.clock() - t0)
-            v = violations[0]
-            raise ConformanceError(blamed.surrogate, v.class_name,
-                                   v.attribute, str(v))
-        if timing:
-            stats.record("write.eager", stats.clock() - t0)
+        Runs through the normal checked path: in the default
+        values-optional mode clearing is always conformant, but with
+        ``require_values=True`` clearing an attribute some membership
+        class requires is rejected, and virtual-extent maintenance and
+        dirty tracking behave exactly as for any other write.
+        """
+        self._pipeline.execute(
+            SetValueCommand(obj, attribute, INAPPLICABLE, check))
 
     # ------------------------------------------------------------------
     # Bulk ingestion
@@ -526,61 +457,8 @@ class ObjectStore:
             self._compiled_cache = cache
         return cache
 
-    def unset_value(self, obj: Instance, attribute: str,
-                    check: Optional[str] = None) -> None:
-        """Clear an attribute (its value becomes INAPPLICABLE).
-
-        Runs through the normal checked path: in the default
-        values-optional mode clearing is always conformant, but with
-        ``require_values=True`` clearing an attribute some membership
-        class requires is rejected, and virtual-extent maintenance and
-        dirty tracking behave exactly as for any other write.
-        """
-        self.set_value(obj, attribute, INAPPLICABLE, check=check)
-
     # ------------------------------------------------------------------
-    # Membership-delta checking (incremental engine)
-    # ------------------------------------------------------------------
-
-    def _check_membership_gain(self, obj: Instance,
-                               delta: frozenset) -> List[Violation]:
-        if self.engine == Engine.INCREMENTAL:
-            return self.checker.check_classes(obj, delta)
-        return self.checker.check(obj)
-
-    def _begin_join_log(
-            self, eager: bool
-    ) -> Optional[List[Tuple[Instance, frozenset]]]:
-        """Install (and return) a fresh membership-gain journal for the
-        duration of one eagerly-checked mutation; nested adjustments
-        append to it from :meth:`_adjust_virtual`."""
-        if not eager or self._join_log is not None:
-            return None
-        self._join_log = []
-        return self._join_log
-
-    def _end_join_log(
-            self, log: Optional[List[Tuple[Instance, frozenset]]]) -> None:
-        if log is not None:
-            self._join_log = None
-
-    def _check_joins(
-            self, log: Optional[List[Tuple[Instance, frozenset]]],
-            skip: Instance) -> Tuple[Instance, List[Violation]]:
-        """Check every object that gained a virtual-class membership
-        during the current mutation (the membership-change path the seed
-        left unchecked).  Returns (blamed object, violations)."""
-        if log:
-            for inst, delta in log:
-                if inst is skip:
-                    continue
-                violations = self._check_membership_gain(inst, delta)
-                if violations:
-                    return inst, violations
-        return skip, []
-
-    # ------------------------------------------------------------------
-    # Virtual-class extent maintenance (Section 5.6)
+    # Virtual-class lookup (read-only; maintenance lives in the pipeline)
     # ------------------------------------------------------------------
 
     def _home_virtuals(self, obj: Instance,
@@ -593,81 +471,6 @@ class ObjectStore:
                 out.append(cdef)
         return out
 
-    def _acquire_virtual_targets(self, obj: Instance, attribute: str,
-                                 value) -> List[str]:
-        if not is_entity(value):
-            return []
-        acquired = []
-        for cdef in self._home_virtuals(obj, attribute):
-            self._adjust_virtual(value, cdef.name, +1)
-            acquired.append(cdef.name)
-        return acquired
-
-    def _release_virtual_targets(self, obj: Instance, attribute: str,
-                                 value) -> None:
-        if not is_entity(value):
-            return
-        for cdef in self._home_virtuals(obj, attribute):
-            self._adjust_virtual(value, cdef.name, -1)
-
-    def _adjust_virtual(self, obj: Instance, virtual_name: str,
-                        delta: int) -> None:
-        if self._objects.get(obj.surrogate) is not obj:
-            # A dangling reference to a removed object: its refcounts
-            # were purged with it, and cascading through its values would
-            # corrupt live objects' counts.
-            return
-        key = (virtual_name, obj.surrogate)
-        count = self._virtual_refs.get(key, 0) + delta
-        if count > 0:
-            self._virtual_refs[key] = count
-            if virtual_name not in obj.memberships:
-                if self._join_log is not None:
-                    closure = self.checker.expanded_memberships(obj)
-                    gained = self.schema.ancestors(virtual_name) - closure
-                    self._join_log.append((obj, gained))
-                else:
-                    self._mark_dirty(obj)
-                obj._add_membership(virtual_name)
-                self._add_to_extents(obj, virtual_name)
-                self._cascade_virtuals(obj, virtual_name, +1)
-        else:
-            self._virtual_refs.pop(key, None)
-            if virtual_name in obj.memberships:
-                self._cascade_virtuals(obj, virtual_name, -1)
-                obj._remove_membership(virtual_name)
-                self._rebuild_extents_for(obj)
-                # Leaving a virtual class may strand no-longer-applicable
-                # values (residue policy, module docstring): tolerated,
-                # but recorded for validate_dirty().
-                self._mark_dirty(obj)
-
-    def _cascade_virtuals(self, obj: Instance, class_name: str,
-                          delta: int) -> None:
-        """Membership in ``class_name`` anchors the values of nested
-        embedding attributes: gaining H1 puts the hospital's location into
-        A1; losing it releases the location."""
-        for cdef in self.schema.virtual_classes_with_origin_owner(class_name):
-            value = obj.get_value(cdef.origin.attribute)
-            if is_entity(value):
-                self._adjust_virtual(value, cdef.name, delta)
-
-    def _enforce_unshared(self, obj: Instance, attribute: str,
-                          value: Instance) -> None:
-        """Reject referencing a virtual-class member through any site other
-        than the virtual class's home attribute."""
-        homes = {c.name for c in self._home_virtuals(obj, attribute)}
-        for m in value.memberships:
-            cdef = self.schema.get(m) if self.schema.has_class(m) else None
-            if cdef is None or not cdef.virtual:
-                continue
-            if m not in homes:
-                raise ConformanceError(
-                    obj.surrogate, m, attribute,
-                    f"{value.surrogate} belongs to virtual class {m!r} "
-                    f"({cdef.origin}) and may only be referenced through "
-                    "that attribute (strict_virtual_extents)")
-
     # ------------------------------------------------------------------
     # Whole-store validation
     # ------------------------------------------------------------------
@@ -675,14 +478,7 @@ class ObjectStore:
     def validate_all(self) -> List[Tuple[Instance, Violation]]:
         """Check every object; used after deferred/bulk loading.  Clears
         the dirty ledger for objects found conformant."""
-        out: List[Tuple[Instance, Violation]] = []
-        for obj in self._objects.values():
-            problems = self.checker.check(obj)
-            for violation in problems:
-                out.append((obj, violation))
-            if not problems:
-                self._dirty.pop(obj.surrogate, None)
-        return out
+        return self._pipeline.execute(ValidateCommand("all"))
 
     def validate_dirty(self) -> List[Tuple[Instance, Violation]]:
         """Check only the objects (and, where known, only the attributes)
@@ -690,26 +486,7 @@ class ObjectStore:
         the last validation.  Equivalent to :meth:`validate_all` for
         surfacing *new* problems, at a fraction of the work; objects
         found conformant leave the dirty ledger."""
-        out: List[Tuple[Instance, Violation]] = []
-        for surrogate in sorted(self._dirty):
-            obj = self._objects.get(surrogate)
-            if obj is None:
-                continue
-            attrs = self._dirty[surrogate]
-            if attrs is None:
-                problems = self.checker.check(obj)
-            else:
-                problems = [
-                    v for name in sorted(attrs)
-                    for v in self.checker.check_attribute(
-                        obj, name, obj.get_value(name))
-                ]
-            if problems:
-                for violation in problems:
-                    out.append((obj, violation))
-            else:
-                del self._dirty[surrogate]
-        return out
+        return self._pipeline.execute(ValidateCommand("dirty"))
 
     def _require_live(self, obj: Instance) -> None:
         if self._objects.get(obj.surrogate) is not obj:

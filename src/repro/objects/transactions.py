@@ -7,10 +7,13 @@ blood pressure, or moving a tubercular patient to a new Swiss hospital
 groups atomic: on exception every object's memberships and values, every
 extent, and the virtual-class reference counts are restored exactly.
 
-Implementation is snapshot-based (copy-on-begin): correct and simple,
-appropriate for an in-memory store of this scale.  Instances keep their
-identity across rollback -- outside references stay valid and see the
-restored state.
+The machinery lives in the unified mutation pipeline
+(:mod:`repro.objects.pipeline`): the scope holds the store's write lock,
+buffers observer notifications until commit, group-commits the WAL, and
+rolls back through a :class:`~repro.objects.pipeline.RestorePoint`
+(copy-on-begin; instances keep their identity across rollback, outside
+references stay valid and see the restored state).  This module is the
+stable public entry point.
 
 Usage::
 
@@ -22,111 +25,21 @@ Usage::
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, Set, Tuple
-
-from repro.objects.instance import Instance
+from repro.objects.pipeline import RestorePoint, TransactionError
 from repro.objects.store import ObjectStore
-from repro.objects.surrogate import Surrogate
+
+__all__ = ["RestorePoint", "StoreSnapshot", "TransactionError",
+           "transaction"]
+
+#: Historical name for :class:`RestorePoint` (pre-pipeline API).
+StoreSnapshot = RestorePoint
 
 
-class StoreSnapshot:
-    """A full, restorable copy of a store's mutable state.
-
-    With ``include_stats=True`` the engine and query counters are captured
-    and restored too.  Transactions deliberately leave counters alone (a
-    rolled-back attempt still did the work it counted); the bulk loader
-    uses it because its acceptance contract is that a failed batch leaves
-    *every* observable -- extents, postings, dirty ledger, and the stats
-    counters -- identical to the pre-batch state.
-    """
-
-    def __init__(self, store: ObjectStore,
-                 include_stats: bool = False) -> None:
-        self._store = store
-        self._objects: Dict[Surrogate, Instance] = dict(store._objects)
-        self._state: Dict[Surrogate, Tuple[frozenset, dict]] = {
-            surrogate: (obj.memberships, obj.values_snapshot())
-            for surrogate, obj in store._objects.items()
-        }
-        self._extents: Dict[str, Set[Surrogate]] = {
-            name: set(members) for name, members in store._extents.items()
-        }
-        self._virtual_refs = dict(store._virtual_refs)
-        self._dirty = {
-            surrogate: (None if attrs is None else set(attrs))
-            for surrogate, attrs in store._dirty.items()
-        }
-        self._next_surrogate = store._allocator._next
-        # Secondary indexes roll back with the values they mirror.
-        self._index_state = store.indexes.snapshot()
-        self._stats_state = (
-            (store.checker.stats.capture(), store.indexes.qstats.capture())
-            if include_stats else None)
-
-    def restore(self) -> None:
-        store = self._store
-        # Objects created after the snapshot vanish; removed ones return,
-        # and every surviving instance is reset in place (identity kept).
-        store._objects.clear()
-        store._objects.update(self._objects)
-        for surrogate, obj in self._objects.items():
-            memberships, values = self._state[surrogate]
-            obj._memberships.clear()
-            obj._memberships.update(memberships)
-            obj._values.clear()
-            obj._values.update(values)
-        store._extents.clear()
-        for name, members in self._extents.items():
-            store._extents[name] = set(members)
-        store._virtual_refs.clear()
-        store._virtual_refs.update(self._virtual_refs)
-        store._dirty.clear()
-        store._dirty.update({
-            surrogate: (None if attrs is None else set(attrs))
-            for surrogate, attrs in self._dirty.items()
-        })
-        store._allocator._next = self._next_surrogate
-        store._extent_cache.clear()
-        store.indexes.restore(self._index_state)
-        if self._stats_state is not None:
-            engine_state, query_state = self._stats_state
-            store.checker.stats.restore(engine_state)
-            store.indexes.qstats.restore(query_state)
-
-
-class TransactionError(Exception):
-    """Raised when commit-time validation fails inside a transaction."""
-
-
-@contextmanager
-def transaction(store: ObjectStore,
-                validate_on_commit: bool = False) -> Iterator[None]:
+def transaction(store: ObjectStore, validate_on_commit: bool = False):
     """Atomic scope: roll the store back if the body raises.
 
     With ``validate_on_commit`` the whole store is validated before
     committing (useful when the body performs unchecked writes); any
     violation rolls back and raises :class:`TransactionError`.
     """
-    snapshot = StoreSnapshot(store)
-    journal = store._journal
-    if journal is not None:
-        # Group commit: records buffered until the scope exits cleanly,
-        # discarded (sequence rolled back) if it raises -- the WAL sees
-        # committed transactions as one atomic batch and aborted ones
-        # not at all, mirroring the snapshot restore.
-        journal.begin()
-    try:
-        yield
-        if validate_on_commit:
-            problems = store.validate_all()
-            if problems:
-                raise TransactionError(
-                    "; ".join(str(v) for _obj, v in problems[:5]))
-    except BaseException:
-        snapshot.restore()
-        if journal is not None:
-            journal.abort()
-        raise
-    if journal is not None:
-        journal.commit()
+    return store._pipeline.transaction(validate_on_commit)

@@ -57,6 +57,9 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "recoveries",           # recoveries performed into this store
     "wal_replayed",         # records replayed through the checked paths
     "wal_truncated_bytes",  # torn-tail bytes truncated during recovery
+    # MVCC side (snapshot reads)
+    "snapshots_built",      # fresh StoreSnapshot captures
+    "snapshot_reuses",      # snapshot() calls served by the cached epoch
 )
 
 

@@ -38,6 +38,7 @@ cached plans that baked in the old physical design stop matching.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Set, Tuple
 
@@ -53,7 +54,7 @@ class StoreIndex:
     the INAPPLICABLE and residue posting lists."""
 
     __slots__ = ("attribute", "_buckets", "_entries", "inapplicable",
-                 "residue")
+                 "residue", "_cow_stamp")
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
@@ -64,6 +65,18 @@ class StoreIndex:
         self.inapplicable: Set = set()
         #: Live objects whose value is unhashable (never prunable).
         self.residue: Set = set()
+        # Copy-on-write stamp: the store's snapshot stamp as of the last
+        # privatization of the containers above (-1 = never shared).
+        self._cow_stamp: int = -1
+
+    def _privatize(self) -> None:
+        """Reassign fresh containers so references captured by an open
+        snapshot stay frozen.  In place -- the index *object* keeps its
+        identity for anyone holding a ``create_index`` return value."""
+        self._buckets = {v: set(m) for v, m in self._buckets.items()}
+        self._entries = dict(self._entries)
+        self.inapplicable = set(self.inapplicable)
+        self.residue = set(self.residue)
 
     # Maintenance ------------------------------------------------------
 
@@ -162,25 +175,31 @@ class PlanCache:
         self.capacity = capacity
         self.stats = stats if stats is not None else QueryStats()
         self._plans: "OrderedDict" = OrderedDict()
+        # The cache is shared between the live store and every snapshot,
+        # i.e. across reader threads; the LRU reordering is not atomic.
+        self._lock = threading.Lock()
 
     def get(self, key):
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.plan_misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.stats.plan_hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.plan_misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.stats.plan_hits += 1
+            return plan
 
     def put(self, key, plan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        self.stats.plans_cached += 1
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            self.stats.plans_cached += 1
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -213,6 +232,8 @@ class IndexManager:
         index = StoreIndex(attribute)
         for obj in self._store.instances():
             index.add(obj.surrogate, obj.get_value(attribute))
+        # Fresh containers: no snapshot can have captured them yet.
+        index._cow_stamp = self._store._snapshot_stamp
         self._indexes[attribute] = index
         self.version += 1
         return index
@@ -235,16 +256,25 @@ class IndexManager:
 
     # Store-side maintenance hooks -------------------------------------
 
+    def _writable(self, index: StoreIndex) -> StoreIndex:
+        """Privatize ``index``'s containers if a snapshot may hold them
+        (copy-on-write against ``store._snapshot_stamp``)."""
+        stamp = self._store._snapshot_stamp
+        if index._cow_stamp != stamp:
+            index._privatize()
+            index._cow_stamp = stamp
+        return index
+
     def on_create(self, surrogate) -> None:
         """A new object is live; it starts with every attribute unset."""
         for index in self._indexes.values():
-            index.inapplicable.add(surrogate)
+            self._writable(index).inapplicable.add(surrogate)
         if self._indexes:
             self.qstats.index_updates += len(self._indexes)
 
     def on_remove(self, surrogate) -> None:
         for index in self._indexes.values():
-            index.discard(surrogate)
+            self._writable(index).discard(surrogate)
         if self._indexes:
             self.qstats.index_updates += len(self._indexes)
 
@@ -267,6 +297,7 @@ class IndexManager:
         if not objects:
             return
         for index in self._indexes.values():
+            self._writable(index)
             attribute = index.attribute
             buckets = index._buckets
             entries = index._entries
@@ -300,7 +331,7 @@ class IndexManager:
         index = self._indexes.get(attribute)
         if index is None:
             return
-        index.update(surrogate, value)
+        self._writable(index).update(surrogate, value)
         self.qstats.index_updates += 1
 
     # Planner-side reads -----------------------------------------------
@@ -327,9 +358,12 @@ class IndexManager:
 
     def restore(self, state) -> None:
         rebuilt: Dict[str, StoreIndex] = {}
+        stamp = self._store._snapshot_stamp
         for attr, index_state in state.items():
             index = StoreIndex(attr)
             index._restore(index_state)
+            # _restore built fresh containers; no snapshot holds them.
+            index._cow_stamp = stamp
             rebuilt[attr] = index
         changed = set(rebuilt) != set(self._indexes)
         self._indexes = rebuilt

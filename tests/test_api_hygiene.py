@@ -1,6 +1,9 @@
-"""API hygiene: exports resolve, modules are documented."""
+"""API hygiene: exports resolve, modules are documented, and the store's
+extent/index structures are only mutated by their owners."""
 
+import ast
 import importlib
+import pathlib
 import pkgutil
 
 import pytest
@@ -48,3 +51,76 @@ def test_version_string():
     parts = repro.__version__.split(".")
     assert len(parts) == 3
     assert all(p.isdigit() for p in parts)
+
+
+# ---------------------------------------------------------------------------
+# Encapsulation ban: store._extents / ._indexes are owned structures
+# ---------------------------------------------------------------------------
+#
+# The mutation pipeline (objects/pipeline.py) is the single writer of
+# store._extents, and the IndexManager (query/indexes.py) of its own
+# ._indexes; every other module must treat both as read-only.  Ruff has no
+# rule language for "no mutation of this attribute outside these modules"
+# (see the note in pyproject.toml), so the ban is enforced here with an
+# AST sweep: outside the owner, no statement may mutate `<expr>._extents`
+# or `<expr>._indexes` where `<expr>` is anything but `self` (an object
+# may initialize/maintain its *own* private structures; it may never
+# reach into another's).
+
+_BANNED_ATTRS = {"_extents", "_indexes"}
+_MUTATOR_METHODS = {
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update", "__setitem__",
+}
+_EXEMPT = {"objects/pipeline.py"}
+
+
+def _banned_target(node):
+    """The `<expr>._extents`-style attribute this node refers to, if the
+    root expression is not `self`."""
+    if (isinstance(node, ast.Attribute) and node.attr in _BANNED_ATTRS
+            and not (isinstance(node.value, ast.Name)
+                     and node.value.id == "self")):
+        return node.attr
+    return None
+
+
+def _mutations_in(tree):
+    hits = []
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            raw = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target] if isinstance(node, ast.AugAssign)
+                   else node.targets)
+            for target in raw:
+                # Rebinding the attribute itself, or writing through a
+                # subscript of it.
+                if _banned_target(target):
+                    targets.append(target)
+                elif (isinstance(target, ast.Subscript)
+                      and _banned_target(target.value)):
+                    targets.append(target)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr in _MUTATOR_METHODS
+              and _banned_target(node.func.value)):
+            targets.append(node.func)
+        for target in targets:
+            hits.append(target.lineno)
+    return hits
+
+
+def test_extents_and_indexes_only_mutated_by_owners():
+    src_root = pathlib.Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel in _EXEMPT:
+            continue
+        tree = ast.parse(path.read_text(), filename=rel)
+        for lineno in _mutations_in(tree):
+            offenders.append(f"{rel}:{lineno}")
+    assert not offenders, (
+        "direct _extents/_indexes mutation outside the owning module: "
+        + ", ".join(offenders))

@@ -48,7 +48,11 @@ def _digest(store):
         "virtual_refs": dict(store._virtual_refs),
         "allocator": store._allocator._next,
         "postings": postings,
-        "stats": store.stats(),
+        # The MVCC read-side counters tick on every stats()/snapshot()
+        # call -- including this digest's own -- so they are observability
+        # of *reads*, not state a batch changes.
+        "stats": {k: v for k, v in store.stats().items()
+                  if k not in ("snapshots_built", "snapshot_reuses")},
     }
 
 
