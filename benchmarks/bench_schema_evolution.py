@@ -1,0 +1,228 @@
+"""A8 -- online schema evolution: live excused-subclass addition.
+
+One 110k-object store split across two disjoint hierarchies (30k
+medical, 80k equipment) wrapped in :class:`ConcurrentStore`.  The
+experiment measures the two properties the online evolution design
+claims:
+
+* **Delta-scoped rechecking** -- adding an excused ``Alcoholic``
+  subclass re-checks only signatures whose profiles intersect the
+  diff-affected region (the medical side), counter-verified against an
+  identical store altered with ``recheck="full"``: same verdicts, a
+  fraction of the per-object work, and a wall-clock speedup that grows
+  with the unaffected population.
+* **Wait-free readers** -- snapshot readers keep serving the prior
+  schema epoch while the alter holds the write lock, so their p99
+  latency during the change stays within **2x** of the no-writer
+  baseline (the acceptance floor).
+
+Headline numbers go to ``BENCH_evolution.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.objects import ConcurrentStore, ObjectStore
+from repro.schema import AttributeDef, SchemaBuilder
+from repro.schema.attribute import ExcuseRef
+from repro.schema.classdef import ClassDef
+from repro.typesys import STRING, ClassType
+
+from conftest import report, report_json
+
+N_MEDICAL = 30_000
+N_EQUIPMENT = 80_000
+N_OBJECTS = N_MEDICAL + N_EQUIPMENT
+BASELINE_S = 1.2               # no-writer reader measurement span
+DISTURBANCE_FLOOR = 2.0        # p99 during alter vs baseline p99
+
+QUERY = 'for s in Scanner where s.serial = "S-77" select s.model'
+
+
+def build_schema():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING).attr("age", (1, 120))
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    b.cls("Equipment").attr("serial", STRING).attr("model", STRING)
+    b.cls("Scanner", isa="Equipment")
+    return b.build()
+
+
+def alcoholic_def():
+    return ClassDef("Alcoholic", ("Patient",), (
+        AttributeDef("treatedBy", ClassType("Psychologist"),
+                     excuses=(ExcuseRef("Patient", "treatedBy"),)),))
+
+
+def _build_store():
+    store = ObjectStore(build_schema())
+    store.create_index("serial")
+    doc = store.create("Physician", name="dr", age=50)
+    rows = []
+    for i in range(N_MEDICAL):
+        rows.append((("Patient",),
+                     {"name": f"p{i}", "age": 20 + i % 60,
+                      "treatedBy": doc}))
+    for i in range(N_EQUIPMENT):
+        rows.append((("Scanner",),
+                     {"serial": f"S-{i}", "model": f"M{i % 7}"}))
+    store.bulk_load(rows, check="eager")
+    return store
+
+
+def _measure_readers(shared, span_s, n_readers=2):
+    """Per-query latencies (seconds, with timestamps) over ``span_s``."""
+    stop = threading.Event()
+    samples = [[] for _ in range(n_readers)]
+    errors = []
+
+    def reader(slot):
+        try:
+            while not stop.is_set():
+                t0 = time.perf_counter()
+                rows, _stats = shared.query(QUERY)
+                samples[slot].append((t0, time.perf_counter() - t0))
+                assert len(rows) == 1
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(slot,))
+               for slot in range(n_readers)]
+    for t in threads:
+        t.start()
+    time.sleep(span_s)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+    return [s for slot in samples for s in slot]
+
+
+def _measure_during_alter(shared):
+    """Reader latencies while the alter actually runs; returns
+    ``(window_samples, alter_seconds, problems)``."""
+    stop = threading.Event()
+    samples = [[]]
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                t0 = time.perf_counter()
+                rows, _stats = shared.query(QUERY)
+                samples[0].append((t0, time.perf_counter() - t0))
+                assert len(rows) == 1
+        except BaseException as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    time.sleep(0.05)               # readers spinning before the change
+    t0 = time.perf_counter()
+    problems = shared.alter_class(alcoholic_def(), recheck="affected")
+    t1 = time.perf_counter()
+    time.sleep(0.05)
+    stop.set()
+    thread.join()
+    assert not errors, errors[0]
+    window = [(ts, dt) for ts, dt in samples[0] if t0 <= ts <= t1]
+    if len(window) < 50:           # alter finished between samples
+        window = samples[0]
+    return window, t1 - t0, problems
+
+
+def _p99(samples):
+    latencies = sorted(dt for _ts, dt in samples)
+    assert latencies, "no reader samples captured"
+    return latencies[min(len(latencies) - 1,
+                         int(len(latencies) * 0.99))]
+
+
+def test_a8_online_schema_evolution():
+    # ---- delta vs full rechecking, on identical stores -----------------
+    full_store = _build_store()
+    t0 = time.perf_counter()
+    full_problems = full_store.alter_class(alcoholic_def(),
+                                           recheck="full")
+    full_s = time.perf_counter() - t0
+    full_stats = full_store.checker.stats
+    assert full_stats.schema_objects_rechecked >= N_OBJECTS
+
+    store = _build_store()
+    shared = ConcurrentStore(store)
+    assert len(store) >= 100_000
+
+    # ---- no-writer reader baseline ------------------------------------
+    baseline = _measure_readers(shared, BASELINE_S)
+    baseline_p99 = _p99(baseline)
+
+    # ---- the live change under concurrent snapshot readers ------------
+    old_epoch = shared.snapshot().schema_epoch
+    window, alter_s, problems = _measure_during_alter(shared)
+    during_p99 = _p99(window)
+    disturbance = during_p99 / baseline_p99
+    assert problems == full_problems == []
+    assert shared.snapshot().schema_epoch == old_epoch + 1
+
+    stats = store.checker.stats
+    rechecked = stats.schema_objects_rechecked
+    skipped = stats.schema_objects_skipped
+    # Counter-verified delta scoping: only the medical side is checked;
+    # the 80k equipment objects are skipped wholesale by signature.
+    assert rechecked < N_OBJECTS // 2
+    assert skipped >= N_EQUIPMENT
+    assert (rechecked + skipped
+            == full_stats.schema_objects_rechecked == len(store))
+    assert rechecked < full_stats.schema_objects_rechecked
+
+    # The evolved store accepts members of the new epoch immediately.
+    shrink = store.create("Psychologist", name="freud", age=60)
+    store.create("Alcoholic", name="al", age=33, treatedBy=shrink)
+
+    assert disturbance <= DISTURBANCE_FLOOR, (
+        f"reader p99 during the alter is {disturbance:.2f}x the "
+        f"no-writer baseline ({during_p99 * 1e6:.0f}us vs "
+        f"{baseline_p99 * 1e6:.0f}us; floor: {DISTURBANCE_FLOOR}x)")
+
+    speedup = full_s / alter_s if alter_s > 0 else float("inf")
+    lines = [
+        f"{'phase':34} {'value':>14}",
+        f"{'objects (medical / equipment)':34} "
+        f"{f'{N_MEDICAL} / {N_EQUIPMENT}':>14}",
+        f"{'full re-validation':34} {full_s * 1e3:>12.0f}ms",
+        f"{'  objects rechecked':34} "
+        f"{full_stats.schema_objects_rechecked:>14}",
+        f"{'delta (affected signatures)':34} {alter_s * 1e3:>12.0f}ms",
+        f"{'  objects rechecked':34} {rechecked:>14}",
+        f"{'  objects skipped':34} {skipped:>14}",
+        f"{'delta speedup':34} {speedup:>12.1f}x",
+        "",
+        f"{'reader p99, no writer':34} {baseline_p99 * 1e6:>12.0f}us",
+        f"{'reader p99, during alter':34} {during_p99 * 1e6:>12.0f}us",
+        f"{'disturbance':34} {disturbance:>12.2f}x"
+        f"  (floor: {DISTURBANCE_FLOOR}x)",
+    ]
+    report("A8-evolution", "\n".join(lines))
+
+    report_json("evolution", {
+        "experiment": "A8-evolution",
+        "n_objects": len(store),
+        "n_medical": N_MEDICAL,
+        "n_equipment": N_EQUIPMENT,
+        "full_recheck_s": round(full_s, 4),
+        "full_objects_rechecked": full_stats.schema_objects_rechecked,
+        "delta_recheck_s": round(alter_s, 4),
+        "delta_objects_rechecked": rechecked,
+        "delta_objects_skipped": skipped,
+        "delta_speedup": round(speedup, 2),
+        "reader_baseline_p99_us": round(baseline_p99 * 1e6, 1),
+        "reader_during_alter_p99_us": round(during_p99 * 1e6, 1),
+        "disturbance": round(disturbance, 3),
+        "disturbance_floor": DISTURBANCE_FLOOR,
+        "baseline_samples": len(baseline),
+        "during_alter_samples": len(window),
+    })

@@ -21,6 +21,10 @@ Usage (also via ``python -m repro.cli``)::
                 [--check eager|deferred]   # batched ingest path
                 [--parallel N] [--validate]
                 [--persist DIR]
+    repro alter <dir> <schema.cdl> <Class> # apply one class definition
+                [--recheck affected|lazy   # from the CDL file as a live
+                 |full|none] [--dry-run]   # schema change (or report the
+                                           # propagation diagnostics only)
     repro recover <dir>                    # recover a durable store
                                            # (checkpoint + WAL replay),
                                            # report what was rebuilt
@@ -262,6 +266,50 @@ def cmd_load(args) -> int:
     return 0
 
 
+def cmd_alter(args) -> int:
+    from repro.objects.store import ObjectStore
+    from repro.schema.evolution import apply_change
+
+    target_schema = _read_schema(args.schema)
+    if not target_schema.has_class(args.class_name):
+        print(f"error: {args.schema!r} does not define "
+              f"{args.class_name!r}", file=sys.stderr)
+        return 2
+    new_def = target_schema.get(args.class_name)
+
+    store = ObjectStore.open(args.directory)
+    try:
+        if args.dry_run:
+            # Propagate into a detached copy: diagnostics without
+            # committing anything to the store or its WAL.
+            trial = store.schema.copy()
+            diagnostics, rolled_back = apply_change(trial, new_def)
+            for d in diagnostics:
+                print(d)
+            verdict = ("would be rejected" if rolled_back
+                       else "would be accepted")
+            print(f"dry run: change to {args.class_name!r} {verdict} "
+                  f"({len(diagnostics)} diagnostic(s))")
+            return 1 if rolled_back else 0
+
+        problems = store.alter_class(new_def, recheck=args.recheck)
+        stats = store.checker.stats
+        epoch = store.schema_epochs.current
+        print(f"schema epoch {epoch.number}: altered "
+              f"{args.class_name!r} ({len(epoch.changes)} change(s), "
+              f"recheck={args.recheck})")
+        print(f"  objects rechecked : {stats.schema_objects_rechecked}")
+        print(f"  objects skipped   : {stats.schema_objects_skipped}")
+        print(f"  profiles retained : {stats.schema_profiles_retained}")
+        for obj, violation in problems[:args.max_violations]:
+            print(f"  {obj.surrogate}: {violation}")
+        if len(problems) > args.max_violations:
+            print(f"  ... and {len(problems) - args.max_violations} more")
+        return 1 if problems else 0
+    finally:
+        store.close()
+
+
 def cmd_recover(args) -> int:
     from repro.objects.store import ObjectStore
     store = ObjectStore.open(args.directory)
@@ -410,6 +458,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store the loaded population to a storage-"
                         "engine directory")
     p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser(
+        "alter",
+        help="apply one class definition from a CDL file to a durable "
+             "store as a live schema change")
+    p.add_argument("directory")
+    p.add_argument("schema",
+                   help="CDL file holding the new definition (other "
+                        "classes in it are ignored)")
+    p.add_argument("class_name")
+    p.add_argument("--recheck",
+                   choices=("affected", "lazy", "full", "none"),
+                   default="affected",
+                   help="how much of the population to re-validate "
+                        "(default: affected signatures only)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report propagation diagnostics without "
+                        "committing the change")
+    p.add_argument("--max-violations", type=int, default=10)
+    p.set_defaults(func=cmd_alter)
 
     p = sub.add_parser(
         "recover",

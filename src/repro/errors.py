@@ -69,6 +69,25 @@ class UnexcusedContradictionError(SchemaError):
         self.contradicted = contradicted
 
 
+class SchemaEvolutionError(SchemaError):
+    """A live schema change was rejected and rolled back.
+
+    Raised by the online evolution pipeline when applying a replacement
+    definition to a populated store would leave the schema with unexcused
+    contradictions, or when the change is requested in a context where it
+    cannot be applied atomically (e.g. inside an open transaction).
+    """
+
+    def __init__(self, class_name: str, detail: str = "",
+                 diagnostics: tuple = ()) -> None:
+        message = f"schema change for class {class_name!r} rejected"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.class_name = class_name
+        self.diagnostics = tuple(diagnostics)
+
+
 class RedundantExcuseWarning(UserWarning):
     """An excuse was declared where no contradiction exists (harmless)."""
 

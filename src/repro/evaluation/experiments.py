@@ -134,6 +134,15 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
         ("repro.objects.pipeline", "repro.objects.snapshot",
          "repro.objects.concurrent"),
         "bench_concurrent.py"),
+    Experiment(
+        "A8", "Online schema evolution", "§6 + substrate",
+        "adding an excused subclass over a 100k+-object store re-checks "
+        "only diff-affected signatures (counter-verified) and leaves "
+        "concurrent snapshot-reader p99 within 2x of the no-writer "
+        "baseline",
+        ("repro.schema.evolution", "repro.schema.diff",
+         "repro.objects.pipeline", "repro.schema.epochs"),
+        "bench_schema_evolution.py"),
 )
 
 

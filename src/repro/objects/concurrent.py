@@ -179,6 +179,23 @@ class ConcurrentStore:
     def validate_dirty(self):
         return self._store.validate_dirty()
 
+    def alter_class(self, new_def, *, recheck: str = "affected"):
+        """Apply a live schema change; readers keep serving the prior
+        schema epoch (wait-free) until the swap commits."""
+        return self._store.alter_class(new_def, recheck=recheck)
+
+    def add_excuse(self, class_name: str, attribute: str, range_,
+                   targets, *, recheck: str = "affected"):
+        return self._store.add_excuse(class_name, attribute, range_,
+                                      targets, recheck=recheck)
+
+    def retract_excuse(self, class_name: str, attribute: str, *,
+                       targets=None, drop_attribute: bool = False,
+                       recheck: str = "affected"):
+        return self._store.retract_excuse(
+            class_name, attribute, targets=targets,
+            drop_attribute=drop_attribute, recheck=recheck)
+
     def create_index(self, attribute: str):
         return self._store.create_index(attribute)
 

@@ -49,9 +49,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import ConformanceError, UnknownClassError
+from repro.errors import (
+    ConformanceError,
+    SchemaEvolutionError,
+    UnknownClassError,
+)
 from repro.objects.instance import Instance
 from repro.objects.surrogate import Surrogate
+from repro.schema.diff import EvolutionRegion, affected_region, diff_schemas
+from repro.schema.evolution import apply_change
 from repro.semantics.checker import Violation
 from repro.typesys.values import INAPPLICABLE, is_entity
 
@@ -238,6 +244,53 @@ class ValidateCommand(MutationCommand):
 
     def journal(self, pipe, journal):
         journal.record("validate", {"scope": self.scope})
+
+
+class AlterClassCommand(MutationCommand):
+    """One live schema change: replace (or add) a class definition and
+    migrate the populated store to the successor schema epoch.
+
+    ``store.alter_class``, ``store.add_excuse`` and
+    ``store.retract_excuse`` all construct this command; ``verb``
+    records which entry point did, for the epoch registry and the WAL.
+    ``recheck`` selects the migration policy for affected objects:
+    ``"affected"`` (delta-recheck now, the default), ``"lazy"`` (mark
+    dirty for a later ``validate_dirty``), ``"full"`` (whole-object
+    re-check of the entire population -- the measured baseline), or
+    ``"none"``.
+    """
+
+    op = "alter"
+    __slots__ = ("new_def", "recheck", "verb", "diagnostics", "region",
+                 "result")
+
+    def __init__(self, new_def, recheck: str = "affected",
+                 verb: str = "alter-class") -> None:
+        super().__init__(None)
+        if recheck not in ("affected", "lazy", "full", "none"):
+            raise ValueError(f"unknown recheck mode {recheck!r}")
+        self.new_def = new_def
+        self.recheck = recheck
+        self.verb = verb
+        self.diagnostics: List = []
+        self.region: Optional[EvolutionRegion] = None
+        self.result: List[Tuple[Instance, Violation]] = []
+
+    def apply(self, pipe):
+        self.result = pipe.apply_alter(self)
+        return self.result
+
+    def journal(self, pipe, journal):
+        from repro.lang import print_schema
+        # The whole successor schema rides in the record: replay needs no
+        # out-of-band state, and the CDL print/load round-trip is the
+        # same one checkpoints already depend on.
+        journal.record("alter", {
+            "cls": self.new_def.name,
+            "verb": self.verb,
+            "recheck": self.recheck,
+            "schema": print_schema(pipe.store.schema),
+        })
 
 
 class BulkCommand(MutationCommand):
@@ -584,6 +637,144 @@ class MutationPipeline:
             else:
                 del store._dirty[surrogate]
         return out
+
+    # ------------------------------------------------------------------
+    # Apply stage: schema evolution
+    # ------------------------------------------------------------------
+
+    def apply_alter(self, command) -> List[Tuple[Instance, Violation]]:
+        """Apply one schema change to the live store and migrate.
+
+        The change is validated against a *clone* of the current schema
+        first (``apply_change``); a rejected change raises before
+        anything observable moves.  The surviving clone is then swapped
+        in as the next schema epoch -- open snapshots keep their
+        reference to the prior schema and continue reading against it --
+        and the derived state is migrated delta-scoped: only signature
+        profiles, extents and index postings inside the diff's affected
+        region are touched.
+
+        Object-level nonconformance surfaced by the re-check does *not*
+        roll the change back: like virtual-class residue, the objects
+        are marked dirty and the (object, violation) pairs returned, for
+        the designer to address (the paper's Section 6 stance -- the
+        *schema* must be contradiction-free, the data catches up).
+        """
+        store = self.store
+        name = command.new_def.name
+        if self._txn_depth:
+            raise SchemaEvolutionError(
+                name, "schema changes cannot run inside a transaction "
+                "scope (they are their own atomic unit)")
+        stats = store.checker.stats
+        old_schema = store.schema
+        new_schema = old_schema.copy()
+        diagnostics, rolled_back = apply_change(new_schema, command.new_def)
+        command.diagnostics = diagnostics
+        if rolled_back:
+            raise SchemaEvolutionError(
+                name, "; ".join(
+                    str(d) for d in diagnostics
+                    if d.code == "unexcused-contradiction"),
+                diagnostics)
+        changes = diff_schemas(old_schema, new_schema)
+        if not changes:
+            return []   # no-op: no epoch, no journal record
+        region = affected_region(old_schema, new_schema, changes)
+        command.region = region
+
+        # Swap in the successor epoch.  Everything derived from the old
+        # schema object either moves with the swap (checker, compiled
+        # profiles, virtual lookup) or is keyed by schema version and
+        # simply stops matching (plan cache).
+        store.schema = new_schema
+        store.checker.rebind_schema(new_schema, region.classes)
+        store._compiled_cache = None
+        store._rebuild_virtual_lookup()
+        store.schema_epochs.advance(new_schema, command.verb,
+                                    tuple(changes), region)
+
+        self.migrate_extents(old_schema, changes)
+        stats.schema_index_rebuilds += store.indexes.on_schema_change(
+            region.attributes)
+        problems = self.recheck_after_alter(region, command.recheck)
+        stats.schema_changes += 1
+        command.mutated = True
+        return problems
+
+    def migrate_extents(self, old_schema, changes) -> None:
+        """Re-derive extent entries for every object a hierarchy change
+        can have moved.  Only ``parents-changed`` (and class add/remove)
+        deltas re-scope extents; attribute-level deltas never do."""
+        store = self.store
+        structural = {
+            c.class_name for c in changes
+            if c.kind in ("parents-changed", "class-added", "class-removed")
+        }
+        if not structural:
+            return
+        moved: Set[str] = set()
+        for name in structural:
+            for schema in (old_schema, store.schema):
+                if schema.has_class(name):
+                    moved |= schema.descendants(name)
+        for obj in list(store._objects.values()):
+            if not moved.isdisjoint(obj._memberships):
+                self.rebuild_extents_for(obj)
+
+    def recheck_after_alter(
+            self, region: EvolutionRegion,
+            recheck: str) -> List[Tuple[Instance, Violation]]:
+        """Re-validate the population against the new epoch, scoped by
+        the migration policy; violating objects are marked dirty."""
+        store = self.store
+        stats = store.checker.stats
+        problems: List[Tuple[Instance, Violation]] = []
+        if recheck == "none":
+            return problems
+        if recheck == "full":
+            for obj in store._objects.values():
+                stats.schema_objects_rechecked += 1
+                violations = store.checker.check(obj)
+                if violations:
+                    store._mark_dirty(obj)
+                    problems.extend((obj, v) for v in violations)
+            return problems
+        # Group by direct-membership signature: one profile probe decides
+        # the fate of every object sharing the signature.
+        by_signature: Dict[frozenset, List[Instance]] = {}
+        for obj in store._objects.values():
+            by_signature.setdefault(obj.memberships, []).append(obj)
+        affected = region.classes
+        for signature, objs in by_signature.items():
+            profile = store.checker._profile_for(signature)
+            touched = profile.expanded & affected
+            if not touched:
+                stats.schema_objects_skipped += len(objs)
+                continue
+            if recheck == "lazy":
+                stats.schema_migrations_lazy += len(objs)
+                for obj in objs:
+                    store._mark_dirty(obj)
+                continue
+            delta = sorted(touched)
+            for obj in objs:
+                stats.schema_objects_rechecked += 1
+                violations = store.checker.check_classes(obj, delta)
+                # A removed declaration can strand stored values outside
+                # the applicable set; surface them like any residue.
+                for attr in sorted(
+                        set(obj.value_names()) - profile.applicable):
+                    value = obj.get_value(attr)
+                    if value is INAPPLICABLE:
+                        continue
+                    stats.violations_found += 1
+                    violations.append(Violation(
+                        "inapplicable-attribute", "?", attr, value))
+                if violations:
+                    store._mark_dirty(obj)
+                    problems.extend((obj, v) for v in violations)
+        return problems
 
     # ------------------------------------------------------------------
     # Apply stage: bulk batches

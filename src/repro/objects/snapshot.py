@@ -152,7 +152,11 @@ class StoreSnapshot:
     def __init__(self, store) -> None:
         # Called under store._write_lock (from ObjectStore.snapshot()).
         self.epoch: int = store._epoch
+        # The schema is pinned by reference: a later schema-epoch swap
+        # installs a *new* Schema object on the store, so this snapshot
+        # keeps planning and checking against the epoch it captured.
         self.schema = store.schema
+        self.schema_epoch: int = store.schema_epochs.current.number
         self.engine: str = store.engine
         self.check_mode: str = store.check_mode
         # surrogate -> (membership set ref, value dict ref); refs must be
@@ -272,6 +276,7 @@ class StoreSnapshot:
         snap = dict(live_counters if live_counters is not None
                     else self._counters)
         snap["engine"] = self.engine
+        snap["schema_epoch"] = self.schema_epoch
         snap["objects"] = len(self._objects)
         snap["extent_entries"] = self._extent_entries
         snap["virtual_refs"] = self._n_virtual_refs

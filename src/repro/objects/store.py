@@ -72,10 +72,16 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import NoSuchObjectError, UnknownClassError
+from repro.errors import (
+    NoSuchObjectError,
+    SchemaEvolutionError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
 from repro.obs import EngineStats
 from repro.objects.instance import Instance
 from repro.objects.pipeline import (
+    AlterClassCommand,
     CheckMode,
     ClassifyCommand,
     CreateCommand,
@@ -88,7 +94,9 @@ from repro.objects.pipeline import (
 )
 from repro.objects.surrogate import Surrogate, SurrogateAllocator
 from repro.query.indexes import IndexManager, StoreIndex
+from repro.schema.attribute import AttributeDef, ExcuseRef
 from repro.schema.classdef import ClassDef
+from repro.schema.epochs import SchemaEpochRegistry
 from repro.schema.schema import Schema
 from repro.semantics.candidates import ConstraintSemantics
 from repro.semantics.checker import ConformanceChecker, Violation
@@ -127,9 +135,10 @@ class ObjectStore:
         self._virtual_refs: Dict[Tuple[str, Surrogate], int] = {}
         # virtual classes indexed by home attribute name for fast lookup.
         self._virtuals_by_attr: Dict[str, List[ClassDef]] = {}
-        for cdef in schema.virtual_classes():
-            self._virtuals_by_attr.setdefault(
-                cdef.origin.attribute, []).append(cdef)
+        self._rebuild_virtual_lookup()
+        # Schema lineage: epoch 0 is the schema the store was built with;
+        # online changes (alter_class / excuse ops) mint successors.
+        self.schema_epochs = SchemaEpochRegistry(schema)
         # Objects whose conformance an unchecked/residue-producing
         # mutation may have invalidated: surrogate -> dirty attribute
         # names, or None for "anything" (a membership changed).
@@ -383,6 +392,104 @@ class ObjectStore:
         self._pipeline.add_to_extents(obj, class_name)
 
     # ------------------------------------------------------------------
+    # Online schema evolution
+    # ------------------------------------------------------------------
+
+    def alter_class(self, new_def: ClassDef, *,
+                    recheck: str = "affected"):
+        """Apply a replacement (or brand-new) class definition to the
+        live store as one pipeline command, minting the next schema
+        epoch.
+
+        The change is validated first and rejected atomically
+        (:class:`SchemaEvolutionError`) if it would introduce an
+        unexcused contradiction; otherwise the successor schema is
+        swapped in, derived state is migrated delta-scoped, and the
+        affected population is re-validated per ``recheck``
+        (``"affected"`` | ``"lazy"`` | ``"full"`` | ``"none"``).
+        Returns the ``(object, violation)`` pairs the re-check surfaced
+        (those objects are marked dirty, never rolled back).  Open
+        snapshots keep reading against the prior epoch.
+        """
+        return self._pipeline.execute(
+            AlterClassCommand(new_def, recheck, "alter-class"))
+
+    def add_excuse(self, class_name: str, attribute: str, range_,
+                   targets, *, recheck: str = "affected"):
+        """Declare (or extend) ``attribute`` on ``class_name`` with
+        ``range_``, excusing the constraint on each target.
+
+        ``targets`` is an iterable of excuse targets -- a class name
+        (the excused attribute defaults to ``attribute``), a
+        ``(class, attribute)`` pair, or an :class:`ExcuseRef`; ``range_``
+        accepts the same shorthands as the schema builder.  An existing
+        declaration of the attribute keeps its other excuses; the range
+        is replaced.  Runs through :meth:`alter_class`.
+        """
+        from repro.schema.builder import as_type
+        cdef = self.schema.get(class_name)
+        refs: List[ExcuseRef] = []
+        existing = cdef.attribute(attribute)
+        if existing is not None:
+            refs.extend(existing.excuses)
+        for target in targets:
+            if isinstance(target, ExcuseRef):
+                ref = target
+            elif isinstance(target, str):
+                ref = ExcuseRef(target, attribute)
+            else:
+                ref = ExcuseRef(*target)
+            if ref not in refs:
+                refs.append(ref)
+        new_def = cdef.with_attribute(
+            AttributeDef(attribute, as_type(range_), tuple(refs)))
+        return self._pipeline.execute(
+            AlterClassCommand(new_def, recheck, "add-excuse"))
+
+    def retract_excuse(self, class_name: str, attribute: str, *,
+                       targets=None, drop_attribute: bool = False,
+                       recheck: str = "affected"):
+        """Withdraw excuse clauses from ``attribute`` on ``class_name``.
+
+        With ``targets=None`` every excuse on the attribute is
+        retracted; otherwise only those against the given targets (class
+        names or ``(class, attribute)`` pairs).  With
+        ``drop_attribute=True`` the declaring attribute is removed
+        entirely once no excuse remains.  A retraction that would leave
+        the declared range in unexcused contradiction with an ancestor
+        is rejected atomically.  Runs through :meth:`alter_class`.
+        """
+        cdef = self.schema.get(class_name)
+        attr = cdef.attribute(attribute)
+        if attr is None:
+            raise UnknownAttributeError(class_name, attribute)
+        if not attr.excuses:
+            raise SchemaEvolutionError(
+                class_name,
+                f"attribute {attribute!r} declares no excuses to retract")
+        if targets is None:
+            remaining: Tuple[ExcuseRef, ...] = ()
+        else:
+            gone = set()
+            for target in targets:
+                if isinstance(target, ExcuseRef):
+                    gone.add((target.class_name, target.attribute))
+                elif isinstance(target, str):
+                    gone.add((target, attribute))
+                else:
+                    gone.add(tuple(target))
+            remaining = tuple(
+                ref for ref in attr.excuses
+                if (ref.class_name, ref.attribute) not in gone)
+        if drop_attribute and not remaining:
+            new_def = cdef.without_attribute(attribute)
+        else:
+            new_def = cdef.with_attribute(
+                AttributeDef(attribute, attr.range, remaining))
+        return self._pipeline.execute(
+            AlterClassCommand(new_def, recheck, "retract-excuse"))
+
+    # ------------------------------------------------------------------
     # Attribute writes
     # ------------------------------------------------------------------
 
@@ -460,6 +567,14 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # Virtual-class lookup (read-only; maintenance lives in the pipeline)
     # ------------------------------------------------------------------
+
+    def _rebuild_virtual_lookup(self) -> None:
+        """Re-derive the per-attribute virtual-class lookup from the
+        current schema (construction, and every schema-epoch swap)."""
+        lookup: Dict[str, List[ClassDef]] = {}
+        for cdef in self.schema.virtual_classes():
+            lookup.setdefault(cdef.origin.attribute, []).append(cdef)
+        self._virtuals_by_attr = lookup
 
     def _home_virtuals(self, obj: Instance,
                        attribute: str) -> List[ClassDef]:

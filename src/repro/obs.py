@@ -60,6 +60,14 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     # MVCC side (snapshot reads)
     "snapshots_built",      # fresh StoreSnapshot captures
     "snapshot_reuses",      # snapshot() calls served by the cached epoch
+    # online schema evolution
+    "schema_changes",             # schema epochs minted on a live store
+    "schema_profiles_invalidated",  # signature profiles dropped by a change
+    "schema_profiles_retained",   # signature profiles kept across a change
+    "schema_objects_rechecked",   # objects delta-rechecked after a change
+    "schema_objects_skipped",     # objects skipped (profile outside region)
+    "schema_migrations_lazy",     # objects deferred to lazy re-validation
+    "schema_index_rebuilds",      # secondary indexes rebuilt by a change
 )
 
 

@@ -327,6 +327,42 @@ class IndexManager:
                 len(self._indexes) * len(objects) + indexed_writes)
         self.version += 1
 
+    def on_schema_change(self, affected_attributes) -> int:
+        """Rebuild the postings of every index whose attribute the schema
+        delta touches, leaving the others untouched (scoped invalidation).
+
+        Postings are value-keyed, so most schema changes cannot stale
+        them -- but a change that re-scopes an attribute's constraints
+        (a retracted excuse, a dropped declaration, a moved hierarchy)
+        may have changed which stored values even exist by the time the
+        mutation paths run again, and the exactness contract ("an
+        indexed plan agrees with the scan row-for-row") is cheap to
+        re-establish by re-deriving the affected postings from the live
+        population.  Returns the number of indexes rebuilt; bumps the
+        design version once when any were, so cached plans costed
+        against the old cardinalities stop matching.
+        """
+        rebuilt = 0
+        for attribute in sorted(affected_attributes):
+            index = self._indexes.get(attribute)
+            if index is None:
+                continue
+            fresh = StoreIndex(attribute)
+            for obj in self._store.instances():
+                fresh.add(obj.surrogate, obj.get_value(attribute))
+            # Swap containers in place (fresh ones -- no snapshot can
+            # hold them) so the index object keeps its identity.
+            index._buckets = fresh._buckets
+            index._entries = fresh._entries
+            index.inapplicable = fresh.inapplicable
+            index.residue = fresh.residue
+            index._cow_stamp = self._store._snapshot_stamp
+            rebuilt += 1
+        if rebuilt:
+            self.qstats.index_updates += rebuilt
+            self.version += 1
+        return rebuilt
+
     def on_value_change(self, surrogate, attribute: str, value) -> None:
         index = self._indexes.get(attribute)
         if index is None:

@@ -80,6 +80,53 @@ def diff_schemas(old: Schema, new: Schema) -> List[SchemaChange]:
     return changes
 
 
+@dataclass(frozen=True)
+class EvolutionRegion:
+    """The part of the object world a schema delta can reach.
+
+    ``classes`` are the class names whose signature profiles may have
+    changed meaning (computed with :func:`affected_classes` on both the
+    old and the new schema, so classes entering or leaving a hierarchy
+    are covered from either side).  ``attributes`` are the attribute
+    names whose constraints the delta touches -- the only attributes
+    whose secondary-index postings can have gone stale.
+    """
+
+    classes: frozenset
+    attributes: frozenset
+
+    @property
+    def empty(self) -> bool:
+        return not self.classes and not self.attributes
+
+
+def affected_region(old: Schema, new: Schema,
+                    changes: List[SchemaChange] = None) -> EvolutionRegion:
+    """The :class:`EvolutionRegion` of the delta turning ``old`` into
+    ``new``; ``changes`` may be supplied to avoid recomputing the diff."""
+    from repro.schema.evolution import affected_classes
+
+    if changes is None:
+        changes = diff_schemas(old, new)
+    classes = set()
+    attributes = set()
+    for change in changes:
+        for schema in (old, new):
+            if schema.has_class(change.class_name):
+                classes |= affected_classes(schema, change.class_name)
+        if change.attribute:
+            attributes.add(change.attribute)
+        elif change.kind in ("class-added", "class-removed",
+                             "parents-changed"):
+            # A structural change re-scopes every constraint applicable
+            # to the class, not one named attribute.
+            for schema in (old, new):
+                if schema.has_class(change.class_name):
+                    attributes.update(
+                        schema.applicable_attribute_names(change.class_name))
+    return EvolutionRegion(frozenset(classes), frozenset(attributes))
+
+
 def render_diff(old: Schema, new: Schema) -> str:
     changes = diff_schemas(old, new)
     if not changes:

@@ -1,0 +1,78 @@
+"""Schema epochs: the version history of a live store's schema.
+
+A populated store never mutates its schema in place.  Each online change
+builds a *successor* schema (a copy with the replacement definition
+applied), and the store swaps the whole object atomically under its
+write lock.  Open MVCC snapshots keep their reference to the prior
+schema and continue planning and checking against it; the registry here
+records the lineage so observability and tests can pin a read to "the
+schema as of epoch N".
+
+Epoch numbers are small consecutive integers starting at 0 (the schema
+the store was created with).  They are distinct from ``Schema.version``,
+which counts *every* cache invalidation (including those performed while
+a detached schema is being built); an epoch is minted only when a change
+actually lands on a live store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.schema.diff import EvolutionRegion, SchemaChange
+from repro.schema.schema import Schema
+
+_EMPTY_REGION = EvolutionRegion(frozenset(), frozenset())
+
+
+@dataclass(frozen=True)
+class SchemaEpoch:
+    """One entry in a store's schema lineage."""
+
+    number: int
+    schema: Schema
+    verb: str = "initial"
+    changes: Tuple[SchemaChange, ...] = ()
+    region: EvolutionRegion = field(default=_EMPTY_REGION)
+
+    def __str__(self) -> str:
+        if not self.changes:
+            return f"epoch {self.number} ({self.verb})"
+        summary = "; ".join(str(c) for c in self.changes)
+        return f"epoch {self.number} ({self.verb}): {summary}"
+
+
+class SchemaEpochRegistry:
+    """The ordered lineage of schema epochs a store has served.
+
+    Append-only: :meth:`advance` mints the next epoch.  The registry
+    holds the actual :class:`Schema` objects, so an epoch number is
+    enough to recover the exact schema a pinned snapshot reads against.
+    """
+
+    def __init__(self, initial: Schema) -> None:
+        self._epochs: List[SchemaEpoch] = [SchemaEpoch(0, initial)]
+
+    @property
+    def current(self) -> SchemaEpoch:
+        return self._epochs[-1]
+
+    def advance(self, schema: Schema, verb: str,
+                changes: Tuple[SchemaChange, ...],
+                region: EvolutionRegion) -> SchemaEpoch:
+        epoch = SchemaEpoch(self.current.number + 1, schema, verb,
+                            tuple(changes), region)
+        self._epochs.append(epoch)
+        return epoch
+
+    def epoch(self, number: int) -> Optional[SchemaEpoch]:
+        if 0 <= number < len(self._epochs):
+            return self._epochs[number]
+        return None
+
+    def history(self) -> Tuple[SchemaEpoch, ...]:
+        return tuple(self._epochs)
+
+    def __len__(self) -> int:
+        return len(self._epochs)

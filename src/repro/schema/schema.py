@@ -481,8 +481,18 @@ class Schema:
         )
 
     def copy(self) -> "Schema":
+        """A mutable clone sharing the (frozen) class definitions.
+
+        The clone carries the version counter forward, so a mutation of
+        the clone yields a version strictly greater than any the original
+        ever exposed.  Online schema evolution relies on this: plan-cache
+        entries and compiled profiles are keyed by schema version, and a
+        successor epoch built from a copy must never collide with keys
+        minted under the original.
+        """
         clone = Schema()
         clone._classes = dict(self._classes)
+        clone._version = self._version
         return clone
 
     def __str__(self) -> str:

@@ -165,6 +165,29 @@ class ConformanceChecker:
     def _profile(self, entity) -> _Profile:
         return self._profile_for(entity.memberships)
 
+    def rebind_schema(self, schema: Schema,
+                      affected: FrozenSet[str]) -> None:
+        """Point the checker at a successor schema epoch, keeping every
+        cached profile the change provably cannot affect.
+
+        A profile depends only on the declared constraints (and excuse
+        registries) of the classes in its IS-A expansion, so it survives
+        a schema change whose affected-class region is disjoint from
+        that expansion.  The wholesale clear in :meth:`_profile_for`
+        remains as the safety net for in-place schema mutation; this
+        path is the delta-scoped one the online evolution pipeline uses.
+        """
+        survivors: Dict[FrozenSet[str], _Profile] = {}
+        for signature, profile in self._profiles.items():
+            if profile.expanded.isdisjoint(affected):
+                survivors[signature] = profile
+                self.stats.schema_profiles_retained += 1
+            else:
+                self.stats.schema_profiles_invalidated += 1
+        self.schema = schema
+        self._profiles = survivors
+        self._schema_version = schema.version
+
     def expanded_memberships(self, entity) -> Set[str]:
         """All classes the entity belongs to, closed under IS-A."""
         if self.use_index:

@@ -3,7 +3,10 @@
 A durable store directory contains::
 
     MANIFEST               -- JSON commit point (always replaced atomically)
-    schema.cdl             -- the schema, pretty-printed (self-contained dir)
+    schema.cdl             -- the schema, pretty-printed (self-contained
+                              dir); checkpoints supersede it with a
+                              generation-suffixed ``schema-<g>.cdl`` so
+                              online schema changes persist atomically
     checkpoint-<g>.ckpt    -- framed instance records, CRC32 per frame,
                               whole-file length+CRC recorded in MANIFEST
     wal-<g>.log            -- the active WAL segment (durability="wal")
@@ -290,6 +293,16 @@ def _replay_record(store, record) -> None:
                              check=fields.get("mode"))
         elif op == "remove":
             store.remove(resolve(fields["sid"]))
+        elif op == "alter":
+            # The record carries the full successor schema (CDL text), so
+            # replay re-runs the change through the checked alter path and
+            # re-establishes extents/indexes/profiles rather than trusting
+            # the log.  Replayed alters are not re-journaled: the journal
+            # is attached only after replay completes.
+            from repro.lang import load_schema
+            target = load_schema(fields["schema"])
+            store.alter_class(target.get(fields["cls"]),
+                              recheck=fields.get("recheck", "affected"))
         elif op == "validate":
             if fields["scope"] == "all":
                 store.validate_all()
@@ -386,6 +399,18 @@ def checkpoint_store(store: "DurableObjectStore") -> dict:
     else:
         base_seq = 0
 
+    # Persist the *current* schema epoch alongside the checkpoint: online
+    # schema changes rotate out of the WAL here, so the stored schema must
+    # describe the epoch the checkpointed objects were written under.  The
+    # file is generation-suffixed (like the checkpoint and WAL) so a crash
+    # before the manifest swap leaves the old manifest pointing at the old
+    # schema file, intact and checksum-consistent.
+    from repro.lang import print_schema
+    schema_text = print_schema(store.schema).encode("utf-8")
+    schema_name = f"schema-{generation}.cdl"
+    atomic_write_bytes(fs, os.path.join(directory, schema_name),
+                       schema_text)
+
     manifest = {
         "format": MANIFEST_FORMAT,
         "generation": generation,
@@ -393,7 +418,7 @@ def checkpoint_store(store: "DurableObjectStore") -> dict:
         "store": _store_config(store),
         "indexes": list(store.indexes.attributes()),
         "checkpoint": _write_checkpoint(fs, directory, store, generation),
-        "schema": old.get("schema"),
+        "schema": {"file": schema_name, "crc": zlib.crc32(schema_text)},
     }
 
     new_wal = None
@@ -423,6 +448,10 @@ def checkpoint_store(store: "DurableObjectStore") -> dict:
         old_wal = (old.get("wal") or {}).get("file")
         if old_wal:
             fs.remove(os.path.join(directory, old_wal))
+        old_schema = (old.get("schema") or {}).get("file")
+        if old_schema and old_schema != schema_name \
+                and fs.exists(os.path.join(directory, old_schema)):
+            fs.remove(os.path.join(directory, old_schema))
     store._manifest = manifest
     store.checker.stats.checkpoints += 1
     return manifest

@@ -124,3 +124,61 @@ def test_extents_and_indexes_only_mutated_by_owners():
     assert not offenders, (
         "direct _extents/_indexes mutation outside the owning module: "
         + ", ".join(offenders))
+
+
+# ---------------------------------------------------------------------------
+# Evolution ban: a live store's schema is only changed by the pipeline
+# ---------------------------------------------------------------------------
+#
+# Online schema evolution is a journaled, epoch-swapping pipeline command
+# (AlterClassCommand): it rebinds `store.schema` to a fresh Schema object
+# so MVCC snapshots keep their pinned epoch, re-scopes the conformance
+# profiles, and logs the change for recovery.  Mutating another object's
+# schema in place -- `store.schema.add_class(...)` -- or rebinding it
+# outside the pipeline would bypass all of that, so both are banned here.
+# A *detached* schema held in a plain variable (`schema.add_class(...)`,
+# the evolution helpers and builders) and an object's own `self.schema`
+# stay legal.
+
+_SCHEMA_MUTATORS = {"add_class", "replace_class", "remove_class"}
+
+
+def _foreign_schema(node):
+    """True for `<expr>.schema` where `<expr>` is not `self` -- i.e. a
+    reach into some *other* object's live schema attribute."""
+    return (isinstance(node, ast.Attribute) and node.attr == "schema"
+            and not (isinstance(node.value, ast.Name)
+                     and node.value.id == "self"))
+
+
+def _schema_mutations_in(tree):
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            raw = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target] if isinstance(node, ast.AugAssign)
+                   else node.targets)
+            if any(_foreign_schema(target) for target in raw):
+                hits.append(node.lineno)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr in _SCHEMA_MUTATORS
+              and _foreign_schema(node.func.value)):
+            hits.append(node.lineno)
+    return hits
+
+
+def test_live_schema_only_evolved_through_the_pipeline():
+    src_root = pathlib.Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel in _EXEMPT:
+            continue
+        tree = ast.parse(path.read_text(), filename=rel)
+        for lineno in _schema_mutations_in(tree):
+            offenders.append(f"{rel}:{lineno}")
+    assert not offenders, (
+        "live-store schema mutation outside the mutation pipeline "
+        "(use alter_class/add_excuse/retract_excuse): "
+        + ", ".join(offenders))

@@ -1,0 +1,198 @@
+"""Property-based equivalence for online schema evolution.
+
+The defining property of online evolution: a store evolved *live*
+(schema changes interleaved with data mutations through the pipeline)
+must end indistinguishable from a store built fresh under the final
+schema and fed the same data mutations -- same memberships, same
+values, same query results, same conformance verdicts.  A second
+property extends this through the WAL: recovering the evolved store
+replays the interleaved schema-change records in order and lands on the
+same (schema, data) state the live store held.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import print_schema
+from repro.objects import ObjectStore
+from repro.schema import AttributeDef, SchemaBuilder
+from repro.schema.attribute import ExcuseRef
+from repro.schema.classdef import ClassDef
+from repro.schema.evolution import apply_change
+from repro.storage.recovery import open_store
+from repro.typesys import STRING, ClassType
+
+from tests.faultfs import MemFS, store_digest
+
+DIR = "/evoprop"
+
+
+def build_base_schema():
+    b = SchemaBuilder()
+    b.cls("Person").attr("name", STRING).attr("age", (1, 120))
+    b.cls("Physician", isa="Person")
+    b.cls("Psychologist", isa="Person")
+    b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+    return b.build()
+
+
+# The fixed, additive schema-change script: phase boundaries between the
+# drawn data-op phases.  Additive changes keep every data op that was
+# legal when it ran legal under the final schema too, which is what
+# makes the fresh-store replay well-defined.
+ALCOHOLIC = ClassDef("Alcoholic", ("Patient",), (
+    AttributeDef("treatedBy", ClassType("Psychologist"),
+                 excuses=(ExcuseRef("Patient", "treatedBy"),)),))
+
+
+def final_schema():
+    schema = build_base_schema().copy()
+    diagnostics, rolled_back = apply_change(schema, ALCOHOLIC)
+    assert not rolled_back
+    diagnostics, rolled_back = apply_change(
+        schema, schema.get("Person").with_attribute(
+            AttributeDef("nickname", STRING)))
+    assert not rolled_back
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Data-op vocabulary, per phase
+# ---------------------------------------------------------------------------
+
+_phase0_op = st.one_of(
+    st.tuples(st.just("physician"), st.integers(0, 7)),
+    st.tuples(st.just("patient"), st.integers(0, 15), st.integers(0, 3)),
+    st.tuples(st.just("shrink"), st.integers(0, 7)),
+    st.tuples(st.just("set_age"), st.integers(0, 9),
+              st.sampled_from([25, 60, 119])),
+)
+
+_phase1_op = st.one_of(
+    _phase0_op,
+    st.tuples(st.just("alcoholic"), st.integers(0, 15),
+              st.integers(0, 3)),
+)
+
+_phase2_op = st.one_of(
+    _phase1_op,
+    st.tuples(st.just("nickname"), st.integers(0, 9),
+              st.sampled_from(["ab", "cd", "ef"])),
+)
+
+
+def _apply(store, op, pools):
+    physicians, shrinks, everyone = pools
+    kind = op[0]
+    if kind == "physician":
+        obj = store.create("Physician", name=f"dr{op[1]}", age=50)
+        physicians.append(obj)
+        everyone.append(obj)
+    elif kind == "patient":
+        if not physicians:
+            return
+        doc = physicians[op[2] % len(physicians)]
+        obj = store.create("Patient", name=f"p{op[1]}", age=30,
+                           treatedBy=doc)
+        everyone.append(obj)
+    elif kind == "shrink":
+        obj = store.create("Psychologist", name=f"sh{op[1]}", age=45)
+        shrinks.append(obj)
+        everyone.append(obj)
+    elif kind == "alcoholic":
+        if not shrinks:
+            return
+        counselor = shrinks[op[2] % len(shrinks)]
+        obj = store.create("Alcoholic", name=f"al{op[1]}", age=40,
+                           treatedBy=counselor)
+        everyone.append(obj)
+    elif kind == "set_age":
+        if everyone:
+            store.set_value(everyone[op[1] % len(everyone)], "age",
+                            op[2])
+    elif kind == "nickname":
+        if everyone:
+            store.set_value(everyone[op[1] % len(everyone)], "nickname",
+                            op[2])
+
+
+def _run_evolving(store, phases):
+    pools = ([], [], [])
+    phase0, phase1, phase2 = phases
+    for op in phase0:
+        _apply(store, op, pools)
+    assert store.alter_class(ALCOHOLIC) == []
+    for op in phase1:
+        _apply(store, op, pools)
+    assert store.alter_class(
+        store.schema.get("Person").with_attribute(
+            AttributeDef("nickname", STRING))) == []
+    for op in phase2:
+        _apply(store, op, pools)
+
+
+def _run_fresh(store, phases):
+    pools = ([], [], [])
+    for phase in phases:
+        for op in phase:
+            _apply(store, op, pools)
+
+
+QUERIES = (
+    "for p in Patient select p.name",
+    "for a in Alcoholic select a.name, a.age",
+    "for d in Physician select d.name",
+)
+
+
+_phases = st.tuples(
+    st.lists(_phase0_op, max_size=12),
+    st.lists(_phase1_op, max_size=12),
+    st.lists(_phase2_op, max_size=12),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(phases=_phases)
+def test_online_evolution_equals_fresh_build(phases):
+    evolved = ObjectStore(build_base_schema())
+    _run_evolving(evolved, phases)
+    fresh = ObjectStore(final_schema())
+    _run_fresh(fresh, phases)
+
+    assert print_schema(evolved.schema) == print_schema(fresh.schema)
+    assert store_digest(evolved) == store_digest(fresh)
+    for class_name in ("Person", "Patient", "Alcoholic", "Physician"):
+        assert (evolved.extent_surrogates(class_name)
+                == fresh.extent_surrogates(class_name)), class_name
+    for q in QUERIES:
+        rows_e, _ = evolved.run_query(q)
+        rows_f, _ = fresh.run_query(q)
+        assert sorted(rows_e) == sorted(rows_f), q
+    verdict_e = sorted((obj.surrogate.id, str(v))
+                       for obj, v in evolved.validate_all())
+    verdict_f = sorted((obj.surrogate.id, str(v))
+                       for obj, v in fresh.validate_all())
+    assert verdict_e == verdict_f
+
+
+@settings(max_examples=15, deadline=None)
+@given(phases=_phases)
+def test_recovery_replays_interleaved_schema_changes(phases):
+    fs = MemFS()
+    evolved = open_store(DIR, build_base_schema(), durability="wal",
+                         fs=fs, sync="always")
+    _run_evolving(evolved, phases)
+    want_schema = print_schema(evolved.schema)
+    want_digest = store_digest(evolved)
+    want_epochs = len(evolved.schema_epochs)
+    evolved.close()
+
+    recovered = open_store(DIR, fs=fs)
+    assert recovered.last_recovery.conformant
+    assert print_schema(recovered.schema) == want_schema
+    assert store_digest(recovered) == want_digest
+    assert len(recovered.schema_epochs) == want_epochs
+    for q in QUERIES:
+        rows, _ = recovered.run_query(q)

@@ -175,6 +175,28 @@ def test_bench_concurrent_json_structure():
     assert data["writer_commits"] > 0
 
 
+def test_bench_evolution_json_structure():
+    data = _bench_json("BENCH_evolution.json")
+    assert data["experiment"] == "A8-evolution"
+    assert data["n_objects"] >= 100_000
+    # Counter-verified delta scoping: the affected-mode alter checked
+    # strictly less than the full re-validation of the same change, and
+    # together the rechecked + skipped populations cover the store.
+    assert (data["delta_objects_rechecked"]
+            < data["full_objects_rechecked"])
+    assert data["delta_objects_skipped"] >= data["n_equipment"]
+    assert (data["delta_objects_rechecked"]
+            + data["delta_objects_skipped"]
+            == data["full_objects_rechecked"])
+    # The committed run cleared the acceptance floor: reader p99 during
+    # the online alter within 2x of the no-writer baseline (the
+    # benchmark asserts it again on regeneration).
+    assert data["disturbance"] <= data["disturbance_floor"] == 2.0
+    assert data["reader_baseline_p99_us"] > 0
+    assert data["baseline_samples"] > 0
+    assert data["during_alter_samples"] > 0
+
+
 def test_bench_wal_json_structure():
     data = _bench_json("BENCH_wal.json")
     assert data["experiment"] == "A6-wal-durability"

@@ -4,7 +4,12 @@ import pytest
 
 from repro.schema import AttributeDef, SchemaBuilder
 from repro.schema.classdef import ClassDef
-from repro.schema.evolution import affected_classes, propagate_change
+from repro.schema.evolution import (
+    affected_classes,
+    apply_change,
+    propagate_change,
+)
+from repro.schema.validation import SchemaValidator
 from repro.typesys import STRING, ClassType, IntRangeType
 
 
@@ -75,6 +80,111 @@ class TestPropagation:
         diagnostics = propagate_change(schema, new_patient)
         assert any(d.code == "redundant-excuse"
                    and d.class_name == "Alcoholic" for d in diagnostics)
+
+
+class TestAffectedRegionClosure:
+    """The two edges the naive closure (descendants + direct excusers)
+    misses: virtual-class anchors, and excuse declarations *inherited*
+    by an excuser's descendants."""
+
+    def test_virtual_anchor_owner_is_affected(self):
+        from repro.scenarios.hospital import build_hospital_schema
+        schema = build_hospital_schema()
+        for cdef in schema.virtual_classes():
+            affected = affected_classes(schema, cdef.name)
+            # The anchor's attribute range *is* the virtual class, so a
+            # change to the virtual class must re-validate the anchor.
+            assert cdef.origin.owner_class in affected, cdef.name
+
+    def test_excusers_descendants_are_affected(self):
+        # SeniorCounselor inherits Counselor's excuse against Patient
+        # without redeclaring it, and -- unlike an excusing *subclass* of
+        # Patient -- is not a Patient descendant, so only the inherited-
+        # excuse edge reaches it.
+        b = SchemaBuilder()
+        b.cls("Person").attr("name", STRING).attr("age", (1, 120))
+        b.cls("Physician", isa="Person")
+        b.cls("Psychologist", isa="Person")
+        b.cls("Patient", isa="Person").attr("treatedBy", "Physician")
+        b.cls("Counselor", isa="Person").attr(
+            "treatedBy", "Psychologist", excuses=["Patient"])
+        b.cls("SeniorCounselor", isa="Counselor")
+        affected = affected_classes(b.build(), "Patient")
+        assert "SeniorCounselor" in affected
+
+    def test_dangling_target_does_not_expand(self, schema):
+        # The excuse-target edge re-validates the excuser but the
+        # excuser's own definition is unchanged, so the closure must not
+        # daisy-chain *through* it to unrelated classes.
+        assert "Physician" not in affected_classes(schema, "Patient")
+        assert "Psychologist" not in affected_classes(schema, "Cardiac")
+
+
+class TestPropagationAtomicity:
+    """propagate_change is exception-safe and all-or-nothing."""
+
+    def test_validator_crash_restores_old_definition(self, schema,
+                                                     monkeypatch):
+        new_patient = schema.get("Patient").with_attribute(
+            AttributeDef("treatedBy", ClassType("Person")))
+
+        def boom(self, name):
+            raise RuntimeError("validator crashed")
+
+        monkeypatch.setattr(SchemaValidator, "validate_class", boom)
+        with pytest.raises(RuntimeError):
+            propagate_change(schema, new_patient)
+        restored = schema.get("Patient").attribute("treatedBy")
+        assert restored.range == ClassType("Physician")
+
+    def test_contradiction_rolls_back_non_dry_run(self, schema):
+        # Tighten Person.age below a subclass's declared range: the
+        # diagnostics report the unexcused contradiction AND the schema
+        # keeps the old definition (no half-valid state).
+        schema.add_class(ClassDef(
+            "Elder", ("Person",),
+            (AttributeDef("age", IntRangeType(80, 120)),)))
+        new_person = schema.get("Person").with_attribute(
+            AttributeDef("age", IntRangeType(1, 90)))
+        diagnostics = propagate_change(schema, new_person)
+        assert any(d.code == "unexcused-contradiction"
+                   for d in diagnostics)
+        assert schema.get("Person").attribute("age").range == \
+            IntRangeType(1, 120)
+
+    def test_clean_change_commits(self, schema):
+        new_person = schema.get("Person").with_attribute(
+            AttributeDef("nickname", STRING))
+        assert propagate_change(schema, new_person) == []
+        assert schema.get("Person").attribute("nickname") is not None
+
+
+class TestApplyChange:
+    def test_adds_new_class(self, schema):
+        diagnostics, rolled_back = apply_change(
+            schema, ClassDef("Visitor", ("Person",), ()))
+        assert not rolled_back
+        assert schema.has_class("Visitor")
+
+    def test_rejected_addition_is_removed(self, schema):
+        bad = ClassDef("Elder", ("Person",),
+                       (AttributeDef("age", IntRangeType(200, 300)),))
+        diagnostics, rolled_back = apply_change(schema, bad)
+        assert rolled_back
+        assert any(d.code == "unexcused-contradiction"
+                   for d in diagnostics)
+        assert not schema.has_class("Elder")
+
+    def test_rejected_replacement_is_restored(self, schema):
+        schema.add_class(ClassDef(
+            "Elder", ("Person",),
+            (AttributeDef("age", IntRangeType(80, 120)),)))
+        new_person = schema.get("Person").with_attribute(
+            AttributeDef("age", IntRangeType(1, 60)))
+        diagnostics, rolled_back = apply_change(schema, new_person)
+        assert rolled_back
+        assert schema.get("Person").attribute("age").range == \
+            IntRangeType(1, 120)
 
 
 class TestClassDefHelpers:
