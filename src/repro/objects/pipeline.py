@@ -49,6 +49,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.columnar import SurrogateSet
 from repro.errors import (
     ConformanceError,
     SchemaEvolutionError,
@@ -436,6 +437,8 @@ class MutationPipeline:
         ledger."""
         store = self.store
         store._objects[obj.surrogate] = obj
+        store._columns.put(obj.surrogate.id, obj._memberships,
+                           obj._values, store._snapshot_stamp)
         store.indexes.on_create(obj.surrogate)
         self.add_to_extents(obj, class_name)
         if mode != CheckMode.EAGER:
@@ -455,6 +458,7 @@ class MutationPipeline:
                 self.writable_extent(class_name).discard(surrogate)
                 store._extent_cache.pop(class_name, None)
         del store._objects[surrogate]
+        store._columns.drop(surrogate.id, store._snapshot_stamp)
         store.indexes.on_remove(surrogate)
         store._dirty.pop(surrogate, None)
         # Anything still referencing the dead object keeps a dangling
@@ -697,6 +701,16 @@ class MutationPipeline:
         self.migrate_extents(old_schema, changes)
         stats.schema_index_rebuilds += store.indexes.on_schema_change(
             region.attributes)
+        # Every derived read-side structure re-derives at the epoch
+        # swap -- cached plans stop matching, affected postings rebuild
+        # above -- and the memoized extent tuples must not be the one
+        # survivor.  Structural migrations already dropped the memos
+        # they touched; attribute-level deltas (add_excuse /
+        # retract_excuse rebuilding residue postings) reach here with
+        # the memos still primed, so drop them for the affected region
+        # (delta-scoped, like the index rebuild).
+        for class_name in region.classes:
+            store._extent_cache.pop(class_name, None)
         problems = self.recheck_after_alter(region, command.recheck)
         stats.schema_changes += 1
         command.mutated = True
@@ -813,9 +827,11 @@ class MutationPipeline:
         if store.strict_virtual_extents:
             # Only values that are members of some virtual class can
             # violate unshared structure; collect those members once.
-            virtual_members: Set[Surrogate] = set()
+            virtual_members = SurrogateSet()
             for cdef in store.schema.virtual_classes():
-                virtual_members |= store._extents.get(cdef.name, set())
+                members = store._extents.get(cdef.name)
+                if members:
+                    virtual_members |= members
             if virtual_members:
                 for entries in groups.values():
                     for entry in entries:
@@ -846,10 +862,13 @@ class MutationPipeline:
         total_writes = 0
         classifies = 0
         indexed_writes = 0
+        columns_put = store._columns.put
+        stamp = store._snapshot_stamp
         for entry in fast:
             obj = entry.obj
             surrogate = obj.surrogate
             objects[surrogate] = obj
+            columns_put(surrogate.id, obj._memberships, obj._values, stamp)
             append(obj)
             total_writes += entry.n_writes
             classifies += len(entry.classes) - 1
@@ -865,7 +884,7 @@ class MutationPipeline:
             for class_name in expand_signature(schema, signature):
                 members = store._extents.get(class_name)
                 if members is None:
-                    store._extents[class_name] = set(surrogates)
+                    store._extents[class_name] = SurrogateSet(surrogates)
                     store._extent_cow[class_name] = store._snapshot_stamp
                 else:
                     self.writable_extent(class_name).update(surrogates)
@@ -899,14 +918,16 @@ class MutationPipeline:
     # Extent maintenance (the only mutation site for store._extents)
     # ------------------------------------------------------------------
 
-    def writable_extent(self, class_name: str) -> Set[Surrogate]:
+    def writable_extent(self, class_name: str) -> SurrogateSet:
         """The extent set for ``class_name``, privatized for writing:
         if the current set predates the newest snapshot stamp it is
-        copied first, so captured references stay frozen."""
+        copied first, so captured references stay frozen.  The copy is
+        the bitset's chunk-table clone -- O(extent/4096), with the chunk
+        payloads shared until a write splits them."""
         store = self.store
         members = store._extents[class_name]
         if store._extent_cow.get(class_name) != store._snapshot_stamp:
-            members = set(members)
+            members = members.copy()
             store._extents[class_name] = members
             store._extent_cow[class_name] = store._snapshot_stamp
         return members
@@ -921,7 +942,7 @@ class MutationPipeline:
         for ancestor in store.schema.ancestors(class_name):
             members = extents.get(ancestor)
             if members is None:
-                extents[ancestor] = {surrogate}
+                extents[ancestor] = SurrogateSet((surrogate,))
                 store._extent_cow[ancestor] = store._snapshot_stamp
                 store._extent_cache.pop(ancestor, None)
             elif surrogate not in members:
@@ -1102,8 +1123,9 @@ class RestorePoint:
             surrogate: (obj.memberships, obj.values_snapshot())
             for surrogate, obj in store._objects.items()
         }
-        self._extents: Dict[str, Set[Surrogate]] = {
-            name: set(members) for name, members in store._extents.items()
+        self._extents: Dict[str, SurrogateSet] = {
+            name: members.copy()
+            for name, members in store._extents.items()
         }
         self._virtual_refs = dict(store._virtual_refs)
         self._dirty = {
@@ -1134,10 +1156,11 @@ class RestorePoint:
             obj._memberships = set(memberships)
             obj._values = dict(values)
             obj._cow_stamp = stamp
+        store._columns.rebuild(store._objects, stamp)
         store._extents.clear()
         store._extent_cow.clear()
         for name, members in self._extents.items():
-            store._extents[name] = set(members)
+            store._extents[name] = members.copy()
             store._extent_cow[name] = stamp
         store._virtual_refs.clear()
         store._virtual_refs.update(self._virtual_refs)

@@ -37,7 +37,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set, Tuple
 
+from repro.columnar import BITSET_STATS
 from repro.errors import NoSuchObjectError, UnknownClassError
+from repro.objects.surrogate import Surrogate
+from repro.typesys.values import INAPPLICABLE
 
 #: Shared empty results.
 _EMPTY_SET: Set = set()
@@ -68,7 +71,6 @@ class SnapshotInstance:
         return frozenset(self._memberships)
 
     def get_value(self, name: str):
-        from repro.typesys.values import INAPPLICABLE
         return self._values.get(name, INAPPLICABLE)
 
     def value_names(self) -> Tuple[str, ...]:
@@ -118,13 +120,15 @@ class SnapshotIndexes:
     def attributes(self) -> Tuple[str, ...]:
         return tuple(sorted(self._postings))
 
-    def lookup(self, attribute: str, value) -> frozenset:
+    def lookup(self, attribute: str, value):
+        """Captured posting bucket for ``value`` (callers must not
+        mutate the returned set)."""
         buckets = self._postings[attribute][0]
         try:
             bucket = buckets.get(value)
         except TypeError:          # unhashable probe matches nothing
             return _EMPTY_FROZEN
-        return frozenset(bucket) if bucket else _EMPTY_FROZEN
+        return bucket if bucket else _EMPTY_FROZEN
 
     def selectivity(self, attribute: str, value) -> int:
         buckets = self._postings[attribute][0]
@@ -159,15 +163,15 @@ class StoreSnapshot:
         self.schema_epoch: int = store.schema_epochs.current.number
         self.engine: str = store.engine
         self.check_mode: str = store.check_mode
-        # surrogate -> (membership set ref, value dict ref); refs must be
-        # captured eagerly -- the writer privatizes by *reassigning* the
-        # instance's containers, so a lazy read would see the new live
-        # ones.
-        self._objects: Dict[object, Tuple[Set[str], Dict[str, object]]] = {
-            surrogate: (obj._memberships, obj._values)
-            for surrogate, obj in store._objects.items()
-        }
-        self._extents: Dict[str, Set] = dict(store._extents)
+        # id -> (membership set ref, value dict ref), captured O(1) from
+        # the store's columnar state table: the chunk table is taken by
+        # reference, and the write side's two-level copy-on-write
+        # guarantees no chunk reachable from it is ever mutated again.
+        # (The refs must be frozen *at capture* -- the writer privatizes
+        # instance containers by reassignment, so a lazy read off the
+        # instance would see post-snapshot state.)
+        self._objects = store._columns.capture(store._snapshot_stamp)
+        self._extents: Dict[str, object] = dict(store._extents)
         self.indexes = SnapshotIndexes(store.indexes)
         # Gauges, captured as plain ints (the live maps move on).
         self._extent_entries = sum(
@@ -178,6 +182,7 @@ class StoreSnapshot:
         self._plans_in_cache = len(store.indexes.plan_cache)
         self._counters = store.checker.stats.snapshot()
         self._query_counters = store.indexes.qstats.snapshot()
+        self._bitset_counters = BITSET_STATS.snapshot()
         # Lazy, idempotently-populated caches (thread-shared).
         self._wrappers: Dict[object, SnapshotInstance] = {}
         self._extent_rows: Dict[str, Tuple[SnapshotInstance, ...]] = {}
@@ -189,28 +194,28 @@ class StoreSnapshot:
     def _wrap(self, surrogate) -> SnapshotInstance:
         wrapper = self._wrappers.get(surrogate)
         if wrapper is None:
-            memberships, values = self._objects[surrogate]
+            state = self._objects.get(surrogate.id)
+            if state is None:
+                raise NoSuchObjectError(str(surrogate))
             # setdefault keeps wrappers canonical per snapshot even when
             # two reader threads race to build the same one, so identity
             # comparisons inside one snapshot behave like live reads.
             wrapper = self._wrappers.setdefault(
-                surrogate, SnapshotInstance(surrogate, memberships, values))
+                surrogate, SnapshotInstance(surrogate, state[0], state[1]))
         return wrapper
 
     def get(self, surrogate) -> SnapshotInstance:
-        if surrogate not in self._objects:
-            raise NoSuchObjectError(str(surrogate))
-        return self._wrap(surrogate)
+        return self._wrap(surrogate)      # _wrap raises on unknown ids
 
     def __len__(self) -> int:
         return len(self._objects)
 
     def __contains__(self, surrogate) -> bool:
-        return surrogate in self._objects
+        return surrogate.id in self._objects
 
     def instances(self) -> Iterator[SnapshotInstance]:
-        for surrogate in self._objects:
-            yield self._wrap(surrogate)
+        for sid in self._objects.iter_ids():
+            yield self._wrap(Surrogate(sid))
 
     # ------------------------------------------------------------------
     # Extents and membership
@@ -223,7 +228,8 @@ class StoreSnapshot:
         if cached is not None:
             return cached
         surrogates = self._extents.get(class_name, _EMPTY_SET)
-        rows = tuple(self._wrap(s) for s in sorted(surrogates))
+        # Bitset extents iterate in ascending surrogate order already.
+        rows = tuple(self._wrap(s) for s in surrogates)
         return self._extent_rows.setdefault(class_name, rows)
 
     def extent_surrogates(self, class_name: str) -> Set:
@@ -241,7 +247,7 @@ class StoreSnapshot:
         """Membership as of this snapshot, for live instances, snapshot
         wrappers, and (falling back to what the object itself reports)
         dangling references the snapshot never saw live."""
-        state = self._objects.get(obj.surrogate)
+        state = self._objects.get(obj.surrogate.id)
         memberships = state[0] if state is not None else obj.memberships
         schema = self.schema
         return any(
@@ -264,6 +270,7 @@ class StoreSnapshot:
 
     def stats(self, live_counters: Optional[Dict] = None,
               live_query: Optional[Dict] = None,
+              live_bitset: Optional[Dict] = None,
               n_indexes: Optional[int] = None,
               plans_in_cache: Optional[int] = None) -> Dict[str, object]:
         """The store's ``stats()`` dict as of this epoch.
@@ -290,6 +297,10 @@ class StoreSnapshot:
                           else self._query_counters)
         for name, value in query_counters.items():
             snap[f"query.{name}"] = value
+        bitset_counters = (live_bitset if live_bitset is not None
+                           else self._bitset_counters)
+        for name, value in bitset_counters.items():
+            snap[f"bitset.{name}"] = value
         return snap
 
     def __repr__(self) -> str:

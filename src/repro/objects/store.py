@@ -72,6 +72,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.columnar import ObjectColumns, SurrogateSet
 from repro.errors import (
     NoSuchObjectError,
     SchemaEvolutionError,
@@ -105,8 +106,9 @@ from repro.typesys.values import INAPPLICABLE
 __all__ = ["CheckMode", "Engine", "ObjectStore"]
 
 
-#: Shared empty extent for classes with no instances yet.
-_EMPTY_EXTENT: Set = set()
+#: Shared empty extent for classes with no instances yet (treated as
+#: immutable by every caller; the pipeline never hands it out writable).
+_EMPTY_EXTENT = SurrogateSet()
 
 
 class ObjectStore:
@@ -130,7 +132,12 @@ class ObjectStore:
         self.strict_virtual_extents = strict_virtual_extents
         self._allocator = SurrogateAllocator()
         self._objects: Dict[Surrogate, Instance] = {}
-        self._extents: Dict[str, Set[Surrogate]] = {}
+        # Chunked id -> (memberships, values) reference table: what a
+        # snapshot captures in O(1) instead of copying _objects (see
+        # repro.columnar).  Kept in lockstep with _objects and with
+        # every container reassignment (_prepare_write, rollback).
+        self._columns = ObjectColumns()
+        self._extents: Dict[str, SurrogateSet] = {}
         # (virtual class name, surrogate) -> number of referencing sites.
         self._virtual_refs: Dict[Tuple[str, Surrogate], int] = {}
         # virtual classes indexed by home attribute name for fast lookup.
@@ -190,11 +197,13 @@ class ObjectStore:
         are the live monotone values (they also tick on read-only work
         no epoch records).
         """
+        from repro.columnar import BITSET_STATS
         with self._write_lock:
             snap = self.snapshot()
             return snap.stats(
                 live_counters=self.checker.stats.snapshot(),
                 live_query=self.indexes.qstats.snapshot(),
+                live_bitset=BITSET_STATS.snapshot(),
                 n_indexes=len(self.indexes),
                 plans_in_cache=len(self.indexes.plan_cache))
 
@@ -249,6 +258,17 @@ class ObjectStore:
             obj._memberships = set(obj._memberships)
             obj._values = dict(obj._values)
             obj._cow_stamp = self._snapshot_stamp
+            # The columns table must track the *current* containers.
+            self._columns.put(obj.surrogate.id, obj._memberships,
+                              obj._values, self._snapshot_stamp)
+
+    def _register_object(self, obj: Instance) -> None:
+        """Insert a (re)built instance into the objects map and the
+        columnar state table together (recovery/rebuild entry point; the
+        live create path is the pipeline's ``install_new``)."""
+        self._objects[obj.surrogate] = obj
+        self._columns.put(obj.surrogate.id, obj._memberships,
+                          obj._values, self._snapshot_stamp)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -348,12 +368,14 @@ class ObjectStore:
         cached = self._extent_cache.get(class_name)
         if cached is not None:
             return cached
-        surrogates = self._extents.get(class_name, set())
-        result = tuple(self._objects[s] for s in sorted(surrogates))
+        surrogates = self._extents.get(class_name, _EMPTY_EXTENT)
+        # Bitset iteration is already ascending by surrogate id -- the
+        # sorted-extent contract holds with no O(n log n) sort.
+        result = tuple(self._objects[s] for s in surrogates)
         self._extent_cache[class_name] = result
         return result
 
-    def extent_surrogates(self, class_name: str) -> Set[Surrogate]:
+    def extent_surrogates(self, class_name: str) -> SurrogateSet:
         """The live extent as a surrogate set -- the class-membership
         index the planner intersects posting lists against.  Callers
         must not mutate the returned set."""

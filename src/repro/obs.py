@@ -152,11 +152,13 @@ QUERY_COUNTER_FIELDS: Tuple[str, ...] = (
     "plans_cached",     # plans built and stored in a plan cache
     "plan_hits",        # cache lookups answered without recompiling
     "plan_misses",      # cache lookups that had to plan from scratch
+    "plan_evictions",   # plans pushed out of a full LRU cache
     "index_scans",      # executions that ran through the index path
     "full_scans",       # executions that fell back to the full scan
     "index_lookups",    # posting-list / extent-set probes served
     "rows_pruned",      # rows never visited thanks to index pruning
     "index_updates",    # incremental posting maintenance operations
+    "compiled_execs",   # executions served by a compiled plan closure
 )
 
 

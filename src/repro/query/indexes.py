@@ -34,14 +34,27 @@ The :class:`IndexManager` owns all of a store's indexes plus the plan
 cache the planner keys on ``(query text, schema version, index version,
 compile options)``; creating or dropping an index bumps ``version`` so
 cached plans that baked in the old physical design stop matching.
+
+Columnar postings
+-----------------
+
+Every posting list -- the per-value buckets, INAPPLICABLE, residue --
+is a :class:`repro.columnar.SurrogateSet`: a chunked bitset over the
+surrogate ordinal space.  The planner's candidate pruning is therefore
+word-vector AND/OR/ANDNOT instead of per-element hash probes, and the
+copy-on-write privatization an open snapshot forces copies only chunk
+*tables* (one entry per ~4096 members), never the members.  Posting
+sets returned by the lookup methods are live references and must not be
+mutated by callers.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.columnar import SurrogateSet
 from repro.obs import QueryStats
 from repro.typesys.values import INAPPLICABLE
 
@@ -58,13 +71,13 @@ class StoreIndex:
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
-        self._buckets: Dict[object, Set] = {}
+        self._buckets: Dict[object, SurrogateSet] = {}
         # surrogate -> indexed value (reverse map for O(1) maintenance).
         self._entries: Dict[object, object] = {}
         #: Live objects with no value for the attribute.
-        self.inapplicable: Set = set()
+        self.inapplicable = SurrogateSet()
         #: Live objects whose value is unhashable (never prunable).
-        self.residue: Set = set()
+        self.residue = SurrogateSet()
         # Copy-on-write stamp: the store's snapshot stamp as of the last
         # privatization of the containers above (-1 = never shared).
         self._cow_stamp: int = -1
@@ -72,11 +85,13 @@ class StoreIndex:
     def _privatize(self) -> None:
         """Reassign fresh containers so references captured by an open
         snapshot stay frozen.  In place -- the index *object* keeps its
-        identity for anyone holding a ``create_index`` return value."""
-        self._buckets = {v: set(m) for v, m in self._buckets.items()}
+        identity for anyone holding a ``create_index`` return value.
+        Bitset copies share their (immutable) chunk payloads, so this is
+        O(values + chunks), not O(members)."""
+        self._buckets = {v: m.copy() for v, m in self._buckets.items()}
         self._entries = dict(self._entries)
-        self.inapplicable = set(self.inapplicable)
-        self.residue = set(self.residue)
+        self.inapplicable = self.inapplicable.copy()
+        self.residue = self.residue.copy()
 
     # Maintenance ------------------------------------------------------
 
@@ -86,10 +101,13 @@ class StoreIndex:
             self.inapplicable.add(surrogate)
             return
         try:
-            self._buckets.setdefault(value, set()).add(surrogate)
+            bucket = self._buckets.get(value)
+            if bucket is None:
+                bucket = self._buckets[value] = SurrogateSet()
         except TypeError:
             self.residue.add(surrogate)
             return
+        bucket.add(surrogate)
         self._entries[surrogate] = value
 
     def discard(self, surrogate) -> None:
@@ -111,13 +129,14 @@ class StoreIndex:
 
     # Lookup -----------------------------------------------------------
 
-    def lookup(self, value) -> frozenset:
-        """Surrogates whose value equals ``value`` (scan `=` semantics)."""
+    def lookup(self, value):
+        """Surrogates whose value equals ``value`` (scan `=` semantics).
+        Returns the live posting bitset -- callers must not mutate it."""
         try:
             bucket = self._buckets.get(value)
         except TypeError:          # unhashable probe matches nothing
             return _EMPTY
-        return frozenset(bucket) if bucket else _EMPTY
+        return bucket if bucket else _EMPTY
 
     def selectivity(self, value) -> int:
         """Exact posting size for ``value`` (the planner's cardinality)."""
@@ -139,24 +158,29 @@ class StoreIndex:
             "distinct_values": len(self._buckets),
             "inapplicable": len(self.inapplicable),
             "residue": len(self.residue),
+            # Physical shape: bitset chunk tables across all postings.
+            "chunks": (sum(b.chunk_count() for b in self._buckets.values())
+                       + self.inapplicable.chunk_count()
+                       + self.residue.chunk_count()),
         }
 
     # Snapshot (transactions) ------------------------------------------
 
     def _snapshot(self):
         return (
-            {value: set(members) for value, members in self._buckets.items()},
+            {value: members.copy()
+             for value, members in self._buckets.items()},
             dict(self._entries),
-            set(self.inapplicable),
-            set(self.residue),
+            self.inapplicable.copy(),
+            self.residue.copy(),
         )
 
     def _restore(self, state) -> None:
         buckets, entries, inapplicable, residue = state
-        self._buckets = {v: set(m) for v, m in buckets.items()}
+        self._buckets = {v: m.copy() for v, m in buckets.items()}
         self._entries = dict(entries)
-        self.inapplicable = set(inapplicable)
-        self.residue = set(residue)
+        self.inapplicable = inapplicable.copy()
+        self.residue = residue.copy()
 
     def __repr__(self) -> str:
         return (f"<StoreIndex {self.attribute}: {len(self._entries)} "
@@ -196,6 +220,7 @@ class PlanCache:
             self.stats.plans_cached += 1
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
+                self.stats.plan_evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -315,12 +340,11 @@ class IndexManager:
                 try:
                     bucket = buckets.get(value)
                     if bucket is None:
-                        buckets[value] = {surrogate}
-                    else:
-                        bucket.add(surrogate)
+                        bucket = buckets[value] = SurrogateSet()
                 except TypeError:
                     residue_add(surrogate)
                     continue
+                bucket.add(surrogate)
                 entries[surrogate] = value
         if self._indexes:
             self.qstats.index_updates += (
@@ -372,15 +396,15 @@ class IndexManager:
 
     # Planner-side reads -----------------------------------------------
 
-    def lookup(self, attribute: str, value) -> frozenset:
+    def lookup(self, attribute: str, value):
         # Probe counting is the executor's job (it also counts the
         # extent-set probes this manager never sees).
         return self._indexes[attribute].lookup(value)
 
-    def inapplicable(self, attribute: str) -> Set:
+    def inapplicable(self, attribute: str) -> SurrogateSet:
         return self._indexes[attribute].inapplicable
 
-    def residue(self, attribute: str) -> Set:
+    def residue(self, attribute: str) -> SurrogateSet:
         return self._indexes[attribute].residue
 
     def selectivity(self, attribute: str, value) -> int:

@@ -64,18 +64,37 @@ def run_rows(compiled: CompiledQuery, store, objects: Iterable,
     if compiled.aggregates is not None:
         return _run_aggregate(compiled, store, objects, stats)
     rows: List[tuple] = []
-    for obj in objects:
-        stats.rows_scanned += 1
-        ctx = RuntimeContext(store=store,
-                             bindings={compiled.var: obj},
-                             stats=stats)
-        try:
-            if compiled.where_fn is not None and not compiled.where_fn(ctx):
-                continue
-            rows.append(tuple(fn(ctx) for fn in compiled.select_fns))
-            stats.rows_returned += 1
-        except SkipRow:
-            stats.rows_skipped += 1
+    # One context serves the whole loop: compiled closures only ever
+    # *read* bindings, so rebinding the row variable is the only per-row
+    # state, and the single- / two-column select shapes skip the tuple
+    # genexp.  Counters accumulate in locals and flush even when a
+    # guarded access raises out of the loop (on_unsafe="error").
+    var = compiled.var
+    bindings = {var: None}
+    ctx = RuntimeContext(store=store, bindings=bindings, stats=stats)
+    where_fn = compiled.where_fn
+    select_fns = compiled.select_fns
+    select0 = select_fns[0] if len(select_fns) == 1 else None
+    append = rows.append
+    scanned = returned = skipped = 0
+    try:
+        for obj in objects:
+            scanned += 1
+            bindings[var] = obj
+            try:
+                if where_fn is not None and not where_fn(ctx):
+                    continue
+                if select0 is not None:
+                    append((select0(ctx),))
+                else:
+                    append(tuple(fn(ctx) for fn in select_fns))
+                returned += 1
+            except SkipRow:
+                skipped += 1
+    finally:
+        stats.rows_scanned += scanned
+        stats.rows_returned += returned
+        stats.rows_skipped += skipped
     return rows
 
 
@@ -120,21 +139,29 @@ def _run_aggregate(compiled: CompiledQuery, store, objects: Iterable,
     accumulators = [
         _Accumulator(function) for function, _fn in compiled.aggregates
     ]
-    for obj in objects:
-        stats.rows_scanned += 1
-        ctx = RuntimeContext(store=store,
-                             bindings={compiled.var: obj},
-                             stats=stats)
-        try:
-            if compiled.where_fn is not None and not compiled.where_fn(ctx):
-                continue
-            for accumulator, (_function, operand_fn) in zip(
-                    accumulators, compiled.aggregates):
-                if operand_fn is None:
-                    accumulator.n += 1  # bare `count`: count the row
-                else:
-                    accumulator.add(operand_fn(ctx))
-        except SkipRow:
-            stats.rows_skipped += 1
+    folds = list(zip(accumulators,
+                     (fn for _function, fn in compiled.aggregates)))
+    var = compiled.var
+    bindings = {var: None}
+    ctx = RuntimeContext(store=store, bindings=bindings, stats=stats)
+    where_fn = compiled.where_fn
+    scanned = skipped = 0
+    try:
+        for obj in objects:
+            scanned += 1
+            bindings[var] = obj
+            try:
+                if where_fn is not None and not where_fn(ctx):
+                    continue
+                for accumulator, operand_fn in folds:
+                    if operand_fn is None:
+                        accumulator.n += 1  # bare `count`: count the row
+                    else:
+                        accumulator.add(operand_fn(ctx))
+            except SkipRow:
+                skipped += 1
+    finally:
+        stats.rows_scanned += scanned
+        stats.rows_skipped += skipped
     stats.rows_returned = 1
     return [tuple(a.result() for a in accumulators)]

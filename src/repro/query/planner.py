@@ -48,8 +48,9 @@ analysis, compilation, and pushdown extraction entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.query.ast import (
     Aggregate,
@@ -104,6 +105,11 @@ class QueryPlan:
     blocked: Tuple[Tuple[str, str], ...]
     schema_version: int
     index_version: int
+    #: The specialized executor closure ``build_plan`` generates for this
+    #: exact pushdown sequence (see :func:`_compile_executor`); ``None``
+    #: falls back to the interpreted walk.  Not part of plan identity.
+    executor: Optional[Callable] = field(default=None, repr=False,
+                                         compare=False)
 
     def explain(self, store=None) -> str:
         """The compiled plan plus the planner's physical decisions; pass
@@ -116,6 +122,11 @@ class QueryPlan:
         else:
             lines.append("access path: cost-based at execute() -- index "
                          "pushdowns when they prune, else full scan")
+        if self.executor is not None:
+            shape = (f"{len(self.pushdowns)} pushdown step(s) inlined, "
+                     "probe constants bound" if self.pushdowns
+                     else "specialized full scan")
+            lines.append(f"executor: compiled closure ({shape})")
         for p in self.pushdowns:
             if p.kind == "eq":
                 via = f"index({p.attribute}) + its INAPPLICABLE posting"
@@ -127,6 +138,15 @@ class QueryPlan:
             if store is not None:
                 estimate = f"  ~{self._estimate(p, store)} rows"
             lines.append(f"  [pushdown] {p.text}  via {via}{estimate}")
+            if p.kind == "eq" and store is not None:
+                index = store.indexes.get(p.attribute)
+                if index is not None:
+                    d = index.describe()
+                    lines.append(
+                        f"             postings: {d['distinct_values']} "
+                        f"value(s) over {d['chunks']} bitset chunk(s), "
+                        f"{d['inapplicable']} inapplicable, "
+                        f"{d['residue']} residue")
         for text in self.residual:
             lines.append(f"  [residual] {text}  -- guarded row loop")
         for text, reason in self.blocked:
@@ -134,6 +154,12 @@ class QueryPlan:
         if store is not None:
             lines.append(
                 f"  extent({source}): {store.count(source)} rows")
+            qstats = store.indexes.qstats
+            lines.append(
+                f"  plan cache: {qstats.plan_hits} hit(s), "
+                f"{qstats.plan_misses} miss(es), "
+                f"{qstats.plan_evictions} eviction(s); "
+                f"{qstats.compiled_execs} compiled execution(s)")
         return "\n".join(lines)
 
     def _estimate(self, p: Pushdown, store) -> int:
@@ -230,7 +256,7 @@ def build_plan(compiled: CompiledQuery, schema: Schema,
             residual.append(str(conjunct))
             continue
         pushdowns.append(p)
-    return QueryPlan(
+    plan = QueryPlan(
         compiled=compiled,
         pushdowns=tuple(pushdowns),
         residual=tuple(residual),
@@ -238,6 +264,8 @@ def build_plan(compiled: CompiledQuery, schema: Schema,
         schema_version=schema.version,
         index_version=manager.version,
     )
+    plan.executor = _compile_executor(plan)
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +307,169 @@ def plan_query(query: Union[str, Query], store,
 
 
 # ----------------------------------------------------------------------
+# Compiled execution
+# ----------------------------------------------------------------------
+
+def _compile_executor(plan: QueryPlan) -> Callable:
+    """Burn the plan's exact pushdown sequence into straight-line Python.
+
+    The generated closure performs the whole prune-or-scan decision for
+    this one plan shape: probe constants and attribute names are bound
+    into its namespace, each pushdown becomes two or three inlined set
+    operations, and nothing walks the pushdown tuple at execution time.
+    The plan cache amortizes the (one-time, microseconds) ``exec`` over
+    every later execution of the same query text.
+
+    The closure takes ``(store, stats)`` -- any store-like object with
+    an index manager, so one cached plan serves the live store and every
+    snapshot -- and returns the row list, or ``None`` when the physical
+    design moved underneath the plan (an index was dropped), before any
+    counter has been touched; the caller then re-executes through
+    :func:`_execute_interpreted`, which re-checks every pushdown.
+    """
+    pushdowns = plan.pushdowns
+    env: Dict[str, object] = {
+        "run_rows": run_rows,
+        "_compiled": plan.compiled,
+        "_source": plan.compiled.source_class,
+    }
+    lines = [
+        "def _plan_executor(store, stats):",
+        "    manager = store.indexes",
+        "    qstats = manager.qstats",
+    ]
+    # Stale-design guard first: every pushed equality still needs its
+    # index, and nothing may be counted before the guard passes.
+    for i, p in enumerate(pushdowns):
+        if p.kind == "eq":
+            env[f"_a{i}"] = p.attribute
+            env[f"_v{i}"] = p.value
+            lines.append(f"    if _a{i} not in manager:")
+            lines.append("        return None")
+        else:
+            env[f"_c{i}"] = p.class_name
+    lines.append("    qstats.compiled_execs += 1")
+    scan = ("run_rows(_compiled, store, store.extent(_source), stats)")
+    if not pushdowns:
+        lines += [
+            "    qstats.full_scans += 1",
+            f"    return {scan}",
+        ]
+    else:
+        lines += [
+            "    extent_set = store.extent_surrogates(_source)",
+            "    scan_rows = len(extent_set)",
+            "    if not scan_rows:",
+            "        qstats.full_scans += 1",
+            f"        return {scan}",
+        ]
+        # Pre-estimate from index stats / extent counts: skip the set
+        # algebra when no pushdown can possibly prune.  A not-member
+        # pushdown has no cheap upper bound, so its presence disables
+        # the shortcut (exactly as the interpreted walk does).
+        if not any(p.kind == "not-member" for p in pushdowns):
+            lines.append("    floor = scan_rows")
+            for i, p in enumerate(pushdowns):
+                if p.kind == "eq":
+                    lines.append(
+                        f"    est = (manager.selectivity(_a{i}, _v{i})"
+                        f" + len(manager.inapplicable(_a{i})))")
+                else:
+                    lines.append(f"    est = store.count(_c{i})")
+                lines.append("    if est < floor:")
+                lines.append("        floor = est")
+            lines += [
+                "    if floor >= scan_rows:",
+                "        qstats.full_scans += 1",
+                f"        return {scan}",
+            ]
+        lines.append("    cand = extent_set")
+        n_eq = sum(1 for p in pushdowns if p.kind == "eq")
+        # When every where conjunct was pushed down (empty residual) and
+        # no aggregates fold, a candidate reached through *exact* value
+        # postings -- no residue merged, no INAPPLICABLE rows to visit --
+        # is already proven to satisfy the whole where clause: its value
+        # sits in the probe's hash bucket (same ``==`` the comparison
+        # uses) and memberships were intersected directly.  Such runs
+        # take a where-free row loop; any residue/skip contamination
+        # falls back to the re-checking loop below.
+        no_where = (not plan.residual
+                    and plan.compiled.aggregates is None)
+        if no_where:
+            env["_nowhere"] = SimpleNamespace(
+                aggregates=None,
+                var=plan.compiled.var,
+                where_fn=None,
+                select_fns=plan.compiled.select_fns,
+            )
+        if n_eq:
+            lines.append("    skips = None")
+        if no_where and n_eq:
+            lines.append("    exact = True")
+        for i, p in enumerate(pushdowns):
+            if p.kind == "eq":
+                lines += [
+                    f"    inap = manager.inapplicable(_a{i}) & cand",
+                    "    skips = inap if skips is None else skips | inap",
+                    f"    matched = manager.lookup(_a{i}, _v{i}) & cand",
+                    f"    residue = manager.residue(_a{i})",
+                    "    if residue:",
+                ]
+                if no_where:
+                    lines += [
+                        "        res = residue & cand",
+                        "        if res:",
+                        "            matched = matched | res",
+                        "            exact = False",
+                    ]
+                else:
+                    lines.append(
+                        "        matched = matched | (residue & cand)")
+                lines.append("    cand = matched")
+            elif p.kind == "member":
+                lines.append(
+                    f"    cand = cand & store.extent_surrogates(_c{i})")
+            else:
+                lines.append(
+                    f"    cand = cand - store.extent_surrogates(_c{i})")
+        lines += [
+            f"    qstats.index_lookups += {len(pushdowns)}",
+            f"    stats.index_lookups = {len(pushdowns)}",
+            "    visit = cand | skips" if n_eq else "    visit = cand",
+            "    pruned = scan_rows - len(visit)",
+            "    if pruned <= 0:",
+            "        qstats.full_scans += 1",
+            f"        return {scan}",
+            "    qstats.index_scans += 1",
+            "    qstats.rows_pruned += pruned",
+            "    stats.rows_pruned = pruned",
+            "    get = store.get",
+            # Bitset visit sets iterate in ascending surrogate order --
+            # the scan's extent order -- so no sort is needed.
+            "    objects = [get(s) for s in visit]",
+        ]
+        if no_where and n_eq:
+            lines += [
+                "    if exact and not skips:",
+                "        return run_rows(_nowhere, store, objects,"
+                " stats)",
+                "    return run_rows(_compiled, store, objects, stats)",
+            ]
+        elif no_where:
+            # Membership-only pushdowns are always exact.
+            lines.append(
+                "    return run_rows(_nowhere, store, objects, stats)")
+        else:
+            lines.append(
+                "    return run_rows(_compiled, store, objects, stats)")
+    source_text = "\n".join(lines)
+    exec(compile(source_text, "<plan-executor>", "exec"), env)
+    executor = env["_plan_executor"]
+    executor._source = source_text   # introspectable (tests, debugging)
+    return executor
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 
@@ -287,11 +478,34 @@ def execute_plan(plan: QueryPlan, store) -> Tuple[List[tuple],
     """Run a plan: prune through the indexes when that wins, fall back
     to the guarded full scan when it does not.  Results and
     ``rows_skipped`` match :func:`repro.query.interpreter.execute` on
-    the same compiled query exactly."""
+    the same compiled query exactly.
+
+    Dispatches to the plan's compiled executor closure; the interpreted
+    walk below remains as the oracle (property-tested equivalent) and as
+    the fallback when the executor declines a stale physical design.
+    """
+    stats = ExecutionStats()
+    executor = plan.executor
+    if executor is not None:
+        rows = executor(store, stats)
+        if rows is not None:
+            return rows, stats
+        # The design moved under the plan; no counter was touched yet.
+    return _execute_interpreted(plan, store, stats)
+
+
+def _execute_interpreted(plan: QueryPlan, store,
+                         stats: Optional[ExecutionStats] = None
+                         ) -> Tuple[List[tuple], ExecutionStats]:
+    """The plan-tree walk :func:`_compile_executor` specializes away:
+    kept as the executable oracle for the compiled == interpreted ==
+    scan property suite, and as the conservative path for plans whose
+    physical design has moved."""
     compiled = plan.compiled
     manager = store.indexes
     qstats = manager.qstats
-    stats = ExecutionStats()
+    if stats is None:
+        stats = ExecutionStats()
     source = compiled.source_class
     pushdowns = plan.pushdowns
     # The physical design may have moved since the plan was built (e.g.

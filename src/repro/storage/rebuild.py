@@ -47,7 +47,7 @@ def rebuild_store(engine: StorageEngine,
                 continue
             obj = Instance(surrogate, info.key)
             instances[surrogate] = obj
-            store._objects[surrogate] = obj
+            store._register_object(obj)
             for class_name in info.key:
                 store._add_to_extents(obj, class_name)
             high_water = max(high_water, surrogate.id)

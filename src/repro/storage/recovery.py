@@ -221,7 +221,7 @@ def _load_checkpoint(fs: FileSystem, directory: str, store,
     for sid, (obj, encoded_values) in shells.items():
         for name, encoded in encoded_values.items():
             obj._values[name] = decode_value(encoded, resolve)
-        store._objects[obj.surrogate] = obj
+        store._register_object(obj)
         for class_name in obj.memberships:
             store._add_to_extents(obj, class_name)
 

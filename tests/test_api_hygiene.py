@@ -54,20 +54,28 @@ def test_version_string():
 
 
 # ---------------------------------------------------------------------------
-# Encapsulation ban: store._extents / ._indexes are owned structures
+# Encapsulation ban: extents, index postings, and bitset chunks are owned
 # ---------------------------------------------------------------------------
 #
 # The mutation pipeline (objects/pipeline.py) is the single writer of
-# store._extents, and the IndexManager (query/indexes.py) of its own
-# ._indexes; every other module must treat both as read-only.  Ruff has no
-# rule language for "no mutation of this attribute outside these modules"
+# store._extents and the store's index set; the IndexManager
+# (query/indexes.py) alone rebuilds posting buckets at a design swap;
+# and SurrogateSet (columnar.py) alone touches its chunk tables -- every
+# other module must treat all of them as read-only.  Ruff has no rule
+# language for "no mutation of this attribute outside these modules"
 # (see the note in pyproject.toml), so the ban is enforced here with an
-# AST sweep: outside the owner, no statement may mutate `<expr>._extents`
-# or `<expr>._indexes` where `<expr>` is anything but `self` (an object
-# may initialize/maintain its *own* private structures; it may never
-# reach into another's).
+# AST sweep: outside an attribute's owning module(s), no statement may
+# mutate `<expr>._extents` / `._indexes` / `._buckets` / `._chunks`
+# where `<expr>` is anything but `self` (an object may
+# initialize/maintain its *own* private structures; it may never reach
+# into another's).
 
-_BANNED_ATTRS = {"_extents", "_indexes"}
+_BANNED_ATTRS = {
+    "_extents": {"objects/pipeline.py"},
+    "_indexes": {"objects/pipeline.py"},
+    "_buckets": {"objects/pipeline.py", "query/indexes.py"},
+    "_chunks": {"columnar.py"},
+}
 _MUTATOR_METHODS = {
     "add", "append", "clear", "discard", "extend", "insert", "pop",
     "popitem", "remove", "setdefault", "update", "__setitem__",
@@ -100,30 +108,32 @@ def _mutations_in(tree):
                     targets.append(target)
                 elif (isinstance(target, ast.Subscript)
                       and _banned_target(target.value)):
-                    targets.append(target)
+                    targets.append(target.value)
         elif (isinstance(node, ast.Call)
               and isinstance(node.func, ast.Attribute)
               and node.func.attr in _MUTATOR_METHODS
               and _banned_target(node.func.value)):
-            targets.append(node.func)
+            targets.append(node.func.value)
         for target in targets:
-            hits.append(target.lineno)
+            attr = (target.attr if isinstance(target, ast.Attribute)
+                    else _banned_target(target))
+            hits.append((attr, target.lineno))
     return hits
 
 
-def test_extents_and_indexes_only_mutated_by_owners():
+def test_owned_structures_only_mutated_by_owners():
     src_root = pathlib.Path(repro.__file__).resolve().parent
     offenders = []
     for path in sorted(src_root.rglob("*.py")):
         rel = path.relative_to(src_root).as_posix()
-        if rel in _EXEMPT:
-            continue
         tree = ast.parse(path.read_text(), filename=rel)
-        for lineno in _mutations_in(tree):
-            offenders.append(f"{rel}:{lineno}")
+        for attr, lineno in _mutations_in(tree):
+            if rel in _BANNED_ATTRS[attr]:
+                continue
+            offenders.append(f"{rel}:{lineno} ({attr})")
     assert not offenders, (
-        "direct _extents/_indexes mutation outside the owning module: "
-        + ", ".join(offenders))
+        "direct mutation of an owned structure outside its owning "
+        "module: " + ", ".join(offenders))
 
 
 # ---------------------------------------------------------------------------

@@ -49,10 +49,13 @@ def _digest(store):
         "allocator": store._allocator._next,
         "postings": postings,
         # The MVCC read-side counters tick on every stats()/snapshot()
-        # call -- including this digest's own -- so they are observability
-        # of *reads*, not state a batch changes.
+        # call -- including this digest's own -- and the bitset.* counters
+        # tick on the physical copy-on-write work a failed batch performs
+        # and then rolls back, so both are observability of *work*, not
+        # state a batch changes.
         "stats": {k: v for k, v in store.stats().items()
-                  if k not in ("snapshots_built", "snapshot_reuses")},
+                  if k not in ("snapshots_built", "snapshot_reuses")
+                  and not k.startswith("bitset.")},
     }
 
 

@@ -371,3 +371,85 @@ class TestExtentMigration:
         rows, _stats = store.run_query(
             "for e in Equipment select e.serial")
         assert len(rows) == 3  # migration is visible to queries
+
+
+# ---------------------------------------------------------------------------
+# Extent-cache invalidation on the retract direction (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+class TestExtentCacheAcrossRetract:
+    """``extent()`` memoizes each class's sorted row tuple.  Forward
+    alters invalidate it through the extent-migration stages (covered
+    above); the *retract* direction used to leave the memo untouched --
+    it happened to stay value-correct, but it was the only derived
+    read-side cache that silently outlived a schema epoch swap (plans,
+    postings and snapshots all re-derive).  These tests pin the
+    contract: an epoch swap that rebuilds an attribute's postings also
+    drops the affected classes' extent memos."""
+
+    def _retractable(self, store):
+        store.alter_class(alcoholic_def())
+        shrink = store.create("Psychologist", name="freud", age=60)
+        return store.create("Alcoholic", name="al", age=33,
+                            treatedBy=shrink)
+
+    def test_retract_excuse_drops_affected_extent_memos(self, store):
+        store.create_index("treatedBy")
+        self._retractable(store)
+        before = {cls: store.extent(cls)
+                  for cls in ("Alcoholic", "Patient", "Person",
+                              "Equipment")}
+        store.retract_excuse("Alcoholic", "treatedBy",
+                             drop_attribute=True)
+        # treatedBy's postings were rebuilt for the new epoch; the
+        # extent memos of the affected region (Alcoholic and Patient,
+        # whose treatedBy constraints the retraction re-scopes) must
+        # not be served across the swap...
+        for cls in ("Alcoholic", "Patient"):
+            assert store.extent(cls) is not before[cls], cls
+            assert store.extent(cls) == tuple(
+                store._objects[s] for s in store._extents[cls])
+        # ...while classes outside the delta's reach -- the untouched
+        # Person ancestor constraints, the disjoint Equipment hierarchy
+        # -- keep their memos (delta-scoped invalidation, like the
+        # index rebuild above).
+        assert store.extent("Person") is before["Person"]
+        assert store.extent("Equipment") is before["Equipment"]
+
+    def test_partial_retract_also_invalidates(self, store):
+        al = self._retractable(store)
+        # (1, 100) specializes Person's 1..120, so this excuse is
+        # retractable without leaving a contradiction behind.
+        store.add_excuse("Alcoholic", "age", (1, 100), ["Person"])
+        before = store.extent("Alcoholic")
+        # Retracting it while the treatedBy excuse stays is an
+        # excuses-changed delta -- still an epoch swap, still rebuilt.
+        store.retract_excuse("Alcoholic", "age")
+        assert store.extent("Alcoholic") is not before
+        assert al in store.extent("Alcoholic")
+
+    def test_query_agrees_with_scan_after_retract(self, store):
+        store.create_index("treatedBy")
+        al = self._retractable(store)
+        doc = store.extent("Physician")[0]
+        q = ('for p in Patient where p.treatedBy = p.treatedBy '
+             'select p.name')
+        rows_before, _ = store.run_query(q)
+        store.retract_excuse("Alcoholic", "treatedBy",
+                             drop_attribute=True)
+        rows_after, stats = store.run_query(q)
+        # al's Psychologist value is stranded residue now, but it is
+        # still *stored*: the guarded scan and the indexed plan must
+        # agree row-for-row against the rebuilt postings.
+        from repro.query.interpreter import execute
+        scan_rows, scan_stats = execute(q, store)
+        assert rows_after == scan_rows
+        assert stats.rows_skipped == scan_stats.rows_skipped
+
+    def test_rejected_retract_keeps_memos(self, store):
+        self._retractable(store)
+        before = store.extent("Alcoholic")
+        with pytest.raises(SchemaEvolutionError):
+            store.retract_excuse("Alcoholic", "treatedBy")
+        # No epoch swap happened, so the memo legitimately survives.
+        assert store.extent("Alcoholic") is before
