@@ -15,12 +15,19 @@ Usage (also via ``python -m repro.cli``)::
                                            # e.g. "y.treatedBy not in
                                            # Physician" "y not in Alcoholic"
     repro stats [--engine full]            # conformance-engine counters
-                                           # for a standard hospital
+                [--shards N]               # for a standard hospital
                                            # populate + churn workload
+                                           # (sharded: per-shard +
+                                           # aggregate tables)
     repro load <schema.cdl> <rows.json>    # bulk-load rows through the
                 [--check eager|deferred]   # batched ingest path
                 [--parallel N] [--validate]
-                [--persist DIR]
+                [--persist DIR] [--shards N]
+    repro shard-serve <dir>                # reopen a sharded store
+                [--query "<q>" ...]        # (one worker process per
+                [--stats] [--checkpoint]   # shard), run queries through
+                                           # the pruned scatter-gather
+                                           # path, report stats
     repro alter <dir> <schema.cdl> <Class> # apply one class definition
                 [--recheck affected|lazy   # from the CDL file as a live
                  |full|none] [--dry-run]   # schema change (or report the
@@ -161,11 +168,67 @@ def cmd_deduce(args) -> int:
     return 0
 
 
+def _render_shard_tables(store, title: str) -> str:
+    """Per-shard metric columns plus the summed aggregate row set."""
+    from repro.evaluation.reporting import render_table
+
+    per_shard = store.shard_stats()
+    keys = sorted(set().union(*(shard.keys() for shard in per_shard)))
+    shard_rows = [
+        tuple([key] + [shard.get(key, "") for shard in per_shard])
+        for key in keys
+    ]
+    headers = tuple(["metric"] + [f"shard {i}"
+                                  for i in range(len(per_shard))])
+    tables = [render_table(headers, shard_rows,
+                           title=f"{title}: per shard")]
+    agg_rows = [(key, value)
+                for key, value in sorted(store.stats().items())]
+    tables.append(render_table(("metric", "value"), agg_rows,
+                               title=f"{title}: aggregate"))
+    return "\n\n".join(tables)
+
+
+def _sharded_stats(args) -> int:
+    from repro.scenarios import build_hospital_schema
+    from repro.sharding.router import ShardedStore
+    from repro.typesys.values import EnumSymbol
+
+    store = ShardedStore(build_hospital_schema(), args.shards,
+                         processes=args.processes, engine=args.engine)
+    try:
+        physician = store.create(
+            "Physician", broadcast=True, name="doc", age=50,
+            specialty=EnumSymbol("General"))
+        patients = store.bulk_load([
+            ("Patient", {"name": f"p{i}", "age": 20 + i % 60,
+                         "treatedBy": physician})
+            for i in range(args.patients)
+        ])
+        pressures = [EnumSymbol(s) for s in ("Normal_BP", "High_BP")]
+        for round_no in range(args.rounds):
+            for i, patient in enumerate(patients):
+                store.set_value(patient, "age",
+                                20 + (i + round_no) % 60)
+                store.set_value(patient, "bloodPressure",
+                                pressures[(i + round_no) % 2])
+        store.query("for p in Patient where p.age = 30 select p.name")
+        print(_render_shard_tables(
+            store,
+            f"sharded engine stats ({args.shards} shards, "
+            f"{args.patients} patients, {args.rounds} churn rounds)"))
+    finally:
+        store.close()
+    return 0
+
+
 def cmd_stats(args) -> int:
     from repro.evaluation.reporting import render_table
     from repro.scenarios.hospital import populate_hospital
     from repro.typesys.values import EnumSymbol
 
+    if args.shards:
+        return _sharded_stats(args)
     pop = populate_hospital(n_patients=args.patients, seed=args.seed,
                             engine=args.engine)
     store = pop.store
@@ -221,6 +284,9 @@ def cmd_load(args) -> int:
         raw_rows = [json.loads(line) for line in text.splitlines()
                     if line.strip()]
 
+    if args.shards:
+        return _sharded_load(args, schema, raw_rows, decode)
+
     refs = {}
     try:
         with store.bulk_session(check=args.check,
@@ -263,6 +329,93 @@ def cmd_load(args) -> int:
         save_engine(engine, args.persist)
         print(f"persisted {engine.total_rows()} rows in "
               f"{engine.partition_count()} partitions to {args.persist}")
+    return 0
+
+
+def _sharded_load(args, schema, raw_rows, decode) -> int:
+    """Route the rows through a :class:`ShardedStore`.  Rows carrying
+    an ``id`` are reference entities: they are created eagerly as
+    broadcast replicas (so later rows may point at them from any
+    shard); the rest go through the per-shard concurrent bulk path."""
+    from repro.sharding.router import ShardedStore
+
+    store = ShardedStore(schema, args.shards, processes=args.processes,
+                         directory=args.persist,
+                         durability="wal" if args.persist else None)
+    try:
+        refs = {}
+        bulk_rows = []
+        try:
+            for raw in raw_rows:
+                fields = dict(raw)
+                row_id = fields.pop("id", None)
+                classes = fields.pop("classes", None)
+                if classes is None:
+                    classes = fields.pop("class")
+                values = {name: decode(value, refs)
+                          for name, value in fields.items()}
+                if row_id is not None:
+                    if isinstance(classes, str):
+                        classes = (classes,)
+                    head, *rest = classes
+                    obj = store.create(head, broadcast=True, **values)
+                    for extra in rest:
+                        store.classify(obj, extra)
+                    refs[row_id] = obj
+                else:
+                    bulk_rows.append((classes, values))
+            handles = store.bulk_load(bulk_rows, check=args.check,
+                                      parallel=args.parallel)
+        except ReproError as exc:
+            print(f"error: batch rejected: {exc}", file=sys.stderr)
+            return 1
+        print(f"loaded {len(refs) + len(handles)} objects across "
+              f"{args.shards} shards ({len(refs)} broadcast reference "
+              f"entities, {len(handles)} routed bulk rows) "
+              f"check={args.check}")
+        if args.check == "deferred" and args.validate:
+            problems = store.validate_all()
+            for obj, violation in problems:
+                print(f"{obj.surrogate}: {violation}")
+            if problems:
+                print(f"{len(problems)} violation(s)")
+                return 1
+            print("validated: conformant")
+        if args.persist:
+            store.checkpoint()
+            print(f"persisted {len(store)} objects to {args.persist} "
+                  f"({args.shards} shard directories + manifest)")
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_shard_serve(args) -> int:
+    """Reopen a durable sharded directory with one worker process per
+    shard, optionally answer queries, and report per-shard stats."""
+    from repro.sharding.router import ShardedStore
+
+    store = ShardedStore.open(args.directory, processes=args.processes)
+    try:
+        print(f"serving {args.directory}: {store.n_shards} shards, "
+              f"{len(store)} objects")
+        for query in args.query or ():
+            rows, stats = store.query(query)
+            for row in rows:
+                print("  " + ", ".join(str(v) for v in row))
+            dispatched = store.stats_counters.shards_dispatched
+            print(f"-- {len(rows)} row(s), {stats.rows_skipped} "
+                  f"skipped; dispatched to {dispatched} of "
+                  f"{store.n_shards} shards")
+            store.stats_counters.shards_dispatched = 0
+        if args.stats:
+            print(_render_shard_tables(store,
+                                       f"shard-serve {args.directory}"))
+        if args.checkpoint:
+            store.checkpoint()
+            print("checkpointed all shards")
+    finally:
+        store.close()
     return 0
 
 
@@ -456,8 +609,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "and report violations")
     p.add_argument("--persist", metavar="DIR",
                    help="store the loaded population to a storage-"
-                        "engine directory")
+                        "engine directory (with --shards: a sharded "
+                        "store directory servable by shard-serve)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="route rows through a sharded store with N "
+                        "shard workers; rows with an 'id' become "
+                        "broadcast reference entities")
+    p.add_argument("--processes", action="store_true",
+                   help="with --shards: real worker processes instead "
+                        "of in-process shard servers")
     p.set_defaults(func=cmd_load)
+
+    p = sub.add_parser(
+        "shard-serve",
+        help="reopen a sharded store directory (one worker process "
+             "per shard), answer queries, report per-shard stats")
+    p.add_argument("directory")
+    p.add_argument("--query", action="append", metavar="QUERY",
+                   help="run a query through the pruned scatter-"
+                        "gather path (repeatable)")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-shard and aggregate stats tables")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="checkpoint every shard before closing")
+    p.add_argument("--no-processes", dest="processes",
+                   action="store_false",
+                   help="use in-process shard servers (debugging)")
+    p.set_defaults(func=cmd_shard_serve)
 
     p = sub.add_parser(
         "alter",
@@ -511,6 +689,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1988)
     p.add_argument("--timing", action="store_true",
                    help="also accumulate wall time per event class")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="run the workload against a sharded store "
+                        "with N shards and print per-shard + "
+                        "aggregate stats tables")
+    p.add_argument("--processes", action="store_true",
+                   help="with --shards: real worker processes instead "
+                        "of in-process shard servers")
     p.set_defaults(func=cmd_stats)
 
     return parser

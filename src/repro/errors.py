@@ -9,6 +9,8 @@ storage.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class of all errors raised by the library."""
@@ -182,3 +184,42 @@ class AmbiguousInheritanceError(ReproError):
         self.class_name = class_name
         self.attribute = attribute
         self.candidates = candidates
+
+
+class ShardingError(StorageError):
+    """A sharded-store routing or protocol invariant was violated.
+
+    Raised by the router: e.g. a create whose entity references are
+    pinned to two different shards, or a write that would anchor a
+    replicated reference entity into a virtual class on a non-owner
+    shard (SEMANTICS.md section 14 spells out the supported envelope).
+    """
+
+
+class ShardCrashedError(ShardingError):
+    """A shard worker process died while a command was outstanding."""
+
+    def __init__(self, shard_id: int, detail: str = "") -> None:
+        message = f"shard worker {shard_id} is not responding"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ShardWorkerError(ShardingError):
+    """A shard worker reported a failure executing a routed command.
+
+    The original exception was raised in the worker process; its class
+    name travels back over the wire as ``remote_type`` so callers can
+    distinguish e.g. a remote ``ConformanceError`` from a protocol
+    fault without the router having to reconstruct arbitrary exception
+    constructors.
+    """
+
+    def __init__(self, remote_type: str, message: str,
+                 shard_id: Optional[int] = None) -> None:
+        where = f" (shard {shard_id})" if shard_id is not None else ""
+        super().__init__(f"{remote_type}{where}: {message}")
+        self.remote_type = remote_type
+        self.shard_id = shard_id

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Set, Tuple
 
-from repro.columnar import BITSET_STATS
 from repro.errors import NoSuchObjectError, UnknownClassError
 from repro.objects.surrogate import Surrogate
 from repro.typesys.values import INAPPLICABLE
@@ -182,7 +181,10 @@ class StoreSnapshot:
         self._plans_in_cache = len(store.indexes.plan_cache)
         self._counters = store.checker.stats.snapshot()
         self._query_counters = store.indexes.qstats.snapshot()
-        self._bitset_counters = BITSET_STATS.snapshot()
+        # The store's injected sink (defaults to the process-wide
+        # BITSET_STATS) -- so a snapshot taken inside a shard worker
+        # reports that worker's own algebra counters.
+        self._bitset_counters = store.bitset_stats.snapshot()
         # Lazy, idempotently-populated caches (thread-shared).
         self._wrappers: Dict[object, SnapshotInstance] = {}
         self._extent_rows: Dict[str, Tuple[SnapshotInstance, ...]] = {}

@@ -72,7 +72,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.columnar import ObjectColumns, SurrogateSet
+from repro.columnar import BITSET_STATS, BitsetStats, ObjectColumns, SurrogateSet
 from repro.errors import (
     NoSuchObjectError,
     SchemaEvolutionError,
@@ -120,7 +120,8 @@ class ObjectStore:
                  strict_virtual_extents: bool = True,
                  require_values: bool = False,
                  engine: str = Engine.INCREMENTAL,
-                 stats: Optional[EngineStats] = None) -> None:
+                 stats: Optional[EngineStats] = None,
+                 bitset_stats: Optional[BitsetStats] = None) -> None:
         if engine not in (Engine.INCREMENTAL, Engine.FULL):
             raise ValueError(f"unknown conformance engine {engine!r}")
         self.schema = schema
@@ -130,6 +131,13 @@ class ObjectStore:
             use_index=(engine == Engine.INCREMENTAL), stats=stats)
         self.check_mode = check_mode
         self.strict_virtual_extents = strict_virtual_extents
+        # The bitset-counter sink stats() reports.  Defaults to the
+        # process-wide BITSET_STATS the set algebra ticks; a shard
+        # worker (or any embedder) may inject its own sink so reported
+        # numbers are attributable to this store's process rather than
+        # silently read from whichever process asks.
+        self.bitset_stats = (bitset_stats if bitset_stats is not None
+                             else BITSET_STATS)
         self._allocator = SurrogateAllocator()
         self._objects: Dict[Surrogate, Instance] = {}
         # Chunked id -> (memberships, values) reference table: what a
@@ -197,13 +205,12 @@ class ObjectStore:
         are the live monotone values (they also tick on read-only work
         no epoch records).
         """
-        from repro.columnar import BITSET_STATS
         with self._write_lock:
             snap = self.snapshot()
             return snap.stats(
                 live_counters=self.checker.stats.snapshot(),
                 live_query=self.indexes.qstats.snapshot(),
-                live_bitset=BITSET_STATS.snapshot(),
+                live_bitset=self.bitset_stats.snapshot(),
                 n_indexes=len(self.indexes),
                 plans_in_cache=len(self.indexes.plan_cache))
 

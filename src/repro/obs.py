@@ -191,3 +191,50 @@ class QueryStats:
         inner = ", ".join(
             f"{k}={v}" for k, v in self.snapshot().items() if v)
         return f"QueryStats({inner})"
+
+
+#: Every router-side sharding counter, in reporting order.
+SHARD_COUNTER_FIELDS: Tuple[str, ...] = (
+    "commands_sent",       # commands dispatched to shard workers
+    "broadcasts",          # commands replicated to every shard
+    "objects_routed",      # objects placed on exactly one shard
+    "bulk_rows_routed",    # rows routed through the bulk fast path
+    "queries_routed",      # scatter-gather queries executed
+    "shards_dispatched",   # per-query shard dispatches, summed
+    "shards_pruned",       # shards a query never touched (pre-pass)
+    "deduction_prunes",    # profile exclusions proven by deduction
+    "map_refreshes",       # shard-map fetches (stale after mutations)
+    "rows_merged",         # per-shard result rows merged by the router
+    "schema_replications", # schema/evolution commands replicated
+)
+
+
+class ShardStats:
+    """Counters maintained by a :class:`~repro.sharding.ShardedStore`
+    router.
+
+    The scatter-gather claim A10 verifies -- selective class-restricted
+    queries dispatch to strictly fewer than N shards -- is read off
+    ``shards_dispatched`` / ``shards_pruned``; ``deduction_prunes``
+    separates exclusions the contrapositive rule proved from plain
+    signature-profile mismatches.
+    """
+
+    __slots__ = SHARD_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in SHARD_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name)
+                for name in SHARD_COUNTER_FIELDS}
+
+    def reset(self) -> None:
+        for name in SHARD_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"ShardStats({inner})"

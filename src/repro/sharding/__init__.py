@@ -1,0 +1,24 @@
+"""Sharded multi-process stores with deduction-pruned scatter-gather
+queries (see :mod:`repro.sharding.router` for the architecture)."""
+
+from repro.sharding import wire  # noqa: F401  (wire is the sub-API)
+
+__all__ = ["LocalBackend", "ProcessBackend", "RemoteHandle",
+           "ShardedStore", "ShardServer", "MaskedSnapshot",
+           "extract_facts", "profile_refuted", "wire"]
+
+
+def __getattr__(name):
+    # Lazy: importing repro.sharding must not pull multiprocessing (or
+    # the whole query stack) into processes that only want the codec.
+    if name in ("ShardedStore", "LocalBackend", "ProcessBackend",
+                "RemoteHandle"):
+        from repro.sharding import router
+        return getattr(router, name)
+    if name in ("ShardServer", "MaskedSnapshot"):
+        from repro.sharding import worker
+        return getattr(worker, name)
+    if name in ("extract_facts", "profile_refuted"):
+        from repro.sharding import pruning
+        return getattr(pruning, name)
+    raise AttributeError(f"module 'repro.sharding' has no attribute {name!r}")

@@ -1,0 +1,975 @@
+"""The sharded store: a router over N shard workers.
+
+:class:`ShardedStore` presents (most of) the :class:`ObjectStore`
+surface while partitioning the population across N shards, each a full
+store -- pipeline, WAL, columnar extents -- behind the JSON command
+protocol of :mod:`repro.sharding.wire`.  Shards run either as
+``multiprocessing`` worker processes (:class:`ProcessBackend`, the real
+deployment: writes scale across cores because each shard's conformance
+checking, extent maintenance and journaling happen in its own process)
+or in-process (:class:`LocalBackend`, same code and same JSON
+round-trip, used by the equivalence property suite).
+
+**Routing.**  The router owns surrogate allocation, so a sharded store
+mints exactly the ids the single store would.  New objects are placed
+by *signature profile* (their direct-class signature): each profile
+hashes to a home shard and spreads over a growing power-of-two span of
+neighbors as its population grows -- small profiles stay clustered (so
+profile-refuting queries prune whole shards), large profiles spread
+(so bulk writes scale).  A create whose values reference already-routed
+entities is pinned to their shard (references never cross shards);
+entities that everything references -- lookup tables, the hospital the
+patients point at -- are created with ``broadcast=True`` and replicated
+to every shard, with exactly one shard (``sid % N``) *owning* each
+replica for read purposes and the others masking it out of their
+extents (``worker.MaskedSnapshot``), so scatter-gathered extents and
+query results remain exact unions.
+
+**Scatter-gather reads.**  Queries are parsed once, pruned against
+per-shard signature-profile maps (:mod:`repro.sharding.pruning` -- the
+non-membership deduction rule of :mod:`repro.query.deduction` applied
+per profile), dispatched to the surviving shards in parallel, and
+merged: per-row results are re-sorted by surrogate (shard extents are
+disjoint), aggregate folds are combined componentwise (``avg`` is
+rewritten to ``total``/``count`` before dispatch so the merged mean is
+exact).  Schema commands -- ``alter_class`` / ``add_excuse`` /
+``retract_excuse`` -- are validated once on an empty *meta* store (the
+check is population-independent), then replicated to every shard over
+the same FIFO queues as data commands, so each shard applies the epoch
+between exactly the same mutations the router did.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+from zlib import crc32
+
+from repro.columnar import SurrogateSet
+from repro.errors import (
+    QueryTypeError, ShardCrashedError, ShardingError, ShardWorkerError,
+    UnknownClassError,
+)
+from repro.lang.printer import print_schema
+from repro.obs import ShardStats
+from repro.objects.pipeline import CheckMode, Engine
+from repro.objects.store import ObjectStore
+from repro.objects.surrogate import Surrogate
+from repro.query.ast import Aggregate, Query
+from repro.query.interpreter import ExecutionStats
+from repro.query.parser import parse_query
+from repro.sharding import wire
+from repro.sharding.pruning import extract_facts, profile_refuted
+from repro.sharding.worker import (
+    EXECUTION_STAT_FIELDS, ShardServer, shard_worker_main,
+)
+from repro.storage.shards import (
+    read_shard_manifest, shard_directory, write_shard_manifest,
+)
+from repro.typesys.values import INAPPLICABLE, RecordValue, is_entity
+
+__all__ = ["LocalBackend", "ProcessBackend", "RemoteHandle",
+           "ShardedStore"]
+
+#: A profile spreads from 1 shard to a power-of-two span of shards as
+#: its population crosses multiples of this threshold -- small (rare)
+#: profiles stay on one shard so profile pruning skips whole workers;
+#: big profiles spread so bulk writes use every core.
+SPAN_THRESHOLD = 512
+
+
+class RemoteHandle:
+    """Router-side proxy for one sharded object.
+
+    Implements the read side of the entity protocol (``memberships`` /
+    ``get_value``, fetched from the owning shard on demand), carries the
+    global ``surrogate``, and encodes on the wire exactly like a live
+    instance (an ``{"$": "ref"}`` record), so handles can be passed as
+    attribute values to any mutation.
+    """
+
+    __slots__ = ("_router", "surrogate")
+
+    def __init__(self, router: "ShardedStore", surrogate: Surrogate) -> None:
+        self._router = router
+        self.surrogate = surrogate
+
+    @property
+    def shard_id(self) -> int:
+        return self._router._owner_of(self.surrogate.id)
+
+    @property
+    def broadcast(self) -> bool:
+        return self.surrogate.id in self._router._broadcast
+
+    def _state(self) -> Dict[str, object]:
+        return self._router._call(
+            self.shard_id, {"op": "get", "sid": self.surrogate.id})
+
+    @property
+    def memberships(self) -> frozenset:
+        return frozenset(self._state()["classes"])
+
+    def get_value(self, name: str):
+        values = self._state()["values"]
+        if name not in values:
+            return INAPPLICABLE
+        return wire.decode_value(values[name], self._router.handle)
+
+    def value_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._state()["values"]))
+
+    def values_snapshot(self) -> Dict[str, object]:
+        return {name: wire.decode_value(value, self._router.handle)
+                for name, value in self._state()["values"].items()}
+
+    def __getitem__(self, name: str):
+        return self.get_value(name)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RemoteHandle)
+                and other.surrogate == self.surrogate)
+
+    def __hash__(self) -> int:
+        return hash(self.surrogate)
+
+    def __repr__(self) -> str:
+        return f"<RemoteHandle {self.surrogate} @shard{self.shard_id}>"
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+class LocalBackend:
+    """A shard in this process: the same :class:`ShardServer` the worker
+    runs, driven through the same JSON texts (send queues the result, so
+    the router's send-all-then-receive-all pattern works unchanged)."""
+
+    def __init__(self, shard_id: int, config: Dict[str, object]) -> None:
+        self.shard_id = shard_id
+        self.server = ShardServer(shard_id=shard_id, **config)
+        self._pending: List[str] = []
+
+    def send(self, text: str) -> None:
+        self._pending.append(self.server.handle_json(text))
+
+    def recv(self, timeout: Optional[float] = None) -> str:
+        return self._pending.pop(0)
+
+    def alive(self) -> bool:
+        return True
+
+    def stop(self) -> None:
+        self.server.close()
+
+
+class ProcessBackend:
+    """A shard in its own worker process, reached over a command/result
+    queue pair.  ``send`` never blocks on the worker (commands queue in
+    FIFO order); ``recv`` surfaces a dead worker as
+    :class:`ShardCrashedError` instead of hanging."""
+
+    def __init__(self, shard_id: int, config: Dict[str, object],
+                 ctx) -> None:
+        self.shard_id = shard_id
+        self.commands = ctx.Queue()
+        self.results = ctx.Queue()
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(shard_id, config, self.commands, self.results),
+            daemon=True)
+        self.process.start()
+
+    def send(self, text: str) -> None:
+        if not self.process.is_alive():
+            raise ShardCrashedError(self.shard_id)
+        self.commands.put(text)
+
+    def recv(self, timeout: float = 120.0) -> str:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.results.get(timeout=0.1)
+            except queue_mod.Empty:
+                if not self.process.is_alive():
+                    raise ShardCrashedError(
+                        self.shard_id, "worker process died") from None
+                if time.monotonic() > deadline:
+                    raise ShardCrashedError(
+                        self.shard_id,
+                        f"no result within {timeout:.0f}s") from None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        self.commands.close()
+        self.results.close()
+
+
+# ----------------------------------------------------------------------
+# The router
+# ----------------------------------------------------------------------
+
+class ShardedStore:
+    """N shard stores behind one :class:`ObjectStore`-like face (module
+    docstring).  Construct fresh with a schema; reopen a durable one
+    with :meth:`open`."""
+
+    def __init__(self, schema=None, n_shards: int = 2, *,
+                 processes: bool = True,
+                 directory: Optional[str] = None,
+                 durability: Optional[str] = None,
+                 sync: str = "group",
+                 check_mode: str = CheckMode.EAGER,
+                 engine: str = Engine.INCREMENTAL,
+                 start_method: Optional[str] = None,
+                 _reopen: bool = False) -> None:
+        if n_shards < 1:
+            raise ShardingError("a sharded store needs at least 1 shard")
+        self.n_shards = n_shards
+        self.directory = directory
+        self.stats_counters = ShardStats()
+        self._closed = False
+        # Routing state: the router is the single allocator.
+        self._next_sid = 1
+        self._owners: Dict[int, int] = {}       # routed sid -> shard
+        self._broadcast: Set[int] = set()       # replicated sids
+        self._profile_counts: Dict[str, int] = {}
+        self._maps: List[Optional[List[dict]]] = [None] * n_shards
+        self._handles: Dict[int, RemoteHandle] = {}
+
+        configs = self._shard_configs(
+            schema, directory, durability, sync, check_mode, engine,
+            _reopen)
+        self._backends = self._start_backends(
+            configs, processes, start_method)
+        # The meta store: an empty population under the same schema,
+        # used to validate + mint schema evolution steps exactly once
+        # before replication (the alter validity check is
+        # population-independent, so meta's verdict is every shard's).
+        if _reopen:
+            text = self._call(0, {"op": "schema"})["schema"]
+            from repro.lang.loader import load_schema
+            schema = load_schema(text)
+        self._meta = ObjectStore(schema, check_mode=CheckMode.EAGER,
+                                 engine=engine)
+        if _reopen:
+            self._rebuild_routing()
+
+    # -- construction ---------------------------------------------------
+
+    def _shard_configs(self, schema, directory, durability, sync,
+                       check_mode, engine, reopen):
+        configs = []
+        schema_text = None if schema is None else print_schema(schema)
+        if schema is None and not reopen:
+            raise ShardingError("a fresh sharded store needs a schema")
+        for shard_id in range(self.n_shards):
+            config: Dict[str, object] = {
+                "n_shards": self.n_shards,
+                "check_mode": check_mode, "engine": engine,
+            }
+            if not reopen:
+                config["schema_text"] = schema_text
+            if directory is not None:
+                config["directory"] = shard_directory(directory, shard_id)
+                config["durability"] = durability
+                config["sync"] = sync
+            configs.append(config)
+        if directory is not None and not reopen:
+            write_shard_manifest(directory, self.n_shards,
+                                 durability or "wal", sync)
+        return configs
+
+    def _start_backends(self, configs, processes, start_method):
+        if not processes:
+            return [LocalBackend(i, config)
+                    for i, config in enumerate(configs)]
+        import multiprocessing
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        backends = [ProcessBackend(i, config, ctx)
+                    for i, config in enumerate(configs)]
+        for backend in backends:    # ready/recovered handshakes
+            result = wire.decode_result(backend.recv())
+            if "error" in result:
+                err = result["error"]
+                raise ShardWorkerError(err["type"], err["msg"],
+                                       shard_id=backend.shard_id)
+        return backends
+
+    @classmethod
+    def open(cls, directory: str, *, processes: bool = True,
+             check_mode: str = CheckMode.EAGER,
+             engine: str = Engine.INCREMENTAL,
+             start_method: Optional[str] = None) -> "ShardedStore":
+        """Reopen a sharded directory: each worker recovers its own
+        shard (checkpoint + WAL tail), then the router reconstructs
+        routing state -- allocator high water, replica ownership,
+        profile placement counts -- from what the shards report."""
+        manifest = read_shard_manifest(directory)
+        return cls(None, int(manifest["shards"]), processes=processes,
+                   directory=directory,
+                   durability=manifest.get("durability"),
+                   sync=manifest.get("sync", "group"),
+                   check_mode=check_mode, engine=engine,
+                   start_method=start_method, _reopen=True)
+
+    def _rebuild_routing(self) -> None:
+        for shard_id in range(self.n_shards):
+            self._send(shard_id, {"op": "ids"})
+        high = 0
+        seen: Dict[int, int] = {}
+        duplicated: Set[int] = set()
+        for shard_id in range(self.n_shards):
+            payload = self._recv_ok(shard_id)
+            high = max(high, int(payload["high_water"]))
+            for sid in wire.decode_chunks(payload["ids"]).ids():
+                if sid in seen:
+                    duplicated.add(sid)
+                else:
+                    seen[sid] = shard_id
+        # high_water_mark is the *next* id a shard would mint, so the
+        # router resumes at the max across shards (no gap).
+        self._next_sid = max(high, 1)
+        # A sid present on several shards is a broadcast replica; its
+        # reader-side owner is deterministic (sid % N), matching what
+        # create(broadcast=True) assigned originally.
+        self._broadcast = duplicated
+        for sid, shard_id in seen.items():
+            if sid not in duplicated:
+                self._owners[sid] = shard_id
+        masks = [SurrogateSet() for _ in range(self.n_shards)]
+        for sid in duplicated:
+            owner = sid % self.n_shards
+            for shard_id in range(self.n_shards):
+                if shard_id != owner:
+                    masks[shard_id].add(Surrogate(sid))
+        for shard_id in range(self.n_shards):
+            self._send(shard_id, {"op": "set_foreign",
+                                  "sids": wire.encode_chunks(
+                                      masks[shard_id])})
+        for shard_id in range(self.n_shards):
+            self._recv_ok(shard_id)
+        # Profile counts seed future placement from the recovered maps.
+        for shard_id, shard_map in enumerate(self._refresh_maps(
+                range(self.n_shards))):
+            for profile in shard_map:
+                key = "|".join(profile["classes"])
+                self._profile_counts[key] = (
+                    self._profile_counts.get(key, 0) + profile["count"])
+
+    # -- plumbing -------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._meta.schema
+
+    def handle(self, sid: int) -> RemoteHandle:
+        """The canonical proxy for a (global) surrogate id."""
+        handle = self._handles.get(sid)
+        if handle is None:
+            handle = RemoteHandle(self, Surrogate(sid))
+            self._handles[sid] = handle
+        return handle
+
+    def _owner_of(self, sid: int) -> int:
+        if sid in self._broadcast:
+            return sid % self.n_shards
+        try:
+            return self._owners[sid]
+        except KeyError:
+            raise ShardingError(
+                f"surrogate {sid} is not routed by this store") from None
+
+    def _send(self, shard_id: int, cmd: Dict[str, object]) -> None:
+        self.stats_counters.commands_sent += 1
+        self._backends[shard_id].send(wire.encode_command(cmd))
+
+    def _recv_ok(self, shard_id: int):
+        result = wire.decode_result(self._backends[shard_id].recv())
+        if "error" in result:
+            err = result["error"]
+            raise ShardWorkerError(err["type"], err["msg"],
+                                   shard_id=shard_id)
+        return result["ok"]
+
+    def _call(self, shard_id: int, cmd: Dict[str, object]):
+        self._send(shard_id, cmd)
+        return self._recv_ok(shard_id)
+
+    def _broadcast_cmd(self, cmd: Dict[str, object],
+                       shard_ids: Optional[Sequence[int]] = None):
+        """Send to every shard (or the given ones) first, then collect:
+        the shards execute concurrently.  The first error wins but every
+        result is drained (queues must not be left holding replies)."""
+        targets = (list(shard_ids) if shard_ids is not None
+                   else list(range(self.n_shards)))
+        self.stats_counters.broadcasts += 1
+        for shard_id in targets:
+            self._send(shard_id, cmd)
+        payloads, failure = [], None
+        for shard_id in targets:
+            try:
+                payloads.append((shard_id, self._recv_ok(shard_id)))
+            except (ShardWorkerError, ShardCrashedError) as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return payloads
+
+    def _invalidate(self, shard_id: int) -> None:
+        self._maps[shard_id] = None
+
+    # -- placement ------------------------------------------------------
+
+    @staticmethod
+    def _profile_key(classes: Sequence[str]) -> str:
+        return "|".join(sorted(classes))
+
+    def _span_of(self, count: int) -> int:
+        span = 1
+        while count >= SPAN_THRESHOLD * span and span < self.n_shards:
+            span *= 2
+        return min(span, self.n_shards)
+
+    def _place(self, key: str) -> int:
+        count = self._profile_counts.get(key, 0)
+        self._profile_counts[key] = count + 1
+        start = crc32(key.encode("utf-8")) % self.n_shards
+        return (start + count % self._span_of(count)) % self.n_shards
+
+    def _pin_of(self, values: Dict[str, object]) -> Optional[int]:
+        """The shard routed entity references pin a create to (replicas
+        resolve everywhere, so broadcast references never pin)."""
+        pinned: Optional[int] = None
+
+        def visit(value):
+            nonlocal pinned
+            if isinstance(value, RecordValue):
+                for name in value.field_names():
+                    visit(value.get_value(name))
+                return
+            if not is_entity(value):
+                return
+            sid = value.surrogate.id
+            if sid in self._broadcast:
+                return
+            owner = self._owner_of(sid)
+            if pinned is None:
+                pinned = owner
+            elif pinned != owner:
+                raise ShardingError(
+                    "create references entities on two shards "
+                    f"({pinned} and {owner}); co-locate them or make "
+                    "the shared entity a broadcast entity")
+        for value in values.values():
+            visit(value)
+        return pinned
+
+    def _closure_of(self, classes) -> Set[str]:
+        schema = self.schema
+        closure: Set[str] = set()
+        for name in classes:
+            closure |= schema.ancestors(name)
+        return closure
+
+    def _guard_virtual_anchor(self, attribute: str, value,
+                              closure: Set[str]) -> None:
+        """Reject anchoring a broadcast replica into a virtual class:
+        the membership would materialize only on the writer's shard,
+        while the replica's reading owner is another shard -- the
+        scatter-gathered virtual extent would silently miss it.  Fires
+        only when the written object is (becoming) a member of the
+        virtual class's origin owner, i.e. when the write would anchor.
+        """
+        if not (is_entity(value)
+                and value.surrogate.id in self._broadcast):
+            return
+        for cdef in self.schema.virtual_classes():
+            origin = cdef.origin
+            if (origin is not None and origin.attribute == attribute
+                    and origin.owner_class in closure):
+                raise ShardingError(
+                    f"setting {attribute!r} would anchor broadcast "
+                    f"entity {value.surrogate} into virtual class "
+                    f"{cdef.name!r} on one shard only; route the "
+                    "entity instead of broadcasting it")
+
+    def _guard_virtual_classify(self, obj, class_name: str) -> None:
+        """The classify-side of the anchoring guard: joining the origin
+        owner of a virtual class anchors every already-set origin value
+        -- reject if any of those values is a broadcast replica."""
+        origins = [cdef.origin for cdef in self.schema.virtual_classes()
+                   if cdef.origin is not None
+                   and cdef.origin.owner_class
+                   in self.schema.ancestors(class_name)]
+        if not origins:
+            return
+        sid = obj.surrogate.id if hasattr(obj, "surrogate") else int(obj)
+        values = self._call(self._owner_of(sid),
+                            {"op": "get", "sid": sid})["values"]
+        for origin in origins:
+            encoded = values.get(origin.attribute)
+            if (isinstance(encoded, dict) and encoded.get("$") == "ref"
+                    and encoded.get("id") in self._broadcast):
+                raise ShardingError(
+                    f"classifying {sid} as {class_name!r} would anchor "
+                    f"broadcast entity @{encoded['id']} into a virtual "
+                    f"class via {origin.attribute!r}; route that entity "
+                    "instead of broadcasting it")
+
+    # -- mutations ------------------------------------------------------
+
+    def create(self, class_name: str, check: Optional[str] = None,
+               broadcast: bool = False, **values) -> RemoteHandle:
+        if self._closed:
+            raise ShardingError("store is closed")
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(class_name)
+        closure = self._closure_of((class_name,))
+        for attribute, value in values.items():
+            self._guard_virtual_anchor(attribute, value, closure)
+        pin = self._pin_of(values)
+        sid = self._next_sid
+        encoded = wire.encode_values(values)
+        cmd = {"op": "create", "sid": sid, "cls": class_name,
+               "values": encoded, "check": check}
+        if broadcast:
+            if pin is not None:
+                raise ShardingError(
+                    "a broadcast create cannot reference routed "
+                    "entities (replicas could not resolve them)")
+            owner = sid % self.n_shards
+            # Owner first: a conformance rejection rolls back there and
+            # reaches no replica, keeping every shard identical.
+            self._next_sid += 1
+            try:
+                self._call(owner, cmd)
+            finally:
+                self._invalidate(owner)
+            others = [i for i in range(self.n_shards) if i != owner]
+            if others:
+                self._broadcast_cmd(dict(cmd, foreign=True), others)
+                for shard_id in others:
+                    self._invalidate(shard_id)
+            self._broadcast.add(sid)
+        else:
+            shard = pin if pin is not None else self._place(
+                self._profile_key((class_name,)))
+            # The single store burns a surrogate on a rejected create
+            # (the allocator never rolls back); mirror that so the id
+            # sequences stay aligned.
+            self._next_sid += 1
+            self._invalidate(shard)
+            self._call(shard, cmd)
+            self._owners[sid] = shard
+        self.stats_counters.objects_routed += 1
+        return self.handle(sid)
+
+    def bulk_load(self, rows: Sequence[Tuple[object, Dict[str, object]]],
+                  check: str = CheckMode.DEFERRED,
+                  parallel: int = 1) -> List[RemoteHandle]:
+        """Stage ``(classes, values)`` rows as one batch *per shard*,
+        executing across all shard processes concurrently -- this is
+        the write path that scales with shard count.  Rows may
+        reference broadcast entities and previously committed objects,
+        not other rows of the same batch."""
+        if self._closed:
+            raise ShardingError("store is closed")
+        per_shard: Dict[int, List[list]] = {}
+        handles: List[RemoteHandle] = []
+        assigned: List[Tuple[int, int]] = []
+        for classes, values in rows:
+            if isinstance(classes, str):
+                classes = (classes,)
+            for class_name in classes:
+                if not self.schema.has_class(class_name):
+                    raise UnknownClassError(class_name)
+            closure = self._closure_of(classes)
+            for attribute, value in values.items():
+                self._guard_virtual_anchor(attribute, value, closure)
+            pin = self._pin_of(values)
+            shard = pin if pin is not None else self._place(
+                self._profile_key(classes))
+            sid = self._next_sid
+            self._next_sid += 1
+            per_shard.setdefault(shard, []).append(
+                [sid, list(classes), wire.encode_values(values)])
+            assigned.append((sid, shard))
+        for shard, shard_rows in per_shard.items():
+            self._invalidate(shard)
+            self._send(shard, {"op": "bulk", "rows": shard_rows,
+                               "check": check, "parallel": parallel})
+        failure = None
+        for shard in per_shard:
+            try:
+                self._recv_ok(shard)
+            except (ShardWorkerError, ShardCrashedError) as exc:
+                failure = failure or exc
+        if failure is not None:
+            # Each batch is all-or-nothing per shard, not across
+            # shards: shards whose batches committed keep them, and
+            # none of this call's rows are registered as routed.
+            raise failure
+        for sid, shard in assigned:
+            self._owners[sid] = shard
+            self.stats_counters.objects_routed += 1
+            self.stats_counters.bulk_rows_routed += 1
+            handles.append(self.handle(sid))
+        return handles
+
+    def _mutate(self, obj, cmd: Dict[str, object],
+                check: Optional[str]) -> None:
+        if self._closed:
+            raise ShardingError("store is closed")
+        sid = obj.surrogate.id if hasattr(obj, "surrogate") else int(obj)
+        cmd = dict(cmd, sid=sid)
+        if sid in self._broadcast:
+            owner = sid % self.n_shards
+            # Two-phase: the owner replica takes the checked write (a
+            # rejection stops here, replicas untouched and identical);
+            # then the same write is applied check-free everywhere else.
+            self._invalidate(owner)
+            self._call(owner, dict(cmd, check=check))
+            others = [i for i in range(self.n_shards) if i != owner]
+            if others:
+                for shard_id in others:
+                    self._invalidate(shard_id)
+                self._broadcast_cmd(
+                    dict(cmd, check=CheckMode.NONE), others)
+            if cmd["op"] == "remove":
+                self._broadcast.discard(sid)
+        else:
+            shard = self._owner_of(sid)
+            self._invalidate(shard)
+            self._call(shard, dict(cmd, check=check))
+            if cmd["op"] == "remove":
+                self._owners.pop(sid, None)
+                self._handles.pop(sid, None)
+
+    def set_value(self, obj, attribute: str, value,
+                  check: Optional[str] = None) -> None:
+        if is_entity(value) and value.surrogate.id in self._broadcast:
+            sid = (obj.surrogate.id if hasattr(obj, "surrogate")
+                   else int(obj))
+            self._guard_virtual_anchor(
+                attribute, value,
+                self._closure_of(self.handle(sid).memberships))
+        self._mutate(obj, {"op": "set", "attr": attribute,
+                           "value": wire.encode_value(value)}, check)
+
+    def unset_value(self, obj, attribute: str,
+                    check: Optional[str] = None) -> None:
+        self._mutate(obj, {"op": "unset", "attr": attribute}, check)
+
+    def classify(self, obj, class_name: str,
+                 check: Optional[str] = None) -> None:
+        if self.schema.has_class(class_name):
+            self._guard_virtual_classify(obj, class_name)
+        self._mutate(obj, {"op": "classify", "cls": class_name}, check)
+
+    def declassify(self, obj, class_name: str,
+                   check: Optional[str] = None) -> None:
+        self._mutate(obj, {"op": "declassify", "cls": class_name}, check)
+
+    def remove(self, obj) -> None:
+        self._mutate(obj, {"op": "remove"}, None)
+
+    # -- schema evolution ----------------------------------------------
+
+    def _replicate_schema(self, class_name: str,
+                          recheck: str) -> List[Tuple[RemoteHandle, str]]:
+        text = print_schema(self._meta.schema)
+        cmd = {"op": "alter", "schema": text, "cls": class_name,
+               "recheck": recheck}
+        for shard_id in range(self.n_shards):
+            self._invalidate(shard_id)
+        payloads = self._broadcast_cmd(cmd)
+        self.stats_counters.schema_replications += 1
+        violations: List[Tuple[RemoteHandle, str]] = []
+        for _shard_id, payload in payloads:
+            for sid, message in payload["violations"]:
+                violations.append((self.handle(int(sid)), message))
+        return violations
+
+    def alter_class(self, new_def, *, recheck: str = "affected"):
+        """Validated once against the meta store (rejection aborts
+        before any shard hears of it), then replicated to every shard
+        in command order -- each shard's FIFO queue guarantees the
+        epoch lands between the same mutations everywhere."""
+        self._meta.alter_class(new_def, recheck="none")
+        return self._replicate_schema(new_def.name, recheck)
+
+    def add_excuse(self, class_name: str, attribute: str, range_,
+                   targets, *, recheck: str = "affected"):
+        self._meta.add_excuse(class_name, attribute, range_, targets,
+                              recheck="none")
+        return self._replicate_schema(class_name, recheck)
+
+    def retract_excuse(self, class_name: str, attribute: str, *,
+                       targets=None, drop_attribute: bool = False,
+                       recheck: str = "affected"):
+        self._meta.retract_excuse(class_name, attribute, targets=targets,
+                                  drop_attribute=drop_attribute,
+                                  recheck="none")
+        return self._replicate_schema(class_name, recheck)
+
+    # -- physical design ------------------------------------------------
+
+    def create_index(self, attribute: str) -> None:
+        self._broadcast_cmd({"op": "index", "attr": attribute})
+
+    def drop_index(self, attribute: str) -> None:
+        self._broadcast_cmd({"op": "index", "attr": attribute,
+                             "action": "drop"})
+
+    # -- reads ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._owners) + len(self._broadcast)
+
+    def get(self, surrogate) -> RemoteHandle:
+        sid = (surrogate.id if hasattr(surrogate, "id")
+               else int(surrogate))
+        self._owner_of(sid)          # raises if unrouted
+        return self.handle(sid)
+
+    def count(self, class_name: str) -> int:
+        payloads = self._broadcast_cmd({"op": "count",
+                                        "cls": class_name})
+        return sum(payload["count"] for _sid, payload in payloads)
+
+    def extent_surrogates(self, class_name: str) -> SurrogateSet:
+        """The union of the per-shard masked extents, gathered as chunk
+        arrays (disjoint by construction, so the union is exact)."""
+        payloads = self._broadcast_cmd({"op": "extent",
+                                        "cls": class_name})
+        union = SurrogateSet()
+        for _sid, payload in payloads:
+            union |= wire.decode_chunks(payload["extent"])
+        return union
+
+    def extent(self, class_name: str) -> Tuple[RemoteHandle, ...]:
+        return tuple(self.handle(sid)
+                     for sid in self.extent_surrogates(class_name).ids())
+
+    def validate_all(self) -> List[Tuple[RemoteHandle, str]]:
+        payloads = self._broadcast_cmd({"op": "validate"})
+        out: List[Tuple[RemoteHandle, str]] = []
+        for _sid, payload in payloads:
+            for sid, message in payload["violations"]:
+                out.append((self.handle(int(sid)), message))
+        return out
+
+    # -- scatter-gather queries ----------------------------------------
+
+    def _refresh_maps(self, shard_ids) -> List[List[dict]]:
+        stale = [i for i in shard_ids if self._maps[i] is None]
+        for shard_id in stale:
+            self._send(shard_id, {"op": "shard_map"})
+        for shard_id in stale:
+            self._maps[shard_id] = self._recv_ok(shard_id)["profiles"]
+            self.stats_counters.map_refreshes += 1
+        return [self._maps[i] for i in shard_ids]
+
+    def _select_shards(self, query: Query) -> List[int]:
+        """The pruning pre-pass: refresh shard maps, refute profiles,
+        dispatch only to shards still holding a live profile."""
+        schema = self.schema
+        facts = extract_facts(query, schema)
+        maps = self._refresh_maps(range(self.n_shards))
+        selected: List[int] = []
+        for shard_id, shard_map in enumerate(maps):
+            if shard_map is None:
+                selected.append(shard_id)
+                continue
+            dispatch = False
+            used_deduction = False
+            for profile in shard_map:
+                refuted, via_deduction = profile_refuted(
+                    schema, facts, frozenset(profile["classes"]),
+                    frozenset(profile["total"]), bool(profile["clean"]))
+                if not refuted:
+                    dispatch = True
+                    break
+                used_deduction = used_deduction or via_deduction
+            if dispatch:
+                selected.append(shard_id)
+            else:
+                self.stats_counters.shards_pruned += 1
+                if used_deduction:
+                    self.stats_counters.deduction_prunes += 1
+        return selected
+
+    @staticmethod
+    def _rewrite_aggregates(select):
+        """``avg e`` folds don't merge; ``total e``/``count e`` pairs
+        do, exactly.  Returns the dispatched select plus a merge spec."""
+        items: List[Aggregate] = []
+        spec: List[Tuple[str, object]] = []
+        for item in select:
+            if item.function == "avg":
+                spec.append(("avg", (len(items), len(items) + 1)))
+                items.append(Aggregate("total", item.operand))
+                items.append(Aggregate("count", item.operand))
+            else:
+                spec.append((item.function, len(items)))
+                items.append(item)
+        return tuple(items), spec
+
+    def _merge_aggregates(self, spec, shard_rows) -> tuple:
+        merged = []
+        for function, where in spec:
+            if function == "avg":
+                total_at, count_at = where
+                total = sum(row[total_at] for row in shard_rows)
+                n = sum(row[count_at] for row in shard_rows)
+                merged.append(INAPPLICABLE if n == 0 else total / n)
+            elif function in ("count", "total"):
+                merged.append(sum(row[where] for row in shard_rows))
+            else:   # min / max over the per-shard partial folds
+                partials = [row[where] for row in shard_rows
+                            if row[where] is not INAPPLICABLE]
+                if not partials:
+                    merged.append(INAPPLICABLE)
+                elif function == "min":
+                    merged.append(min(partials))
+                else:
+                    merged.append(max(partials))
+        return tuple(merged)
+
+    def query(self, query, *, prune: bool = True,
+              **options) -> Tuple[List[tuple], ExecutionStats]:
+        """Scatter-gather execution: parse once, prune shards, dispatch
+        in parallel, merge rows (by surrogate) or aggregate folds.
+        Returns ``(rows, stats)`` like ``execute_planned``; the merged
+        stats sum the per-shard executions, with
+        ``stats.rows_returned`` recomputed for aggregate merges."""
+        if self._closed:
+            raise ShardingError("store is closed")
+        if isinstance(query, str):
+            query = parse_query(query)
+        has_aggregates = any(isinstance(item, Aggregate)
+                             for item in query.select)
+        if has_aggregates and not all(isinstance(item, Aggregate)
+                                      for item in query.select):
+            raise QueryTypeError(
+                "aggregate and per-row select items cannot be mixed")
+        selected = (self._select_shards(query) if prune
+                    else list(range(self.n_shards)))
+        self.stats_counters.queries_routed += 1
+        self.stats_counters.shards_dispatched += len(selected)
+        stats = ExecutionStats()
+        if has_aggregates:
+            dispatched, spec = self._rewrite_aggregates(query.select)
+            text = str(Query(query.var, query.source_class, query.where,
+                             dispatched))
+        else:
+            spec = None
+            text = str(query)
+        payloads = self._broadcast_cmd(
+            {"op": "query", "text": text, "options": options}, selected)
+        for _shard_id, payload in payloads:
+            for field in EXECUTION_STAT_FIELDS:
+                setattr(stats, field, getattr(stats, field)
+                        + payload["stats"][field])
+        if has_aggregates:
+            shard_rows = [
+                [wire.decode_value(value, self.handle)
+                 for value in payload["agg"]]
+                for _shard_id, payload in payloads]
+            rows = [self._merge_aggregates(spec, shard_rows)]
+            stats.rows_returned = 1
+            self.stats_counters.rows_merged += 1
+            return rows, stats
+        tagged: List[Tuple[int, tuple]] = []
+        for _shard_id, payload in payloads:
+            for sid, values in payload["rows"]:
+                tagged.append((sid, tuple(
+                    wire.decode_value(value, self.handle)
+                    for value in values)))
+        # Shard extents are disjoint, so sorting by surrogate re-creates
+        # the single store's extent order.
+        tagged.sort(key=lambda pair: pair[0])
+        self.stats_counters.rows_merged += len(tagged)
+        return [values for _sid, values in tagged], stats
+
+    # -- observability --------------------------------------------------
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard ``store.stats()`` dicts (each from its own process
+        and its own injected bitset-counter sink), in shard order."""
+        payloads = self._broadcast_cmd({"op": "stats"})
+        return [payload for _sid, payload in payloads]
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate stats: numeric per-shard counters summed, plus the
+        router's own ``shard.*`` routing/pruning/merge counters."""
+        per_shard = self.shard_stats()
+        aggregate: Dict[str, object] = {}
+        for shard in per_shard:
+            for name, value in shard.items():
+                if isinstance(value, bool) or not isinstance(
+                        value, (int, float)):
+                    continue
+                aggregate[name] = aggregate.get(name, 0) + value
+        aggregate["shards"] = self.n_shards
+        # "objects" sums per-shard residents (replicas counted once per
+        # shard); this is the deduplicated routed population.
+        aggregate["routed_objects"] = len(self)
+        for name, value in self.stats_counters.snapshot().items():
+            aggregate[f"shard.{name}"] = value
+        return aggregate
+
+    # -- lifecycle ------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        self._broadcast_cmd({"op": "checkpoint"})
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Test hook: make the worker die instantly (no flush, no
+        shutdown), as a real process crash would."""
+        backend = self._backends[shard_id]
+        if isinstance(backend, ProcessBackend):
+            backend.send(wire.encode_command({"op": "crash"}))
+            backend.process.join(timeout=10)
+        else:
+            raise ShardingError("only process-backed shards can crash")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self._backends:
+            if isinstance(backend, ProcessBackend):
+                if not backend.alive():
+                    continue
+                try:
+                    backend.send(wire.encode_command({"op": "shutdown"}))
+                    backend.recv(timeout=30)
+                except Exception:
+                    pass
+                backend.stop()
+            else:
+                backend.stop()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<ShardedStore shards={self.n_shards} "
+                f"objects={len(self)}>")

@@ -1,0 +1,388 @@
+"""Shard worker: one full :class:`ObjectStore` behind a command loop.
+
+Each shard is an ordinary store -- its own mutation pipeline, WAL
+directory, columnar extents, plan cache, and per-process
+``BITSET_STATS`` -- wrapped by :class:`ShardServer`, which decodes JSON
+commands (``wire.py``), executes them against the store, and encodes
+results.  :func:`shard_worker_main` is the ``multiprocessing`` entry
+point (top-level, so it is spawn-safe); the in-process backend drives
+the very same :class:`ShardServer` through the very same JSON texts.
+
+Two shard-specific mechanisms live here:
+
+* **Forced surrogates** -- the router owns global surrogate allocation
+  (so a sharded store mints exactly the ids a single store would);
+  every create/bulk row carries its pre-assigned sid, and the worker
+  pins its allocator before creating, then asserts the store agreed --
+  the same discipline WAL replay uses in ``storage/recovery.py``.
+
+* **Masked reads** -- replicated reference entities exist on every
+  shard under one sid, but only their owner shard may *report* them:
+  queries, counts and extent chunks run through a
+  :class:`MaskedSnapshot` that subtracts the ``foreign`` replica set
+  from every extent, so unions over shards are exact.  Membership and
+  value reads stay unmasked (a replica answers ``x.treatedBy in
+  Physician`` locally, exactly as the single store would).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.columnar import BITSET_STATS, SurrogateSet
+from repro.errors import ShardingError
+from repro.lang.loader import load_schema
+from repro.objects.pipeline import CheckMode, Engine
+from repro.objects.store import ObjectStore
+from repro.objects.surrogate import Surrogate
+from repro.query.ast import Aggregate, Query, Var
+from repro.query.parser import parse_query
+from repro.query.planner import execute_planned
+from repro.sharding import wire
+
+__all__ = ["MaskedSnapshot", "ShardServer", "shard_worker_main",
+           "EXECUTION_STAT_FIELDS"]
+
+#: ExecutionStats fields shipped back per query, in order.
+EXECUTION_STAT_FIELDS: Tuple[str, ...] = (
+    "rows_scanned", "rows_returned", "rows_skipped",
+    "checks_executed", "rows_pruned", "index_lookups")
+
+
+class MaskedSnapshot:
+    """A store snapshot with foreign replica sids subtracted from every
+    extent (and therefore from counts and index candidate sets, which
+    all start from the source extent).  get/is_member stay unmasked."""
+
+    __slots__ = ("_snap", "_foreign", "indexes", "schema", "_masked")
+
+    def __init__(self, snap, foreign: SurrogateSet) -> None:
+        self._snap = snap
+        self._foreign = foreign
+        self.indexes = snap.indexes
+        self.schema = snap.schema
+        self._masked: Dict[str, SurrogateSet] = {}
+
+    def extent_surrogates(self, class_name: str) -> SurrogateSet:
+        cached = self._masked.get(class_name)
+        if cached is None:
+            members = self._snap.extent_surrogates(class_name)
+            if not isinstance(members, SurrogateSet):
+                members = SurrogateSet(members)
+            cached = members - self._foreign
+            self._masked[class_name] = cached
+        return cached
+
+    def extent(self, class_name: str):
+        get = self._snap.get
+        return tuple(get(s) for s in self.extent_surrogates(class_name))
+
+    def count(self, class_name: str) -> int:
+        return len(self.extent_surrogates(class_name))
+
+    def get(self, surrogate):
+        return self._snap.get(surrogate)
+
+    def is_member(self, obj, class_name: str) -> bool:
+        return self._snap.is_member(obj, class_name)
+
+
+class ShardServer:
+    """One shard's store plus the command dispatch (module docstring)."""
+
+    def __init__(self, shard_id: int, n_shards: int,
+                 schema_text: Optional[str] = None,
+                 directory: Optional[str] = None,
+                 durability: Optional[str] = None,
+                 sync: Optional[str] = None,
+                 check_mode: str = CheckMode.EAGER,
+                 engine: str = Engine.INCREMENTAL) -> None:
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        schema = load_schema(schema_text) if schema_text else None
+        if directory is not None:
+            kwargs: Dict[str, object] = {"check_mode": check_mode,
+                                         "engine": engine}
+            if sync is not None:
+                kwargs["sync"] = sync
+            self.store = ObjectStore.open(
+                directory, schema=schema, durability=durability, **kwargs)
+        else:
+            if schema is None:
+                raise ShardingError("an in-memory shard needs a schema")
+            self.store = ObjectStore(schema, check_mode=check_mode,
+                                     engine=engine)
+        # Report this process's own bitset counters (satellite: the
+        # sink is injectable; in a worker process the module global IS
+        # this shard's sink).
+        self.store.bitset_stats = BITSET_STATS
+        #: Replicated reference entities owned by another shard: masked
+        #: out of every extent this shard reports.
+        self.foreign = SurrogateSet()
+        self._map_cache: Optional[Tuple[int, list]] = None
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+
+    def handle_json(self, text: str) -> str:
+        cmd = wire.decode_command(text)
+        try:
+            payload = self.handle(cmd)
+        except Exception as exc:   # ships the failure back to the router
+            return wire.encode_result({"error": {
+                "type": type(exc).__name__, "msg": str(exc)}})
+        return wire.encode_result({"ok": payload})
+
+    def handle(self, cmd: Dict[str, object]):
+        op = cmd["op"]
+        handler = self._OPS.get(op)
+        if handler is None:
+            raise ShardingError(f"unknown shard command {op!r}")
+        return handler(self, cmd)
+
+    def _resolve(self, sid: int):
+        return self.store.get(Surrogate(sid))
+
+    def _force_sid(self, sid: int) -> None:
+        allocator = self.store._allocator
+        allocator._next = max(allocator._next, sid)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def _op_create(self, cmd):
+        sid = int(cmd["sid"])
+        values = wire.decode_values(cmd.get("values") or {}, self._resolve)
+        self._force_sid(sid)
+        obj = self.store.create(cmd["cls"], check=cmd.get("check"),
+                                **values)
+        if obj.surrogate.id != sid:
+            raise ShardingError(
+                f"shard {self.shard_id} allocated {obj.surrogate} "
+                f"for routed sid {sid}")
+        if cmd.get("foreign"):
+            self.foreign.add(obj.surrogate)
+        return {"sid": sid}
+
+    def _op_bulk(self, cmd):
+        from repro.objects.bulk import BulkSession
+        check = cmd.get("check") or CheckMode.DEFERRED
+        session = BulkSession(self.store, check=check,
+                              parallel=int(cmd.get("parallel") or 1))
+        with session:
+            stage = session._stage
+            for sid, classes, values in cmd["rows"]:
+                self._force_sid(int(sid))
+                obj = stage(tuple(classes),
+                            wire.decode_values(values, self._resolve))
+                if obj.surrogate.id != int(sid):
+                    raise ShardingError(
+                        f"shard {self.shard_id} staged {obj.surrogate} "
+                        f"for routed sid {sid}")
+        report = session.report
+        return {"rows": len(cmd["rows"]),
+                "merged": getattr(report, "objects", len(cmd["rows"]))}
+
+    def _op_set(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        value = wire.decode_value(cmd["value"], self._resolve)
+        self.store.set_value(obj, cmd["attr"], value,
+                             check=cmd.get("check"))
+        return {}
+
+    def _op_unset(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.store.unset_value(obj, cmd["attr"], check=cmd.get("check"))
+        return {}
+
+    def _op_classify(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.store.classify(obj, cmd["cls"], check=cmd.get("check"))
+        return {}
+
+    def _op_declassify(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.store.declassify(obj, cmd["cls"], check=cmd.get("check"))
+        return {}
+
+    def _op_remove(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.store.remove(obj)
+        self.foreign.discard(obj.surrogate)
+        return {}
+
+    def _op_alter(self, cmd):
+        successor = load_schema(cmd["schema"])
+        new_def = successor.get(cmd["cls"])
+        problems = self.store.alter_class(
+            new_def, recheck=cmd.get("recheck") or "affected")
+        return {"violations": [[obj.surrogate.id, str(violation)]
+                               for obj, violation in problems]}
+
+    def _op_index(self, cmd):
+        if cmd.get("action") == "drop":
+            self.store.drop_index(cmd["attr"])
+        else:
+            self.store.create_index(cmd["attr"])
+        return {}
+
+    def _op_validate(self, cmd):
+        if cmd.get("scope") == "dirty":
+            problems = self.store.validate_dirty()
+        else:
+            problems = self.store.validate_all()
+        return {"violations": [[obj.surrogate.id, str(violation)]
+                               for obj, violation in problems]}
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _read_view(self):
+        snap = self.store.snapshot()
+        if len(self.foreign):
+            return MaskedSnapshot(snap, self.foreign)
+        return snap
+
+    def _op_query(self, cmd):
+        query = parse_query(cmd["text"])
+        options = cmd.get("options") or {}
+        view = self._read_view()
+        stats_out = {}
+        if any(isinstance(item, Aggregate) for item in query.select):
+            rows, stats = execute_planned(query, view, **options)
+            for field in EXECUTION_STAT_FIELDS:
+                stats_out[field] = getattr(stats, field)
+            return {"agg": [wire.encode_value(v) for v in rows[0]],
+                    "stats": stats_out}
+        # Tag each row with its surrogate by prepending the query variable
+        # to the select list: the extra item cannot skip (no attribute
+        # access), so rows, order and rows_skipped are untouched.
+        tagged = Query(query.var, query.source_class, query.where,
+                       (Var(query.var),) + tuple(query.select))
+        rows, stats = execute_planned(tagged, view, **options)
+        for field in EXECUTION_STAT_FIELDS:
+            stats_out[field] = getattr(stats, field)
+        return {"rows": [[row[0].surrogate.id,
+                          [wire.encode_value(v) for v in row[1:]]]
+                         for row in rows],
+                "stats": stats_out}
+
+    def _op_count(self, cmd):
+        return {"count": self._read_view().count(cmd["cls"])}
+
+    def _op_extent(self, cmd):
+        view = self._read_view()
+        members = view.extent_surrogates(cmd["cls"])
+        if not isinstance(members, SurrogateSet):
+            members = SurrogateSet(members)
+        return {"extent": wire.encode_chunks(members)}
+
+    def _op_ids(self, cmd):
+        members = SurrogateSet(
+            obj.surrogate for obj in self.store.instances())
+        return {"ids": wire.encode_chunks(members),
+                "high_water": self.store._allocator.high_water_mark}
+
+    def _op_get(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        return {"classes": sorted(obj.memberships),
+                "values": wire.encode_values(obj.values_snapshot()),
+                "foreign": obj.surrogate in self.foreign}
+
+    def _op_set_foreign(self, cmd):
+        self.foreign = wire.decode_chunks(cmd["sids"])
+        return {"foreign": len(self.foreign)}
+
+    def _op_shard_map(self, cmd):
+        epoch = self.store._epoch
+        cached = self._map_cache
+        if cached is not None and cached[0] == epoch:
+            return {"epoch": epoch, "profiles": cached[1]}
+        dirty = {surrogate.id for surrogate in self.store._dirty}
+        profiles: Dict[frozenset, list] = {}
+        for obj in self.store.instances():
+            if obj.surrogate in self.foreign:
+                continue
+            key = obj.memberships
+            applicable = set(obj.value_names())
+            entry = profiles.get(key)
+            if entry is None:
+                profiles[key] = [1, applicable,
+                                 obj.surrogate.id not in dirty]
+            else:
+                entry[0] += 1
+                entry[1] &= applicable
+                entry[2] = entry[2] and obj.surrogate.id not in dirty
+        payload = [{"classes": sorted(key), "count": entry[0],
+                    "total": sorted(entry[1]), "clean": entry[2]}
+                   for key, entry in profiles.items()]
+        self._map_cache = (epoch, payload)
+        return {"epoch": epoch, "profiles": payload}
+
+    def _op_schema(self, cmd):
+        from repro.lang.printer import print_schema
+        return {"schema": print_schema(self.store.schema)}
+
+    def _op_stats(self, cmd):
+        out = dict(self.store.stats())
+        out["shard.objects"] = len(self.store)
+        out["shard.foreign_replicas"] = len(self.foreign)
+        return out
+
+    def _op_checkpoint(self, cmd):
+        checkpoint = getattr(self.store, "checkpoint", None)
+        if checkpoint is not None:
+            checkpoint()
+        return {}
+
+    def _op_ping(self, cmd):
+        return {"shard": self.shard_id, "epoch": self.store._epoch,
+                "objects": len(self.store)}
+
+    def close(self) -> None:
+        closer = getattr(self.store, "close", None)
+        if closer is not None:
+            closer()
+
+    _OPS = {
+        "create": _op_create, "bulk": _op_bulk, "set": _op_set,
+        "unset": _op_unset, "classify": _op_classify,
+        "declassify": _op_declassify, "remove": _op_remove,
+        "alter": _op_alter, "index": _op_index, "validate": _op_validate,
+        "query": _op_query, "count": _op_count, "extent": _op_extent,
+        "ids": _op_ids, "get": _op_get, "set_foreign": _op_set_foreign,
+        "shard_map": _op_shard_map, "schema": _op_schema,
+        "stats": _op_stats,
+        "checkpoint": _op_checkpoint, "ping": _op_ping,
+    }
+
+
+def shard_worker_main(shard_id: int, config: Dict[str, object],
+                      cmd_queue, result_queue) -> None:
+    """``multiprocessing`` entry point: build the shard store (fresh or
+    recovering its directory), signal readiness, then serve commands
+    until ``shutdown`` (clean close) or ``crash`` (test hook: die
+    without flushing, exactly like a killed process)."""
+    try:
+        server = ShardServer(shard_id=shard_id, **config)
+    except Exception as exc:
+        result_queue.put(wire.encode_result({"error": {
+            "type": type(exc).__name__, "msg": str(exc)}}))
+        return
+    result_queue.put(wire.encode_result(
+        {"ok": {"ready": True, "objects": len(server.store)}}))
+    while True:
+        text = cmd_queue.get()
+        cmd = wire.decode_command(text)
+        op = cmd.get("op")
+        if op == "shutdown":
+            server.close()
+            result_queue.put(wire.encode_result({"ok": {}}))
+            return
+        if op == "crash":
+            import os
+            os._exit(1)
+        result_queue.put(server.handle_json(text))

@@ -264,3 +264,64 @@ class TestDurability:
                          durability="none").close()
         assert main(["wal-dump", directory]) == 0
         assert "no WAL" in capsys.readouterr().out
+
+
+class TestSharded:
+    def test_stats_shards_prints_both_tables(self, capsys):
+        assert main(["stats", "--shards", "2", "--patients", "16",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "per shard" in out
+        assert "aggregate" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "routed_objects" in out
+
+    def test_load_shards_and_shard_serve(self, tmp_path, capsys):
+        import json
+
+        schema_path = tmp_path / "hospital.cdl"
+        schema_path.write_text(HOSPITAL_CDL)
+        rows = [
+            {"id": "doc", "class": "Physician", "name": "Dr. F",
+             "age": 50, "specialty": "'General"},
+            {"class": "Patient", "name": "a", "age": 30,
+             "treatedBy": {"$ref": "doc"}},
+            {"class": "Patient", "name": "b", "age": 37,
+             "treatedBy": {"$ref": "doc"}},
+            {"class": "Patient", "name": "c", "age": 44,
+             "treatedBy": {"$ref": "doc"}},
+        ]
+        rows_path = tmp_path / "rows.json"
+        rows_path.write_text(json.dumps(rows))
+        directory = str(tmp_path / "sharded")
+
+        assert main(["load", str(schema_path), str(rows_path),
+                     "--shards", "2", "--persist", directory,
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded 4 objects across 2 shards" in out
+        assert "validated: conformant" in out
+        assert "manifest" in out
+
+        assert main(["shard-serve", directory, "--no-processes",
+                     "--stats", "--checkpoint", "--query",
+                     "for p in Patient where p.age > 35 "
+                     "select p.name, p.age"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "2 shards, 4 objects" in out
+        assert "b, 37" in out and "c, 44" in out
+        assert "2 row(s), 0 skipped" in out
+        assert "dispatched to 1 of 2 shards" in out
+        assert "checkpointed all shards" in out
+
+    def test_load_shards_rejects_bad_batch(self, tmp_path, capsys):
+        import json
+
+        schema_path = tmp_path / "hospital.cdl"
+        schema_path.write_text(HOSPITAL_CDL)
+        rows_path = tmp_path / "rows.json"
+        rows_path.write_text(json.dumps(
+            [{"class": "Patient", "name": "x", "age": 500}]))
+        assert main(["load", str(schema_path), str(rows_path),
+                     "--shards", "2", "--check", "eager"]) == 1
+        assert "batch rejected" in capsys.readouterr().err

@@ -239,3 +239,30 @@ def test_bench_columnar_json_structure():
         assert snap["median_us"][str(size)] > 0
     # The columnar path actually exercised the bitset algebra.
     assert data["bitset_counters"]["words_anded"] > 0
+
+
+def test_bench_sharded_json_structure():
+    data = _bench_json("BENCH_sharded.json")
+    assert data["experiment"] == "A10-sharded"
+    assert data["n_objects"] >= 100_000
+    shards = data["shards"]
+    assert {"1", "2", "4", "8"} <= set(shards)
+    for n_shards, entry in shards.items():
+        assert entry["write_s"] > 0 and entry["objects_per_sec"] > 0
+        assert entry["selective_qps"] > 0 and entry["scan_qps"] > 0
+        # Pruning floors are hardware-independent: the rare cohort's
+        # class-restricted query dispatched to strictly fewer shards
+        # than exist, and the reference-contradiction query was
+        # refuted by deduction on every shard.
+        if int(n_shards) > 1:
+            assert entry["selective_dispatched"] < int(n_shards), entry
+            assert entry["deduction_dispatched"] == 0, entry
+            assert entry["deduction_prunes"] >= int(n_shards), entry
+    # The write-scaling floor is asserted whenever the committed run
+    # had processors to scale onto (the benchmark re-asserts it on
+    # regeneration under the same condition).
+    assert data["scaling_floor"] == 2.0
+    assert data["scaling_4x"] > 0
+    assert data["scaling_enforced"] == (data["cpu_count"] >= 4)
+    if data["scaling_enforced"]:
+        assert data["scaling_4x"] >= data["scaling_floor"]
