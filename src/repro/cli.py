@@ -419,6 +419,61 @@ def cmd_shard_serve(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a durable store directory as a network primary."""
+    from repro.net.server import serve
+    from repro.objects.store import ObjectStore
+
+    kwargs = {}
+    if args.sync:
+        kwargs["sync"] = args.sync
+    schema = None
+    if args.schema:
+        import os
+        from repro.storage.recovery import MANIFEST_NAME
+        if not os.path.exists(os.path.join(args.directory,
+                                           MANIFEST_NAME)):
+            # Only a fresh directory takes the schema; an existing
+            # store keeps its persisted (possibly evolved) one.
+            with open(args.schema) as f:
+                schema = load_schema(f.read())
+    store = ObjectStore.open(args.directory, schema, **kwargs)
+    try:
+        serve(store, host=args.host, port=args.port)
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_replica(args) -> int:
+    """Serve a read replica of a network primary.
+
+    Bootstraps (or crash-recovers, when ``--directory`` already holds a
+    replica) from the primary's catch-up dump, then keeps replaying its
+    shipped WAL tail while serving snapshot reads."""
+    from repro.net.client import StoreClient
+    from repro.net.replication import NetShipSource, Replica
+    from repro.net.server import serve
+
+    primary_host, _, primary_port = args.primary.rpartition(":")
+    if not primary_host:
+        print(f"error: --primary must be HOST:PORT, got "
+              f"{args.primary!r}", file=sys.stderr)
+        return 2
+    client = StoreClient(primary_host, int(primary_port))
+    replica = Replica(NetShipSource(client), directory=args.directory,
+                      sync=args.sync or "group")
+    try:
+        print(f"replica of {args.primary} at seq "
+              f"{replica.applied_seq}")
+        serve(replica=replica, host=args.host, port=args.port,
+              poll_interval=args.poll)
+    finally:
+        replica.close()
+        client.close()
+    return 0
+
+
 def cmd_alter(args) -> int:
     from repro.objects.store import ObjectStore
     from repro.schema.evolution import apply_change
@@ -636,6 +691,38 @@ def build_parser() -> argparse.ArgumentParser:
                    action="store_false",
                    help="use in-process shard servers (debugging)")
     p.set_defaults(func=cmd_shard_serve)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a durable store directory over the framed "
+             "network protocol (primary role)")
+    p.add_argument("directory")
+    p.add_argument("--schema",
+                   help="CDL file to initialize a fresh directory "
+                        "(ignored when the directory already holds "
+                        "a store)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7463)
+    p.add_argument("--sync", choices=["always", "group"],
+                   help="override the WAL sync policy")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "replica",
+        help="serve a read replica that replays a primary's "
+             "shipped WAL")
+    p.add_argument("--primary", required=True, metavar="HOST:PORT",
+                   help="the primary's service endpoint")
+    p.add_argument("directory", nargs="?",
+                   help="durable replica directory (omit for an "
+                        "in-memory replica)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7464)
+    p.add_argument("--poll", type=float, default=0.05,
+                   help="seconds between WAL-tail pulls")
+    p.add_argument("--sync", choices=["always", "group"],
+                   help="the replica WAL's sync policy")
+    p.set_defaults(func=cmd_replica)
 
     p = sub.add_parser(
         "alter",

@@ -207,6 +207,82 @@ class ShardCrashedError(ShardingError):
         self.shard_id = shard_id
 
 
+class NetError(StorageError):
+    """Base class of networked-service errors (framing, transport,
+    replication).  Derived from :class:`StorageError` because the wire
+    format *is* the WAL's record framing: a frame that cannot be decoded
+    is the same class of failure as a torn log record."""
+
+
+class ProtocolError(NetError):
+    """The byte stream violated the framed protocol.  The connection
+    that produced it is poisoned (framing has lost sync) and is closed
+    after a best-effort error frame; the server itself stays up."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame header announced a payload above the negotiated limit."""
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"frame of {length} bytes exceeds the {limit}-byte limit")
+        self.length = length
+        self.limit = limit
+
+
+class FrameCorruptError(ProtocolError):
+    """A frame's payload failed its CRC32 check."""
+
+
+class FrameTruncatedError(ProtocolError):
+    """The stream ended (or the peer disconnected) mid-frame."""
+
+
+class PayloadDecodeError(ProtocolError):
+    """A CRC-valid frame did not hold a canonical-JSON object."""
+
+
+class RequestTimeoutError(NetError):
+    """A client request exceeded its deadline (the request may or may
+    not have executed -- only reads are safe to retry blindly)."""
+
+
+class ConnectionLostError(NetError):
+    """The transport dropped while a request was outstanding."""
+
+
+class NotPrimaryError(NetError):
+    """A mutation was sent to a replica; writes go to the primary."""
+
+
+class ReplicaLagError(NetError):
+    """A read carried an epoch token ahead of the replica's replay
+    position (read-your-writes would be violated by serving it)."""
+
+    def __init__(self, token: int, applied_seq: int) -> None:
+        super().__init__(
+            f"replica has applied seq {applied_seq}, behind read "
+            f"token {token}")
+        self.token = token
+        self.applied_seq = applied_seq
+
+
+class ReplicationError(NetError):
+    """A replica's replay diverged from the shipped WAL (sequence
+    mismatch, bootstrap failure, or a record that failed to replay)."""
+
+
+class RemoteOpError(NetError):
+    """The server reported a failure executing a request.
+
+    Mirrors :class:`ShardWorkerError`: the original exception was raised
+    server-side and its class name travels back as ``remote_type``."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
 class ShardWorkerError(ShardingError):
     """A shard worker reported a failure executing a routed command.
 

@@ -165,6 +165,19 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
          "repro.sharding.pruning", "repro.sharding.wire",
          "repro.query.deduction", "repro.storage.shards"),
         "bench_sharded.py"),
+    Experiment(
+        "A11", "Networked serving with WAL-shipped replicas",
+        "substrate",
+        "read replicas replaying the primary's shipped WAL records "
+        "scale aggregate read throughput >= 2x at 2 replicas vs 0 "
+        "(on >= 3 CPUs), while a write burst converges on every "
+        "replica at the primary's exact WAL seq under the epoch-token "
+        "wait -- zero gaps, duplicate applies, or stale re-bootstraps, "
+        "counter-verified over the wire",
+        ("repro.net.server", "repro.net.client",
+         "repro.net.replication", "repro.net.protocol",
+         "repro.storage.wal"),
+        "bench_net.py"),
 )
 
 

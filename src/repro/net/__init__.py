@@ -1,0 +1,45 @@
+"""The networked service layer: a framed asyncio server over
+:class:`~repro.objects.concurrent.ConcurrentStore`, a pooled client,
+and WAL-shipped read replicas.
+
+The wire format *is* the WAL's record framing (``storage/wal.py``:
+length + CRC32 + canonical JSON), so a request frame, a shipped log
+record, and a durable log record are one codec -- see
+:mod:`repro.net.protocol`.  :mod:`repro.net.server` serves reads from
+MVCC snapshots and writes through the store's mutation pipeline;
+:mod:`repro.net.replication` streams committed WAL records to replica
+processes that replay them through the checked store paths and serve
+snapshot reads at an explicit replay epoch.  SEMANTICS.md section 15
+states the consistency contract.
+"""
+
+from repro.net.client import ReplicaSetClient, StoreClient, ref
+from repro.net.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+)
+from repro.net.replication import (
+    LocalShipSource,
+    NetShipSource,
+    Replica,
+    ShipBatch,
+)
+from repro.net.server import StoreService, serve
+
+__all__ = [
+    "MAX_FRAME",
+    "FrameDecoder",
+    "LocalShipSource",
+    "NetShipSource",
+    "Replica",
+    "ReplicaSetClient",
+    "ShipBatch",
+    "StoreClient",
+    "StoreService",
+    "decode_payload",
+    "encode_frame",
+    "ref",
+    "serve",
+]

@@ -1,0 +1,187 @@
+"""The wire format: WAL record framing, reused verbatim on sockets.
+
+One frame is exactly one WAL record frame (``storage/wal.py``)::
+
+    u32 payload length | u32 CRC32(payload) | payload (canonical JSON)
+
+There is deliberately no second codec: a request on the wire, a record
+in the durable log, and a record shipped to a replica are all the same
+bytes, so replication can forward log frames without re-encoding and
+the fuzz surface is one parser.  Unlike a log segment, a connection has
+no leading magic -- the server's hello frame plays that role (a peer
+speaking the wrong protocol fails its first CRC check instead of
+hanging).
+
+Every decode failure is a **typed** error (:mod:`repro.errors`):
+
+* :class:`~repro.errors.FrameTooLargeError` -- announced length above
+  the limit (an attacker-controlled allocation otherwise);
+* :class:`~repro.errors.FrameCorruptError` -- CRC mismatch;
+* :class:`~repro.errors.FrameTruncatedError` -- stream ended mid-frame;
+* :class:`~repro.errors.PayloadDecodeError` -- CRC-valid bytes that are
+  not a JSON object (a CRC collision or a buggy peer).
+
+Framing errors poison the connection (sync is lost), never the server:
+the handler sends a best-effort error frame and closes.
+
+:class:`FrameDecoder` is the incremental parser both sides share: feed
+it byte chunks in any granularity, take complete payloads out.  The
+async helpers (:func:`read_frame` / :func:`write_frame`) serve the
+asyncio server; the sync client drives the decoder off a blocking
+socket.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, Iterator, Optional
+
+from repro.errors import (
+    FrameCorruptError,
+    FrameTooLargeError,
+    FrameTruncatedError,
+    PayloadDecodeError,
+)
+from repro.storage.wal import frame_record
+
+_HEADER = struct.Struct(">II")
+HEADER_SIZE = _HEADER.size
+
+#: Default per-frame payload ceiling (8 MiB).  Large enough for a
+#: catch-up dump batch, small enough that a hostile length field cannot
+#: balloon the receive buffer.
+MAX_FRAME = 8 * 1024 * 1024
+
+#: Protocol identity carried in the hello frame.
+PROTO_NAME = "repro-net"
+PROTO_VERSION = 1
+
+
+def encode_frame(payload: Dict[str, object]) -> bytes:
+    """One message as one WAL-framed canonical-JSON record."""
+    return frame_record(payload)
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """The JSON object inside one CRC-validated frame."""
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PayloadDecodeError(
+            f"frame payload is not canonical JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise PayloadDecodeError(
+            f"frame payload must be a JSON object, got "
+            f"{type(decoded).__name__}")
+    return decoded
+
+
+class FrameDecoder:
+    """Incremental frame parser over an unbounded byte stream.
+
+    ``feed`` appends received bytes; ``frames`` yields every complete,
+    CRC-valid payload and leaves any partial frame buffered for the
+    next feed.  The decoder validates the announced length *before*
+    buffering toward it, so a hostile header can never make it hold
+    more than ``max_frame`` + header bytes.
+    """
+
+    __slots__ = ("max_frame", "_buffer", "_closed")
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._closed = False
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+
+    def close(self) -> None:
+        """The stream ended; a buffered partial frame is now a tear."""
+        self._closed = True
+
+    def frames(self) -> Iterator[bytes]:
+        """Yield every complete payload currently buffered.
+
+        Raises the typed framing errors; after closing, a leftover
+        partial frame raises :class:`FrameTruncatedError`.
+        """
+        buffer = self._buffer
+        while True:
+            if len(buffer) < HEADER_SIZE:
+                break
+            length, crc = _HEADER.unpack_from(buffer, 0)
+            if length > self.max_frame:
+                raise FrameTooLargeError(length, self.max_frame)
+            end = HEADER_SIZE + length
+            if len(buffer) < end:
+                break
+            payload = bytes(buffer[HEADER_SIZE:end])
+            if zlib.crc32(payload) != crc:
+                raise FrameCorruptError(
+                    f"frame CRC mismatch on a {length}-byte payload")
+            del buffer[:end]
+            yield payload
+        if self._closed and buffer:
+            raise FrameTruncatedError(
+                f"stream ended with {len(buffer)} byte(s) of a "
+                "partial frame")
+
+    def messages(self) -> Iterator[Dict[str, object]]:
+        for payload in self.frames():
+            yield decode_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# asyncio stream helpers (the server side)
+# ----------------------------------------------------------------------
+
+async def read_frame(reader, max_frame: int = MAX_FRAME,
+                     on_bytes=None) -> Optional[Dict[str, object]]:
+    """Read one message off an asyncio stream.
+
+    Returns ``None`` on a clean end-of-stream at a frame boundary;
+    raises the typed errors on every other malformation (including a
+    peer that disconnects mid-frame).  ``on_bytes``, when given, is
+    called with the number of raw bytes consumed (header + payload) --
+    the server's traffic counter hook.
+    """
+    import asyncio
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None           # clean close between frames
+        raise FrameTruncatedError(
+            f"peer closed mid-header ({len(exc.partial)} of "
+            f"{HEADER_SIZE} bytes)") from exc
+    length, crc = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLargeError(length, max_frame)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameTruncatedError(
+            f"peer closed mid-frame ({len(exc.partial)} of "
+            f"{length} bytes)") from exc
+    if on_bytes is not None:
+        on_bytes(HEADER_SIZE + length)
+    if zlib.crc32(payload) != crc:
+        raise FrameCorruptError(
+            f"frame CRC mismatch on a {length}-byte payload")
+    return decode_payload(payload)
+
+
+def hello(role: str, **extra) -> Dict[str, object]:
+    """The server's first frame on every connection: protocol identity,
+    version, and role (``"primary"`` | ``"replica"``)."""
+    message = {"proto": PROTO_NAME, "version": PROTO_VERSION,
+               "role": role}
+    message.update(extra)
+    return message

@@ -1,0 +1,619 @@
+"""The asyncio service: framed requests over a concurrent store.
+
+One :class:`StoreService` owns one store and one listening socket.  In
+the **primary** role it wraps a :class:`~repro.objects.concurrent.
+ConcurrentStore`: reads are served from MVCC snapshots (wait-free
+against writers), mutations run through the store's serialized
+pipeline, and -- when the store is WAL-durable -- the replication ops
+(``repl_handshake`` / ``repl_fetch`` / ``repl_dump``) ship the
+committed log to replicas.  In the **replica** role it wraps a
+:class:`~repro.net.replication.Replica`: reads are snapshots at the
+replica's replay position, honoring epoch tokens; mutations are
+refused with :class:`~repro.errors.NotPrimaryError`; a background task
+keeps pulling the primary's WAL tail.
+
+Connection discipline:
+
+* the server speaks first (a hello frame: protocol, version, role), so
+  a client can fail fast on a wrong port;
+* requests carry a client-chosen ``id`` echoed in the response;
+  **pipelining** is the client's right -- it may write any number of
+  requests before reading; the server processes them strictly in
+  order per connection and writes responses in the same order;
+* **backpressure** is per connection on both directions: the server
+  awaits the transport's drain after every response (a slow reader
+  suspends only its own connection's request loop, and TCP flow
+  control propagates the stall to the sender), and a request frame is
+  read only after the previous response was accepted;
+* an *operation* failure (a conformance rejection, an unknown class)
+  travels back as a typed error response and the connection lives on;
+  a *protocol* failure (torn/corrupt/oversized frame) poisons only
+  that connection -- best-effort error frame, then close -- and is
+  counted on ``NetStats.protocol_errors``.  The server never dies on
+  input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    NetError,
+    NotPrimaryError,
+    ProtocolError,
+    ReplicaLagError,
+    StorageError,
+)
+from repro.net import protocol
+from repro.net.replication import LocalShipSource, Replica, encode_record
+from repro.objects.concurrent import ConcurrentStore
+from repro.objects.surrogate import Surrogate
+from repro.obs import NetStats
+from repro.query.ast import Aggregate, Query, Var
+from repro.query.parser import parse_query
+from repro.sharding import wire
+from repro.sharding.worker import EXECUTION_STAT_FIELDS
+
+__all__ = ["StoreService", "serve"]
+
+#: How long a replica service sleeps between WAL-tail pulls.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+class StoreService:
+    """One listening endpoint over one store (see module docstring).
+
+    Primary::
+
+        service = StoreService(store)            # any ObjectStore
+        service.run_background()                 # or: await start()
+
+    Replica::
+
+        replica = Replica(NetShipSource(client), directory=...)
+        service = StoreService(replica=replica)
+    """
+
+    def __init__(self, store=None, *, replica: Optional[Replica] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = protocol.MAX_FRAME,
+                 idle_timeout: Optional[float] = None,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 net_stats: Optional[NetStats] = None) -> None:
+        if (store is None) == (replica is None):
+            raise NetError(
+                "pass exactly one of store= (primary) or replica=")
+        self.replica = replica
+        if store is not None:
+            self.role = "primary"
+            self.concurrent = (store if isinstance(store, ConcurrentStore)
+                               else ConcurrentStore(store))
+            self._store = self.concurrent.store
+        else:
+            self.role = "replica"
+            self.concurrent = None
+            self._store = replica.store
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.idle_timeout = idle_timeout
+        self.poll_interval = poll_interval
+        self.stats = net_stats or NetStats()
+        self._ship: Optional[LocalShipSource] = None
+        if self.role == "primary" \
+                and getattr(self._store, "_journal", None) is not None:
+            self._ship = LocalShipSource(self._store,
+                                         net_stats=self.stats)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._sync_task: Optional[asyncio.Task] = None
+        self._thread = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving on the running loop; returns the
+        bound ``(host, port)`` (an ephemeral port is resolved here)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.address = (self.host, self.port)
+        if self.role == "replica" and self.poll_interval:
+            self._sync_task = self._loop.create_task(self._sync_loop())
+        return self.address
+
+    async def stop(self) -> None:
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+            try:
+                await self._sync_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._sync_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`shutdown`."""
+        if self._server is None:
+            await self.start()
+        await self._stop_event.wait()
+        await self.stop()
+
+    def run_background(self) -> Tuple[str, int]:
+        """Run the service on a dedicated thread with its own event
+        loop (tests and embedded use); returns the bound address."""
+        import threading
+        started = threading.Event()
+
+        async def _main():
+            await self.start()
+            started.set()
+            await self._stop_event.wait()
+            await self.stop()
+
+        def _runner():
+            asyncio.run(_main())
+
+        self._thread = threading.Thread(
+            target=_runner, name=f"repro-net-{self.role}", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=10):
+            raise NetError("service failed to start within 10s")
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop a background service from any thread."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # Replica pull loop
+    # ------------------------------------------------------------------
+
+    async def _sync_loop(self) -> None:
+        """Keep the replica converged: pull the primary's WAL tail off
+        the event loop's executor (the fetch blocks on its socket)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                await loop.run_in_executor(None, self.replica.sync, 4)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Transient primary unavailability: keep polling; the
+                # replica serves its current position meanwhile.
+                pass
+            await asyncio.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _send(self, writer, message: Dict[str, object]) -> None:
+        data = protocol.encode_frame(message)
+        self.stats.frames_out += 1
+        self.stats.bytes_out += len(data)
+        writer.write(data)
+        await writer.drain()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        stats = self.stats
+        stats.connections_opened += 1
+        try:
+            writer.transport.set_write_buffer_limits(high=1 << 16)
+        except (AttributeError, NotImplementedError):
+            pass
+        on_bytes = (lambda n: setattr(
+            stats, "bytes_in", stats.bytes_in + n))
+        try:
+            await self._send(writer, protocol.hello(
+                self.role, epoch=self._store._epoch,
+                last_seq=self._last_seq()))
+            while True:
+                try:
+                    if self.idle_timeout:
+                        message = await asyncio.wait_for(
+                            protocol.read_frame(
+                                reader, self.max_frame,
+                                on_bytes=on_bytes),
+                            self.idle_timeout)
+                    else:
+                        message = await protocol.read_frame(
+                            reader, self.max_frame, on_bytes=on_bytes)
+                except ProtocolError as exc:
+                    stats.protocol_errors += 1
+                    try:
+                        await self._send(writer, {
+                            "error": {"type": type(exc).__name__,
+                                      "msg": str(exc)},
+                            "fatal": True})
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                except asyncio.TimeoutError:
+                    break
+                if message is None:
+                    break
+                stats.frames_in += 1
+                response = await self._dispatch(message)
+                await self._send(writer, response)
+        except asyncio.CancelledError:
+            pass          # loop teardown: close the connection quietly
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            stats.connections_closed += 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, message: Dict[str, object]
+                        ) -> Dict[str, object]:
+        rid = message.get("id")
+        op = message.get("op")
+        stats = self.stats
+        handler = self._OPS.get(op)
+        try:
+            if handler is None:
+                raise StorageError(f"unknown request op {op!r}")
+            if op in self._WRITE_OPS and self.role != "primary":
+                raise NotPrimaryError(
+                    f"replica does not accept {op!r}; write to the "
+                    "primary")
+            result = handler(self, message)
+            if asyncio.iscoroutine(result):
+                result = await result
+        except Exception as exc:
+            stats.requests_served += 1
+            stats.op_errors += 1
+            error = {"type": type(exc).__name__, "msg": str(exc)}
+            if isinstance(exc, ReplicaLagError):
+                error["token"] = exc.token
+                error["applied_seq"] = exc.applied_seq
+            return {"id": rid, "error": error}
+        stats.requests_served += 1
+        if op in self._WRITE_OPS:
+            stats.writes_served += 1
+        else:
+            stats.reads_served += 1
+        return {"id": rid, "ok": result}
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _last_seq(self) -> int:
+        if self.role == "replica":
+            return self.replica.applied_seq
+        journal = getattr(self._store, "_journal", None)
+        return journal.wal.last_seq if journal is not None else 0
+
+    def _token(self) -> int:
+        """The epoch token acknowledging the write that just committed:
+        its WAL seq on a durable primary (what replicas replay), the
+        store epoch otherwise (no replicas can exist to lag)."""
+        journal = getattr(self._store, "_journal", None)
+        if journal is not None:
+            return journal.wal.last_seq
+        return self._store._epoch
+
+    def _resolve(self, sid: int):
+        return self._store.get(Surrogate(sid))
+
+    def _read_view(self, cmd):
+        """The snapshot one read runs against, after enforcing the
+        request's epoch token (replica role only -- a primary is never
+        behind its own log)."""
+        token = cmd.get("token")
+        if self.role == "replica":
+            snapshot, _ = self.replica.read_view(token)
+            return snapshot
+        return self.concurrent.snapshot()
+
+    def _ack(self) -> Dict[str, object]:
+        return {"token": self._token(), "epoch": self._store._epoch}
+
+    # ------------------------------------------------------------------
+    # Read ops
+    # ------------------------------------------------------------------
+
+    def _op_ping(self, cmd):
+        out = {"role": self.role, "epoch": self._store._epoch,
+               "objects": len(self._store), "seq": self._last_seq()}
+        if self.role == "replica":
+            out["lag"] = self.replica.lag
+        return out
+
+    def _op_query(self, cmd):
+        query = parse_query(cmd["text"])
+        options = cmd.get("options") or {}
+        view = self._read_view(cmd)
+        from repro.query.planner import execute_planned
+        stats_out = {}
+        if any(isinstance(item, Aggregate) for item in query.select):
+            rows, stats = execute_planned(query, view, **options)
+            for field in EXECUTION_STAT_FIELDS:
+                stats_out[field] = getattr(stats, field)
+            return {"agg": [wire.encode_value(v) for v in rows[0]],
+                    "stats": stats_out}
+        # Tag rows with their surrogate (same trick as the shard
+        # worker): the prepended variable cannot skip, so rows and
+        # rows_skipped are untouched.
+        tagged = Query(query.var, query.source_class, query.where,
+                       (Var(query.var),) + tuple(query.select))
+        rows, stats = execute_planned(tagged, view, **options)
+        for field in EXECUTION_STAT_FIELDS:
+            stats_out[field] = getattr(stats, field)
+        return {"rows": [[row[0].surrogate.id,
+                          [wire.encode_value(v) for v in row[1:]]]
+                         for row in rows],
+                "stats": stats_out}
+
+    def _op_get(self, cmd):
+        view = self._read_view(cmd)
+        obj = view.get(Surrogate(int(cmd["sid"])))
+        return {"classes": sorted(obj.memberships),
+                "values": wire.encode_values(obj.values_snapshot())}
+
+    def _op_count(self, cmd):
+        return {"count": self._read_view(cmd).count(cmd["cls"])}
+
+    def _op_extent(self, cmd):
+        from repro.columnar import SurrogateSet
+        members = self._read_view(cmd).extent_surrogates(cmd["cls"])
+        if not isinstance(members, SurrogateSet):
+            members = SurrogateSet(members)
+        return {"extent": wire.encode_chunks(members)}
+
+    def _op_schema(self, cmd):
+        from repro.lang.printer import print_schema
+        return {"schema": print_schema(self._store.schema)}
+
+    def _op_stats(self, cmd):
+        out = dict(self._store.stats())
+        for name, value in self.stats.snapshot().items():
+            out[f"net.{name}"] = value
+        if self.replica is not None:
+            for name, value in self.replica.stats.snapshot().items():
+                out[f"repl.{name}"] = value
+        out["net.role"] = self.role
+        out["net.seq"] = self._last_seq()
+        return out
+
+    def _op_repl_status(self, cmd):
+        if self.replica is None:
+            return {"applied_seq": self._last_seq(), "lag": 0,
+                    "primary_seq": self._last_seq()}
+        stats = self.replica.stats
+        return {"applied_seq": self.replica.applied_seq,
+                "primary_seq": stats.primary_seq,
+                "lag": stats.lag}
+
+    async def _op_token_wait(self, cmd):
+        """Block (bounded) until this endpoint has caught up with an
+        epoch token -- the read-your-writes wait."""
+        token = int(cmd["token"])
+        timeout = float(cmd.get("timeout", 1.0))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self._last_seq() < token:
+            if loop.time() >= deadline:
+                self.stats.token_wait_timeouts += 1
+                raise ReplicaLagError(token, self._last_seq())
+            await asyncio.sleep(0.002)
+        self.stats.token_waits += 1
+        return {"applied_seq": self._last_seq()}
+
+    # ------------------------------------------------------------------
+    # Write ops (primary only; the dispatcher enforces the role)
+    # ------------------------------------------------------------------
+
+    def _op_create(self, cmd):
+        values = wire.decode_values(cmd.get("values") or {},
+                                    self._resolve)
+        obj = self.concurrent.create(cmd["cls"], check=cmd.get("check"),
+                                     **values)
+        out = self._ack()
+        out["sid"] = obj.surrogate.id
+        return out
+
+    def _op_set(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        value = wire.decode_value(cmd["value"], self._resolve)
+        self.concurrent.set_value(obj, cmd["attr"], value,
+                                  check=cmd.get("check"))
+        return self._ack()
+
+    def _op_unset(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.concurrent.unset_value(obj, cmd["attr"],
+                                    check=cmd.get("check"))
+        return self._ack()
+
+    def _op_classify(self, cmd):
+        self.concurrent.classify(self._resolve(int(cmd["sid"])),
+                                 cmd["cls"], check=cmd.get("check"))
+        return self._ack()
+
+    def _op_declassify(self, cmd):
+        self.concurrent.declassify(self._resolve(int(cmd["sid"])),
+                                   cmd["cls"], check=cmd.get("check"))
+        return self._ack()
+
+    def _op_remove(self, cmd):
+        self.concurrent.remove(self._resolve(int(cmd["sid"])))
+        return self._ack()
+
+    def _op_txn(self, cmd):
+        """A pipelined batch of mutations as one atomic transaction:
+        all-or-nothing in memory, one WAL record, one token."""
+        created = []
+        with self.concurrent.transaction():
+            for sub in cmd["ops"]:
+                sub_op = sub["op"]
+                if sub_op == "create":
+                    values = wire.decode_values(
+                        sub.get("values") or {}, self._resolve)
+                    obj = self.concurrent.create(
+                        sub["cls"], check=sub.get("check"), **values)
+                    created.append(obj.surrogate.id)
+                elif sub_op == "set":
+                    self.concurrent.set_value(
+                        self._resolve(int(sub["sid"])), sub["attr"],
+                        wire.decode_value(sub["value"], self._resolve),
+                        check=sub.get("check"))
+                elif sub_op == "unset":
+                    self.concurrent.unset_value(
+                        self._resolve(int(sub["sid"])), sub["attr"],
+                        check=sub.get("check"))
+                elif sub_op == "classify":
+                    self.concurrent.classify(
+                        self._resolve(int(sub["sid"])), sub["cls"],
+                        check=sub.get("check"))
+                elif sub_op == "declassify":
+                    self.concurrent.declassify(
+                        self._resolve(int(sub["sid"])), sub["cls"],
+                        check=sub.get("check"))
+                elif sub_op == "remove":
+                    self.concurrent.remove(
+                        self._resolve(int(sub["sid"])))
+                else:
+                    raise StorageError(
+                        f"unknown txn sub-op {sub_op!r}")
+        out = self._ack()
+        out["created"] = created
+        return out
+
+    def _op_bulk(self, cmd):
+        rows = [(tuple(classes),
+                 wire.decode_values(values, self._resolve))
+                for classes, values in cmd["rows"]]
+        report = self.concurrent.bulk_load(
+            rows, check=cmd.get("check") or "deferred")
+        out = self._ack()
+        out["objects"] = getattr(report, "objects", len(rows))
+        return out
+
+    def _op_alter(self, cmd):
+        from repro.lang.loader import load_schema
+        successor = load_schema(cmd["schema"])
+        problems = self.concurrent.alter_class(
+            successor.get(cmd["cls"]),
+            recheck=cmd.get("recheck") or "affected")
+        out = self._ack()
+        out["violations"] = [[obj.surrogate.id, str(violation)]
+                             for obj, violation in problems]
+        return out
+
+    def _op_index(self, cmd):
+        if cmd.get("action") == "drop":
+            self.concurrent.drop_index(cmd["attr"])
+        else:
+            self.concurrent.create_index(cmd["attr"])
+        return self._ack()
+
+    def _op_validate(self, cmd):
+        if cmd.get("scope") == "dirty":
+            problems = self.concurrent.validate_dirty()
+        else:
+            problems = self.concurrent.validate_all()
+        out = self._ack()
+        out["violations"] = [[obj.surrogate.id, str(violation)]
+                             for obj, violation in problems]
+        return out
+
+    def _op_checkpoint(self, cmd):
+        checkpoint = getattr(self._store, "checkpoint", None)
+        if checkpoint is None:
+            raise StorageError("store is not durable; nothing to "
+                               "checkpoint")
+        checkpoint()
+        return self._ack()
+
+    # ------------------------------------------------------------------
+    # Replication ops (primary, WAL-durable only)
+    # ------------------------------------------------------------------
+
+    def _require_ship(self) -> LocalShipSource:
+        if self._ship is None:
+            raise StorageError(
+                "this endpoint cannot ship its WAL (not a WAL-durable "
+                "primary)")
+        return self._ship
+
+    def _op_repl_handshake(self, cmd):
+        return self._require_ship().handshake()
+
+    def _op_repl_fetch(self, cmd):
+        batch = self._require_ship().fetch(
+            int(cmd["after_seq"]),
+            max_records=int(cmd.get("max_records") or 512))
+        return {"records": [encode_record(r) for r in batch.records],
+                "primary_seq": batch.primary_seq,
+                "base_seq": batch.base_seq,
+                "stale": batch.stale}
+
+    def _op_repl_dump(self, cmd):
+        return self._require_ship().dump()
+
+    _WRITE_OPS = frozenset({
+        "create", "set", "unset", "classify", "declassify", "remove",
+        "txn", "bulk", "alter", "index", "validate", "checkpoint",
+    })
+
+    _OPS = {
+        "ping": _op_ping, "query": _op_query, "get": _op_get,
+        "count": _op_count, "extent": _op_extent, "schema": _op_schema,
+        "stats": _op_stats, "repl_status": _op_repl_status,
+        "token_wait": _op_token_wait,
+        "create": _op_create, "set": _op_set, "unset": _op_unset,
+        "classify": _op_classify, "declassify": _op_declassify,
+        "remove": _op_remove, "txn": _op_txn, "bulk": _op_bulk,
+        "alter": _op_alter, "index": _op_index,
+        "validate": _op_validate, "checkpoint": _op_checkpoint,
+        "repl_handshake": _op_repl_handshake,
+        "repl_fetch": _op_repl_fetch, "repl_dump": _op_repl_dump,
+    }
+
+
+def serve(store=None, *, replica=None, host: str = "127.0.0.1",
+          port: int = 0, **kwargs) -> None:
+    """Blocking entry point (the CLI's ``repro serve`` / ``repro
+    replica``): run one service until interrupted."""
+    service = StoreService(store, replica=replica, host=host, port=port,
+                           **kwargs)
+
+    async def _main():
+        address = await service.start()
+        print(f"repro-net {service.role} serving on "
+              f"{address[0]}:{address[1]}")
+        try:
+            await service._stop_event.wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -209,6 +209,105 @@ SHARD_COUNTER_FIELDS: Tuple[str, ...] = (
 )
 
 
+#: Every server-side networked-service counter, in reporting order.
+NET_COUNTER_FIELDS: Tuple[str, ...] = (
+    "connections_opened",   # client connections accepted
+    "connections_closed",   # connections torn down (either side)
+    "requests_served",      # request frames answered (ok or op error)
+    "reads_served",         # read/query requests among them
+    "writes_served",        # mutation requests among them
+    "op_errors",            # requests that raised (error shipped back)
+    "protocol_errors",      # framing violations (connection poisoned)
+    "frames_in",            # frames decoded off the wire
+    "frames_out",           # frames written to the wire
+    "bytes_in",             # framed bytes received
+    "bytes_out",            # framed bytes sent
+    "ship_batches",         # WAL-tail batches shipped to replicas
+    "ship_records",         # WAL records shipped, summed over batches
+    "dumps_served",         # full catch-up dumps served
+    "token_waits",          # read-your-writes waits honored
+    "token_wait_timeouts",  # waits that timed out (ReplicaLagError)
+)
+
+
+class NetStats:
+    """Counters maintained by one :class:`~repro.net.server.StoreService`.
+
+    The fuzz suite's liveness claim -- malformed input poisons only its
+    own connection -- is read off ``protocol_errors`` vs
+    ``requests_served``; A11's lag claim reads ``ship_batches`` /
+    ``ship_records`` against the replica's applied counters.
+    """
+
+    __slots__ = NET_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in NET_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name)
+                for name in NET_COUNTER_FIELDS}
+
+    def reset(self) -> None:
+        for name in NET_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"NetStats({inner})"
+
+
+#: Every replica-side replication counter, in reporting order.
+REPLICATION_COUNTER_FIELDS: Tuple[str, ...] = (
+    "bootstraps",          # full catch-up dumps installed
+    "sync_rounds",         # fetch round-trips issued
+    "batches_applied",     # ship batches with at least one fresh record
+    "records_applied",     # WAL records replayed through checked paths
+    "records_deduped",     # duplicate records skipped (seq <= applied)
+    "gaps_detected",       # batches rejected for a sequence gap
+    "stale_restarts",      # re-bootstraps after primary WAL rotation
+    "applied_seq",         # gauge: last WAL seq replayed
+    "primary_seq",         # gauge: primary's last seq, as last seen
+)
+
+
+class ReplicationStats:
+    """Counters maintained by one :class:`~repro.net.replication.Replica`.
+
+    ``applied_seq`` / ``primary_seq`` are gauges, not counters: their
+    difference is the replica's replay lag in records, the quantity A11
+    bounds at p99.
+    """
+
+    __slots__ = REPLICATION_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for name in REPLICATION_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    @property
+    def lag(self) -> int:
+        """Records known committed on the primary but not yet replayed."""
+        return max(0, self.primary_seq - self.applied_seq)
+
+    def snapshot(self) -> Dict[str, int]:
+        out = {name: getattr(self, name)
+               for name in REPLICATION_COUNTER_FIELDS}
+        out["lag"] = self.lag
+        return out
+
+    def reset(self) -> None:
+        for name in REPLICATION_COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"ReplicationStats({inner})"
+
+
 class ShardStats:
     """Counters maintained by a :class:`~repro.sharding.ShardedStore`
     router.

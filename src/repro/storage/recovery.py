@@ -57,7 +57,7 @@ from repro.storage.wal import (
     encode_value,
     frame_record,
     iter_frames,
-    scan_wal,
+    read_from,
 )
 
 MANIFEST_NAME = "MANIFEST"
@@ -556,15 +556,16 @@ def recover_store(directory: str, schema=None, durability: str = None,
     if wal_entry is not None:
         wal_path = os.path.join(directory, wal_entry["file"])
         base_seq = wal_entry.get("base_seq", 0)
-        scan = scan_wal(fs, wal_path, base_seq=base_seq)
-        for record in scan.records:
+        # The shared tail reader (also replication's ship path):
+        # validated records up to the first tear, torn tail truncated.
+        records, scan = read_from(fs, wal_path, after_seq=base_seq,
+                                  segment_base=base_seq, truncate=True)
+        for record in records:
             _replay_record(store, record)
-        report.replayed = len(scan.records)
+        report.replayed = len(records)
         report.last_seq = scan.last_seq or base_seq
         report.wal_stopped = scan.stopped
-        if scan.stopped not in ("clean-end", "missing") \
-                and scan.torn_bytes:
-            fs.truncate(wal_path, scan.good_end)
+        if scan.stopped not in ("clean-end", "missing"):
             report.truncated_bytes = scan.torn_bytes
 
     stats = store.checker.stats
@@ -594,7 +595,8 @@ def recover_store(directory: str, schema=None, durability: str = None,
             wal = WriteAheadLog(
                 os.path.join(directory, wal_entry["file"]), fs=fs,
                 sync=sync, sync_every=sync_every,
-                base_seq=report.last_seq, stats=stats)
+                base_seq=report.last_seq,
+                segment_base=wal_entry.get("base_seq", 0), stats=stats)
         store._journal = StoreJournal(wal)
 
     store._manifest = manifest

@@ -246,6 +246,37 @@ def scan_wal(fs: FileSystem, path: str,
     return WalScan(records, good_end, len(data), stopped)
 
 
+def read_from(fs: FileSystem, path: str, after_seq: int,
+              segment_base: int = 0, truncate: bool = False
+              ) -> Tuple[List[WalRecord], WalScan]:
+    """The committed records after ``after_seq`` in one segment.
+
+    The one safe way to read a WAL tail: framing, CRCs, and the sequence
+    chain are validated from the *segment base* (the seq the segment's
+    first record must follow), the scan stops at the first torn or
+    corrupt record, and only then is the result filtered down to
+    ``seq > after_seq`` -- so a reader can never be handed records that
+    sit beyond a tear.  With ``truncate=True`` the torn tail is also cut
+    off the file (recovery's behavior; replication reads a *live*
+    segment and must leave the file alone).  Returns ``(records,
+    scan)`` -- the scan carries where the good prefix ends and why the
+    scan stopped.
+
+    Shared by recovery (``after_seq == segment_base``: replay
+    everything) and WAL shipping (``after_seq`` = the replica's replay
+    position).
+    """
+    scan = scan_wal(fs, path, base_seq=segment_base)
+    if truncate and scan.torn_bytes \
+            and scan.stopped not in ("clean-end", "missing"):
+        fs.truncate(path, scan.good_end)
+    if after_seq > segment_base:
+        records = [r for r in scan.records if r.seq > after_seq]
+    else:
+        records = scan.records
+    return records, scan
+
+
 # ----------------------------------------------------------------------
 # The log itself
 # ----------------------------------------------------------------------
@@ -263,7 +294,7 @@ class WriteAheadLog:
     def __init__(self, path: str, fs: FileSystem = None,
                  sync: str = "group", sync_every: int = 1024,
                  base_seq: int = 0, start_offset: Optional[int] = None,
-                 stats=None) -> None:
+                 segment_base: Optional[int] = None, stats=None) -> None:
         if sync not in self.SYNC_POLICIES:
             raise StorageError(f"unknown WAL sync policy {sync!r}")
         self.path = path
@@ -272,6 +303,13 @@ class WriteAheadLog:
         self.sync_every = max(1, sync_every)
         self.stats = stats
         self.last_seq = base_seq
+        # The seq the segment's *first* record follows.  For a fresh
+        # segment that is ``base_seq``; reopening an already-written
+        # segment mid-stream (recovery resumes appending after replay)
+        # must pass the original base so :meth:`read_from` can validate
+        # the file's sequence chain from its true start.
+        self.segment_base = (base_seq if segment_base is None
+                             else segment_base)
         self._handle = None
         # (op, fields) of the open group, framed as ONE record at commit.
         self._buffer: List[Tuple[str, dict]] = []
@@ -388,6 +426,41 @@ class WriteAheadLog:
             self._handle.sync()
             if self.stats is not None:
                 self.stats.wal_syncs += 1
+
+    # ------------------------------------------------------------------
+    # Reading the tail (replication's ship path)
+    # ------------------------------------------------------------------
+
+    def read_from(self, after_seq: int,
+                  max_records: Optional[int] = None) -> List["WalRecord"]:
+        """Committed records after ``after_seq`` from this live segment.
+
+        This is the latent-tail hazard :func:`read_from` exists for,
+        applied to an *open* log: under the ``"group"`` sync policy,
+        acknowledged commits sit in a process-side buffer and in the
+        file handle's userspace buffer -- a raw read of the path would
+        miss a suffix of committed records (or worse, see a torn partial
+        write of one).  This method first pushes both buffers to the OS
+        (``flush``, no fsync -- durability is unchanged; shipping is
+        about *visibility*), then scans the file with full framing and
+        sequence validation.  A torn tail in a live segment means the
+        log writer itself is broken, so it raises instead of silently
+        shipping a prefix.
+        """
+        if self._marks:
+            raise StorageError(
+                "cannot read the WAL tail inside an open group")
+        self._drain(sync=False)
+        self._handle.flush()
+        records, scan = read_from(self.fs, self.path, after_seq,
+                                  segment_base=self.segment_base)
+        if scan.stopped != "clean-end":
+            raise StorageError(
+                f"live WAL segment {self.path!r} has a torn tail "
+                f"({scan.stopped}) -- refusing to ship")
+        if max_records is not None and len(records) > max_records:
+            records = records[:max_records]
+        return records
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -31,6 +31,12 @@ crashes on either side of every rename are exercised).
 recovery tests compare against: objects (memberships + values, entity
 references by surrogate id), virtual-class reference counts, and the
 dirty ledger.
+
+:class:`FaultyTransport` extends the same idea to the replication
+plane: it wraps a WAL-ship source and misdelivers batches (drops,
+duplicates, reorders) on a deterministic schedule, so the networking
+fault tests exercise the replica's dedup/gap/stall handling without
+sockets.
 """
 
 from __future__ import annotations
@@ -305,3 +311,67 @@ def store_digest(store):
         (surrogate.id, None if attrs is None else tuple(sorted(attrs)))
         for surrogate, attrs in store._dirty.items()))
     return (objects, virtual_refs, dirty)
+
+
+# ----------------------------------------------------------------------
+# Fault-injecting replication transport
+# ----------------------------------------------------------------------
+
+class FaultyTransport:
+    """A ship source wrapper that misdelivers batches on a schedule.
+
+    Wraps any replication source (``handshake`` / ``fetch`` / ``dump``)
+    and applies one directive per ``fetch`` call, drawn from
+    ``schedule`` in order ("ok" once the schedule is exhausted):
+
+    * ``"ok"``    -- pass the batch through untouched;
+    * ``"drop"``  -- the response is lost: an empty batch is delivered
+      (the replica makes no progress and must re-pull);
+    * ``"dup"``   -- the previous batch is delivered again (a duplicated
+      ship; the replica must dedup by seq);
+    * ``"skip"``  -- the batch is fetched one record *ahead* of the
+      replica's position (a reordered/early delivery; the replica must
+      detect the sequence gap and apply nothing from it).
+
+    Deterministic by construction so Hypothesis can shrink schedules.
+    """
+
+    def __init__(self, source, schedule=()) -> None:
+        self.source = source
+        self.schedule = list(schedule)
+        self.fetches = 0
+        self.faults_applied = 0
+        self._last_batch = None
+
+    def handshake(self):
+        return self.source.handshake()
+
+    def dump(self):
+        return self.source.dump()
+
+    def fetch(self, after_seq, max_records=512):
+        index = self.fetches
+        self.fetches += 1
+        directive = (self.schedule[index]
+                     if index < len(self.schedule) else "ok")
+        if directive == "drop":
+            self.faults_applied += 1
+            real = self.source.fetch(after_seq, max_records=max_records)
+            batch = type(real)(records=[],
+                               primary_seq=real.primary_seq,
+                               base_seq=real.base_seq,
+                               stale=real.stale)
+            self._last_batch = batch
+            return batch
+        if directive == "dup" and self._last_batch is not None:
+            self.faults_applied += 1
+            return self._last_batch
+        if directive == "skip":
+            self.faults_applied += 1
+            batch = self.source.fetch(after_seq + 1,
+                                      max_records=max_records)
+            self._last_batch = batch
+            return batch
+        batch = self.source.fetch(after_seq, max_records=max_records)
+        self._last_batch = batch
+        return batch
