@@ -262,7 +262,37 @@ class NetShipSource:
             stale=bool(payload.get("stale")))
 
     def dump(self) -> Dict[str, object]:
-        return self.client.call("repl_dump")
+        """Fetch a catch-up dump, reassembling the server's pages.
+
+        A dump can be far larger than one frame's ceiling, so the
+        server serializes it once and serves it as chunks of canonical
+        JSON text behind a ``dump_id`` cursor; the final page carries
+        ``eof``.  If the cursor expires mid-transfer (server restart,
+        cache eviction after a retried final page) the transfer restarts
+        from a fresh dump once -- the dump op is read-only, so a
+        restart is merely a newer consistent dump.
+        """
+        import json
+        from repro.errors import RemoteOpError
+        for attempt in range(2):
+            page = self.client.call("repl_dump")
+            if "dump" in page:          # single-frame fast path
+                return page["dump"]
+            parts = [page["chunk"]]
+            received = len(page["chunk"])
+            try:
+                while not page["eof"]:
+                    page = self.client.call(
+                        "repl_dump", dump_id=page["dump_id"],
+                        offset=received)
+                    parts.append(page["chunk"])
+                    received += len(page["chunk"])
+            except RemoteOpError:
+                if attempt:
+                    raise
+                continue                # cursor expired: restart once
+            return json.loads("".join(parts))
+        raise ReplicationError("catch-up dump transfer failed")
 
 
 # ----------------------------------------------------------------------
@@ -391,33 +421,45 @@ class Replica:
 
     def _apply_record(self, record: WalRecord) -> None:
         """One record through the checked store paths, then -- on a
-        durable replica -- into the replica's own WAL verbatim."""
+        durable replica -- into the replica's own WAL verbatim.
+
+        The whole replay runs under ``store._write_lock``: a served
+        replica replays on a background thread while the service thread
+        captures MVCC snapshots, and the snapshot copy-on-write protocol
+        is only sound when every mutation serializes on that lock.  The
+        lock also spans the record, not just each inner command, so a
+        shipped ``txn`` record (a loop of sub-ops on replay) is one
+        atomic visibility step for concurrent readers -- the same
+        guarantee the primary's transaction scope gave it.
+        """
         store = self.store
         journal = getattr(store, "_journal", None)
-        if journal is not None:
-            if journal.wal.last_seq != self.applied_seq:
-                raise ReplicationError(
-                    f"replica WAL at seq {journal.wal.last_seq} "
-                    f"diverged from replay position {self.applied_seq}")
-            journal.pause()
-        try:
-            try:
-                _replay_record(store, record)
-            except StorageError as exc:
-                raise ReplicationError(
-                    f"shipped record seq {record.seq} failed to "
-                    f"replay: {exc}") from exc
-        finally:
+        with store._write_lock:
             if journal is not None:
-                journal.resume()
-        if journal is not None:
-            seq = journal.wal.append_fields(record.op,
-                                            dict(record.fields))
-            if seq != record.seq:
-                raise ReplicationError(
-                    f"replica journaled seq {seq} for shipped "
-                    f"record seq {record.seq}")
-        self.applied_seq = record.seq
+                if journal.wal.last_seq != self.applied_seq:
+                    raise ReplicationError(
+                        f"replica WAL at seq {journal.wal.last_seq} "
+                        f"diverged from replay position "
+                        f"{self.applied_seq}")
+                journal.pause()
+            try:
+                try:
+                    _replay_record(store, record)
+                except StorageError as exc:
+                    raise ReplicationError(
+                        f"shipped record seq {record.seq} failed to "
+                        f"replay: {exc}") from exc
+            finally:
+                if journal is not None:
+                    journal.resume()
+            if journal is not None:
+                seq = journal.wal.append_fields(record.op,
+                                                dict(record.fields))
+                if seq != record.seq:
+                    raise ReplicationError(
+                        f"replica journaled seq {seq} for shipped "
+                        f"record seq {record.seq}")
+            self.applied_seq = record.seq
         self.stats.records_applied += 1
         self.stats.applied_seq = record.seq
 

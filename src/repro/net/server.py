@@ -36,6 +36,9 @@ Connection discipline:
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
+import logging
 from typing import Dict, Optional, Tuple
 
 from repro.errors import (
@@ -43,6 +46,7 @@ from repro.errors import (
     NotPrimaryError,
     ProtocolError,
     ReplicaLagError,
+    ReplicationError,
     StorageError,
 )
 from repro.net import protocol
@@ -57,8 +61,13 @@ from repro.sharding.worker import EXECUTION_STAT_FIELDS
 
 __all__ = ["StoreService", "serve"]
 
+logger = logging.getLogger("repro.net")
+
 #: How long a replica service sleeps between WAL-tail pulls.
 DEFAULT_POLL_INTERVAL = 0.05
+
+#: In-flight paged catch-up dumps kept server-side (oldest evicted).
+DUMP_CACHE_LIMIT = 4
 
 
 class StoreService:
@@ -89,11 +98,9 @@ class StoreService:
             self.role = "primary"
             self.concurrent = (store if isinstance(store, ConcurrentStore)
                                else ConcurrentStore(store))
-            self._store = self.concurrent.store
         else:
             self.role = "replica"
             self.concurrent = None
-            self._store = replica.store
         self.host = host
         self.port = port
         self.max_frame = max_frame
@@ -111,6 +118,27 @@ class StoreService:
         self._sync_task: Optional[asyncio.Task] = None
         self._thread = None
         self.address: Optional[Tuple[str, int]] = None
+        #: Paged catch-up dumps in flight: dump_id -> canonical-JSON
+        #: text (ASCII, so character offsets are byte offsets).
+        self._dumps: Dict[int, str] = {}
+        self._dump_ids = itertools.count(1)
+        #: Message of a permanent replication fault (seq-chain
+        #: divergence, replay failure); None while the sync loop is
+        #: healthy.  Surfaced by ping / repl_status.
+        self._sync_fault: Optional[str] = None
+
+    @property
+    def _store(self):
+        """The store this endpoint serves *right now*.
+
+        Dereferenced on every access rather than captured at
+        construction: a replica that falls behind a checkpoint rotation
+        re-bootstraps by closing its store and installing a fresh one,
+        and every handler (hello, ping, schema, stats) must follow the
+        swap instead of reading the closed pre-bootstrap store."""
+        if self.role == "primary":
+            return self.concurrent.store
+        return self.replica.store
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -191,17 +219,34 @@ class StoreService:
 
     async def _sync_loop(self) -> None:
         """Keep the replica converged: pull the primary's WAL tail off
-        the event loop's executor (the fetch blocks on its socket)."""
+        the event loop's executor (the fetch blocks on its socket).
+
+        Every failed pass is counted (``repl.sync_failures``).  A
+        :class:`ReplicationError` is *permanent* -- the seq chain
+        diverged or a shipped record refused to replay, and retrying
+        cannot heal it -- so it stops the loop and marks the endpoint
+        unhealthy (``ping`` / ``repl_status`` report the fault) instead
+        of silently serving ever-staler data.  Anything else is treated
+        as transient primary unavailability: log once per pass and keep
+        polling; the replica serves its current position meanwhile.
+        """
         loop = asyncio.get_running_loop()
         while True:
             try:
                 await loop.run_in_executor(None, self.replica.sync, 4)
             except asyncio.CancelledError:
                 raise
-            except Exception:
-                # Transient primary unavailability: keep polling; the
-                # replica serves its current position meanwhile.
-                pass
+            except ReplicationError as exc:
+                self.replica.stats.sync_failures += 1
+                self._sync_fault = str(exc)
+                logger.error(
+                    "replica sync diverged permanently, stopping the "
+                    "pull loop: %s", exc)
+                return
+            except Exception as exc:
+                self.replica.stats.sync_failures += 1
+                logger.warning("replica sync pass failed "
+                               "(will retry): %s", exc)
             await asyncio.sleep(self.poll_interval)
 
     # ------------------------------------------------------------------
@@ -343,6 +388,9 @@ class StoreService:
                "objects": len(self._store), "seq": self._last_seq()}
         if self.role == "replica":
             out["lag"] = self.replica.lag
+            out["healthy"] = self._sync_fault is None
+            if self._sync_fault is not None:
+                out["sync_fault"] = self._sync_fault
         return out
 
     def _op_query(self, cmd):
@@ -406,9 +454,13 @@ class StoreService:
             return {"applied_seq": self._last_seq(), "lag": 0,
                     "primary_seq": self._last_seq()}
         stats = self.replica.stats
-        return {"applied_seq": self.replica.applied_seq,
-                "primary_seq": stats.primary_seq,
-                "lag": stats.lag}
+        out = {"applied_seq": self.replica.applied_seq,
+               "primary_seq": stats.primary_seq,
+               "lag": stats.lag,
+               "healthy": self._sync_fault is None}
+        if self._sync_fault is not None:
+            out["sync_fault"] = self._sync_fault
+        return out
 
     async def _op_token_wait(self, cmd):
         """Block (bounded) until this endpoint has caught up with an
@@ -505,7 +557,14 @@ class StoreService:
         out["created"] = created
         return out
 
-    def _op_bulk(self, cmd):
+    async def _op_bulk(self, cmd):
+        # Bulk loads run whole batches through compiled conformance:
+        # off the event loop so other connections keep being served
+        # (the store's write lock still serializes the mutation).
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._bulk_sync, cmd)
+
+    def _bulk_sync(self, cmd):
         rows = [(tuple(classes),
                  wire.decode_values(values, self._resolve))
                 for classes, values in cmd["rows"]]
@@ -543,7 +602,12 @@ class StoreService:
                              for obj, violation in problems]
         return out
 
-    def _op_checkpoint(self, cmd):
+    async def _op_checkpoint(self, cmd):
+        # Serializes and fsyncs the whole store: off the event loop.
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._checkpoint_sync)
+
+    def _checkpoint_sync(self):
         checkpoint = getattr(self._store, "checkpoint", None)
         if checkpoint is None:
             raise StorageError("store is not durable; nothing to "
@@ -574,8 +638,52 @@ class StoreService:
                 "base_seq": batch.base_seq,
                 "stale": batch.stale}
 
-    def _op_repl_dump(self, cmd):
-        return self._require_ship().dump()
+    async def _op_repl_dump(self, cmd):
+        # Taking the dump serializes the store under its write lock and
+        # the result can be huge: run off the event loop so pings,
+        # token waits, and other connections stay live during a replica
+        # bootstrap against a large primary.
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._repl_dump_sync, cmd)
+
+    def _repl_dump_sync(self, cmd):
+        """One page of a catch-up dump.
+
+        A dump routinely exceeds the frame ceiling, so it is never
+        returned whole: the first request serializes the store to
+        canonical-JSON text (ASCII -- character offsets are byte
+        offsets), caches it under a ``dump_id``, and answers the first
+        chunk; the replica walks the rest with ``(dump_id, offset)``
+        cursors and reassembles (:meth:`NetShipSource.dump`).  Chunks
+        are a quarter of the frame ceiling, so a page stays under the
+        limit even after worst-case JSON string escaping doubles it.
+        The cache holds finished dumps until ``DUMP_CACHE_LIMIT``
+        transfers displace them, keeping retried tail fetches
+        idempotent without unbounded memory.
+        """
+        chunk_size = max(1, self.max_frame // 4)
+        dump_id = cmd.get("dump_id")
+        if dump_id is None:
+            dump = self._require_ship().dump()
+            text = json.dumps(dump, separators=(",", ":"),
+                              sort_keys=True)
+            dump_id = next(self._dump_ids)
+            self._dumps[dump_id] = text
+            while len(self._dumps) > DUMP_CACHE_LIMIT:
+                self._dumps.pop(next(iter(self._dumps)), None)
+            offset = 0
+        else:
+            text = self._dumps.get(int(dump_id))
+            if text is None:
+                raise StorageError(
+                    f"unknown or expired dump id {dump_id}; restart "
+                    "the dump transfer")
+            dump_id = int(dump_id)
+            offset = int(cmd.get("offset") or 0)
+        piece = text[offset:offset + chunk_size]
+        return {"dump_id": dump_id, "size": len(text),
+                "offset": offset, "chunk": piece,
+                "eof": offset + len(piece) >= len(text)}
 
     _WRITE_OPS = frozenset({
         "create", "set", "unset", "classify", "declassify", "remove",

@@ -268,6 +268,7 @@ REPLICATION_COUNTER_FIELDS: Tuple[str, ...] = (
     "records_deduped",     # duplicate records skipped (seq <= applied)
     "gaps_detected",       # batches rejected for a sequence gap
     "stale_restarts",      # re-bootstraps after primary WAL rotation
+    "sync_failures",       # sync passes that raised (transient or fatal)
     "applied_seq",         # gauge: last WAL seq replayed
     "primary_seq",         # gauge: primary's last seq, as last seen
 )

@@ -267,6 +267,108 @@ class TestReplicaServing:
             replica.close()
             ship.close()
 
+    def test_dump_pages_past_frame_limit(self, tmp_path):
+        """A catch-up dump larger than one frame ships as pages behind
+        a ``dump_id`` cursor; a replica reassembles and bootstraps.
+        Regression: the dump used to travel as a single frame, so any
+        store whose dump JSON exceeded the frame ceiling could never
+        bootstrap a replica."""
+        store = open_store(str(tmp_path / "primary"),
+                           build_hospital_schema(), durability="wal",
+                           sync="group")
+        service = StoreService(store, max_frame=4096)
+        service.run_background()
+        try:
+            client = StoreClient(*service.address, timeout=IO_TIMEOUT)
+            for i in range(40):
+                client.create("Patient", {"name": f"patient-{i:03d}",
+                                          "age": 20 + i % 60})
+            # The dump exceeds one chunk (max_frame // 4) ...
+            page = client.call("repl_dump")
+            assert page["size"] > len(page["chunk"])
+            assert not page["eof"]
+            # ... and the replica walks the cursor to an identical
+            # store.
+            ship = StoreClient(*service.address, timeout=IO_TIMEOUT)
+            replica = Replica(NetShipSource(ship))
+            try:
+                assert store_digest(replica.store) == \
+                    store_digest(store)
+            finally:
+                replica.close()
+                ship.close()
+                client.close()
+        finally:
+            service.shutdown()
+            store.close()
+
+    def test_rebootstrap_refreshes_served_store(self, primary_service,
+                                                client):
+        """After a stale-rotation re-bootstrap swaps in a fresh store,
+        every handler must follow the swap.  Regression: the service
+        captured ``replica.store`` at construction, so ping/schema/
+        stats kept reading the closed pre-bootstrap store forever."""
+        service, replica, ship = _replica_service(primary_service,
+                                                  poll=None)
+        try:
+            rclient = StoreClient(*service.address, timeout=IO_TIMEOUT)
+            client.create("Patient", {"name": "one", "age": 30})
+            replica.sync()
+            assert rclient.ping()["objects"] == 1
+            # Advance the primary past the replica, then rotate its
+            # WAL: the replica's next fetch is stale and re-bootstraps.
+            client.create("Patient", {"name": "two", "age": 31})
+            ack = client.create("Patient", {"name": "three", "age": 32})
+            client.checkpoint()
+            replica.sync()
+            assert replica.stats.stale_restarts >= 1
+            assert service._store is replica.store
+            out = rclient.ping()
+            assert out["objects"] == 3
+            assert out["seq"] == ack["token"]
+            rclient.close()
+        finally:
+            service.shutdown()
+            replica.close()
+            ship.close()
+
+    def test_sync_failures_surface_in_stats(self, tmp_path):
+        """A failing background pull is counted, not swallowed: the
+        replica's ``sync_failures`` climbs while the primary is
+        unreachable, and transient unavailability leaves the endpoint
+        healthy (only permanent divergence marks a fault)."""
+        import time
+        store = open_store(str(tmp_path / "primary"),
+                           build_hospital_schema(), durability="wal",
+                           sync="group")
+        pservice = StoreService(store)
+        pservice.run_background()
+        service = replica = ship = rclient = None
+        try:
+            service, replica, ship = _replica_service(pservice,
+                                                      poll=0.01)
+            rclient = StoreClient(*service.address, timeout=IO_TIMEOUT)
+            assert rclient.ping()["healthy"] is True
+            pservice.shutdown()
+            deadline = time.monotonic() + IO_TIMEOUT
+            while (replica.stats.sync_failures == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert replica.stats.sync_failures >= 1
+            assert rclient.stats()["repl.sync_failures"] >= 1
+            assert rclient.ping()["healthy"] is True
+        finally:
+            if rclient is not None:
+                rclient.close()
+            if service is not None:
+                service.shutdown()
+            if replica is not None:
+                replica.close()
+            if ship is not None:
+                ship.close()
+            pservice.shutdown()
+            store.close()
+
     def test_counters_track_service_traffic(self, primary_service,
                                             client):
         client.create("Ward", {"floor": 1, "name": "w"})

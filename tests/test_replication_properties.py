@@ -312,6 +312,53 @@ def test_read_your_writes_token_contract():
     primary.close()
 
 
+def test_replay_serializes_with_snapshot_reads():
+    """Replay must hold the replica store's write lock.
+
+    A served replica replays shipped records on a background thread
+    while the service thread captures MVCC snapshots for reads; both
+    sides serialize on ``store._write_lock``, or snapshot capture can
+    iterate dicts mid-mutation ('dictionary changed size during
+    iteration') and observe half-applied txn records.  Readers hammer
+    ``read_view`` while the main thread ships and replays; any
+    exception on either side is a failure.
+    """
+    import threading
+    fs = MemFS()
+    primary = _primary(fs, sync="group")
+    replica = Replica(LocalShipSource(primary))
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                snapshot, _ = replica.read_view()
+                # Walk derived structure a torn capture would break.
+                snapshot.count("Patient")
+                snapshot.count("Ward")
+        except Exception as exc:        # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        ctx = {"wards": [], "patients": []}
+        for i in range(80):
+            _apply(primary, ctx, ("patient", i))
+            _apply(primary, ctx, ("txn", i, 25 + i % 60, False))
+            replica.sync()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert errors == []
+    _assert_converged(primary, replica)
+    replica.close()
+    primary.close()
+
+
 def test_duplicate_and_gap_batches_are_safe():
     from repro.net.replication import ShipBatch
     fs = MemFS()
