@@ -35,6 +35,7 @@ import time
 from conftest import report, report_json
 
 from repro.evaluation import render_table
+from repro.net import tokens as epoch_tokens
 from repro.net.client import StoreClient
 
 N_OBJECTS = 4_000
@@ -201,7 +202,7 @@ def test_a11_net_replication(tmp_path):
         # -- write burst + convergence under the epoch token ----------
         lag_samples = []
         t0 = time.perf_counter()
-        token = 0
+        token = None
         for i in range(WRITE_BURST):
             token = client.create(
                 "Ward", {"floor": 1 + i % 40, "name": f"b{i}"}
@@ -212,18 +213,22 @@ def test_a11_net_replication(tmp_path):
                     for entry in replica_procs))
         write_burst_s = time.perf_counter() - t0
 
+        # The ack token is a vector ({shard: seq}); this primary is a
+        # single store, so its one component is the WAL seq replicas
+        # converge to.
+        token_seq = epoch_tokens.token_seq(token)
         catchup_t0 = time.perf_counter()
         for _, _, _, status in replica_procs:
             out = status.token_wait(token, timeout=IO_TIMEOUT)
-            assert out["applied_seq"] >= token
+            assert out["applied_seq"] >= token_seq
         catchup_s = time.perf_counter() - catchup_t0
 
         # -- counter-verified convergence (all over the wire) ----------
         primary_stats = client.stats()
-        assert primary_stats["net.seq"] == token
+        assert primary_stats["net.seq"] == token_seq
         for _, _, _, status in replica_procs:
             repl = status.repl_status()
-            assert repl["applied_seq"] == token
+            assert repl["applied_seq"] == token_seq
             assert repl["lag"] == 0
             rstats = status.stats()
             # Each replica bootstrapped once from a dump taken after

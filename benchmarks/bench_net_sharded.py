@@ -1,0 +1,239 @@
+"""A12 -- sharded stores served over the network.
+
+One service process fronts a ``ShardedStore`` over N real shard worker
+processes; everything below runs over loopback sockets through the
+ordinary client, so the numbers include the full wire path (framing,
+value encoding, router scatter-gather).
+
+Claims:
+
+1. **Counter-verified pruning floors over the wire.**  The rare-cohort
+   query (class-restricted to a profile that fits one span-1 shard)
+   dispatches to exactly 1 of N shards; the reference-contradiction
+   query is refuted by deduction on every shard and dispatches to 0.
+   Both are read from the service's routed-op counters
+   (``net.shards_scattered`` / ``net.shards_pruned``), not inferred.
+
+2. **Write scale-out.**  Routed bulk loads spread batches across shard
+   processes, so load throughput scales with shard count.  Floor:
+   >= 2x objects/sec at 4 shards vs 1, asserted when the machine has
+   >= 4 CPUs and recorded (``scaling_enforced``) either way.
+
+3. **Vector-token read-your-writes.**  The merged ack token spans all
+   N shards and ``token_wait`` on it returns a covering position.
+
+Identical query answers at every shard count are asserted as a
+baseline signature, like A10 -- but here through the wire payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from conftest import report, report_json
+
+from repro.evaluation import render_table
+from repro.net import tokens as epoch_tokens
+from repro.net.client import StoreClient, ref
+from repro.typesys import EnumSymbol
+
+N_OBJECTS = 24_000
+N_RARE = 300            # Hemorrhaging cohort: fits one span-1 shard
+BATCH = 1_000
+SHARD_COUNTS = (1, 2, 4)
+QUERY_REPEATS = 5
+IO_TIMEOUT = 60.0
+
+SELECTIVE_QUERY = ("for x in Hemorrhaging_Patient where x.age = 37 "
+                   "select x.name")
+DEDUCTION_QUERY = ("for y in Patient where y.treatedBy not in Physician "
+                   "and y.treatedBy not in Psychologist select y.name")
+SCAN_QUERY = "for p in Patient where p.age = 37 select count"
+
+
+def _server_main(n_shards, pipe):
+    from repro.net.server import StoreService
+    from repro.scenarios import build_hospital_schema
+    from repro.sharding.router import ShardedStore
+
+    store = ShardedStore(build_hospital_schema(), n_shards,
+                         processes=True)
+    service = StoreService(store)
+    pipe.send(service.run_background())
+    pipe.recv()
+    service.shutdown()
+    store.close()
+
+
+def _spawn(n_shards):
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe()
+    # NOT daemonic: the server must fork its own shard workers, which
+    # daemonic processes are forbidden to do.
+    process = ctx.Process(target=_server_main,
+                          args=(n_shards, child_conn))
+    process.start()
+    child_conn.close()
+    if not parent_conn.poll(IO_TIMEOUT):
+        process.terminate()
+        raise RuntimeError("sharded server failed to come up")
+    address = tuple(parent_conn.recv())
+    return process, parent_conn, address
+
+
+def _stop(process, conn):
+    try:
+        conn.send("stop")
+    except (BrokenPipeError, OSError):
+        pass
+    process.join(timeout=15)
+    if process.is_alive():       # pragma: no cover
+        process.terminate()
+
+
+def _rows_payload(physician_sid):
+    """The routed bulk: every row is total on ``treatedBy`` (the
+    precondition for deduction-backed refutation), a rare slice is
+    doubly classified Hemorrhaging."""
+    rows = []
+    rare_every = max(1, N_OBJECTS // N_RARE)
+    for i in range(N_OBJECTS):
+        values = {"name": f"p{i}", "age": 20 + i % 60,
+                  "treatedBy": ref(physician_sid)}
+        if i % rare_every == 0 and i // rare_every < N_RARE:
+            values["age"] = 37
+            values["bloodPressure"] = EnumSymbol("Low_BP")
+            rows.append([["Patient", "Hemorrhaging_Patient"], values])
+        else:
+            rows.append([["Patient"], values])
+    return rows
+
+
+def _timed_query(client, text):
+    out = client.query(text)     # warm (parse + plan caches, maps)
+    t0 = time.perf_counter()
+    for _ in range(QUERY_REPEATS):
+        out = client.query(text)
+    elapsed = (time.perf_counter() - t0) / QUERY_REPEATS
+    return out, elapsed
+
+
+def _counted_query(client, text):
+    """One dispatch, with the routed-op counter deltas around it."""
+    before = client.stats()
+    out = client.query(text)
+    after = client.stats()
+    return (out,
+            after["net.shards_scattered"]
+            - before["net.shards_scattered"],
+            after["net.shards_pruned"] - before["net.shards_pruned"])
+
+
+def _rows_key(payload):
+    return tuple(sorted(repr(values) for _sid, values
+                        in payload["rows"]))
+
+
+def test_a12_net_sharded(tmp_path):
+    cpu_count = os.cpu_count() or 1
+    results = {}
+    baseline = None
+
+    for n_shards in SHARD_COUNTS:
+        process, conn, address = _spawn(n_shards)
+        client = StoreClient(*address, timeout=IO_TIMEOUT)
+        try:
+            assert client.ping()["shards"] == n_shards
+            physician = client.create(
+                "Physician", {"name": "doc", "age": 50},
+                broadcast=True)["sid"]
+            rows = _rows_payload(physician)
+
+            token = {}
+            t0 = time.perf_counter()
+            for start in range(0, len(rows), BATCH):
+                # Eager checking: deduction-backed refutation (claim 1)
+                # only fires for *clean* profiles.
+                ack = client.bulk(rows[start:start + BATCH],
+                                  check="eager")
+                token = epoch_tokens.merge(token, ack["token"])
+            write_s = time.perf_counter() - t0
+            entry = {"write_s": round(write_s, 3),
+                     "objects_per_sec": round(N_OBJECTS / write_s)}
+
+            # Vector-token read-your-writes: the merged ack token
+            # spans every shard and is immediately waitable.
+            assert len(token) == n_shards
+            out = client.token_wait(token, timeout=IO_TIMEOUT)
+            assert epoch_tokens.covers(out["position"], token)
+            assert client.count("Patient") == N_OBJECTS
+
+            sel, dispatched, _pruned = _counted_query(
+                client, SELECTIVE_QUERY)
+            entry["selective_dispatched"] = dispatched
+            _sel_again, sel_t = _timed_query(client, SELECTIVE_QUERY)
+            entry["selective_qps"] = round(1.0 / sel_t, 1)
+
+            ded, dispatched, pruned = _counted_query(
+                client, DEDUCTION_QUERY)
+            assert ded["rows"] == []
+            entry["deduction_dispatched"] = dispatched
+            entry["deduction_pruned"] = pruned
+            entry["deduction_prunes"] = \
+                client.stats()["shard.deduction_prunes"]
+
+            scan, scan_t = _timed_query(client, SCAN_QUERY)
+            entry["scan_qps"] = round(1.0 / scan_t, 1)
+
+            signature = (_rows_key(sel), sel["stats"]["rows_skipped"],
+                         scan["agg"], scan["stats"]["rows_skipped"])
+            if baseline is None:
+                baseline = signature
+            # Identical wire answers at every shard count.
+            assert signature == baseline, n_shards
+
+            results[n_shards] = entry
+        finally:
+            client.close()
+            _stop(process, conn)
+
+    # Pruning floors (hardware-independent), all counter-verified over
+    # the wire: the rare cohort's query reaches exactly one shard, the
+    # deduction-refuted query reaches none and prunes all N.
+    for n_shards in SHARD_COUNTS[1:]:
+        entry = results[n_shards]
+        assert entry["selective_dispatched"] == 1, entry
+        assert entry["deduction_dispatched"] == 0, entry
+        assert entry["deduction_pruned"] == n_shards, entry
+        assert entry["deduction_prunes"] >= n_shards, entry
+
+    scaling_4x = (results[4]["objects_per_sec"]
+                  / results[1]["objects_per_sec"])
+    scaling_enforced = cpu_count >= 4
+    if scaling_enforced:
+        assert scaling_4x >= 2.0, results
+
+    table_rows = [
+        (n, e["write_s"], e["objects_per_sec"],
+         e["selective_dispatched"], e["selective_qps"],
+         e["deduction_dispatched"], e["scan_qps"])
+        for n, e in sorted(results.items())
+    ]
+    report("A12-net-sharded", render_table(
+        ("shards", "load s", "obj/s", "sel disp", "sel qps",
+         "ded disp", "scan qps"),
+        table_rows,
+        title=f"A12: sharded serving over the wire, {N_OBJECTS} "
+              f"objects, {cpu_count} cpu(s)"))
+    report_json("net_sharded", {
+        "experiment": "A12-net-sharded",
+        "n_objects": N_OBJECTS,
+        "n_rare": N_RARE,
+        "cpu_count": cpu_count,
+        "shards": {str(n): e for n, e in sorted(results.items())},
+        "scaling_4x": round(scaling_4x, 3),
+        "scaling_floor": 2.0,
+        "scaling_enforced": scaling_enforced,
+    })

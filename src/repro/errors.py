@@ -256,15 +256,29 @@ class NotPrimaryError(NetError):
 
 
 class ReplicaLagError(NetError):
-    """A read carried an epoch token ahead of the replica's replay
-    position (read-your-writes would be violated by serving it)."""
+    """A read carried an epoch token ahead of the endpoint's replay
+    position (read-your-writes would be violated by serving it).
 
-    def __init__(self, token: int, applied_seq: int) -> None:
+    ``token`` travels as the caller sent it -- a plain WAL seq or a
+    vector token (``repro.net.tokens``); ``applied_seq`` is the
+    endpoint's scalar position gauge at refusal time."""
+
+    def __init__(self, token, applied_seq: int) -> None:
         super().__init__(
             f"replica has applied seq {applied_seq}, behind read "
             f"token {token}")
         self.token = token
         self.applied_seq = applied_seq
+
+
+class StoreBusyError(NetError):
+    """A schema change was refused because an in-flight bulk load,
+    checkpoint, or catch-up dump holds the store off the event loop.
+
+    Those jobs run on the service's executor so other connections stay
+    live; a concurrent ``alter`` could interleave its schema swap with
+    a paged dump or a half-applied batch, so the service fences it with
+    this typed error instead -- retry once the job drains."""
 
 
 class ReplicationError(NetError):

@@ -178,6 +178,20 @@ EXPERIMENTS: Tuple[Experiment, ...] = (
          "repro.net.replication", "repro.net.protocol",
          "repro.storage.wal"),
         "bench_net.py"),
+    Experiment(
+        "A12", "Sharded stores served over the network", "substrate",
+        "one service fronting N shard worker processes serves the "
+        "full op surface through the StoreBackend seam: routed bulk "
+        "loads scale write throughput >= 2x at 4 shards vs 1 (on "
+        ">= 4 CPUs), the rare-cohort query dispatches to exactly 1 of "
+        "N shards and the deduction-refuted query to 0 (verified from "
+        "the service's routed-op counters over the wire), and the "
+        "merged vector ack token spans every shard with token_wait "
+        "returning a covering position",
+        ("repro.net.backends", "repro.net.server", "repro.net.client",
+         "repro.net.tokens", "repro.sharding.router",
+         "repro.sharding.pruning"),
+        "bench_net_sharded.py"),
 )
 
 

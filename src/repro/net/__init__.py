@@ -1,18 +1,28 @@
-"""The networked service layer: a framed asyncio server over
-:class:`~repro.objects.concurrent.ConcurrentStore`, a pooled client,
-and WAL-shipped read replicas.
+"""The networked service layer: a framed asyncio server over a store
+backend, a pooled client, and WAL-shipped read replicas.
 
 The wire format *is* the WAL's record framing (``storage/wal.py``:
 length + CRC32 + canonical JSON), so a request frame, a shipped log
 record, and a durable log record are one codec -- see
-:mod:`repro.net.protocol`.  :mod:`repro.net.server` serves reads from
-MVCC snapshots and writes through the store's mutation pipeline;
+:mod:`repro.net.protocol`.  :mod:`repro.net.backends` is the seam
+between the transport and the store shapes: a single concurrent store,
+a WAL-following replica, or a sharded router whose writes are routed
+and whose queries scatter-gather with deduction pruning.
+:mod:`repro.net.server` serves any backend; :mod:`repro.net.tokens`
+holds the vector epoch tokens write acks carry;
 :mod:`repro.net.replication` streams committed WAL records to replica
 processes that replay them through the checked store paths and serve
-snapshot reads at an explicit replay epoch.  SEMANTICS.md section 15
-states the consistency contract.
+snapshot reads at an explicit replay epoch.  SEMANTICS.md sections 15
+and 16 state the consistency contract.
 """
 
+from repro.net.backends import (
+    ConcurrentBackend,
+    ReplicaBackend,
+    ShardedBackend,
+    StoreBackend,
+    open_backend,
+)
 from repro.net.client import ReplicaSetClient, StoreClient, ref
 from repro.net.protocol import (
     MAX_FRAME,
@@ -27,19 +37,29 @@ from repro.net.replication import (
     ShipBatch,
 )
 from repro.net.server import StoreService, serve
+from repro.net.tokens import as_token, covers, merge, token_total
 
 __all__ = [
     "MAX_FRAME",
+    "ConcurrentBackend",
     "FrameDecoder",
     "LocalShipSource",
     "NetShipSource",
     "Replica",
+    "ReplicaBackend",
     "ReplicaSetClient",
+    "ShardedBackend",
     "ShipBatch",
+    "StoreBackend",
     "StoreClient",
     "StoreService",
+    "as_token",
+    "covers",
     "decode_payload",
     "encode_frame",
+    "merge",
+    "open_backend",
     "ref",
     "serve",
+    "token_total",
 ]

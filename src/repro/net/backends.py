@@ -1,0 +1,630 @@
+"""Store backends: the op surface a :class:`StoreService` serves.
+
+The service owns the *transport* -- framing, pipelining, backpressure,
+role enforcement, replication shipping -- and delegates every data
+operation to a **backend**, one ``op_<name>(cmd)`` wire-level handler
+per request op plus a handful of gauges (``position`` / ``last_seq`` /
+``epoch`` / ``object_count``).  Three backends cover the store shapes
+the library grows:
+
+* :class:`ConcurrentBackend` -- a single store behind a
+  :class:`~repro.objects.concurrent.ConcurrentStore` facade: reads from
+  MVCC snapshots, writes through the serialized pipeline.  This is the
+  original service body, extracted verbatim.
+* :class:`ReplicaBackend` -- a WAL-following
+  :class:`~repro.net.replication.Replica`: reads at the replay
+  position (honoring epoch tokens), no writes.
+* :class:`ShardedBackend` -- a
+  :class:`~repro.sharding.router.ShardedStore` router: writes are
+  routed/broadcast to owner shards, queries scatter-gather with
+  deduction pruning, and every op runs off the event loop (the router
+  blocks on worker queues).
+
+**Positions are vector tokens** (:mod:`repro.net.tokens`): a backend's
+``position()`` is the ``{shard_id: seq}`` map of commit positions it
+can prove, and a write ack carries it as the token.  Single-store
+backends occupy the one component ``"0"``; the sharded backend
+composes the router's per-shard observations.  ``last_seq()`` stays a
+scalar gauge for display and the legacy hello field.
+
+``blocking_ops`` names the ops the service must push onto its executor
+(they hold locks or block on IPC); everything else is cheap enough to
+run on the event loop.  The service installs its ``NetStats`` onto
+``backend.net_stats`` after construction so routed-op counters
+(``writes_routed`` / ``shards_scattered`` / ``shards_pruned``) land in
+the same snapshot the ``stats`` op serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.errors import NoSuchObjectError, ShardingError, StorageError
+from repro.net import tokens
+from repro.net.replication import LocalShipSource, Replica
+from repro.objects.concurrent import ConcurrentStore
+from repro.objects.surrogate import Surrogate
+from repro.query.ast import Aggregate, Query, Var
+from repro.query.parser import parse_query
+from repro.sharding import wire
+from repro.sharding.worker import EXECUTION_STAT_FIELDS
+
+__all__ = [
+    "BACKEND_OPS",
+    "ConcurrentBackend",
+    "ReplicaBackend",
+    "ShardedBackend",
+    "StoreBackend",
+    "open_backend",
+]
+
+#: Every op the backend seam covers (the service adds its own
+#: transport-level ops: ping, stats, token_wait, repl_*).
+BACKEND_OPS = frozenset({
+    "query", "get", "count", "extent", "schema",
+    "create", "set", "unset", "classify", "declassify", "remove",
+    "txn", "bulk", "alter", "index", "validate", "checkpoint",
+})
+
+
+class StoreBackend:
+    """The contract (see module docstring).  Subclasses implement the
+    ``op_*`` handlers and the gauges; the class body holds only the
+    attributes every backend shares."""
+
+    #: Whether mutations are accepted (the service refuses writes with
+    #: ``NotPrimaryError`` when False).
+    writable = True
+    #: Ops the service must run on its executor, off the event loop.
+    blocking_ops: frozenset = frozenset()
+    #: WAL ship source for replication ops (None: cannot ship).
+    ship: Optional[LocalShipSource] = None
+    #: Installed by the service after construction; handlers bump
+    #: routed-op counters through it when present.
+    net_stats = None
+
+    def position(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def last_seq(self) -> int:
+        raise NotImplementedError
+
+    def epoch(self) -> int:
+        raise NotImplementedError
+
+    def object_count(self) -> int:
+        return len(self.store)
+
+    def describe(self) -> Dict[str, object]:
+        """Extra fields for the hello frame and ``ping`` responses."""
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+class SnapshotBackend(StoreBackend):
+    """Shared read path for backends whose reads run against one MVCC
+    snapshot (:meth:`_view`): the single-store primary and the replica
+    differ only in which snapshot serves a request."""
+
+    def _view(self, cmd):
+        raise NotImplementedError
+
+    def _resolve(self, sid: int):
+        return self.store.get(Surrogate(sid))
+
+    def op_query(self, cmd):
+        query = parse_query(cmd["text"])
+        options = cmd.get("options") or {}
+        view = self._view(cmd)
+        from repro.query.planner import execute_planned
+        stats_out = {}
+        if any(isinstance(item, Aggregate) for item in query.select):
+            rows, stats = execute_planned(query, view, **options)
+            for field in EXECUTION_STAT_FIELDS:
+                stats_out[field] = getattr(stats, field)
+            return {"agg": [wire.encode_value(v) for v in rows[0]],
+                    "stats": stats_out}
+        # Tag rows with their surrogate (same trick as the shard
+        # worker): the prepended variable cannot skip, so rows and
+        # rows_skipped are untouched.
+        tagged = Query(query.var, query.source_class, query.where,
+                       (Var(query.var),) + tuple(query.select))
+        rows, stats = execute_planned(tagged, view, **options)
+        for field in EXECUTION_STAT_FIELDS:
+            stats_out[field] = getattr(stats, field)
+        return {"rows": [[row[0].surrogate.id,
+                          [wire.encode_value(v) for v in row[1:]]]
+                         for row in rows],
+                "stats": stats_out}
+
+    def op_get(self, cmd):
+        view = self._view(cmd)
+        obj = view.get(Surrogate(int(cmd["sid"])))
+        return {"classes": sorted(obj.memberships),
+                "values": wire.encode_values(obj.values_snapshot())}
+
+    def op_count(self, cmd):
+        return {"count": self._view(cmd).count(cmd["cls"])}
+
+    def op_extent(self, cmd):
+        from repro.columnar import SurrogateSet
+        members = self._view(cmd).extent_surrogates(cmd["cls"])
+        if not isinstance(members, SurrogateSet):
+            members = SurrogateSet(members)
+        return {"extent": wire.encode_chunks(members)}
+
+    def op_schema(self, cmd):
+        from repro.lang.printer import print_schema
+        return {"schema": print_schema(self.store.schema)}
+
+
+class ConcurrentBackend(SnapshotBackend):
+    """A single store served concurrently: the original primary body
+    of the service, now behind the seam."""
+
+    blocking_ops = frozenset({"bulk", "checkpoint"})
+
+    def __init__(self, store) -> None:
+        self.concurrent = (store if isinstance(store, ConcurrentStore)
+                           else ConcurrentStore(store))
+        if getattr(self.store, "_journal", None) is not None:
+            self.ship = LocalShipSource(self.store)
+
+    @property
+    def store(self):
+        return self.concurrent.store
+
+    def _view(self, cmd):
+        # A primary is never behind its own log: tokens need no check.
+        return self.concurrent.snapshot()
+
+    # -- gauges ---------------------------------------------------------
+
+    def position(self) -> Dict[str, int]:
+        """One component: the WAL seq when durable (what a write ack
+        returns and replicas replay), the store epoch otherwise (no
+        replicas can exist to lag, but token_wait on an ack must still
+        succeed immediately)."""
+        journal = getattr(self.store, "_journal", None)
+        if journal is not None:
+            return tokens.as_token(journal.wal.last_seq)
+        return tokens.as_token(self.store._epoch)
+
+    def last_seq(self) -> int:
+        journal = getattr(self.store, "_journal", None)
+        return journal.wal.last_seq if journal is not None else 0
+
+    def epoch(self) -> int:
+        return self.store._epoch
+
+    def _ack(self) -> Dict[str, object]:
+        return {"token": self.position(), "epoch": self.epoch()}
+
+    # -- writes ---------------------------------------------------------
+
+    def op_create(self, cmd):
+        values = wire.decode_values(cmd.get("values") or {},
+                                    self._resolve)
+        obj = self.concurrent.create(cmd["cls"], check=cmd.get("check"),
+                                     **values)
+        out = self._ack()
+        out["sid"] = obj.surrogate.id
+        return out
+
+    def op_set(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        value = wire.decode_value(cmd["value"], self._resolve)
+        self.concurrent.set_value(obj, cmd["attr"], value,
+                                  check=cmd.get("check"))
+        return self._ack()
+
+    def op_unset(self, cmd):
+        obj = self._resolve(int(cmd["sid"]))
+        self.concurrent.unset_value(obj, cmd["attr"],
+                                    check=cmd.get("check"))
+        return self._ack()
+
+    def op_classify(self, cmd):
+        self.concurrent.classify(self._resolve(int(cmd["sid"])),
+                                 cmd["cls"], check=cmd.get("check"))
+        return self._ack()
+
+    def op_declassify(self, cmd):
+        self.concurrent.declassify(self._resolve(int(cmd["sid"])),
+                                   cmd["cls"], check=cmd.get("check"))
+        return self._ack()
+
+    def op_remove(self, cmd):
+        self.concurrent.remove(self._resolve(int(cmd["sid"])))
+        return self._ack()
+
+    def op_txn(self, cmd):
+        """A pipelined batch of mutations as one atomic transaction:
+        all-or-nothing in memory, one WAL record, one token."""
+        created = []
+        with self.concurrent.transaction():
+            for sub in cmd["ops"]:
+                sub_op = sub["op"]
+                if sub_op == "create":
+                    values = wire.decode_values(
+                        sub.get("values") or {}, self._resolve)
+                    obj = self.concurrent.create(
+                        sub["cls"], check=sub.get("check"), **values)
+                    created.append(obj.surrogate.id)
+                elif sub_op == "set":
+                    self.concurrent.set_value(
+                        self._resolve(int(sub["sid"])), sub["attr"],
+                        wire.decode_value(sub["value"], self._resolve),
+                        check=sub.get("check"))
+                elif sub_op == "unset":
+                    self.concurrent.unset_value(
+                        self._resolve(int(sub["sid"])), sub["attr"],
+                        check=sub.get("check"))
+                elif sub_op == "classify":
+                    self.concurrent.classify(
+                        self._resolve(int(sub["sid"])), sub["cls"],
+                        check=sub.get("check"))
+                elif sub_op == "declassify":
+                    self.concurrent.declassify(
+                        self._resolve(int(sub["sid"])), sub["cls"],
+                        check=sub.get("check"))
+                elif sub_op == "remove":
+                    self.concurrent.remove(
+                        self._resolve(int(sub["sid"])))
+                else:
+                    raise StorageError(
+                        f"unknown txn sub-op {sub_op!r}")
+        out = self._ack()
+        out["created"] = created
+        return out
+
+    def op_bulk(self, cmd):
+        rows = [(tuple(classes),
+                 wire.decode_values(values, self._resolve))
+                for classes, values in cmd["rows"]]
+        report = self.concurrent.bulk_load(
+            rows, check=cmd.get("check") or "deferred")
+        out = self._ack()
+        out["objects"] = getattr(report, "objects", len(rows))
+        return out
+
+    def op_alter(self, cmd):
+        from repro.lang.loader import load_schema
+        successor = load_schema(cmd["schema"])
+        problems = self.concurrent.alter_class(
+            successor.get(cmd["cls"]),
+            recheck=cmd.get("recheck") or "affected")
+        out = self._ack()
+        out["violations"] = [[obj.surrogate.id, str(violation)]
+                             for obj, violation in problems]
+        return out
+
+    def op_index(self, cmd):
+        if cmd.get("action") == "drop":
+            self.concurrent.drop_index(cmd["attr"])
+        else:
+            self.concurrent.create_index(cmd["attr"])
+        return self._ack()
+
+    def op_validate(self, cmd):
+        if cmd.get("scope") == "dirty":
+            problems = self.concurrent.validate_dirty()
+        else:
+            problems = self.concurrent.validate_all()
+        out = self._ack()
+        out["violations"] = [[obj.surrogate.id, str(violation)]
+                             for obj, violation in problems]
+        return out
+
+    def op_checkpoint(self, cmd):
+        checkpoint = getattr(self.store, "checkpoint", None)
+        if checkpoint is None:
+            raise StorageError("store is not durable; nothing to "
+                               "checkpoint")
+        checkpoint()
+        return self._ack()
+
+
+class ReplicaBackend(SnapshotBackend):
+    """A WAL-following replica: reads only, at the replay position."""
+
+    writable = False
+
+    def __init__(self, replica: Replica) -> None:
+        self.replica = replica
+
+    @property
+    def store(self):
+        # Dereferenced on every access: a stale replica re-bootstraps
+        # by swapping in a fresh store, and every handler must follow.
+        return self.replica.store
+
+    def _view(self, cmd):
+        snapshot, _ = self.replica.read_view(cmd.get("token"))
+        return snapshot
+
+    def position(self) -> Dict[str, int]:
+        return tokens.as_token(self.replica.applied_seq)
+
+    def last_seq(self) -> int:
+        return self.replica.applied_seq
+
+    def epoch(self) -> int:
+        return self.store._epoch
+
+
+class ShardedBackend(StoreBackend):
+    """A sharded store served over the network: the router scatters
+    queries (deduction-pruned) and routes writes to owner shards.
+
+    The router is **not** thread-safe -- every worker conversation is a
+    strict send/recv on per-shard queues -- and every op blocks on that
+    IPC, so the whole surface is ``blocking_ops`` (the service runs it
+    on executor threads) and a lock serializes them.  The gauges
+    (``position``/``epoch``) deliberately *don't* take the lock: they
+    only read the router's per-shard position map (fixed keys, int
+    values -- safe to read concurrently), so a ``token_wait`` can poll
+    while a long bulk load holds the lock, and unblock the moment the
+    load's positions land.
+    """
+
+    blocking_ops = BACKEND_OPS
+
+    def __init__(self, router) -> None:
+        self.router = router
+        self._lock = threading.Lock()
+        # Publish exact positions before any command has flowed (a
+        # reopened durable store must hand out covering tokens
+        # immediately).
+        router.refresh_positions()
+
+    @property
+    def store(self):
+        return self.router
+
+    def describe(self) -> Dict[str, object]:
+        return {"shards": self.router.n_shards}
+
+    def close(self) -> None:
+        self.router.close()
+
+    # -- gauges ---------------------------------------------------------
+
+    def position(self) -> Dict[str, int]:
+        return self.router.position_token()
+
+    def last_seq(self) -> int:
+        # Scalar display gauge: the summed per-shard positions (equal
+        # to the plain WAL seq in the 1-shard case).
+        return tokens.token_total(self.router.position_token())
+
+    def epoch(self) -> int:
+        return self.last_seq()
+
+    def object_count(self) -> int:
+        return len(self.router)
+
+    def _ack(self) -> Dict[str, object]:
+        return {"token": self.position(), "epoch": self.epoch()}
+
+    def _count_write(self) -> None:
+        if self.net_stats is not None:
+            self.net_stats.writes_routed += 1
+
+    def _resolve(self, sid: int):
+        return self.router.handle(int(sid))
+
+    # -- reads ----------------------------------------------------------
+
+    def op_query(self, cmd):
+        counters = self.router.stats_counters
+        before = (counters.shards_dispatched, counters.shards_pruned)
+        with self._lock:
+            out = self.router.query_wire(cmd["text"],
+                                         cmd.get("options") or {})
+        if self.net_stats is not None:
+            self.net_stats.shards_scattered += (
+                counters.shards_dispatched - before[0])
+            self.net_stats.shards_pruned += (
+                counters.shards_pruned - before[1])
+        return out
+
+    def op_get(self, cmd):
+        sid = int(cmd["sid"])
+        with self._lock:
+            try:
+                owner = self.router._owner_of(sid)
+            except ShardingError:
+                raise NoSuchObjectError(
+                    f"surrogate {sid} is not routed by this store"
+                ) from None
+            state = self.router._call(owner, {"op": "get", "sid": sid})
+        # The worker's foreign flag is a sharding detail; the wire
+        # shape matches the single-store service.
+        return {"classes": state["classes"], "values": state["values"]}
+
+    def op_count(self, cmd):
+        with self._lock:
+            return {"count": self.router.count(cmd["cls"])}
+
+    def op_extent(self, cmd):
+        with self._lock:
+            members = self.router.extent_surrogates(cmd["cls"])
+        return {"extent": wire.encode_chunks(members)}
+
+    def op_schema(self, cmd):
+        from repro.lang.printer import print_schema
+        return {"schema": print_schema(self.router.schema)}
+
+    # -- writes ---------------------------------------------------------
+
+    def op_create(self, cmd):
+        self._count_write()
+        with self._lock:
+            values = wire.decode_values(cmd.get("values") or {},
+                                        self._resolve)
+            handle = self.router.create(
+                cmd["cls"], check=cmd.get("check"),
+                broadcast=bool(cmd.get("broadcast")), **values)
+            out = self._ack()
+        out["sid"] = handle.surrogate.id
+        return out
+
+    def op_set(self, cmd):
+        self._count_write()
+        with self._lock:
+            value = wire.decode_value(cmd["value"], self._resolve)
+            self.router.set_value(self._resolve(cmd["sid"]),
+                                  cmd["attr"], value,
+                                  check=cmd.get("check"))
+            return self._ack()
+
+    def op_unset(self, cmd):
+        self._count_write()
+        with self._lock:
+            self.router.unset_value(self._resolve(cmd["sid"]),
+                                    cmd["attr"],
+                                    check=cmd.get("check"))
+            return self._ack()
+
+    def op_classify(self, cmd):
+        self._count_write()
+        with self._lock:
+            self.router.classify(self._resolve(cmd["sid"]), cmd["cls"],
+                                 check=cmd.get("check"))
+            return self._ack()
+
+    def op_declassify(self, cmd):
+        self._count_write()
+        with self._lock:
+            self.router.declassify(self._resolve(cmd["sid"]),
+                                   cmd["cls"], check=cmd.get("check"))
+            return self._ack()
+
+    def op_remove(self, cmd):
+        self._count_write()
+        with self._lock:
+            self.router.remove(self._resolve(cmd["sid"]))
+            return self._ack()
+
+    def op_txn(self, cmd):
+        """The same wire envelope as the single-store txn, under the
+        router's undo-journal transaction scope: all-or-nothing against
+        every shard, though each sub-op commits to its shard's WAL as
+        it applies (atomic, not isolated -- SEMANTICS.md section 16).
+        ``remove`` and bulk/schema/index sub-ops are outside the
+        sharded envelope; the router refuses them and the rollback
+        undoes the prefix."""
+        self._count_write()
+        created = []
+        with self._lock:
+            with self.router.transaction():
+                for sub in cmd["ops"]:
+                    sub_op = sub["op"]
+                    if sub_op == "create":
+                        values = wire.decode_values(
+                            sub.get("values") or {}, self._resolve)
+                        handle = self.router.create(
+                            sub["cls"], check=sub.get("check"),
+                            broadcast=bool(sub.get("broadcast")),
+                            **values)
+                        created.append(handle.surrogate.id)
+                    elif sub_op == "set":
+                        self.router.set_value(
+                            self._resolve(sub["sid"]), sub["attr"],
+                            wire.decode_value(sub["value"],
+                                              self._resolve),
+                            check=sub.get("check"))
+                    elif sub_op == "unset":
+                        self.router.unset_value(
+                            self._resolve(sub["sid"]), sub["attr"],
+                            check=sub.get("check"))
+                    elif sub_op == "classify":
+                        self.router.classify(
+                            self._resolve(sub["sid"]), sub["cls"],
+                            check=sub.get("check"))
+                    elif sub_op == "declassify":
+                        self.router.declassify(
+                            self._resolve(sub["sid"]), sub["cls"],
+                            check=sub.get("check"))
+                    elif sub_op == "remove":
+                        raise ShardingError(
+                            "remove is not supported inside a sharded "
+                            "transaction (its undo cannot be replayed "
+                            "exactly); issue it as a standalone op")
+                    else:
+                        raise StorageError(
+                            f"unknown txn sub-op {sub_op!r}")
+            out = self._ack()
+        out["created"] = created
+        return out
+
+    def op_bulk(self, cmd):
+        self._count_write()
+        with self._lock:
+            rows = [(tuple(classes),
+                     wire.decode_values(values, self._resolve))
+                    for classes, values in cmd["rows"]]
+            handles = self.router.bulk_load(
+                rows, check=cmd.get("check") or "deferred")
+            out = self._ack()
+        out["objects"] = len(handles)
+        return out
+
+    def op_alter(self, cmd):
+        from repro.lang.loader import load_schema
+        self._count_write()
+        successor = load_schema(cmd["schema"])
+        with self._lock:
+            problems = self.router.alter_class(
+                successor.get(cmd["cls"]),
+                recheck=cmd.get("recheck") or "affected")
+            out = self._ack()
+        out["violations"] = [[handle.surrogate.id, str(message)]
+                             for handle, message in problems]
+        return out
+
+    def op_index(self, cmd):
+        self._count_write()
+        with self._lock:
+            if cmd.get("action") == "drop":
+                self.router.drop_index(cmd["attr"])
+            else:
+                self.router.create_index(cmd["attr"])
+            return self._ack()
+
+    def op_validate(self, cmd):
+        with self._lock:
+            if cmd.get("scope") == "dirty":
+                problems = self.router.validate_dirty()
+            else:
+                problems = self.router.validate_all()
+            out = self._ack()
+        out["violations"] = [[handle.surrogate.id, str(message)]
+                             for handle, message in problems]
+        return out
+
+    def op_checkpoint(self, cmd):
+        # Broadcast: each durable shard checkpoints its own directory
+        # (a no-op on non-durable shards, matching the worker op).
+        with self._lock:
+            self.router.checkpoint()
+            return self._ack()
+
+
+def open_backend(directory: str, *, processes: bool = True,
+                 **store_kwargs) -> StoreBackend:
+    """Open a store directory as the backend its layout calls for:
+    a ``SHARDS.json`` manifest means a sharded store (one router over
+    N recovered shard workers), anything else a single durable store.
+    This is what lets ``repro serve DIR`` serve either shape."""
+    from repro.storage.shards import is_sharded
+    if is_sharded(directory):
+        from repro.sharding.router import ShardedStore
+        return ShardedBackend(ShardedStore.open(
+            directory, processes=processes))
+    from repro.objects.store import ObjectStore
+    return ConcurrentBackend(ObjectStore.open(directory, **store_kwargs))

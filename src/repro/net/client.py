@@ -239,7 +239,7 @@ class StoreClient:
             if etype == "NotPrimaryError":
                 raise NotPrimaryError(msg)
             if etype == "ReplicaLagError":
-                raise ReplicaLagError(int(error.get("token") or 0),
+                raise ReplicaLagError(error.get("token"),
                                       int(error.get("applied_seq")
                                           or 0))
             raise RemoteOpError(etype or "StorageError", msg)
@@ -319,7 +319,7 @@ class StoreClient:
     def ping(self):
         return self.call("ping")
 
-    def query(self, text: str, token: Optional[int] = None, **options):
+    def query(self, text: str, token=None, **options):
         fields: Dict[str, object] = {"text": text}
         if options:
             fields["options"] = options
@@ -327,7 +327,7 @@ class StoreClient:
             fields["token"] = token
         return self.call("query", **fields)
 
-    def get(self, sid: int, token: Optional[int] = None):
+    def get(self, sid: int, token=None):
         fields: Dict[str, object] = {"sid": sid}
         if token is not None:
             fields["token"] = token
@@ -335,14 +335,13 @@ class StoreClient:
         out["values"] = wire.decode_values(out["values"], lambda s: s)
         return out
 
-    def count(self, cls: str, token: Optional[int] = None) -> int:
+    def count(self, cls: str, token=None) -> int:
         fields: Dict[str, object] = {"cls": cls}
         if token is not None:
             fields["token"] = token
         return self.call("count", **fields)["count"]
 
-    def extent_ids(self, cls: str,
-                   token: Optional[int] = None) -> List[int]:
+    def extent_ids(self, cls: str, token=None) -> List[int]:
         fields: Dict[str, object] = {"cls": cls}
         if token is not None:
             fields["token"] = token
@@ -358,16 +357,24 @@ class StoreClient:
     def repl_status(self) -> Dict[str, object]:
         return self.call("repl_status")
 
-    def token_wait(self, token: int, timeout: float = 1.0):
+    def token_wait(self, token, timeout: float = 1.0):
+        """Block until the endpoint's position covers ``token`` (a
+        plain seq or a vector token -- :mod:`repro.net.tokens`)."""
         return self.call("token_wait", token=token, timeout=timeout)
 
     # -- writes --------------------------------------------------------
 
     def create(self, cls: str, values: Optional[Dict] = None,
-               check: Optional[str] = None):
-        return self.call("create", cls=cls,
-                         values=_encode_values(values),
-                         check=check)
+               check: Optional[str] = None, *,
+               broadcast: bool = False):
+        fields: Dict[str, object] = {
+            "cls": cls, "values": _encode_values(values),
+            "check": check}
+        if broadcast:
+            # Only meaningful against a sharded backend (replicate the
+            # entity to every shard); single-store servers ignore it.
+            fields["broadcast"] = True
+        return self.call("create", **fields)
 
     def set_value(self, sid: int, attr: str, value,
                   check: Optional[str] = None):
@@ -424,29 +431,32 @@ class StoreClient:
 class ReplicaSetClient:
     """Primary + replicas as one endpoint with read-your-writes.
 
-    Writes go to the primary and remember the returned epoch token
-    (the committed WAL seq).  Reads round-robin across the replicas,
-    carrying the token; a lagging replica's :class:`ReplicaLagError`
-    falls the read back to the primary.  With no replicas configured
-    every read also goes to the primary.
+    Writes go to the primary and accumulate the returned epoch tokens
+    (vector tokens merged componentwise -- the least token covering
+    every acked write, :mod:`repro.net.tokens`).  Reads round-robin
+    across the replicas, carrying the token; a lagging replica's
+    :class:`ReplicaLagError` falls the read back to the primary.  With
+    no replicas configured every read also goes to the primary.
     """
 
     def __init__(self, primary: StoreClient,
                  replicas: Sequence[StoreClient] = ()) -> None:
         self.primary = primary
         self.replicas = list(replicas)
-        self.last_token = 0
+        self.last_token: Dict[str, int] = {}
         self._rr = itertools.count()
         self._lock = threading.Lock()
 
     def _record(self, ack):
         if isinstance(ack, dict) and "token" in ack:
+            from repro.net import tokens
             with self._lock:
-                self.last_token = max(self.last_token, ack["token"])
+                self.last_token = tokens.merge(self.last_token,
+                                               ack["token"])
         return ack
 
     def _read(self, method: str, *args, **kwargs):
-        token = self.last_token
+        token = self.last_token or None
         if self.replicas:
             replica = self.replicas[next(self._rr) %
                                     len(self.replicas)]

@@ -509,16 +509,19 @@ class Replica:
         """The token a read of this replica is guaranteed to reflect."""
         return self.applied_seq
 
-    def read_view(self, token: Optional[int] = None):
+    def read_view(self, token=None):
         """``(snapshot, applied_seq)`` for serving one read.
 
-        With an epoch ``token`` (a primary write's returned seq), the
-        read is refused while the replica's replay position is behind
-        it -- the read-your-writes half of the consistency contract.
+        With an epoch ``token`` (a primary write's returned seq, or a
+        vector token whose ``"0"`` component is that seq -- see
+        :mod:`repro.net.tokens`), the read is refused while the
+        replica's replay position is behind it -- the read-your-writes
+        half of the consistency contract.
         """
         from repro.errors import ReplicaLagError
+        from repro.net import tokens
         applied = self.applied_seq
-        if token is not None and token > applied:
+        if token is not None and not tokens.covers(applied, token):
             raise ReplicaLagError(token, applied)
         return self.store.snapshot(), applied
 

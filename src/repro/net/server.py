@@ -1,16 +1,32 @@
-"""The asyncio service: framed requests over a concurrent store.
+"""The asyncio service: framed requests over a store backend.
 
-One :class:`StoreService` owns one store and one listening socket.  In
-the **primary** role it wraps a :class:`~repro.objects.concurrent.
-ConcurrentStore`: reads are served from MVCC snapshots (wait-free
-against writers), mutations run through the store's serialized
-pipeline, and -- when the store is WAL-durable -- the replication ops
-(``repl_handshake`` / ``repl_fetch`` / ``repl_dump``) ship the
-committed log to replicas.  In the **replica** role it wraps a
-:class:`~repro.net.replication.Replica`: reads are snapshots at the
-replica's replay position, honoring epoch tokens; mutations are
-refused with :class:`~repro.errors.NotPrimaryError`; a background task
-keeps pulling the primary's WAL tail.
+One :class:`StoreService` owns one listening socket and one
+:class:`~repro.net.backends.StoreBackend`, which supplies every data
+operation (``op_query`` ... ``op_checkpoint``) while the service keeps
+the transport concerns: framing, pipelining, backpressure, role
+enforcement, epoch-token waits, and WAL shipping.  Three backends give
+the service its three roles:
+
+* **primary** over a single store
+  (:class:`~repro.net.backends.ConcurrentBackend`): reads from MVCC
+  snapshots (wait-free against writers), mutations through the store's
+  serialized pipeline, and -- when the store is WAL-durable -- the
+  replication ops (``repl_handshake`` / ``repl_fetch`` / ``repl_dump``)
+  ship the committed log to replicas;
+* **primary** over a sharded store
+  (:class:`~repro.net.backends.ShardedBackend`): writes routed to
+  owner shards, queries scatter-gathered with deduction pruning, every
+  op pushed off the event loop (the router blocks on worker IPC);
+* **replica** (:class:`~repro.net.backends.ReplicaBackend`): reads at
+  the replica's replay position, honoring epoch tokens; mutations
+  refused with :class:`~repro.errors.NotPrimaryError`; a background
+  task keeps pulling the primary's WAL tail.
+
+Write acks carry **vector epoch tokens** (:mod:`repro.net.tokens`):
+``{shard_id: seq}`` maps composed from the backend's commit positions.
+``token_wait`` blocks until the backend's position *covers* a token,
+which generalizes read-your-writes to sharded primaries where no
+single number orders the writes.
 
 Connection discipline:
 
@@ -31,6 +47,12 @@ Connection discipline:
   that connection -- best-effort error frame, then close -- and is
   counted on ``NetStats.protocol_errors``.  The server never dies on
   input.
+
+One cross-op fence: ``alter`` is refused with
+:class:`~repro.errors.StoreBusyError` while a bulk load, checkpoint,
+or catch-up dump runs on the executor -- those jobs hold the store
+off the event loop, and a schema swap interleaved with a half-applied
+batch or a paged dump would tear both.
 """
 
 from __future__ import annotations
@@ -45,19 +67,23 @@ from repro.errors import (
     NetError,
     NotPrimaryError,
     ProtocolError,
+    RemoteOpError,
     ReplicaLagError,
     ReplicationError,
+    ShardWorkerError,
     StorageError,
+    StoreBusyError,
 )
-from repro.net import protocol
-from repro.net.replication import LocalShipSource, Replica, encode_record
-from repro.objects.concurrent import ConcurrentStore
-from repro.objects.surrogate import Surrogate
+from repro.net import protocol, tokens
+from repro.net.backends import (
+    BACKEND_OPS,
+    ConcurrentBackend,
+    ReplicaBackend,
+    ShardedBackend,
+    StoreBackend,
+)
+from repro.net.replication import Replica, encode_record
 from repro.obs import NetStats
-from repro.query.ast import Aggregate, Query, Var
-from repro.query.parser import parse_query
-from repro.sharding import wire
-from repro.sharding.worker import EXECUTION_STAT_FIELDS
 
 __all__ = ["StoreService", "serve"]
 
@@ -70,13 +96,28 @@ DEFAULT_POLL_INTERVAL = 0.05
 DUMP_CACHE_LIMIT = 4
 
 
+def _wrap_backend(store, replica) -> StoreBackend:
+    if (store is None) == (replica is None):
+        raise NetError(
+            "pass exactly one of store= (primary) or replica=")
+    if replica is not None:
+        return ReplicaBackend(replica)
+    if isinstance(store, StoreBackend):
+        return store
+    # A sharded router walks in through the same front door as a plain
+    # store: duck-typed on the attributes only a router has.
+    if hasattr(store, "n_shards") and hasattr(store, "position_token"):
+        return ShardedBackend(store)
+    return ConcurrentBackend(store)
+
+
 class StoreService:
-    """One listening endpoint over one store (see module docstring).
+    """One listening endpoint over one backend (see module docstring).
 
     Primary::
 
-        service = StoreService(store)            # any ObjectStore
-        service.run_background()                 # or: await start()
+        service = StoreService(store)        # ObjectStore or ShardedStore
+        service.run_background()             # or: await start()
 
     Replica::
 
@@ -90,34 +131,32 @@ class StoreService:
                  idle_timeout: Optional[float] = None,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
                  net_stats: Optional[NetStats] = None) -> None:
-        if (store is None) == (replica is None):
-            raise NetError(
-                "pass exactly one of store= (primary) or replica=")
+        self.backend = _wrap_backend(store, replica)
         self.replica = replica
-        if store is not None:
-            self.role = "primary"
-            self.concurrent = (store if isinstance(store, ConcurrentStore)
-                               else ConcurrentStore(store))
-        else:
-            self.role = "replica"
-            self.concurrent = None
+        self.role = "primary" if self.backend.writable else "replica"
+        #: The single-store concurrency facade when one exists (tests
+        #: and embedders reach through it); None for sharded backends.
+        self.concurrent = getattr(self.backend, "concurrent", None)
         self.host = host
         self.port = port
         self.max_frame = max_frame
         self.idle_timeout = idle_timeout
         self.poll_interval = poll_interval
         self.stats = net_stats or NetStats()
-        self._ship: Optional[LocalShipSource] = None
-        if self.role == "primary" \
-                and getattr(self._store, "_journal", None) is not None:
-            self._ship = LocalShipSource(self._store,
-                                         net_stats=self.stats)
+        self.backend.net_stats = self.stats
+        self._ship = self.backend.ship
+        if self._ship is not None:
+            self._ship.net_stats = self.stats
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._sync_task: Optional[asyncio.Task] = None
         self._thread = None
         self.address: Optional[Tuple[str, int]] = None
+        #: Executor jobs in flight (bulk loads, checkpoints, dumps,
+        #: sharded ops): the alter fence refuses schema changes while
+        #: any of them holds the store.
+        self._busy_jobs = 0
         #: Paged catch-up dumps in flight: dump_id -> canonical-JSON
         #: text (ASCII, so character offsets are byte offsets).
         self._dumps: Dict[int, str] = {}
@@ -129,16 +168,10 @@ class StoreService:
 
     @property
     def _store(self):
-        """The store this endpoint serves *right now*.
-
-        Dereferenced on every access rather than captured at
-        construction: a replica that falls behind a checkpoint rotation
-        re-bootstraps by closing its store and installing a fresh one,
-        and every handler (hello, ping, schema, stats) must follow the
-        swap instead of reading the closed pre-bootstrap store."""
-        if self.role == "primary":
-            return self.concurrent.store
-        return self.replica.store
+        """The store this endpoint serves *right now* (the backend
+        dereferences per access: a re-bootstrapping replica swaps its
+        store, and every handler must follow the swap)."""
+        return self.backend.store
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -260,6 +293,14 @@ class StoreService:
         writer.write(data)
         await writer.drain()
 
+    def _hello(self) -> Dict[str, object]:
+        hello = protocol.hello(
+            self.role, epoch=self.backend.epoch(),
+            last_seq=self.backend.last_seq(),
+            position=self.backend.position())
+        hello.update(self.backend.describe())
+        return hello
+
     async def _serve_connection(self, reader, writer) -> None:
         stats = self.stats
         stats.connections_opened += 1
@@ -270,9 +311,7 @@ class StoreService:
         on_bytes = (lambda n: setattr(
             stats, "bytes_in", stats.bytes_in + n))
         try:
-            await self._send(writer, protocol.hello(
-                self.role, epoch=self._store._epoch,
-                last_seq=self._last_seq()))
+            await self._send(writer, self._hello())
             while True:
                 try:
                     if self.idle_timeout:
@@ -313,26 +352,62 @@ class StoreService:
             except (asyncio.CancelledError, ConnectionError, OSError):
                 pass
 
+    async def _offload(self, fn, *args, fenced: bool = False):
+        """Run a blocking backend job on the executor.  ``fenced`` jobs
+        (bulk loads, checkpoints, catch-up dumps -- the ones that hold
+        the store for their whole run) are tracked on the busy gauge
+        the alter fence reads; ordinary offloaded ops (a sharded
+        backend's reads and row writes) are not, so they never starve
+        schema changes."""
+        if fenced:
+            self._busy_jobs += 1
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, fn, *args)
+        finally:
+            if fenced:
+                self._busy_jobs -= 1
+
     async def _dispatch(self, message: Dict[str, object]
                         ) -> Dict[str, object]:
         rid = message.get("id")
         op = message.get("op")
         stats = self.stats
-        handler = self._OPS.get(op)
+        is_backend_op = op in BACKEND_OPS
         try:
-            if handler is None:
-                raise StorageError(f"unknown request op {op!r}")
-            if op in self._WRITE_OPS and self.role != "primary":
-                raise NotPrimaryError(
-                    f"replica does not accept {op!r}; write to the "
-                    "primary")
-            result = handler(self, message)
-            if asyncio.iscoroutine(result):
-                result = await result
+            if is_backend_op:
+                if op in self._WRITE_OPS and self.role != "primary":
+                    raise NotPrimaryError(
+                        f"replica does not accept {op!r}; write to "
+                        "the primary")
+                if op == "alter" and self._busy_jobs:
+                    stats.alter_fences += 1
+                    raise StoreBusyError(
+                        "alter refused: an in-flight bulk load, "
+                        "checkpoint, or catch-up dump holds the "
+                        "store; retry once it drains")
+                handler = getattr(self.backend, "op_" + op)
+                if op in self.backend.blocking_ops:
+                    result = await self._offload(
+                        handler, message,
+                        fenced=op in ("bulk", "checkpoint"))
+                else:
+                    result = handler(message)
+            else:
+                handler = self._OPS.get(op)
+                if handler is None:
+                    raise StorageError(f"unknown request op {op!r}")
+                result = handler(self, message)
+                if asyncio.iscoroutine(result):
+                    result = await result
         except Exception as exc:
             stats.requests_served += 1
             stats.op_errors += 1
             error = {"type": type(exc).__name__, "msg": str(exc)}
+            if isinstance(exc, (ShardWorkerError, RemoteOpError)):
+                # A failure relayed from a shard worker: surface the
+                # original class name, as a direct service would.
+                error["type"] = exc.remote_type
             if isinstance(exc, ReplicaLagError):
                 error["token"] = exc.token
                 error["applied_seq"] = exc.applied_seq
@@ -345,98 +420,21 @@ class StoreService:
         return {"id": rid, "ok": result}
 
     # ------------------------------------------------------------------
-    # Shared helpers
-    # ------------------------------------------------------------------
-
-    def _last_seq(self) -> int:
-        if self.role == "replica":
-            return self.replica.applied_seq
-        journal = getattr(self._store, "_journal", None)
-        return journal.wal.last_seq if journal is not None else 0
-
-    def _token(self) -> int:
-        """The epoch token acknowledging the write that just committed:
-        its WAL seq on a durable primary (what replicas replay), the
-        store epoch otherwise (no replicas can exist to lag)."""
-        journal = getattr(self._store, "_journal", None)
-        if journal is not None:
-            return journal.wal.last_seq
-        return self._store._epoch
-
-    def _resolve(self, sid: int):
-        return self._store.get(Surrogate(sid))
-
-    def _read_view(self, cmd):
-        """The snapshot one read runs against, after enforcing the
-        request's epoch token (replica role only -- a primary is never
-        behind its own log)."""
-        token = cmd.get("token")
-        if self.role == "replica":
-            snapshot, _ = self.replica.read_view(token)
-            return snapshot
-        return self.concurrent.snapshot()
-
-    def _ack(self) -> Dict[str, object]:
-        return {"token": self._token(), "epoch": self._store._epoch}
-
-    # ------------------------------------------------------------------
-    # Read ops
+    # Service-level ops (transport, liveness, replication)
     # ------------------------------------------------------------------
 
     def _op_ping(self, cmd):
-        out = {"role": self.role, "epoch": self._store._epoch,
-               "objects": len(self._store), "seq": self._last_seq()}
+        out = {"role": self.role, "epoch": self.backend.epoch(),
+               "objects": self.backend.object_count(),
+               "seq": self.backend.last_seq(),
+               "position": self.backend.position()}
+        out.update(self.backend.describe())
         if self.role == "replica":
             out["lag"] = self.replica.lag
             out["healthy"] = self._sync_fault is None
             if self._sync_fault is not None:
                 out["sync_fault"] = self._sync_fault
         return out
-
-    def _op_query(self, cmd):
-        query = parse_query(cmd["text"])
-        options = cmd.get("options") or {}
-        view = self._read_view(cmd)
-        from repro.query.planner import execute_planned
-        stats_out = {}
-        if any(isinstance(item, Aggregate) for item in query.select):
-            rows, stats = execute_planned(query, view, **options)
-            for field in EXECUTION_STAT_FIELDS:
-                stats_out[field] = getattr(stats, field)
-            return {"agg": [wire.encode_value(v) for v in rows[0]],
-                    "stats": stats_out}
-        # Tag rows with their surrogate (same trick as the shard
-        # worker): the prepended variable cannot skip, so rows and
-        # rows_skipped are untouched.
-        tagged = Query(query.var, query.source_class, query.where,
-                       (Var(query.var),) + tuple(query.select))
-        rows, stats = execute_planned(tagged, view, **options)
-        for field in EXECUTION_STAT_FIELDS:
-            stats_out[field] = getattr(stats, field)
-        return {"rows": [[row[0].surrogate.id,
-                          [wire.encode_value(v) for v in row[1:]]]
-                         for row in rows],
-                "stats": stats_out}
-
-    def _op_get(self, cmd):
-        view = self._read_view(cmd)
-        obj = view.get(Surrogate(int(cmd["sid"])))
-        return {"classes": sorted(obj.memberships),
-                "values": wire.encode_values(obj.values_snapshot())}
-
-    def _op_count(self, cmd):
-        return {"count": self._read_view(cmd).count(cmd["cls"])}
-
-    def _op_extent(self, cmd):
-        from repro.columnar import SurrogateSet
-        members = self._read_view(cmd).extent_surrogates(cmd["cls"])
-        if not isinstance(members, SurrogateSet):
-            members = SurrogateSet(members)
-        return {"extent": wire.encode_chunks(members)}
-
-    def _op_schema(self, cmd):
-        from repro.lang.printer import print_schema
-        return {"schema": print_schema(self._store.schema)}
 
     def _op_stats(self, cmd):
         out = dict(self._store.stats())
@@ -446,13 +444,14 @@ class StoreService:
             for name, value in self.replica.stats.snapshot().items():
                 out[f"repl.{name}"] = value
         out["net.role"] = self.role
-        out["net.seq"] = self._last_seq()
+        out["net.seq"] = self.backend.last_seq()
+        out["net.position"] = self.backend.position()
         return out
 
     def _op_repl_status(self, cmd):
         if self.replica is None:
-            return {"applied_seq": self._last_seq(), "lag": 0,
-                    "primary_seq": self._last_seq()}
+            return {"applied_seq": self.backend.last_seq(), "lag": 0,
+                    "primary_seq": self.backend.last_seq()}
         stats = self.replica.stats
         out = {"applied_seq": self.replica.applied_seq,
                "primary_seq": stats.primary_seq,
@@ -463,163 +462,28 @@ class StoreService:
         return out
 
     async def _op_token_wait(self, cmd):
-        """Block (bounded) until this endpoint has caught up with an
-        epoch token -- the read-your-writes wait."""
-        token = int(cmd["token"])
+        """Block (bounded) until this endpoint's position covers an
+        epoch token -- the read-your-writes wait.  Accepts a plain seq
+        or a vector token; the covering test is per component."""
+        want = tokens.as_token(cmd.get("token"))
         timeout = float(cmd.get("timeout", 1.0))
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
-        while self._last_seq() < token:
+        while not tokens.covers(self.backend.position(), want):
             if loop.time() >= deadline:
                 self.stats.token_wait_timeouts += 1
-                raise ReplicaLagError(token, self._last_seq())
+                raise ReplicaLagError(cmd.get("token"),
+                                      self.backend.last_seq())
             await asyncio.sleep(0.002)
         self.stats.token_waits += 1
-        return {"applied_seq": self._last_seq()}
-
-    # ------------------------------------------------------------------
-    # Write ops (primary only; the dispatcher enforces the role)
-    # ------------------------------------------------------------------
-
-    def _op_create(self, cmd):
-        values = wire.decode_values(cmd.get("values") or {},
-                                    self._resolve)
-        obj = self.concurrent.create(cmd["cls"], check=cmd.get("check"),
-                                     **values)
-        out = self._ack()
-        out["sid"] = obj.surrogate.id
-        return out
-
-    def _op_set(self, cmd):
-        obj = self._resolve(int(cmd["sid"]))
-        value = wire.decode_value(cmd["value"], self._resolve)
-        self.concurrent.set_value(obj, cmd["attr"], value,
-                                  check=cmd.get("check"))
-        return self._ack()
-
-    def _op_unset(self, cmd):
-        obj = self._resolve(int(cmd["sid"]))
-        self.concurrent.unset_value(obj, cmd["attr"],
-                                    check=cmd.get("check"))
-        return self._ack()
-
-    def _op_classify(self, cmd):
-        self.concurrent.classify(self._resolve(int(cmd["sid"])),
-                                 cmd["cls"], check=cmd.get("check"))
-        return self._ack()
-
-    def _op_declassify(self, cmd):
-        self.concurrent.declassify(self._resolve(int(cmd["sid"])),
-                                   cmd["cls"], check=cmd.get("check"))
-        return self._ack()
-
-    def _op_remove(self, cmd):
-        self.concurrent.remove(self._resolve(int(cmd["sid"])))
-        return self._ack()
-
-    def _op_txn(self, cmd):
-        """A pipelined batch of mutations as one atomic transaction:
-        all-or-nothing in memory, one WAL record, one token."""
-        created = []
-        with self.concurrent.transaction():
-            for sub in cmd["ops"]:
-                sub_op = sub["op"]
-                if sub_op == "create":
-                    values = wire.decode_values(
-                        sub.get("values") or {}, self._resolve)
-                    obj = self.concurrent.create(
-                        sub["cls"], check=sub.get("check"), **values)
-                    created.append(obj.surrogate.id)
-                elif sub_op == "set":
-                    self.concurrent.set_value(
-                        self._resolve(int(sub["sid"])), sub["attr"],
-                        wire.decode_value(sub["value"], self._resolve),
-                        check=sub.get("check"))
-                elif sub_op == "unset":
-                    self.concurrent.unset_value(
-                        self._resolve(int(sub["sid"])), sub["attr"],
-                        check=sub.get("check"))
-                elif sub_op == "classify":
-                    self.concurrent.classify(
-                        self._resolve(int(sub["sid"])), sub["cls"],
-                        check=sub.get("check"))
-                elif sub_op == "declassify":
-                    self.concurrent.declassify(
-                        self._resolve(int(sub["sid"])), sub["cls"],
-                        check=sub.get("check"))
-                elif sub_op == "remove":
-                    self.concurrent.remove(
-                        self._resolve(int(sub["sid"])))
-                else:
-                    raise StorageError(
-                        f"unknown txn sub-op {sub_op!r}")
-        out = self._ack()
-        out["created"] = created
-        return out
-
-    async def _op_bulk(self, cmd):
-        # Bulk loads run whole batches through compiled conformance:
-        # off the event loop so other connections keep being served
-        # (the store's write lock still serializes the mutation).
-        return await asyncio.get_running_loop().run_in_executor(
-            None, self._bulk_sync, cmd)
-
-    def _bulk_sync(self, cmd):
-        rows = [(tuple(classes),
-                 wire.decode_values(values, self._resolve))
-                for classes, values in cmd["rows"]]
-        report = self.concurrent.bulk_load(
-            rows, check=cmd.get("check") or "deferred")
-        out = self._ack()
-        out["objects"] = getattr(report, "objects", len(rows))
-        return out
-
-    def _op_alter(self, cmd):
-        from repro.lang.loader import load_schema
-        successor = load_schema(cmd["schema"])
-        problems = self.concurrent.alter_class(
-            successor.get(cmd["cls"]),
-            recheck=cmd.get("recheck") or "affected")
-        out = self._ack()
-        out["violations"] = [[obj.surrogate.id, str(violation)]
-                             for obj, violation in problems]
-        return out
-
-    def _op_index(self, cmd):
-        if cmd.get("action") == "drop":
-            self.concurrent.drop_index(cmd["attr"])
-        else:
-            self.concurrent.create_index(cmd["attr"])
-        return self._ack()
-
-    def _op_validate(self, cmd):
-        if cmd.get("scope") == "dirty":
-            problems = self.concurrent.validate_dirty()
-        else:
-            problems = self.concurrent.validate_all()
-        out = self._ack()
-        out["violations"] = [[obj.surrogate.id, str(violation)]
-                             for obj, violation in problems]
-        return out
-
-    async def _op_checkpoint(self, cmd):
-        # Serializes and fsyncs the whole store: off the event loop.
-        return await asyncio.get_running_loop().run_in_executor(
-            None, self._checkpoint_sync)
-
-    def _checkpoint_sync(self):
-        checkpoint = getattr(self._store, "checkpoint", None)
-        if checkpoint is None:
-            raise StorageError("store is not durable; nothing to "
-                               "checkpoint")
-        checkpoint()
-        return self._ack()
+        return {"applied_seq": self.backend.last_seq(),
+                "position": self.backend.position()}
 
     # ------------------------------------------------------------------
     # Replication ops (primary, WAL-durable only)
     # ------------------------------------------------------------------
 
-    def _require_ship(self) -> LocalShipSource:
+    def _require_ship(self):
         if self._ship is None:
             raise StorageError(
                 "this endpoint cannot ship its WAL (not a WAL-durable "
@@ -643,8 +507,8 @@ class StoreService:
         # the result can be huge: run off the event loop so pings,
         # token waits, and other connections stay live during a replica
         # bootstrap against a large primary.
-        return await asyncio.get_running_loop().run_in_executor(
-            None, self._repl_dump_sync, cmd)
+        return await self._offload(self._repl_dump_sync, cmd,
+                                   fenced=True)
 
     def _repl_dump_sync(self, cmd):
         """One page of a catch-up dump.
@@ -691,15 +555,8 @@ class StoreService:
     })
 
     _OPS = {
-        "ping": _op_ping, "query": _op_query, "get": _op_get,
-        "count": _op_count, "extent": _op_extent, "schema": _op_schema,
-        "stats": _op_stats, "repl_status": _op_repl_status,
-        "token_wait": _op_token_wait,
-        "create": _op_create, "set": _op_set, "unset": _op_unset,
-        "classify": _op_classify, "declassify": _op_declassify,
-        "remove": _op_remove, "txn": _op_txn, "bulk": _op_bulk,
-        "alter": _op_alter, "index": _op_index,
-        "validate": _op_validate, "checkpoint": _op_checkpoint,
+        "ping": _op_ping, "stats": _op_stats,
+        "repl_status": _op_repl_status, "token_wait": _op_token_wait,
         "repl_handshake": _op_repl_handshake,
         "repl_fetch": _op_repl_fetch, "repl_dump": _op_repl_dump,
     }

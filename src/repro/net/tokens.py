@@ -1,0 +1,88 @@
+"""Vector epoch tokens: read-your-writes over N WALs.
+
+A single-store primary acknowledges a write with one number -- the WAL
+seq the mutation committed at -- and a replica serves a read carrying
+that token only once it has replayed past it.  A *sharded* primary
+commits through N independent shard WALs, so one number cannot order
+its writes: the token generalizes to a **vector**,
+
+    ``{shard_id: seq}``   (shard ids as strings -- the token is JSON)
+
+composed by the router from the per-shard positions it has observed.
+Per component the order is total (each shard's WAL seq is monotonic);
+across components the order is the usual product order: position ``P``
+*covers* token ``T`` iff ``P[k] >= T[k]`` for every component ``k`` of
+``T``.  A write ack's token is exactly the positions its commands
+advanced, so ``covers(position, token)`` is the precise "has this
+endpoint caught up with that write" test -- no component is ever
+over- or under-waited.
+
+Single-store endpoints are the one-shard special case: their position
+is ``{"0": seq}`` and every helper accepts a bare ``int`` as shorthand
+for that, which also keeps old clients (and recorded wire traffic)
+speaking integer tokens working against new servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["as_token", "covers", "merge", "token_seq", "token_total"]
+
+#: The component a single (non-sharded) store's WAL occupies.
+SOLO_SHARD = "0"
+
+
+def as_token(value) -> Dict[str, int]:
+    """Normalize any accepted wire form to a canonical vector.
+
+    ``None`` -> the empty token (covered by every position), an ``int``
+    -> ``{"0": n}`` (the single-store shorthand), a mapping -> keys
+    coerced to ``str`` and seqs to ``int``.  Zero components are
+    dropped: a seq of 0 is the empty WAL, which every endpoint covers.
+    """
+    if value is None:
+        return {}
+    if isinstance(value, bool):
+        raise TypeError("a token cannot be a bool")
+    if isinstance(value, int):
+        return {SOLO_SHARD: value} if value > 0 else {}
+    if isinstance(value, dict):
+        out: Dict[str, int] = {}
+        for shard, seq in value.items():
+            seq = int(seq)
+            if seq > 0:
+                out[str(shard)] = seq
+        return out
+    raise TypeError(f"not an epoch token: {value!r}")
+
+
+def merge(a, b) -> Dict[str, int]:
+    """Componentwise max -- the least token covering both arguments
+    (what a client accumulates across its own write acks)."""
+    out = dict(as_token(a))
+    for shard, seq in as_token(b).items():
+        if seq > out.get(shard, 0):
+            out[shard] = seq
+    return out
+
+
+def covers(have, want) -> bool:
+    """Whether position ``have`` has caught up with token ``want``:
+    every component of ``want`` is at or below ``have``'s."""
+    have = as_token(have)
+    for shard, seq in as_token(want).items():
+        if have.get(shard, 0) < seq:
+            return False
+    return True
+
+
+def token_seq(token, shard: str = SOLO_SHARD) -> int:
+    """One component's seq (0 when absent)."""
+    return as_token(token).get(str(shard), 0)
+
+
+def token_total(token) -> int:
+    """The summed seqs -- a scalar gauge for display and stats (equal
+    to the plain WAL seq in the single-store case)."""
+    return sum(as_token(token).values())

@@ -206,6 +206,8 @@ SHARD_COUNTER_FIELDS: Tuple[str, ...] = (
     "map_refreshes",       # shard-map fetches (stale after mutations)
     "rows_merged",         # per-shard result rows merged by the router
     "schema_replications", # schema/evolution commands replicated
+    "position_refreshes",  # explicit per-shard position (ping) sweeps
+    "txn_rollbacks",       # sharded transactions rolled back (undone)
 )
 
 
@@ -227,6 +229,10 @@ NET_COUNTER_FIELDS: Tuple[str, ...] = (
     "dumps_served",         # full catch-up dumps served
     "token_waits",          # read-your-writes waits honored
     "token_wait_timeouts",  # waits that timed out (ReplicaLagError)
+    "writes_routed",        # mutations routed through a sharded backend
+    "shards_scattered",     # per-query shard dispatches over the wire
+    "shards_pruned",        # shards a served query never touched
+    "alter_fences",         # alters refused while a bulk/dump ran
 )
 
 

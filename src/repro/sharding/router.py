@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import queue as queue_mod
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 from zlib import crc32
 
@@ -243,6 +244,12 @@ class ShardedStore:
         self._profile_counts: Dict[str, int] = {}
         self._maps: List[Optional[List[dict]]] = [None] * n_shards
         self._handles: Dict[int, RemoteHandle] = {}
+        #: Last observed commit position per shard (each result
+        #: envelope carries the shard's WAL seq / epoch); composed into
+        #: the vector epoch token by :meth:`position_token`.
+        self._positions: Dict[int, int] = {i: 0 for i in range(n_shards)}
+        #: Undo log of the open sharded transaction (None = no scope).
+        self._txn_undo: Optional[List] = None
 
         configs = self._shard_configs(
             schema, directory, durability, sync, check_mode, engine,
@@ -304,6 +311,8 @@ class ShardedStore:
                 err = result["error"]
                 raise ShardWorkerError(err["type"], err["msg"],
                                        shard_id=backend.shard_id)
+            if "seq" in result:
+                self._positions[backend.shard_id] = int(result["seq"])
         return backends
 
     @classmethod
@@ -396,6 +405,8 @@ class ShardedStore:
 
     def _recv_ok(self, shard_id: int):
         result = wire.decode_result(self._backends[shard_id].recv())
+        if "seq" in result:     # the single choke point every result
+            self._positions[shard_id] = int(result["seq"])
         if "error" in result:
             err = result["error"]
             raise ShardWorkerError(err["type"], err["msg"],
@@ -429,6 +440,26 @@ class ShardedStore:
 
     def _invalidate(self, shard_id: int) -> None:
         self._maps[shard_id] = None
+
+    # -- vector epoch position ------------------------------------------
+
+    def position_token(self) -> Dict[str, int]:
+        """The router-composed vector epoch token ``{shard_id: seq}``
+        (:mod:`repro.net.tokens`): each component is that shard's last
+        observed commit position -- its WAL seq when durable, so the
+        token survives a clean shutdown + reopen.  Exact as of the last
+        command each shard answered; the router is the only writer, so
+        no shard can be ahead of what it has already acknowledged."""
+        return {str(shard_id): seq
+                for shard_id, seq in self._positions.items() if seq > 0}
+
+    def refresh_positions(self) -> Dict[str, int]:
+        """Force a position sweep (one ping broadcast): used after
+        reopen and by backends that must publish an exact token before
+        any command has flowed."""
+        self._broadcast_cmd({"op": "ping"})
+        self.stats_counters.position_refreshes += 1
+        return self.position_token()
 
     # -- placement ------------------------------------------------------
 
@@ -574,6 +605,9 @@ class ShardedStore:
             self._call(shard, cmd)
             self._owners[sid] = shard
         self.stats_counters.objects_routed += 1
+        if self._txn_undo is not None:
+            self._txn_undo.append(
+                lambda sid=sid: self.remove(self.handle(sid)))
         return self.handle(sid)
 
     def bulk_load(self, rows: Sequence[Tuple[object, Dict[str, object]]],
@@ -586,6 +620,11 @@ class ShardedStore:
         not other rows of the same batch."""
         if self._closed:
             raise ShardingError("store is closed")
+        if self._txn_undo is not None:
+            raise ShardingError(
+                "bulk_load is not available inside a sharded "
+                "transaction (batches are all-or-nothing per shard, "
+                "not undoable row by row)")
         per_shard: Dict[int, List[list]] = {}
         handles: List[RemoteHandle] = []
         assigned: List[Tuple[int, int]] = []
@@ -628,12 +667,94 @@ class ShardedStore:
             handles.append(self.handle(sid))
         return handles
 
+    def _txn_capture_undo(self, sid: int, cmd: Dict[str, object]):
+        """The inverse of one mutation, captured *before* it applies
+        (a ``set`` undo needs the prior value) but journaled only after
+        it succeeds (a rejected sub-op applied nothing, so its inverse
+        must not replay).  Inverses replay through :meth:`_mutate`
+        itself check-free (``_txn_undo`` is already detached during
+        rollback, so they do not re-log), which keeps broadcast
+        replicas converged through an undo exactly as through the
+        forward write."""
+        op = cmd["op"]
+        if op == "remove":
+            # Undoing a remove needs the full prior state *and* every
+            # inbound reference; out of the supported envelope.
+            raise ShardingError(
+                "remove is not supported inside a sharded transaction "
+                "(its undo cannot be replayed exactly); remove outside "
+                "the transaction scope")
+        if op in ("set", "unset"):
+            attr = cmd["attr"]
+            owner = (sid % self.n_shards if sid in self._broadcast
+                     else self._owner_of(sid))
+            prior = self._call(
+                owner, {"op": "get", "sid": sid})["values"].get(attr)
+            if prior is None:
+                undo = {"op": "unset", "attr": attr}
+            else:
+                undo = {"op": "set", "attr": attr, "value": prior}
+        elif op == "classify":
+            undo = {"op": "declassify", "cls": cmd["cls"]}
+        elif op == "declassify":
+            undo = {"op": "classify", "cls": cmd["cls"]}
+        else:
+            raise ShardingError(
+                f"cannot undo {op!r} inside a sharded transaction")
+        return lambda: self._mutate(sid, undo, CheckMode.NONE)
+
+    @contextmanager
+    def transaction(self):
+        """An atomic multi-command scope over the sharded population.
+
+        The single store's transaction is a restore point; shards
+        cannot share one, so the router keeps an **undo journal**: each
+        create/set/unset/classify/declassify inside the scope logs its
+        exact inverse first, and an exception replays the inverses in
+        reverse order (check-free -- they restore previously conformant
+        state) before re-raising.  The allocator and profile placement
+        counters are restored too, so an aborted transaction leaves the
+        router minting the same sids and placements the single store
+        would after its rollback.  Supported scope: create / set /
+        unset / classify / declassify; ``remove``, ``bulk_load`` and
+        schema/index commands are rejected inside the scope (their
+        inverses cannot be replayed exactly).
+
+        Unlike the single store's transaction this scope is atomic but
+        not isolated: a concurrent reader of the *same router* could
+        observe intermediate states.  The router is single-writer by
+        contract (it is not thread-safe), so within the supported
+        envelope this distinction is unobservable.
+        """
+        if self._txn_undo is not None:
+            raise ShardingError("sharded transactions do not nest")
+        self._txn_undo = []
+        saved_next = self._next_sid
+        saved_profiles = dict(self._profile_counts)
+        try:
+            yield self
+        except BaseException:
+            undos, self._txn_undo = self._txn_undo, None
+            for undo in reversed(undos):
+                try:
+                    undo()
+                except Exception:   # pragma: no cover - best effort
+                    pass
+            self._next_sid = saved_next
+            self._profile_counts = saved_profiles
+            self.stats_counters.txn_rollbacks += 1
+            raise
+        else:
+            self._txn_undo = None
+
     def _mutate(self, obj, cmd: Dict[str, object],
                 check: Optional[str]) -> None:
         if self._closed:
             raise ShardingError("store is closed")
         sid = obj.surrogate.id if hasattr(obj, "surrogate") else int(obj)
         cmd = dict(cmd, sid=sid)
+        undo = (self._txn_capture_undo(sid, cmd)
+                if self._txn_undo is not None else None)
         if sid in self._broadcast:
             owner = sid % self.n_shards
             # Two-phase: the owner replica takes the checked write (a
@@ -656,6 +777,8 @@ class ShardedStore:
             if cmd["op"] == "remove":
                 self._owners.pop(sid, None)
                 self._handles.pop(sid, None)
+        if undo is not None:
+            self._txn_undo.append(undo)
 
     def set_value(self, obj, attribute: str, value,
                   check: Optional[str] = None) -> None:
@@ -687,6 +810,14 @@ class ShardedStore:
 
     # -- schema evolution ----------------------------------------------
 
+    def _no_open_txn(self) -> None:
+        """Schema changes are checked *before* the meta store mutates,
+        so a rejection leaves meta and shards still in lockstep."""
+        if self._txn_undo is not None:
+            raise ShardingError(
+                "schema changes are not available inside a sharded "
+                "transaction (a replicated epoch cannot be undone)")
+
     def _replicate_schema(self, class_name: str,
                           recheck: str) -> List[Tuple[RemoteHandle, str]]:
         text = print_schema(self._meta.schema)
@@ -707,11 +838,13 @@ class ShardedStore:
         before any shard hears of it), then replicated to every shard
         in command order -- each shard's FIFO queue guarantees the
         epoch lands between the same mutations everywhere."""
+        self._no_open_txn()
         self._meta.alter_class(new_def, recheck="none")
         return self._replicate_schema(new_def.name, recheck)
 
     def add_excuse(self, class_name: str, attribute: str, range_,
                    targets, *, recheck: str = "affected"):
+        self._no_open_txn()
         self._meta.add_excuse(class_name, attribute, range_, targets,
                               recheck="none")
         return self._replicate_schema(class_name, recheck)
@@ -719,6 +852,7 @@ class ShardedStore:
     def retract_excuse(self, class_name: str, attribute: str, *,
                        targets=None, drop_attribute: bool = False,
                        recheck: str = "affected"):
+        self._no_open_txn()
         self._meta.retract_excuse(class_name, attribute, targets=targets,
                                   drop_attribute=drop_attribute,
                                   recheck="none")
@@ -727,9 +861,17 @@ class ShardedStore:
     # -- physical design ------------------------------------------------
 
     def create_index(self, attribute: str) -> None:
+        if self._txn_undo is not None:
+            raise ShardingError(
+                "index changes are not available inside a sharded "
+                "transaction")
         self._broadcast_cmd({"op": "index", "attr": attribute})
 
     def drop_index(self, attribute: str) -> None:
+        if self._txn_undo is not None:
+            raise ShardingError(
+                "index changes are not available inside a sharded "
+                "transaction")
         self._broadcast_cmd({"op": "index", "attr": attribute,
                              "action": "drop"})
 
@@ -765,6 +907,16 @@ class ShardedStore:
 
     def validate_all(self) -> List[Tuple[RemoteHandle, str]]:
         payloads = self._broadcast_cmd({"op": "validate"})
+        out: List[Tuple[RemoteHandle, str]] = []
+        for _sid, payload in payloads:
+            for sid, message in payload["violations"]:
+                out.append((self.handle(int(sid)), message))
+        return out
+
+    def validate_dirty(self) -> List[Tuple[RemoteHandle, str]]:
+        """Re-check only objects each shard marked dirty since its last
+        sweep (each worker keeps its own dirty set)."""
+        payloads = self._broadcast_cmd({"op": "validate", "scope": "dirty"})
         out: List[Tuple[RemoteHandle, str]] = []
         for _sid, payload in payloads:
             for sid, message in payload["violations"]:
@@ -848,13 +1000,12 @@ class ShardedStore:
                     merged.append(max(partials))
         return tuple(merged)
 
-    def query(self, query, *, prune: bool = True,
-              **options) -> Tuple[List[tuple], ExecutionStats]:
-        """Scatter-gather execution: parse once, prune shards, dispatch
-        in parallel, merge rows (by surrogate) or aggregate folds.
-        Returns ``(rows, stats)`` like ``execute_planned``; the merged
-        stats sum the per-shard executions, with
-        ``stats.rows_returned`` recomputed for aggregate merges."""
+    def _scatter(self, query, options, prune: bool):
+        """The shared scatter half of a query: parse once, prune,
+        rewrite aggregates, dispatch, and sum per-shard execution
+        stats.  Returns ``(payloads, stats, has_aggregates, spec)`` for
+        the caller to merge at whichever level (decoded values or raw
+        wire shapes) it serves."""
         if self._closed:
             raise ShardingError("store is closed")
         if isinstance(query, str):
@@ -883,6 +1034,17 @@ class ShardedStore:
             for field in EXECUTION_STAT_FIELDS:
                 setattr(stats, field, getattr(stats, field)
                         + payload["stats"][field])
+        return payloads, stats, has_aggregates, spec
+
+    def query(self, query, *, prune: bool = True,
+              **options) -> Tuple[List[tuple], ExecutionStats]:
+        """Scatter-gather execution: parse once, prune shards, dispatch
+        in parallel, merge rows (by surrogate) or aggregate folds.
+        Returns ``(rows, stats)`` like ``execute_planned``; the merged
+        stats sum the per-shard executions, with
+        ``stats.rows_returned`` recomputed for aggregate merges."""
+        payloads, stats, has_aggregates, spec = self._scatter(
+            query, options, prune)
         if has_aggregates:
             shard_rows = [
                 [wire.decode_value(value, self.handle)
@@ -903,6 +1065,35 @@ class ShardedStore:
         tagged.sort(key=lambda pair: pair[0])
         self.stats_counters.rows_merged += len(tagged)
         return [values for _sid, values in tagged], stats
+
+    def query_wire(self, text: str, options: Optional[Dict] = None, *,
+                   prune: bool = True) -> Dict[str, object]:
+        """Scatter-gather at the wire level: the same response shape
+        the single-store service's ``query`` op produces (sid-tagged
+        rows of *encoded* values, or a merged ``agg`` vector, plus the
+        summed execution stats) -- per-row values are merged without a
+        decode/re-encode round-trip, so a network backend serving a
+        sharded store pays routing, not re-serialization."""
+        payloads, stats, has_aggregates, spec = self._scatter(
+            text, options or {}, prune)
+        stats_out = {field: getattr(stats, field)
+                     for field in EXECUTION_STAT_FIELDS}
+        if has_aggregates:
+            shard_rows = [
+                [wire.decode_value(value, self.handle)
+                 for value in payload["agg"]]
+                for _shard_id, payload in payloads]
+            merged = self._merge_aggregates(spec, shard_rows)
+            stats_out["rows_returned"] = 1
+            self.stats_counters.rows_merged += 1
+            return {"agg": [wire.encode_value(v) for v in merged],
+                    "stats": stats_out}
+        rows: List[List[object]] = []
+        for _shard_id, payload in payloads:
+            rows.extend(payload["rows"])
+        rows.sort(key=lambda row: row[0])
+        self.stats_counters.rows_merged += len(rows)
+        return {"rows": rows, "stats": stats_out}
 
     # -- observability --------------------------------------------------
 

@@ -126,13 +126,18 @@ class ShardServer:
     # ------------------------------------------------------------------
 
     def handle_json(self, text: str) -> str:
+        # Every result envelope -- success or error -- carries this
+        # shard's commit position ("seq"), so the router's view of the
+        # per-shard vector token is updated by the very reply that
+        # advanced it; no extra round-trip per write ack.
         cmd = wire.decode_command(text)
         try:
             payload = self.handle(cmd)
         except Exception as exc:   # ships the failure back to the router
             return wire.encode_result({"error": {
-                "type": type(exc).__name__, "msg": str(exc)}})
-        return wire.encode_result({"ok": payload})
+                "type": type(exc).__name__, "msg": str(exc)},
+                "seq": self.position()})
+        return wire.encode_result({"ok": payload, "seq": self.position()})
 
     def handle(self, cmd: Dict[str, object]):
         op = cmd["op"]
@@ -144,9 +149,22 @@ class ShardServer:
     def _resolve(self, sid: int):
         return self.store.get(Surrogate(sid))
 
+    def position(self) -> int:
+        """This shard's commit position: its WAL seq when durable (what
+        a reopened worker recovers to), the store epoch otherwise --
+        one component of the router's vector epoch token."""
+        journal = getattr(self.store, "_journal", None)
+        if journal is not None:
+            return journal.wal.last_seq
+        return self.store._epoch
+
     def _force_sid(self, sid: int) -> None:
-        allocator = self.store._allocator
-        allocator._next = max(allocator._next, sid)
+        # The router is the single allocator and every create/bulk row
+        # carries its authoritative sid, so the pin is *exact* (not a
+        # max): a sid freed by a rolled-back router transaction can be
+        # re-minted here, mirroring the single store's allocator
+        # restore on transaction rollback.
+        self.store._allocator._next = sid
 
     # ------------------------------------------------------------------
     # Mutations
@@ -373,7 +391,8 @@ def shard_worker_main(shard_id: int, config: Dict[str, object],
             "type": type(exc).__name__, "msg": str(exc)}}))
         return
     result_queue.put(wire.encode_result(
-        {"ok": {"ready": True, "objects": len(server.store)}}))
+        {"ok": {"ready": True, "objects": len(server.store)},
+         "seq": server.position()}))
     while True:
         text = cmd_queue.get()
         cmd = wire.decode_command(text)

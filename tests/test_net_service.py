@@ -18,6 +18,7 @@ from repro.errors import (
     ReplicaLagError,
 )
 from repro.lang import print_schema
+from repro.net import tokens as epoch_tokens
 from repro.net.client import ReplicaSetClient, StoreClient, ref
 from repro.net.replication import NetShipSource, Replica
 from repro.net.server import StoreService
@@ -61,7 +62,7 @@ class TestPrimaryOps:
     def test_crud_round_trip(self, client):
         ack = client.create("Patient", {"name": "ann", "age": 30})
         sid = ack["sid"]
-        assert ack["token"] > 0
+        assert epoch_tokens.token_total(ack["token"]) > 0
         client.set_value(sid, "age", 31)
         got = client.get(sid)
         assert got["values"]["age"] == 31
@@ -177,8 +178,14 @@ class TestPrimaryOps:
                                 {"floor": 1 + i, "name": f"T{i}"}
                                 )["token"]
                   for i in range(4)]
-        assert tokens == sorted(tokens)
-        assert len(set(tokens)) == 4
+        # Vector tokens: each ack covers every earlier one, and the
+        # scalar gauges strictly advance (four distinct commits).
+        for earlier, later in zip(tokens, tokens[1:]):
+            assert epoch_tokens.covers(later, earlier)
+            assert not epoch_tokens.covers(earlier, later)
+        totals = [epoch_tokens.token_total(t) for t in tokens]
+        assert totals == sorted(totals)
+        assert len(set(totals)) == 4
 
 
 class TestReplicaServing:
@@ -325,7 +332,7 @@ class TestReplicaServing:
             assert service._store is replica.store
             out = rclient.ping()
             assert out["objects"] == 3
-            assert out["seq"] == ack["token"]
+            assert out["seq"] == epoch_tokens.token_seq(ack["token"])
             rclient.close()
         finally:
             service.shutdown()

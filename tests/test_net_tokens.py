@@ -1,0 +1,103 @@
+"""Vector epoch tokens: normalization, covering order, merge algebra.
+
+The token module is the consistency contract's arithmetic -- a wrong
+``covers`` silently breaks read-your-writes, a wrong ``merge`` makes a
+client under- or over-wait -- so the laws get their own unit suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import tokens
+
+
+class TestAsToken:
+    def test_none_is_empty(self):
+        assert tokens.as_token(None) == {}
+
+    def test_int_shorthand(self):
+        assert tokens.as_token(7) == {"0": 7}
+
+    def test_zero_int_is_empty(self):
+        assert tokens.as_token(0) == {}
+
+    def test_dict_keys_coerced(self):
+        assert tokens.as_token({1: 4, "2": 9}) == {"1": 4, "2": 9}
+
+    def test_zero_components_dropped(self):
+        assert tokens.as_token({"0": 0, "1": 3}) == {"1": 3}
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            tokens.as_token(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            tokens.as_token("5")
+
+
+class TestCovers:
+    def test_empty_token_covered_by_anything(self):
+        assert tokens.covers({}, {})
+        assert tokens.covers(None, None)
+        assert tokens.covers({"0": 1}, None)
+
+    def test_scalar_compat(self):
+        # The single-store special case is plain integer comparison.
+        assert tokens.covers(5, 5)
+        assert tokens.covers(5, 4)
+        assert not tokens.covers(4, 5)
+
+    def test_product_order(self):
+        position = {"0": 5, "1": 3}
+        assert tokens.covers(position, {"0": 5, "1": 3})
+        assert tokens.covers(position, {"0": 2})
+        assert not tokens.covers(position, {"0": 5, "1": 4})
+        assert not tokens.covers(position, {"2": 1})
+
+    def test_incomparable_tokens(self):
+        # Neither covers the other: writes landed on different shards.
+        a, b = {"0": 2, "1": 1}, {"0": 1, "1": 2}
+        assert not tokens.covers(a, b)
+        assert not tokens.covers(b, a)
+
+
+class TestMerge:
+    def test_componentwise_max(self):
+        assert tokens.merge({"0": 2, "1": 1}, {"0": 1, "1": 3}) \
+            == {"0": 2, "1": 3}
+
+    def test_merge_is_least_upper_bound(self):
+        a, b = {"0": 2, "1": 1}, {"1": 2, "2": 4}
+        merged = tokens.merge(a, b)
+        assert tokens.covers(merged, a)
+        assert tokens.covers(merged, b)
+        # Least: decrementing any component uncovers one argument.
+        for shard in merged:
+            lower = dict(merged)
+            lower[shard] -= 1
+            assert not (tokens.covers(lower, a)
+                        and tokens.covers(lower, b))
+
+    def test_merge_int_and_vector(self):
+        assert tokens.merge(3, {"1": 2}) == {"0": 3, "1": 2}
+
+    def test_merge_identity_and_commutativity(self):
+        a = {"0": 2, "3": 7}
+        assert tokens.merge(a, None) == a
+        assert tokens.merge(None, a) == a
+        assert tokens.merge(a, {"1": 1}) == tokens.merge({"1": 1}, a)
+
+
+class TestGauges:
+    def test_token_seq(self):
+        assert tokens.token_seq(5) == 5
+        assert tokens.token_seq({"0": 4, "1": 9}) == 4
+        assert tokens.token_seq({"1": 9}, shard="1") == 9
+        assert tokens.token_seq(None) == 0
+
+    def test_token_total(self):
+        assert tokens.token_total(None) == 0
+        assert tokens.token_total(6) == 6
+        assert tokens.token_total({"0": 4, "1": 9}) == 13

@@ -298,3 +298,31 @@ def test_bench_net_json_structure():
     assert data["scaling_enforced"] == (data["cpu_count"] >= 3)
     if data["scaling_enforced"]:
         assert data["scaling_2x"] >= data["scaling_floor"]
+
+
+def test_bench_net_sharded_json_structure():
+    data = _bench_json("BENCH_net_sharded.json")
+    assert data["experiment"] == "A12-net-sharded"
+    assert data["n_objects"] >= 20_000
+    assert data["n_rare"] >= 100
+    shards = data["shards"]
+    assert {"1", "2", "4"} <= set(shards)
+    for entry in shards.values():
+        assert entry["objects_per_sec"] > 0
+        assert entry["selective_qps"] > 0
+        assert entry["scan_qps"] > 0
+    # Pruning floors are hardware-independent and counter-verified
+    # over the wire (the benchmark re-asserts them on regeneration):
+    # the rare cohort's class-restricted query reaches exactly one
+    # shard, the deduction-refuted query reaches none and prunes all.
+    for n in ("2", "4"):
+        entry = shards[n]
+        assert entry["selective_dispatched"] == 1
+        assert entry["deduction_dispatched"] == 0
+        assert entry["deduction_pruned"] == int(n)
+        assert entry["deduction_prunes"] >= int(n)
+    assert data["scaling_floor"] == 2.0
+    assert data["scaling_4x"] > 0
+    assert data["scaling_enforced"] == (data["cpu_count"] >= 4)
+    if data["scaling_enforced"]:
+        assert data["scaling_4x"] >= data["scaling_floor"]
